@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation study of Hetero-DMR's design choices (Section III-A1 /
+ * III-E): the proactive-cleaning batch size (the "100x write batch")
+ * and the frequency-transition latency.  Shows why 12,800-line
+ * batches are needed once a read<->write switch costs ~1 us, and how
+ * sensitive the design is if the JEDEC-compliant transition were
+ * slower or faster.
+ */
+
+#include <cstdio>
+
+#include "node/config.hh"
+#include "node/node_system.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace hdmr;
+    using namespace hdmr::node;
+
+    NodeConfig base;
+    base.hierarchy = HierarchyConfig::hierarchy1();
+    base.workload = wl::benchmarkByName("lulesh"); // write-heavy
+    base.memOpsPerCore = 40000;
+    base.warmupOpsPerCore = 20000;
+    base.memorySystem = MemorySystemKind::kCommercialBaseline;
+    const double baseline = NodeSystem(base).run().execSeconds;
+
+    base.memorySystem = MemorySystemKind::kHeteroDmr;
+
+    std::printf("ABLATION: Hetero-DMR design knobs (lulesh, "
+                "Hierarchy 1, speedup vs Commercial Baseline)\n\n");
+
+    std::printf("(a) proactive-cleaning batch size per write-mode "
+                "window (paper: 12800 = 100x a 128-entry buffer):\n");
+    util::Table batch({"clean lines/window", "speedup",
+                       "write-mode entries/ms"});
+    for (const std::size_t lines : {0ul, 1600ul, 12800ul, 51200ul}) {
+        auto config = base;
+        config.cleanLinesPerWriteMode = lines;
+        const auto stats = NodeSystem(config).run();
+        batch.row()
+            .cell(static_cast<long long>(lines))
+            .cell(util::formatSpeedup(baseline / stats.execSeconds))
+            .cell(static_cast<double>(stats.writeModeEntries) /
+                      (stats.execSeconds * 1e3),
+                  1);
+    }
+    batch.print();
+
+    std::printf("\n(b) frequency-transition latency (paper: ~1 us for "
+                "the Fig. 9/10 sequence):\n");
+    util::Table transition({"transition latency", "speedup"});
+    for (const double us : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+        auto config = base;
+        config.frequencyTransitionUs = us;
+        const auto stats = NodeSystem(config).run();
+        transition.row()
+            .cell(util::formatDouble(us, 1) + " us")
+            .cell(util::formatSpeedup(baseline / stats.execSeconds));
+    }
+    transition.print();
+
+    std::printf("\n(c) node-level margin sensitivity:\n");
+    util::Table margin({"node margin", "speedup"});
+    for (const unsigned mts : {200u, 400u, 600u, 800u}) {
+        auto config = base;
+        config.nodeMarginMts = mts;
+        const auto stats = NodeSystem(config).run();
+        margin.row()
+            .cell(std::to_string(mts) + " MT/s")
+            .cell(util::formatSpeedup(baseline / stats.execSeconds));
+    }
+    margin.print();
+    return 0;
+}

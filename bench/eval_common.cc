@@ -1,0 +1,256 @@
+#include "eval_common.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace hdmr::bench
+{
+
+using node::HierarchyConfig;
+using node::MemorySystemKind;
+using node::NodeConfig;
+
+std::string
+rowKey(const std::string &benchmark, const std::string &hierarchy,
+       const std::string &system, unsigned margin,
+       unsigned usage_class)
+{
+    std::ostringstream key;
+    key << benchmark << '|' << hierarchy << '|' << system << '|'
+        << margin << '|' << usage_class;
+    return key.str();
+}
+
+EvalRow
+describe(const NodeConfig &config)
+{
+    EvalRow row;
+    row.benchmark = config.workload.name;
+    row.suite = config.workload.suite;
+    row.hierarchy = config.hierarchy.name;
+    row.system = node::toString(config.memorySystem);
+    row.marginMts = config.nodeMarginMts;
+    row.usageClass = static_cast<unsigned>(config.usage);
+    return row;
+}
+
+namespace
+{
+
+std::string
+serialize(const EvalRow &row)
+{
+    std::ostringstream out;
+    out << row.benchmark << ',' << row.suite << ',' << row.hierarchy
+        << ',' << row.system << ',' << row.marginMts << ','
+        << row.usageClass << ',' << row.execSeconds << ',' << row.epiNj
+        << ',' << row.dramAccessesPerInstruction << ','
+        << row.busUtilization << ',' << row.readBandwidthGBs << ','
+        << row.writeBandwidthGBs << ',' << row.commFraction << ','
+        << row.corrections;
+    return out.str();
+}
+
+bool
+deserialize(const std::string &line, EvalRow &row)
+{
+    std::istringstream in(line);
+    std::string field;
+    auto next = [&](std::string &target) {
+        return static_cast<bool>(std::getline(in, target, ','));
+    };
+    std::string margin, usage, numbers[8];
+    if (!next(row.benchmark) || !next(row.suite) ||
+        !next(row.hierarchy) || !next(row.system) || !next(margin) ||
+        !next(usage)) {
+        return false;
+    }
+    for (auto &value : numbers) {
+        if (!next(value))
+            return false;
+    }
+    row.marginMts = static_cast<unsigned>(std::stoul(margin));
+    row.usageClass = static_cast<unsigned>(std::stoul(usage));
+    row.execSeconds = std::stod(numbers[0]);
+    row.epiNj = std::stod(numbers[1]);
+    row.dramAccessesPerInstruction = std::stod(numbers[2]);
+    row.busUtilization = std::stod(numbers[3]);
+    row.readBandwidthGBs = std::stod(numbers[4]);
+    row.writeBandwidthGBs = std::stod(numbers[5]);
+    row.commFraction = std::stod(numbers[6]);
+    row.corrections = std::stod(numbers[7]);
+    return true;
+}
+
+} // anonymous namespace
+
+EvalGrid
+EvalGrid::runOrLoad(const std::string &cache_path,
+                    const std::vector<NodeConfig> &configs)
+{
+    EvalGrid grid;
+
+    std::ifstream cache(cache_path);
+    if (cache) {
+        std::string line;
+        while (std::getline(cache, line)) {
+            EvalRow row;
+            if (deserialize(line, row)) {
+                grid.index_[rowKey(row.benchmark, row.hierarchy,
+                                   row.system, row.marginMts,
+                                   row.usageClass)] = grid.rows_.size();
+                grid.rows_.push_back(std::move(row));
+            }
+        }
+        // Use the cache only if it covers every requested config.
+        bool complete = true;
+        for (const auto &config : configs) {
+            const EvalRow probe = describe(config);
+            complete &= grid.index_.count(
+                            rowKey(probe.benchmark, probe.hierarchy,
+                                   probe.system, probe.marginMts,
+                                   probe.usageClass)) > 0;
+        }
+        if (complete && !configs.empty()) {
+            std::fprintf(stderr, "[eval] loaded %zu rows from %s\n",
+                         grid.rows_.size(), cache_path.c_str());
+            return grid;
+        }
+        grid.rows_.clear();
+        grid.index_.clear();
+    }
+
+    std::fprintf(stderr, "[eval] running %zu node simulations...\n",
+                 configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        node::NodeSystem system(configs[i]);
+        const node::NodeStats stats = system.run();
+        EvalRow row = describe(configs[i]);
+        row.execSeconds = stats.execSeconds;
+        row.epiNj = stats.energy.epiNj;
+        row.dramAccessesPerInstruction =
+            stats.dramAccessesPerInstruction;
+        row.busUtilization = stats.busUtilization;
+        row.readBandwidthGBs = stats.readBandwidthGBs;
+        row.writeBandwidthGBs = stats.writeBandwidthGBs;
+        row.commFraction = stats.commFraction;
+        row.corrections = static_cast<double>(stats.corrections);
+        grid.index_[rowKey(row.benchmark, row.hierarchy, row.system,
+                           row.marginMts, row.usageClass)] =
+            grid.rows_.size();
+        grid.rows_.push_back(std::move(row));
+        if ((i + 1) % 10 == 0 || i + 1 == configs.size()) {
+            std::fprintf(stderr, "[eval] %zu/%zu\r", i + 1,
+                         configs.size());
+        }
+    }
+    std::fprintf(stderr, "\n");
+
+    std::ofstream out(cache_path);
+    for (const EvalRow &row : grid.rows_)
+        out << serialize(row) << '\n';
+    return grid;
+}
+
+const EvalRow &
+EvalGrid::lookup(const std::string &benchmark,
+                 const std::string &hierarchy, const std::string &system,
+                 unsigned margin, unsigned usage_class) const
+{
+    const auto it = index_.find(
+        rowKey(benchmark, hierarchy, system, margin, usage_class));
+    if (it == index_.end()) {
+        util::fatal("missing evaluation row %s/%s/%s/%u/%u",
+                    benchmark.c_str(), hierarchy.c_str(),
+                    system.c_str(), margin, usage_class);
+    }
+    return rows_[it->second];
+}
+
+bool
+EvalGrid::contains(const std::string &key) const
+{
+    return index_.count(key) > 0;
+}
+
+std::vector<NodeConfig>
+evaluationGrid(const EvalSizing &sizing)
+{
+    std::vector<NodeConfig> configs;
+    const auto hierarchies = {HierarchyConfig::hierarchy1(),
+                              HierarchyConfig::hierarchy2()};
+
+    for (const auto &hierarchy : hierarchies) {
+        for (const auto &workload : wl::benchmarkCatalog()) {
+            auto push = [&](MemorySystemKind kind, unsigned margin,
+                            core::MemoryUsage usage) {
+                NodeConfig config;
+                config.hierarchy = hierarchy;
+                config.workload = workload;
+                config.memorySystem = kind;
+                config.nodeMarginMts = margin;
+                config.usage = usage;
+                config.memOpsPerCore = sizing.memOpsPerCore;
+                config.warmupOpsPerCore = sizing.warmupOpsPerCore;
+                configs.push_back(config);
+            };
+            // Distinct behaviours only; bucket-weighted numbers are
+            // composed from these (Section IV-A).
+            push(MemorySystemKind::kCommercialBaseline, 800,
+                 core::MemoryUsage::kUnder50);
+            push(MemorySystemKind::kFmr, 800,
+                 core::MemoryUsage::kUnder50);
+            for (const unsigned margin : {800u, 600u}) {
+                push(MemorySystemKind::kHeteroDmr, margin,
+                     core::MemoryUsage::kUnder50);
+                push(MemorySystemKind::kHeteroDmrFmr, margin,
+                     core::MemoryUsage::kUnder25);
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<NodeConfig>
+marginSettingsGrid(const EvalSizing &sizing)
+{
+    std::vector<NodeConfig> configs;
+    const auto hierarchies = {HierarchyConfig::hierarchy1(),
+                              HierarchyConfig::hierarchy2()};
+    for (const auto &hierarchy : hierarchies) {
+        for (const auto &workload : wl::benchmarkCatalog()) {
+            for (const auto kind :
+                 {MemorySystemKind::kCommercialBaseline,
+                  MemorySystemKind::kExploitLatency,
+                  MemorySystemKind::kExploitFrequency,
+                  MemorySystemKind::kExploitFreqLat}) {
+                NodeConfig config;
+                config.hierarchy = hierarchy;
+                config.workload = workload;
+                config.memorySystem = kind;
+                config.nodeMarginMts = 800;
+                config.usage = core::MemoryUsage::kUnder50;
+                config.memOpsPerCore = sizing.memOpsPerCore;
+                config.warmupOpsPerCore = sizing.warmupOpsPerCore;
+                configs.push_back(config);
+            }
+        }
+    }
+    return configs;
+}
+
+double
+suiteAverage(
+    const std::map<std::string, std::vector<double>> &per_suite_values)
+{
+    std::vector<double> suite_means;
+    for (const auto &[suite, values] : per_suite_values)
+        suite_means.push_back(util::mean(values));
+    return util::mean(suite_means);
+}
+
+} // namespace hdmr::bench

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared harness code for the figure/table reproductions: runs the
+ * Section IV-A evaluation grid (memory systems x margins x usage
+ * buckets x hierarchies x benchmarks) through the node simulator and
+ * caches raw results in a CSV so related figures (12, 13, 14, 16)
+ * reuse one grid run.
+ */
+
+#ifndef HDMR_BENCH_EVAL_COMMON_HH
+#define HDMR_BENCH_EVAL_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "node/config.hh"
+#include "node/node_system.hh"
+
+namespace hdmr::bench
+{
+
+/** One evaluated configuration with the stats the figures consume. */
+struct EvalRow
+{
+    std::string benchmark;
+    std::string suite;
+    std::string hierarchy;    ///< "Hierarchy1" / "Hierarchy2"
+    std::string system;       ///< toString(MemorySystemKind)
+    unsigned marginMts = 0;
+    unsigned usageClass = 0;  ///< 0: <25 %, 1: <50 %, 2: >=50 %
+    double execSeconds = 0.0;
+    double epiNj = 0.0;
+    double dramAccessesPerInstruction = 0.0;
+    double busUtilization = 0.0;
+    double readBandwidthGBs = 0.0;
+    double writeBandwidthGBs = 0.0;
+    double commFraction = 0.0;
+    double corrections = 0.0;
+};
+
+/** Fig. 1 memory-usage bucket weights used for weighted averages. */
+struct UsageWeights
+{
+    double under25 = 0.55;
+    double under25to50 = 0.25;
+    double over50 = 0.20;
+};
+
+/** Margin-group weights (Section III-D3). */
+struct MarginWeights
+{
+    double at800 = 0.62;
+    double at600 = 0.36;
+    double at0 = 0.02;
+};
+
+/** Simulation sizing for the harnesses (kept modest: 1-core host). */
+struct EvalSizing
+{
+    std::uint64_t memOpsPerCore = 40000;
+    std::uint64_t warmupOpsPerCore = 20000;
+};
+
+/** Key for looking rows up. */
+std::string rowKey(const std::string &benchmark,
+                   const std::string &hierarchy,
+                   const std::string &system, unsigned margin,
+                   unsigned usage_class);
+
+/** A loaded/computed grid. */
+class EvalGrid
+{
+  public:
+    /**
+     * Load the grid from `cache_path` if present; otherwise run all
+     * `configs` and write the cache.  Progress goes to stderr.
+     */
+    static EvalGrid
+    runOrLoad(const std::string &cache_path,
+              const std::vector<node::NodeConfig> &configs);
+
+    const EvalRow &lookup(const std::string &benchmark,
+                          const std::string &hierarchy,
+                          const std::string &system, unsigned margin,
+                          unsigned usage_class) const;
+
+    bool contains(const std::string &key) const;
+
+    const std::vector<EvalRow> &rows() const { return rows_; }
+
+  private:
+    std::vector<EvalRow> rows_;
+    std::map<std::string, std::size_t> index_;
+};
+
+/** The full Section IV-A grid (Figs. 12/13/14). */
+std::vector<node::NodeConfig> evaluationGrid(const EvalSizing &sizing);
+
+/** The Fig. 5 grid (four Table II settings, no replication). */
+std::vector<node::NodeConfig> marginSettingsGrid(const EvalSizing &sizing);
+
+/** Build the row describing a config (before stats are known). */
+EvalRow describe(const node::NodeConfig &config);
+
+/** Suite-equal-weight average of per-benchmark values. */
+double suiteAverage(const std::map<std::string, std::vector<double>>
+                        &per_suite_values);
+
+} // namespace hdmr::bench
+
+#endif // HDMR_BENCH_EVAL_COMMON_HH

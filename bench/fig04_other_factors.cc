@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fig. 4: impact of aging/condition, ranks per module, chip density
+ * and manufacturing date on measured frequency margin (all small),
+ * plus the spec-rate effect and its 4000 MT/s platform-cap artifact.
+ */
+
+#include <cstdio>
+
+#include "margin/population.hh"
+#include "margin/study.hh"
+#include "margin/test_machine.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::margin;
+
+void
+printGroups(const char *title, const std::vector<GroupStats> &groups)
+{
+    std::printf("%s\n", title);
+    util::Table table({"group", "modules", "mean margin (MT/s)",
+                       "stdev (MT/s)"});
+    for (const auto &g : groups) {
+        table.row()
+            .cell(g.label)
+            .cell(static_cast<long long>(g.count))
+            .cell(g.meanMarginMts, 0)
+            .cell(g.stdevMts, 0);
+    }
+    table.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto fleet = makeStudyFleet(2021);
+    TestMachine machine(TestMachineConfig{}, 7);
+    const auto measurements = machine.characterizeFleet(fleet);
+
+    // Only brands A-C, as in the paper.
+    std::vector<MemoryModule> abc_fleet;
+    std::vector<MarginMeasurement> abc_meas;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        if (fleet[i].spec.brand != Brand::kD) {
+            abc_fleet.push_back(fleet[i]);
+            abc_meas.push_back(measurements[i]);
+        }
+    }
+
+    std::printf("FIG. 4: Impact of other memory module factors "
+                "(brands A-C)\n\n");
+    printGroups("(a) condition / aging:",
+                groupMargins(abc_fleet, abc_meas,
+                             [](const MemoryModule &m) {
+                                 return toString(m.spec.condition);
+                             }));
+    printGroups("(b) ranks per module:",
+                groupMargins(abc_fleet, abc_meas,
+                             [](const MemoryModule &m) {
+                                 return std::to_string(
+                                            m.spec.ranksPerModule) +
+                                        " rank(s)";
+                             }));
+    printGroups("(c) chip density:",
+                groupMargins(abc_fleet, abc_meas,
+                             [](const MemoryModule &m) {
+                                 return std::to_string(
+                                            m.spec.chipDensityGbit) +
+                                        " Gbit";
+                             }));
+    printGroups("(d) manufacturing year:",
+                groupMargins(abc_fleet, abc_meas,
+                             [](const MemoryModule &m) {
+                                 return std::to_string(m.spec.mfgYear);
+                             }));
+    printGroups("(e) manufacturer-specified data rate:",
+                groupMargins(abc_fleet, abc_meas,
+                             [](const MemoryModule &m) {
+                                 return std::to_string(
+                                            m.spec.specRateMts) +
+                                        " MT/s";
+                             }));
+
+    // The platform-cap artifact: count 3200/9-chip modules at 4000.
+    unsigned at_cap = 0, nine_chip_3200 = 0;
+    for (std::size_t i = 0; i < abc_fleet.size(); ++i) {
+        const auto &m = abc_fleet[i];
+        if (m.spec.specRateMts == 3200 && m.spec.chipsPerRank == 9) {
+            ++nine_chip_3200;
+            at_cap += abc_meas[i].measuredMaxRateMts == 4000;
+        }
+    }
+    std::printf("3200 MT/s 9-chip modules reaching the 4000 MT/s "
+                "platform cap: %u of %u (paper: 36 of 44)\n",
+                at_cap, nine_chip_3200);
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fig. 6: memory error rate when exploiting each module's margins, at
+ * 23 degC and 45 degC ambient, frequency-only and frequency+latency,
+ * plus the fully-populated-system experiment.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "margin/error_model.hh"
+#include "margin/population.hh"
+#include "margin/test_machine.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::margin;
+
+struct TestCondition
+{
+    const char *label;
+    double ambientC;
+    bool latencyMargins;
+};
+
+struct Summary
+{
+    double meanErrorsPerHour = 0.0;
+    double ueFraction = 0.0;
+    unsigned modulesWithErrors = 0;
+    unsigned failedToBoot = 0;
+    unsigned tested = 0;
+};
+
+Summary
+characterize(const std::vector<MemoryModule> &fleet,
+             const TestCondition &condition, std::uint64_t seed)
+{
+    TestMachineConfig config;
+    config.ambientC = condition.ambientC;
+    config.exploitLatencyMargins = condition.latencyMargins;
+    TestMachine machine(config, seed);
+
+    Summary summary;
+    util::RunningStats errors;
+    std::uint64_t ce = 0, ue = 0;
+    for (const auto &module : fleet) {
+        if (module.spec.brand == Brand::kD)
+            continue;
+        ++summary.tested;
+        const auto result = machine.stressAtMarginEdge(module);
+        if (!result || !result->booted) {
+            ++summary.failedToBoot;
+            continue;
+        }
+        errors.add(static_cast<double>(result->totalErrors()));
+        ce += result->correctedErrors;
+        ue += result->uncorrectedErrors;
+        summary.modulesWithErrors += result->totalErrors() > 0;
+    }
+    summary.meanErrorsPerHour = errors.count() ? errors.mean() : 0.0;
+    summary.ueFraction =
+        ce + ue ? static_cast<double>(ue) /
+                      static_cast<double>(ce + ue)
+                : 0.0;
+    return summary;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto fleet = makeStudyFleet(2021);
+
+    std::printf("FIG. 6: Error rate at the margin edge (one-hour "
+                "stress test per module, brands A-C)\n\n");
+
+    const TestCondition conditions[] = {
+        {"23C, freq margin", 23.0, false},
+        {"23C, freq+lat margins", 23.0, true},
+        {"45C, freq margin", 45.0, false},
+        {"45C, freq+lat margins", 45.0, true},
+    };
+
+    util::Table table({"condition", "modules w/ errors", "boot fails",
+                       "mean errors/hr", "UE fraction"});
+    double rate23 = 0.0, rate45 = 0.0;
+    double rate23_lat = 0.0, rate45_lat = 0.0;
+    for (const auto &condition : conditions) {
+        const Summary s = characterize(fleet, condition, 99);
+        table.row()
+            .cell(condition.label)
+            .cell(static_cast<long long>(s.modulesWithErrors))
+            .cell(static_cast<long long>(s.failedToBoot))
+            .cell(s.meanErrorsPerHour, 1)
+            .cell(s.ueFraction, 2);
+        if (condition.ambientC < 40 && !condition.latencyMargins)
+            rate23 = s.meanErrorsPerHour;
+        if (condition.ambientC >= 40 && !condition.latencyMargins)
+            rate45 = s.meanErrorsPerHour;
+        if (condition.ambientC < 40 && condition.latencyMargins)
+            rate23_lat = s.meanErrorsPerHour;
+        if (condition.ambientC >= 40 && condition.latencyMargins)
+            rate45_lat = s.meanErrorsPerHour;
+    }
+    table.print();
+
+    std::printf("\n45C / 23C error-rate ratio, freq margin: %.1fx "
+                "(paper: ~4x)\n",
+                rate45 / rate23);
+    std::printf("45C / 23C error-rate ratio, freq+lat: %.1fx "
+                "(paper: ~2x)\n",
+                rate45_lat / rate23_lat);
+
+    // Full-system experiment: all slots populated halves per-module
+    // access intensity.
+    const ErrorRateModel model;
+    util::RunningStats solo_rate, shared_rate;
+    for (const auto &module : fleet) {
+        if (module.spec.brand == Brand::kD ||
+            module.spec.specRateMts != 3200) {
+            continue;
+        }
+        OperatingPoint solo, shared;
+        solo.dataRateMts = shared.dataRateMts =
+            module.maxStableRateMts + 200;
+        solo.latencyMarginsExploited =
+            shared.latencyMarginsExploited = true;
+        shared.accessIntensity = 0.5;
+        solo_rate.add(model.errorsPerHour(module, solo));
+        shared_rate.add(model.errorsPerHour(module, shared));
+    }
+    std::printf("\nFull-system (2 modules/channel) per-module error "
+                "rate vs single-module: %.2fx (paper: ~0.5x)\n",
+                shared_rate.mean() / solo_rate.mean());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 15: DRAM bandwidth utilization (read/write split) per
+ * benchmark at the manufacturer-specified setting under Hierarchy 1.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "eval_common.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace hdmr;
+    using namespace hdmr::bench;
+
+    const EvalSizing sizing;
+    const auto grid = EvalGrid::runOrLoad("fig05_results.csv",
+                                          marginSettingsGrid(sizing));
+
+    std::printf("FIG. 15: Average DRAM bandwidth utilization "
+                "(Commercial Baseline, Hierarchy 1)\n\n");
+
+    const double peak = util::channelPeakBandwidth(3200) / 1.0e9;
+    util::Table table({"benchmark", "suite", "read GB/s", "write GB/s",
+                       "utilization", "write share", "MPI time"});
+    std::vector<double> write_shares;
+    for (const auto &w : wl::benchmarkCatalog()) {
+        const auto &row = grid.lookup(w.name, "Hierarchy1",
+                                      "Commercial Baseline", 800, 1);
+        const double write_share =
+            row.writeBandwidthGBs /
+            (row.readBandwidthGBs + row.writeBandwidthGBs);
+        write_shares.push_back(write_share);
+        table.row()
+            .cell(w.name)
+            .cell(w.suite)
+            .cell(row.readBandwidthGBs, 1)
+            .cell(row.writeBandwidthGBs, 1)
+            .cell(util::formatPercent(row.busUtilization, 0))
+            .cell(util::formatPercent(write_share, 0))
+            .cell(util::formatPercent(row.commFraction, 0));
+    }
+    table.print();
+
+    std::printf("\nChannel peak at 3200 MT/s: %.1f GB/s. Mean write "
+                "share: %s (paper: writes ~15%% of accesses). Paper "
+                "also reports ~13%% of core-hours in MPI under "
+                "Hierarchy 1.\n",
+                peak,
+                util::formatPercent(util::mean(write_shares)).c_str());
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Microbenchmarks: cache model access throughput and LLC cleaning.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace hdmr;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::CacheConfig config;
+    config.sizeBytes = 1ull << 20;
+    config.ways = 16;
+    cache::Cache cache(config);
+    util::Rng rng(5);
+    const bool random = state.range(0) != 0;
+    std::uint64_t cursor = 0;
+    for (auto _ : state) {
+        const std::uint64_t address =
+            random ? (rng.next() % (1ull << 26)) & ~63ull
+                   : (cursor += 64);
+        benchmark::DoNotOptimize(
+            cache.access(address, (address >> 6) % 8 == 0));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(0)->Arg(1);
+
+void
+BM_LlcCleanLruDirty(benchmark::State &state)
+{
+    cache::CacheConfig config;
+    config.sizeBytes = 28ull << 20; // Hierarchy 1 LLC
+    config.ways = 16;
+    cache::Cache llc(config);
+    util::Rng rng(9);
+    for (std::uint64_t i = 0; i < config.numLines(); ++i)
+        llc.fill(i * 64, rng.bernoulli(0.15), false);
+
+    for (auto _ : state) {
+        std::uint64_t sink = 0;
+        const std::size_t cleaned = llc.cleanLruDirtyLines(
+            12800, nullptr,
+            [&sink](std::uint64_t addr) { sink ^= addr; }, 4);
+        benchmark::DoNotOptimize(sink);
+        state.PauseTiming();
+        // Re-dirty for the next iteration.
+        for (std::size_t i = 0; i < cleaned; ++i) {
+            llc.access(rng.uniformInt(0, config.numLines() - 1) * 64,
+                       true);
+        }
+        state.ResumeTiming();
+    }
+}
+BENCHMARK(BM_LlcCleanLruDirty);
+
+} // namespace
+
+BENCHMARK_MAIN();

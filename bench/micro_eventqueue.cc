@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Microbenchmarks: event-queue schedule/dispatch throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace hdmr;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const auto events_per_batch =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        util::Rng rng(3);
+        std::vector<sim::CallbackEvent> batch(events_per_batch);
+        std::uint64_t fired = 0;
+        for (auto &event : batch) {
+            event.setCallback([&fired] { ++fired; });
+            queue.schedule(&event, rng.uniformInt(0, 1000000));
+        }
+        queue.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * events_per_batch));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_EventQueueSelfRescheduling(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        std::uint64_t count = 0;
+        sim::CallbackEvent tick;
+        tick.setCallback([&] {
+            if (++count < 100000)
+                queue.scheduleIn(&tick, 625);
+        });
+        queue.schedule(&tick, 0);
+        queue.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_EventQueueSelfRescheduling);
+
+} // namespace
+
+BENCHMARK_MAIN();

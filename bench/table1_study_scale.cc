@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table I: scale of the characterization study vs. prior work.
+ */
+
+#include <cstdio>
+
+#include "margin/population.hh"
+#include "margin/study.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace hdmr;
+
+    std::printf("TABLE I: Scale of our study compared to prior works\n");
+    util::Table table({"", "DRAM type", "# of modules", "# of chips",
+                       "Margin Studied"});
+    for (const auto &entry : margin::studyScaleTable()) {
+        table.row()
+            .cell(entry.work)
+            .cell(entry.dramType)
+            .cell(entry.modules)
+            .cell(entry.chips)
+            .cell(entry.marginStudied);
+    }
+    table.print();
+
+    // Cross-check the headline numbers against the simulated fleet.
+    const auto fleet = margin::makeStudyFleet(2021);
+    unsigned chips = 0;
+    for (const auto &module : fleet)
+        chips += module.spec.chips();
+    std::printf("\nSimulated study fleet: %zu modules, %u chips "
+                "(paper: 119 modules, 3006 chips)\n",
+                fleet.size(), chips);
+    return 0;
+}

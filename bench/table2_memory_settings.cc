@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table II: the four memory operating settings, plus the derived
+ * tick-level timing packages the simulator uses.
+ */
+
+#include <cstdio>
+
+#include "dram/timing.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace hdmr;
+    using namespace hdmr::dram;
+
+    const MemorySetting settings[] = {
+        MemorySetting::manufacturerSpec(),
+        MemorySetting::exploitLatencyMargin(),
+        MemorySetting::exploitFrequencyMargin(),
+        MemorySetting::exploitFreqLatMargins(),
+    };
+
+    std::printf("TABLE II: Memory settings for exploiting memory "
+                "margins\n");
+    util::Table table({"setting", "data rate", "tRCD", "tRP", "tRAS",
+                       "tREFI"});
+    for (const auto &s : settings) {
+        table.row()
+            .cell(s.name)
+            .cell(std::to_string(s.dataRateMts) + " MT/s")
+            .cell(util::formatDouble(s.trcdNs, 2) + " ns")
+            .cell(util::formatDouble(s.trpNs, 2) + " ns")
+            .cell(util::formatDouble(s.trasNs, 1) + " ns")
+            .cell(util::formatDouble(s.trefiUs, 1) + " us");
+    }
+    table.print();
+
+    std::printf("\nDerived controller timing (ticks = ps):\n");
+    util::Table derived({"setting", "tCK", "tBURST", "tCAS", "tRCD",
+                         "tRP", "tRAS", "tREFI"});
+    for (const auto &s : settings) {
+        const DramTiming t = DramTiming::fromSetting(s);
+        derived.row()
+            .cell(s.name)
+            .cell(static_cast<long long>(t.tCK))
+            .cell(static_cast<long long>(t.tBURST))
+            .cell(static_cast<long long>(t.tCAS))
+            .cell(static_cast<long long>(t.tRCD))
+            .cell(static_cast<long long>(t.tRP))
+            .cell(static_cast<long long>(t.tRAS))
+            .cell(static_cast<long long>(t.tREFI));
+    }
+    derived.print();
+    return 0;
+}

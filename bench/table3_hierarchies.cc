@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table III: the two evaluated memory hierarchies.
+ */
+
+#include <cstdio>
+
+#include "node/config.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace hdmr;
+    using namespace hdmr::node;
+
+    std::printf("TABLE III: Real system configurations\n");
+    util::Table table({"", "Memory Hierarchy1", "Memory Hierarchy2"});
+
+    const HierarchyConfig h1 = HierarchyConfig::hierarchy1();
+    const HierarchyConfig h2 = HierarchyConfig::hierarchy2();
+
+    auto mib = [](const HierarchyConfig &h) {
+        return util::formatDouble(h.l2MiBPerCore + h.l3MiBPerCore, 3) +
+               " MB / core";
+    };
+    table.row().cell("L2$+L3$ per core").cell(mib(h1)).cell(mib(h2));
+    table.row()
+        .cell("Cores")
+        .cell(std::to_string(h1.cores) + " cores")
+        .cell(std::to_string(h2.cores) + " cores");
+    auto channels = [](const HierarchyConfig &h) {
+        return std::to_string(h.channels) + " channel(s), " +
+               std::to_string(h.modulesPerChannel) +
+               " modules/channel, " +
+               std::to_string(h.ranksPerModule) + " ranks/module";
+    };
+    table.row()
+        .cell("Memory Channels")
+        .cell(channels(h1))
+        .cell(channels(h2));
+    table.print();
+    return 0;
+}

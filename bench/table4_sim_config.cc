@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table IV: simulated CPU and memory parameters.
+ */
+
+#include <cstdio>
+
+#include "cpu/core.hh"
+#include "dram/controller.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace hdmr;
+
+    const cpu::CoreConfig core;
+    const dram::ControllerConfig controller;
+
+    std::printf("TABLE IV: Simulated CPU and memory parameters\n");
+    util::Table table({"component", "configuration"});
+    table.row().cell("Cores").cell(
+        util::formatDouble(core.freqMhz / 1000.0, 1) + " GHz, " +
+        std::to_string(core.issueWidth) + "-wide OoO, " +
+        std::to_string(core.robSize) + "-entry ROB, " +
+        std::to_string(core.maxOutstandingMisses) + " MSHRs");
+    table.row().cell("L1$").cell(
+        "Split 64 kB, 8-way, 3-cycle latency");
+    table.row().cell("L1$ prefetcher").cell(
+        "Stride (stream table), next-line with auto turn-off");
+    table.row().cell("L2$").cell(
+        "1 MB per core, 16-way, 12-cycle latency");
+    table.row().cell("L3$").cell("per Table III, 22 ns latency");
+    table.row().cell("Memory controller").cell(
+        "DDR4, " + std::to_string(controller.ranksPerChannel) +
+        " ranks/channel, " + std::to_string(controller.banksPerRank) +
+        " banks/rank, FR-FCFS with age guard");
+    table.row().cell("Page policy").cell(
+        "Hybrid, " +
+        util::formatDouble(util::ticksToNs(controller.pagePolicyTimeout),
+                           0) +
+        " ns timeout, XOR-folded bank mapping (Skylake-like)");
+    table.row().cell("Read queue").cell(
+        std::to_string(controller.readQueueCapacity) +
+        " entries/channel");
+    table.row().cell("Write queue").cell(
+        std::to_string(controller.writeQueueCapacity) +
+        " entries/channel + 128 KB 64-way victim write-back cache");
+    table.print();
+    return 0;
+}

@@ -1,0 +1,115 @@
+#include "cache/prefetcher.hh"
+
+namespace hdmr::cache
+{
+
+StridePrefetcher::StridePrefetcher(unsigned degree, unsigned line_bytes)
+    : degree_(degree), lineBytes_(line_bytes)
+{
+}
+
+std::size_t
+StridePrefetcher::observeMiss(std::uint64_t address,
+                              std::vector<std::uint64_t> &out)
+{
+    ++useClock_;
+
+    // Find the stream this miss belongs to (nearest within window),
+    // or a victim entry to (re)allocate.
+    StreamEntry *entry = nullptr;
+    StreamEntry *victim = &streams_[0];
+    std::uint64_t best_distance = kMatchWindow;
+    for (auto &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            continue;
+        }
+        const std::uint64_t distance =
+            address > s.lastAddress ? address - s.lastAddress
+                                    : s.lastAddress - address;
+        if (distance <= best_distance) {
+            best_distance = distance;
+            entry = &s;
+        }
+        if (victim->valid && s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+
+    if (entry == nullptr) {
+        victim->valid = true;
+        victim->lastAddress = address;
+        victim->stride = 0;
+        victim->confidence = 0;
+        victim->lastUse = useClock_;
+        return 0;
+    }
+
+    const std::int64_t stride = static_cast<std::int64_t>(address) -
+                                static_cast<std::int64_t>(entry->lastAddress);
+    std::size_t generated = 0;
+    if (stride != 0 && stride == entry->stride) {
+        if (entry->confidence < 3)
+            ++entry->confidence;
+        if (entry->confidence >= 2) {
+            for (unsigned d = 1; d <= degree_; ++d) {
+                const std::int64_t target =
+                    static_cast<std::int64_t>(address) +
+                    stride * static_cast<std::int64_t>(d);
+                if (target > 0) {
+                    out.push_back(static_cast<std::uint64_t>(target));
+                    ++generated;
+                }
+            }
+            issued_ += generated;
+        }
+    } else if (stride != 0) {
+        entry->stride = stride;
+        entry->confidence = 0;
+    }
+    entry->lastAddress = address;
+    entry->lastUse = useClock_;
+    return generated;
+}
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned line_bytes)
+    : lineBytes_(line_bytes)
+{
+}
+
+std::size_t
+NextLinePrefetcher::observeMiss(std::uint64_t address,
+                                std::vector<std::uint64_t> &out)
+{
+    if (!enabled_) {
+        if (++missesSinceDisable_ >= kRetryInterval) {
+            // Re-probe: turn back on and re-measure accuracy.
+            enabled_ = true;
+            missesSinceDisable_ = 0;
+            issuedAtLastCheck_ = issued_;
+            usedAtLastCheck_ = used_;
+        }
+        return 0;
+    }
+    out.push_back(address + lineBytes_);
+    ++issued_;
+    updateEnable();
+    return 1;
+}
+
+void
+NextLinePrefetcher::updateEnable()
+{
+    if (issued_ - issuedAtLastCheck_ < kCheckInterval)
+        return;
+    const double accuracy =
+        static_cast<double>(used_ - usedAtLastCheck_) /
+        static_cast<double>(issued_ - issuedAtLastCheck_);
+    if (accuracy < kMinAccuracy) {
+        enabled_ = false;
+        missesSinceDisable_ = 0;
+    }
+    issuedAtLastCheck_ = issued_;
+    usedAtLastCheck_ = used_;
+}
+
+} // namespace hdmr::cache

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware prefetchers of Table IV: a stride prefetcher (degree 2 at
+ * L1, degree 4 at L2) and a next-line prefetcher with accuracy-based
+ * auto turn-off.
+ */
+
+#ifndef HDMR_CACHE_PREFETCHER_HH
+#define HDMR_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hdmr::cache
+{
+
+/**
+ * Stride prefetcher with a small stream table: concurrent access
+ * streams (different arrays of the same core) train independent
+ * entries, matched by address proximity, the way real per-PC/stream
+ * detectors behave.  A confident entry emits `degree` prefetch
+ * addresses ahead of the stream.
+ */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(unsigned degree, unsigned line_bytes = 64);
+
+    /**
+     * Observe a demand miss and append predicted addresses to `out`.
+     * Returns the number of prefetches generated.
+     */
+    std::size_t observeMiss(std::uint64_t address,
+                            std::vector<std::uint64_t> &out);
+
+    std::uint64_t issued() const { return issued_; }
+
+  private:
+    struct StreamEntry
+    {
+        std::uint64_t lastAddress = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    static constexpr std::size_t kStreams = 16;
+    /** A miss within this distance of a stream belongs to it. */
+    static constexpr std::uint64_t kMatchWindow = 256 * 1024;
+
+    unsigned degree_;
+    unsigned lineBytes_;
+    StreamEntry streams_[kStreams];
+    std::uint64_t useClock_ = 0;
+    std::uint64_t issued_ = 0;
+};
+
+/**
+ * Next-line prefetcher with auto turn-off: tracks how many of its
+ * prefetches get used; below an accuracy threshold it disables itself
+ * and periodically re-probes.
+ */
+class NextLinePrefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned line_bytes = 64);
+
+    /** Observe a demand miss; maybe emit the next line. */
+    std::size_t observeMiss(std::uint64_t address,
+                            std::vector<std::uint64_t> &out);
+
+    /** Report that one of this prefetcher's fills was used. */
+    void creditUse() { ++used_; }
+
+    bool enabled() const { return enabled_; }
+    std::uint64_t issued() const { return issued_; }
+
+  private:
+    void updateEnable();
+
+    unsigned lineBytes_;
+    bool enabled_ = true;
+    std::uint64_t issued_ = 0;
+    std::uint64_t used_ = 0;
+    std::uint64_t issuedAtLastCheck_ = 0;
+    std::uint64_t usedAtLastCheck_ = 0;
+    std::uint64_t missesSinceDisable_ = 0;
+
+    static constexpr std::uint64_t kCheckInterval = 1024;
+    static constexpr double kMinAccuracy = 0.15;
+    static constexpr std::uint64_t kRetryInterval = 65536;
+};
+
+} // namespace hdmr::cache
+
+#endif // HDMR_CACHE_PREFETCHER_HH

@@ -1,0 +1,93 @@
+#include "cache/writeback_cache.hh"
+
+#include "util/logging.hh"
+
+namespace hdmr::cache
+{
+
+WritebackCache::WritebackCache(WritebackCacheConfig config)
+    : config_(config)
+{
+    const std::size_t entries =
+        config_.sizeBytes / config_.lineBytes;
+    hdmr_assert(entries % config_.ways == 0);
+    numSets_ = entries / config_.ways;
+    entries_.resize(entries);
+}
+
+std::size_t
+WritebackCache::setOf(std::uint64_t address) const
+{
+    return (address / config_.lineBytes) % numSets_;
+}
+
+bool
+WritebackCache::insert(std::uint64_t address)
+{
+    const std::size_t set = setOf(address);
+    Entry *base = &entries_[set * config_.ways];
+    Entry *free_slot = nullptr;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.address == address)
+            return true; // coalesce
+        if (!e.valid && free_slot == nullptr)
+            free_slot = &e;
+    }
+    if (free_slot == nullptr) {
+        ++rejects_;
+        return false; // set full: caller sends to the write buffer
+    }
+    free_slot->valid = true;
+    free_slot->address = address;
+    free_slot->insertedAt = ++insertClock_;
+    ++occupancy_;
+    ++inserts_;
+    return true;
+}
+
+std::optional<std::uint64_t>
+WritebackCache::pop()
+{
+    if (occupancy_ == 0)
+        return std::nullopt;
+    // Scan from the drain cursor for the set containing the oldest
+    // entry encountered; strict global FIFO is not required, only
+    // forward progress and rough age order.
+    for (std::size_t visited = 0; visited < numSets_; ++visited) {
+        const std::size_t set = (drainCursor_ + visited) % numSets_;
+        Entry *base = &entries_[set * config_.ways];
+        Entry *oldest = nullptr;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            Entry &e = base[w];
+            if (e.valid &&
+                (oldest == nullptr || e.insertedAt < oldest->insertedAt))
+                oldest = &e;
+        }
+        if (oldest != nullptr) {
+            drainCursor_ = set;
+            oldest->valid = false;
+            --occupancy_;
+            return oldest->address;
+        }
+    }
+    util::panic("writeback cache occupancy desynchronized");
+}
+
+bool
+WritebackCache::remove(std::uint64_t address)
+{
+    const std::size_t set = setOf(address);
+    Entry *base = &entries_[set * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.address == address) {
+            e.valid = false;
+            --occupancy_;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace hdmr::cache

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The per-channel victim write-back cache of Section III-E: 128 KB,
+ * 64-way, sitting between the LLC and the channel's write buffer.
+ * Evicted dirty blocks park here so the (small) write buffer does not
+ * fill up between write-mode windows; during write mode the contents
+ * drain to DRAM through the write buffer.  The memory command
+ * scheduler never inspects this structure.
+ *
+ * Address-only model (like the caches): entries are line addresses.
+ */
+
+#ifndef HDMR_CACHE_WRITEBACK_CACHE_HH
+#define HDMR_CACHE_WRITEBACK_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hdmr::cache
+{
+
+/** Victim write-back cache configuration (paper defaults). */
+struct WritebackCacheConfig
+{
+    std::uint64_t sizeBytes = 128 * 1024;
+    unsigned ways = 64;
+    unsigned lineBytes = 64;
+};
+
+/** The victim write-back cache. */
+class WritebackCache
+{
+  public:
+    explicit WritebackCache(WritebackCacheConfig config = {});
+
+    /**
+     * Insert an evicted dirty block.  If its set is full the caller
+     * must route the block to the write buffer instead; that case is
+     * signalled by returning false.  A block already present is
+     * coalesced (returns true).
+     */
+    bool insert(std::uint64_t address);
+
+    /** Remove and return one entry (drain order: oldest first). */
+    std::optional<std::uint64_t> pop();
+
+    /** Drop an entry if present (e.g. re-dirtied in LLC). Returns hit. */
+    bool remove(std::uint64_t address);
+
+    bool empty() const { return occupancy_ == 0; }
+    std::size_t occupancy() const { return occupancy_; }
+    std::size_t capacity() const { return entries_.size(); }
+
+    std::uint64_t inserts() const { return inserts_; }
+    std::uint64_t rejects() const { return rejects_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t address = 0;
+        std::uint64_t insertedAt = 0;
+        bool valid = false;
+    };
+
+    std::size_t setOf(std::uint64_t address) const;
+
+    WritebackCacheConfig config_;
+    std::size_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t insertClock_ = 0;
+    std::size_t occupancy_ = 0;
+    std::size_t drainCursor_ = 0;
+    std::uint64_t inserts_ = 0;
+    std::uint64_t rejects_ = 0;
+};
+
+} // namespace hdmr::cache
+
+#endif // HDMR_CACHE_WRITEBACK_CACHE_HH

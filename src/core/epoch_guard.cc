@@ -1,0 +1,49 @@
+#include "core/epoch_guard.hh"
+
+namespace hdmr::core
+{
+
+EpochGuard::EpochGuard(EpochGuardConfig config)
+    : config_(config), threshold_(config.errorThreshold())
+{
+}
+
+void
+EpochGuard::rollEpoch(Tick now)
+{
+    const std::uint64_t epoch = now / config_.epochLength;
+    if (epoch != epochIndex_) {
+        epochIndex_ = epoch;
+        errorsThisEpoch_ = 0;
+        trippedThisEpoch_ = false;
+    }
+}
+
+bool
+EpochGuard::recordError(Tick now)
+{
+    rollEpoch(now);
+    ++errorsThisEpoch_;
+    ++totalErrors_;
+    if (!trippedThisEpoch_ && errorsThisEpoch_ > threshold_) {
+        trippedThisEpoch_ = true;
+        ++trips_;
+        return true;
+    }
+    return false;
+}
+
+bool
+EpochGuard::tripped(Tick now)
+{
+    rollEpoch(now);
+    return trippedThisEpoch_;
+}
+
+Tick
+EpochGuard::epochEnd(Tick now) const
+{
+    return (now / config_.epochLength + 1) * config_.epochLength;
+}
+
+} // namespace hdmr::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The SDC epoch guard of Section III-B.
+ *
+ * Detection-only Bamboo ECC misses an "8B+" (wider than 8 bytes)
+ * error with probability 2^-64, so the system would suffer one silent
+ * data corruption per ~1.8e19 *detected* 8B+ errors.  To bound the
+ * mean time to SDC at one billion years even under the unreal worst
+ * case where every detected error is 8B+, Hetero-DMR counts detected
+ * errors per one-hour epoch and, past a threshold of
+ *
+ *     2^64 / (1e9 years expressed in hours)  ~=  2.1e6 errors/hour,
+ *
+ * stops exploiting margins (drops to specification) for the rest of
+ * the epoch.  Replication and fast operation resume at the next epoch
+ * boundary.
+ */
+
+#ifndef HDMR_CORE_EPOCH_GUARD_HH
+#define HDMR_CORE_EPOCH_GUARD_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace hdmr::core
+{
+
+using util::Tick;
+
+/** Epoch-guard parameters. */
+struct EpochGuardConfig
+{
+    Tick epochLength = 3600ull * util::kTicksPerSec; ///< one hour
+    /** Target mean time to SDC, in years. */
+    double mttSdcYears = 1.0e9;
+
+    /** The per-epoch detected-error budget implied by the target. */
+    std::uint64_t
+    errorThreshold() const
+    {
+        // 2^64 detected 8B+ errors per escape, spread over the MTTSDC
+        // expressed in (epoch-length) hours.
+        const double escapes_per_sdc = 18446744073709551616.0;
+        const double hours = mttSdcYears * 365.25 * 24.0;
+        return static_cast<std::uint64_t>(escapes_per_sdc / hours);
+    }
+};
+
+/** Tracks detected errors per epoch and trips past the threshold. */
+class EpochGuard
+{
+  public:
+    explicit EpochGuard(EpochGuardConfig config = {});
+
+    /**
+     * Record one detected error at `now`.  Returns true if this error
+     * tripped the guard (margin exploitation must stop until the next
+     * epoch).
+     */
+    bool recordError(Tick now);
+
+    /** True while the guard is tripped at time `now`. */
+    bool tripped(Tick now);
+
+    /** Tick at which the current epoch (at `now`) ends. */
+    Tick epochEnd(Tick now) const;
+
+    std::uint64_t errorsThisEpoch() const { return errorsThisEpoch_; }
+    std::uint64_t totalErrors() const { return totalErrors_; }
+    std::uint64_t trips() const { return trips_; }
+    const EpochGuardConfig &config() const { return config_; }
+
+  private:
+    void rollEpoch(Tick now);
+
+    EpochGuardConfig config_;
+    std::uint64_t threshold_;
+    std::uint64_t epochIndex_ = 0;
+    std::uint64_t errorsThisEpoch_ = 0;
+    std::uint64_t totalErrors_ = 0;
+    std::uint64_t trips_ = 0;
+    bool trippedThisEpoch_ = false;
+};
+
+} // namespace hdmr::core
+
+#endif // HDMR_CORE_EPOCH_GUARD_HH

@@ -1,0 +1,224 @@
+#include "core/mode_controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hdmr::core
+{
+
+using util::Tick;
+
+dram::ControllerConfig
+ModeController::buildControllerConfig(const ModeControllerConfig &config,
+                                      std::uint64_t seed)
+{
+    dram::ControllerConfig cc;
+    cc.readModeTiming = dram::DramTiming::fromSetting(config.fastSetting);
+    cc.writeModeTiming =
+        dram::DramTiming::fromSetting(config.specSetting);
+    cc.ranksPerChannel = 4;
+    cc.addressRanks = config.plan.addressRanks;
+    const Tick switch_cost = config.plan.fastReads
+                                 ? config.frequencyTransitionLatency
+                                 : config.busTurnaround;
+    cc.enterWriteModeLatency = switch_cost;
+    cc.exitWriteModeLatency = switch_cost;
+    cc.selfRefreshRankMask = config.plan.selfRefreshMask;
+    cc.readErrorProbability =
+        config.plan.fastReads ? config.readErrorProbability : 0.0;
+    cc.errorRecoveryLatency = config.errorRecoveryLatency;
+    // Hetero-DMR drains its whole batch once it pays the transition.
+    cc.writeDrainLow = config.plan.fastReads ? 0 : 16;
+    cc.seed = seed;
+    return cc;
+}
+
+ModeController::ModeController(
+    sim::EventQueue &events, dram::MemoryController &controller,
+    cache::Cache *llc,
+    std::function<bool(std::uint64_t)> channel_filter,
+    ModeControllerConfig config)
+    : events_(events), controller_(controller), llc_(llc),
+      channelFilter_(std::move(channel_filter)), config_(config),
+      wbCache_(config.writebackCacheConfig), guard_(config.epochConfig)
+{
+    fastEnabled_ = config_.plan.fastReads;
+
+    dram::ControllerHooks hooks;
+    hooks.refillWrites = [this](std::size_t space) {
+        return refillWrites(space);
+    };
+    hooks.onWriteModeEnter = [this] { onWriteModeEnter(); };
+    hooks.onWriteModeExit = [this] { onWriteModeExit(); };
+    hooks.onReadError = [this] { onReadError(); };
+    controller_.setHooks(std::move(hooks));
+
+    if (config_.plan.rankPolicy.readCandidates ||
+        config_.plan.rankPolicy.writeTargets) {
+        controller_.setRankPolicy(config_.plan.rankPolicy);
+    }
+    controller_.setSelfRefreshMask(config_.plan.selfRefreshMask);
+
+    reenableEvent_.setCallback([this] { reenableFastOperation(); });
+}
+
+ModeController::~ModeController()
+{
+    if (reenableEvent_.scheduled())
+        events_.deschedule(&reenableEvent_);
+}
+
+void
+ModeController::enqueueWriteNow(std::uint64_t address)
+{
+    dram::MemRequest req;
+    req.address = address;
+    req.type = dram::MemRequest::Type::kWrite;
+    req.arrival = events_.curTick();
+    controller_.enqueueWrite(std::move(req));
+}
+
+void
+ModeController::handleDirtyEviction(std::uint64_t address)
+{
+    ++stats_.dirtyEvictions;
+
+    // In write mode the write buffer takes evictions directly while it
+    // has room; everything else parks in the victim cache.
+    if (controller_.mode() == dram::ChannelMode::kWrite &&
+        !controller_.writeQueueFull()) {
+        enqueueWriteNow(address);
+        return;
+    }
+    if (!wbCache_.insert(address)) {
+        // Set conflict: spill; this is the "write buffer otherwise"
+        // path of Section III-E, modelled as an overflow list that
+        // urgently forces a drain.
+        overflow_.push_back(address);
+    }
+
+    const bool pressure =
+        static_cast<double>(wbCache_.occupancy()) >
+            config_.writeModeTriggerFill *
+                static_cast<double>(wbCache_.capacity()) ||
+        overflow_.size() > 64;
+    if (pressure)
+        controller_.requestWriteMode();
+}
+
+std::size_t
+ModeController::refillWrites(std::size_t space)
+{
+    std::size_t pushed = 0;
+
+    while (pushed < space && !overflow_.empty()) {
+        enqueueWriteNow(overflow_.front());
+        overflow_.pop_front();
+        ++pushed;
+    }
+    while (pushed < space) {
+        const auto addr = wbCache_.pop();
+        if (!addr)
+            break;
+        enqueueWriteNow(*addr);
+        ++pushed;
+    }
+    if (pushed < space && cleanBudget_ > 0 && llc_ != nullptr) {
+        const std::size_t want =
+            std::min(space - pushed, cleanBudget_);
+        // Only clean lines already near eviction (the LRU-most ways):
+        // cleaning then *advances* writebacks that were about to
+        // happen instead of adding traffic, which is what keeps the
+        // Fig. 14 overhead near zero.
+        const unsigned lru_depth =
+            std::max(1u, llc_->config().ways / 4);
+        const std::size_t cleaned = llc_->cleanLruDirtyLines(
+            want, channelFilter_,
+            [this, &pushed](std::uint64_t addr) {
+                enqueueWriteNow(addr);
+                ++pushed;
+            },
+            lru_depth);
+        cleanBudget_ -= cleaned;
+        stats_.cleanedLines += cleaned;
+        if (cleaned == 0)
+            cleanBudget_ = 0; // nothing dirty left on this channel
+    }
+    return pushed;
+}
+
+void
+ModeController::onWriteModeEnter()
+{
+    if (config_.plan.fastReads) {
+        // Wake the original ranks out of self-refresh so the broadcast
+        // writes can update original + copy together (Fig. 8a).
+        controller_.setSelfRefreshMask(0);
+        cleanBudget_ = config_.cleanLinesPerWriteMode;
+    }
+}
+
+void
+ModeController::onWriteModeExit()
+{
+    if (config_.plan.fastReads && fastEnabled_) {
+        // Back to read mode: park the originals again (Fig. 8b).
+        controller_.setSelfRefreshMask(config_.plan.selfRefreshMask);
+    }
+    cleanBudget_ = 0;
+}
+
+void
+ModeController::onReadError()
+{
+    ++stats_.corrections;
+    if (guard_.recordError(events_.curTick()))
+        disableFastOperation();
+}
+
+void
+ModeController::disableFastOperation()
+{
+    if (!fastEnabled_)
+        return;
+    fastEnabled_ = false;
+    fastDisabledAt_ = events_.curTick();
+    ++stats_.epochTrips;
+
+    // Fall back to specification for the rest of the epoch: same
+    // timing in both modes, no error injection, originals active.
+    ModeControllerConfig safe = config_;
+    safe.fastSetting = config_.specSetting;
+    safe.readErrorProbability = 0.0;
+    safe.plan.fastReads = false;
+    safe.plan.selfRefreshMask = 0;
+    controller_.reconfigure(buildControllerConfig(safe, 1));
+    controller_.setSelfRefreshMask(0);
+    // Reconfiguration latches at a mode transition; force one now so
+    // the slow-down happens immediately, not at the next write drain.
+    controller_.requestWriteMode();
+
+    const Tick epoch_end = guard_.epochEnd(events_.curTick());
+    events_.reschedule(&reenableEvent_, epoch_end);
+}
+
+void
+ModeController::reenableFastOperation()
+{
+    if (fastEnabled_ || !config_.plan.fastReads)
+        return;
+    fastEnabled_ = true;
+    stats_.fastDisabledTicks += events_.curTick() - fastDisabledAt_;
+    controller_.reconfigure(buildControllerConfig(config_, 1));
+    controller_.setSelfRefreshMask(config_.plan.selfRefreshMask);
+}
+
+void
+ModeController::flush()
+{
+    if (!wbCache_.empty() || !overflow_.empty())
+        controller_.requestWriteMode();
+}
+
+} // namespace hdmr::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The Hetero-DMR per-channel mode controller (Sections III-A, III-C,
+ * III-E), which also serves as the generic write path for the
+ * baseline designs.
+ *
+ * It owns the channel's 128 KB victim write-back cache, routes LLC
+ * dirty evictions into it, triggers write-mode entry when the victim
+ * cache fills, refills the (small) write buffer during write mode -
+ * including Hetero-DMR's proactive cleaning of up to 12,800
+ * least-recently-used dirty LLC lines per window - and manages the
+ * heterogeneous operation itself: unsafely fast read-mode timing,
+ * specification write-mode timing, 1 us JEDEC-compliant frequency
+ * transitions (Figs. 9/10), self-refresh parking of the original
+ * ranks during read mode (Fig. 8b), detected-error recovery costing,
+ * and the SDC epoch guard.
+ */
+
+#ifndef HDMR_CORE_MODE_CONTROLLER_HH
+#define HDMR_CORE_MODE_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "cache/cache.hh"
+#include "cache/writeback_cache.hh"
+#include "core/epoch_guard.hh"
+#include "core/replication.hh"
+#include "dram/controller.hh"
+#include "sim/event_queue.hh"
+
+namespace hdmr::core
+{
+
+/** Mode-controller configuration. */
+struct ModeControllerConfig
+{
+    /** Write-mode (always-safe) operating setting. */
+    dram::MemorySetting specSetting;
+    /** Read-mode setting; equals specSetting for non-Hetero designs. */
+    dram::MemorySetting fastSetting;
+    /** Channel replication plan. */
+    ChannelPlan plan;
+    /**
+     * Latency of scaling channel frequency down or up (Figs. 9/10);
+     * applied as the read<->write mode switch cost when the plan runs
+     * fast reads.  Non-fast designs use the plain bus-turnaround.
+     */
+    util::Tick frequencyTransitionLatency = util::usToTicks(1.0);
+    /** Plain bus turnaround for non-fast designs. */
+    util::Tick busTurnaround = 7500;
+    /** LLC lines proactively cleaned per write-mode window. */
+    std::size_t cleanLinesPerWriteMode = 12800;
+    /** Probability a fast read returns a detected-corrupt block. */
+    double readErrorProbability = 0.0;
+    /** Cost of the slow-down/read-original/overwrite recovery flow. */
+    util::Tick errorRecoveryLatency = 2200000;
+    /** Victim write-back cache geometry. */
+    cache::WritebackCacheConfig writebackCacheConfig;
+    /** Epoch-guard parameters. */
+    EpochGuardConfig epochConfig;
+    /** Victim-cache fill fraction that triggers write mode. */
+    double writeModeTriggerFill = 0.9;
+};
+
+/** Mode-controller statistics. */
+struct ModeControllerStats
+{
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t cleanedLines = 0;
+    std::uint64_t corrections = 0; ///< detected errors recovered
+    std::uint64_t epochTrips = 0;
+    std::uint64_t fastDisabledTicks = 0;
+};
+
+/** The per-channel mode controller / write path. */
+class ModeController
+{
+  public:
+    /**
+     * @param events         simulation event queue
+     * @param controller     the channel's memory controller
+     * @param llc            the shared LLC (for proactive cleaning);
+     *                       may be nullptr to disable cleaning
+     * @param channel_filter true for addresses mapped to this channel
+     * @param config         see above
+     */
+    ModeController(sim::EventQueue &events,
+                   dram::MemoryController &controller,
+                   cache::Cache *llc,
+                   std::function<bool(std::uint64_t)> channel_filter,
+                   ModeControllerConfig config);
+
+    ~ModeController();
+
+    /** Route one LLC dirty eviction into the write path. */
+    void handleDirtyEviction(std::uint64_t address);
+
+    /** Flush everything (end of run): force a final drain. */
+    void flush();
+
+    const ModeControllerStats &stats() const { return stats_; }
+    const cache::WritebackCache &writebackCache() const { return wbCache_; }
+    const EpochGuard &epochGuard() const { return guard_; }
+    bool fastOperationEnabled() const { return fastEnabled_; }
+
+    /** The controller configuration this mode controller installs. */
+    static dram::ControllerConfig
+    buildControllerConfig(const ModeControllerConfig &config,
+                          std::uint64_t seed);
+
+  private:
+    std::size_t refillWrites(std::size_t space);
+    void onWriteModeEnter();
+    void onWriteModeExit();
+    void onReadError();
+    void disableFastOperation();
+    void reenableFastOperation();
+    void enqueueWriteNow(std::uint64_t address);
+
+    sim::EventQueue &events_;
+    dram::MemoryController &controller_;
+    cache::Cache *llc_;
+    std::function<bool(std::uint64_t)> channelFilter_;
+    ModeControllerConfig config_;
+
+    cache::WritebackCache wbCache_;
+    std::deque<std::uint64_t> overflow_; ///< victim-cache spill
+    std::size_t cleanBudget_ = 0;
+    bool fastEnabled_ = false;
+    util::Tick fastDisabledAt_ = 0;
+
+    sim::CallbackEvent reenableEvent_;
+    EpochGuard guard_;
+    ModeControllerStats stats_;
+};
+
+} // namespace hdmr::core
+
+#endif // HDMR_CORE_MODE_CONTROLLER_HH

@@ -1,0 +1,58 @@
+#include "dram/address_map.hh"
+
+#include "util/logging.hh"
+
+namespace hdmr::dram
+{
+
+unsigned
+AddressMap::log2ceil(unsigned value)
+{
+    unsigned bits = 0;
+    while ((1u << bits) < value)
+        ++bits;
+    return bits;
+}
+
+AddressMap::AddressMap(AddressMapConfig config) : config_(config)
+{
+    hdmr_assert(config_.channels >= 1);
+    hdmr_assert(config_.ranksPerChannel >= 1);
+    hdmr_assert((config_.banksPerRank & (config_.banksPerRank - 1)) == 0,
+                "banks per rank must be a power of two");
+    channelBits_ = log2ceil(config_.channels);
+    rankBits_ = log2ceil(config_.ranksPerChannel);
+    bankBits_ = log2ceil(config_.banksPerRank);
+    columnBits_ = log2ceil(config_.columnsPerRow);
+    lineBits_ = log2ceil(config_.lineBytes);
+}
+
+DramCoord
+AddressMap::decode(std::uint64_t address) const
+{
+    std::uint64_t bits = address >> lineBits_;
+    DramCoord coord;
+
+    coord.channel = static_cast<unsigned>(bits % config_.channels);
+    bits >>= channelBits_;
+
+    coord.column =
+        static_cast<unsigned>(bits & (config_.columnsPerRow - 1));
+    bits >>= columnBits_;
+
+    const unsigned raw_bank =
+        static_cast<unsigned>(bits & (config_.banksPerRank - 1));
+    bits >>= bankBits_;
+
+    coord.rank = static_cast<unsigned>(bits % config_.ranksPerChannel);
+    bits >>= rankBits_;
+
+    coord.row = bits;
+
+    // Skylake-style XOR folding of the low row bits into the bank.
+    coord.bank = (raw_bank ^ static_cast<unsigned>(coord.row)) &
+                 (config_.banksPerRank - 1);
+    return coord;
+}
+
+} // namespace hdmr::dram

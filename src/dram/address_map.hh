@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * Bit layout (low to high): 64B line offset | channel | column | bank |
+ * rank | row, with the bank index XOR-folded with the low row bits the
+ * way Intel Skylake does (DRAMA [67]); the XOR spreads sequential rows
+ * across banks and reduces row-buffer conflicts for strided streams.
+ */
+
+#ifndef HDMR_DRAM_ADDRESS_MAP_HH
+#define HDMR_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+namespace hdmr::dram
+{
+
+/** Geometry of the mapped memory system. */
+struct AddressMapConfig
+{
+    unsigned channels = 1;
+    unsigned ranksPerChannel = 4;  ///< ranks addressable by software
+    unsigned banksPerRank = 16;
+    unsigned columnsPerRow = 128;  ///< 64B lines per 8KB row
+    unsigned lineBytes = 64;
+};
+
+/** Decoded DRAM coordinates of one 64B line. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    unsigned column = 0;
+};
+
+/** The mapping function. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(AddressMapConfig config);
+
+    DramCoord decode(std::uint64_t address) const;
+
+    const AddressMapConfig &config() const { return config_; }
+
+  private:
+    static unsigned log2ceil(unsigned value);
+
+    AddressMapConfig config_;
+    unsigned channelBits_;
+    unsigned rankBits_;
+    unsigned bankBits_;
+    unsigned columnBits_;
+    unsigned lineBits_;
+};
+
+} // namespace hdmr::dram
+
+#endif // HDMR_DRAM_ADDRESS_MAP_HH

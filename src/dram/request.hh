@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memory request type shared by the memory controller, the cache
+ * hierarchy, and the Hetero-DMR mode controller.
+ */
+
+#ifndef HDMR_DRAM_REQUEST_HH
+#define HDMR_DRAM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "util/units.hh"
+
+namespace hdmr::dram
+{
+
+using util::Tick;
+
+/** A 64-byte block request to the memory system. */
+struct MemRequest
+{
+    enum class Type : std::uint8_t
+    {
+        kRead,
+        kWrite,
+    };
+
+    std::uint64_t address = 0;
+    Type type = Type::kRead;
+    Tick arrival = 0;
+    unsigned coreId = 0;
+    bool isPrefetch = false;
+
+    /**
+     * Ranks allowed to serve the request, as a bitmask over the ranks
+     * of the owning channel.  Hetero-DMR's read mode restricts reads to
+     * the Free Module's ranks; a broadcast write targets all ranks of
+     * both the original and the copy in one bus transaction.
+     */
+    std::uint32_t rankMask = ~0u;
+
+    /** Completion callback (reads); invoked with the completion tick. */
+    std::function<void(Tick)> onComplete;
+};
+
+} // namespace hdmr::dram
+
+#endif // HDMR_DRAM_REQUEST_HH

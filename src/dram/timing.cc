@@ -1,0 +1,82 @@
+#include "dram/timing.hh"
+
+#include "util/logging.hh"
+
+namespace hdmr::dram
+{
+
+MemorySetting
+MemorySetting::manufacturerSpec(unsigned rate_mts)
+{
+    MemorySetting s;
+    s.name = "Manufacturer-specified";
+    s.dataRateMts = rate_mts;
+    return s;
+}
+
+MemorySetting
+MemorySetting::exploitLatencyMargin(unsigned rate_mts)
+{
+    MemorySetting s;
+    s.name = "Exploit Latency Margin";
+    s.dataRateMts = rate_mts;
+    s.trcdNs = 11.5;
+    s.trpNs = 11.0;
+    s.trasNs = 29.5;
+    s.trefiUs = 15.0;
+    return s;
+}
+
+MemorySetting
+MemorySetting::exploitFrequencyMargin(unsigned fast_rate)
+{
+    MemorySetting s;
+    s.name = "Exploit Frequency Margin";
+    s.dataRateMts = fast_rate;
+    return s;
+}
+
+MemorySetting
+MemorySetting::exploitFreqLatMargins(unsigned fast_rate)
+{
+    MemorySetting s = exploitLatencyMargin(fast_rate);
+    s.name = "Exploit Freq+Lat Margins";
+    return s;
+}
+
+DramTiming
+DramTiming::fromSetting(const MemorySetting &setting)
+{
+    using util::dataRateToTck;
+    using util::nsToTicks;
+
+    hdmr_assert(setting.dataRateMts >= 800 && setting.dataRateMts <= 6400,
+                "implausible data rate %u MT/s", setting.dataRateMts);
+
+    DramTiming t;
+    t.dataRateMts = setting.dataRateMts;
+    t.tCK = dataRateToTck(setting.dataRateMts);
+    t.tBURST = 4 * t.tCK; // BL8: 8 beats, 2 beats/clock
+    t.tCCD = 4 * t.tCK;
+
+    t.tRCD = nsToTicks(setting.trcdNs);
+    t.tRP = nsToTicks(setting.trpNs);
+    t.tRAS = nsToTicks(setting.trasNs);
+    t.tREFI = nsToTicks(setting.trefiUs * 1000.0);
+
+    // CAS latency stays at the JEDEC value: the paper's latency-margin
+    // setting tunes only tRCD/tRP/tRAS/tREFI (Table II), not CL.
+    t.tCAS = nsToTicks(13.75);
+    t.tCWD = t.tCAS > 2 * t.tCK ? t.tCAS - 2 * t.tCK : t.tCAS;
+
+    t.tWR = nsToTicks(15.0);
+    t.tWTR = nsToTicks(7.5);
+    t.tRTW = nsToTicks(7.5);
+    t.tRTP = nsToTicks(7.5);
+    t.tRRD = nsToTicks(2.5);
+    t.tRFC = nsToTicks(350.0);
+    t.tXS = nsToTicks(1200.0);
+    return t;
+}
+
+} // namespace hdmr::dram

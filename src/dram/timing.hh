@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DDR4 timing parameters and the four memory settings of Table II.
+ *
+ * A MemorySetting captures the label-level knobs the paper sweeps
+ * (data rate plus the tRCD/tRP/tRAS/tREFI latency set); DramTiming is
+ * the tick-resolution timing package the controller actually consumes,
+ * derived from a setting.
+ */
+
+#ifndef HDMR_DRAM_TIMING_HH
+#define HDMR_DRAM_TIMING_HH
+
+#include <string>
+
+#include "util/units.hh"
+
+namespace hdmr::dram
+{
+
+using util::Tick;
+
+/**
+ * Label-level memory operating setting (Table II).  Latencies in ns,
+ * tREFI in us, data rate in MT/s.
+ */
+struct MemorySetting
+{
+    std::string name = "Manufacturer-specified";
+    unsigned dataRateMts = 3200;
+    double trcdNs = 13.75;
+    double trpNs = 13.75;
+    double trasNs = 32.5;
+    double trefiUs = 7.8;
+
+    /** Manufacturer-specified setting (row 1 of Table II). */
+    static MemorySetting manufacturerSpec(unsigned rate_mts = 3200);
+
+    /** Setting to exploit latency margin (row 2). */
+    static MemorySetting exploitLatencyMargin(unsigned rate_mts = 3200);
+
+    /** Setting to exploit frequency margin (row 3). */
+    static MemorySetting exploitFrequencyMargin(unsigned fast_rate = 4000);
+
+    /** Setting to exploit frequency + latency margins (row 4). */
+    static MemorySetting exploitFreqLatMargins(unsigned fast_rate = 4000);
+};
+
+/**
+ * Controller-facing timing package, all in ticks, derived from a
+ * MemorySetting.  Parameters not in Table II use DDR4-3200 datasheet
+ * values; clock-granular parameters (burst, tCCD, write recovery at
+ * the pins) scale with the data rate.
+ */
+struct DramTiming
+{
+    unsigned dataRateMts = 3200;
+    Tick tCK = 625;      ///< bus clock period
+    Tick tBURST = 2500;  ///< 64B transfer, BL8 = 4 clocks
+    Tick tRCD = 13750;   ///< activate to read/write
+    Tick tRP = 13750;    ///< precharge
+    Tick tRAS = 32500;   ///< activate to precharge
+    Tick tCAS = 13750;   ///< read command to first data
+    Tick tCWD = 11250;   ///< write command to first data
+    Tick tWR = 15000;    ///< write recovery (end of write to precharge)
+    Tick tWTR = 7500;    ///< write-to-read turnaround (same rank)
+    Tick tRTW = 7500;    ///< read-to-write bus turnaround
+    Tick tRTP = 7500;    ///< read to precharge
+    Tick tRRD = 5000;    ///< activate to activate, different banks
+    Tick tCCD = 2500;    ///< column command to column command
+    Tick tREFI = 7800000; ///< refresh interval per rank
+    Tick tRFC = 350000;  ///< refresh cycle time
+    Tick tXS = 1200000;  ///< self-refresh exit to first valid command
+
+    /** Build the tick-level package from a label-level setting. */
+    static DramTiming fromSetting(const MemorySetting &setting);
+};
+
+} // namespace hdmr::dram
+
+#endif // HDMR_DRAM_TIMING_HH

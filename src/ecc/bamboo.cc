@@ -1,0 +1,99 @@
+#include "ecc/bamboo.hh"
+
+#include "util/logging.hh"
+
+namespace hdmr::ecc
+{
+
+namespace
+{
+
+/** Split a 64-bit address into its 8 virtual code symbols. */
+std::array<GfElem, BambooCodec::kAddressBytes>
+addressSymbols(std::uint64_t address)
+{
+    std::array<GfElem, BambooCodec::kAddressBytes> sym;
+    for (std::size_t i = 0; i < sym.size(); ++i)
+        sym[i] = static_cast<GfElem>(address >> (8 * i));
+    return sym;
+}
+
+} // anonymous namespace
+
+BambooCodec::BambooCodec()
+    : rs_(kDataBytes + kAddressBytes, kParityBytes)
+{
+}
+
+CodedBlock
+BambooCodec::encode(const Block &data, std::uint64_t address) const
+{
+    std::vector<GfElem> message(kDataBytes + kAddressBytes);
+    for (std::size_t i = 0; i < kDataBytes; ++i)
+        message[i] = data[i];
+    const auto addr = addressSymbols(address);
+    for (std::size_t i = 0; i < kAddressBytes; ++i)
+        message[kDataBytes + i] = addr[i];
+
+    const auto parity = rs_.encode(message);
+    hdmr_assert(parity.size() == kParityBytes);
+
+    CodedBlock coded;
+    coded.data = data;
+    for (std::size_t i = 0; i < kParityBytes; ++i)
+        coded.parity[i] = parity[i];
+    return coded;
+}
+
+std::vector<GfElem>
+BambooCodec::toCodeword(const CodedBlock &coded, std::uint64_t address) const
+{
+    std::vector<GfElem> cw(kDataBytes + kAddressBytes + kParityBytes);
+    for (std::size_t i = 0; i < kDataBytes; ++i)
+        cw[i] = coded.data[i];
+    const auto addr = addressSymbols(address);
+    for (std::size_t i = 0; i < kAddressBytes; ++i)
+        cw[kDataBytes + i] = addr[i];
+    for (std::size_t i = 0; i < kParityBytes; ++i)
+        cw[kDataBytes + kAddressBytes + i] = coded.parity[i];
+    return cw;
+}
+
+BlockDecodeResult
+BambooCodec::decodeCorrecting(CodedBlock &coded, std::uint64_t address) const
+{
+    auto cw = toCodeword(coded, address);
+    // The address symbols occupy [kDataBytes, kDataBytes+kAddressBytes);
+    // they are recomputed from the request, so any "correction" there
+    // is a mis-location and must be refused.
+    const auto rs_result =
+        rs_.correct(cw, kDataBytes, kDataBytes + kAddressBytes);
+
+    BlockDecodeResult result;
+    result.status = rs_result.status;
+    result.correctedSymbols =
+        static_cast<unsigned>(rs_result.correctedPositions.size());
+
+    if (rs_result.status == DecodeStatus::kCorrected) {
+        for (std::size_t i = 0; i < kDataBytes; ++i)
+            coded.data[i] = static_cast<std::uint8_t>(cw[i]);
+        for (std::size_t i = 0; i < kParityBytes; ++i) {
+            coded.parity[i] = static_cast<std::uint8_t>(
+                cw[kDataBytes + kAddressBytes + i]);
+        }
+    }
+    return result;
+}
+
+BlockDecodeResult
+BambooCodec::decodeDetectOnly(const CodedBlock &coded,
+                              std::uint64_t address) const
+{
+    const auto cw = toCodeword(coded, address);
+    BlockDecodeResult result;
+    result.status = rs_.detect(cw) ? DecodeStatus::kDetectedOnly
+                                   : DecodeStatus::kClean;
+    return result;
+}
+
+} // namespace hdmr::ecc

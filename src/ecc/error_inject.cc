@@ -1,0 +1,86 @@
+#include "ecc/error_inject.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace hdmr::ecc
+{
+
+void
+flipBit(CodedBlock &coded, std::size_t byte_index, std::size_t bit_index)
+{
+    hdmr_assert(byte_index < BambooCodec::kDataBytes);
+    hdmr_assert(bit_index < 8);
+    coded.data[byte_index] ^= static_cast<std::uint8_t>(1u << bit_index);
+}
+
+void
+corruptDataByte(CodedBlock &coded, std::size_t byte_index,
+                std::uint8_t mask)
+{
+    hdmr_assert(byte_index < BambooCodec::kDataBytes);
+    hdmr_assert(mask != 0);
+    coded.data[byte_index] ^= mask;
+}
+
+void
+corruptParityByte(CodedBlock &coded, std::size_t byte_index,
+                  std::uint8_t mask)
+{
+    hdmr_assert(byte_index < BambooCodec::kParityBytes);
+    hdmr_assert(mask != 0);
+    coded.parity[byte_index] ^= mask;
+}
+
+unsigned
+corruptBytes(CodedBlock &coded, unsigned count, util::Rng &rng)
+{
+    constexpr unsigned total =
+        BambooCodec::kDataBytes + BambooCodec::kParityBytes;
+    hdmr_assert(count > 0 && count <= total);
+
+    // Choose `count` distinct byte slots across data+parity.
+    std::vector<unsigned> slots(total);
+    for (unsigned i = 0; i < total; ++i)
+        slots[i] = i;
+    for (unsigned i = 0; i < count; ++i) {
+        const auto j = static_cast<unsigned>(
+            rng.uniformInt(i, total - 1));
+        std::swap(slots[i], slots[j]);
+    }
+
+    for (unsigned i = 0; i < count; ++i) {
+        const auto mask =
+            static_cast<std::uint8_t>(rng.uniformInt(1, 255));
+        if (slots[i] < BambooCodec::kDataBytes)
+            corruptDataByte(coded, slots[i], mask);
+        else
+            corruptParityByte(coded, slots[i] - BambooCodec::kDataBytes,
+                              mask);
+    }
+    return count;
+}
+
+unsigned
+injectPattern(CodedBlock &coded, ErrorPattern pattern, util::Rng &rng)
+{
+    switch (pattern) {
+      case ErrorPattern::kSingleBit:
+        flipBit(coded, rng.uniformInt(0, BambooCodec::kDataBytes - 1),
+                rng.uniformInt(0, 7));
+        return 1;
+      case ErrorPattern::kSingleByte:
+        return corruptBytes(coded, 1, rng);
+      case ErrorPattern::kMultiByte:
+        return corruptBytes(
+            coded, static_cast<unsigned>(rng.uniformInt(2, 8)), rng);
+      case ErrorPattern::kWideBlock:
+        return corruptBytes(
+            coded, static_cast<unsigned>(rng.uniformInt(9, 40)), rng);
+    }
+    util::panic("unknown error pattern");
+}
+
+} // namespace hdmr::ecc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-injection utilities for ECC testing and for modelling the
+ * error processes seen when operating memory beyond specification
+ * (Section III of the paper: bit flips, whole-IO-pin byte errors,
+ * command/address mishaps corrupting many bytes).
+ */
+
+#ifndef HDMR_ECC_ERROR_INJECT_HH
+#define HDMR_ECC_ERROR_INJECT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ecc/bamboo.hh"
+#include "util/rng.hh"
+
+namespace hdmr::ecc
+{
+
+/** Kinds of corruption seen when running memory out of spec. */
+enum class ErrorPattern
+{
+    kSingleBit,   ///< one flipped bit (classic transient)
+    kSingleByte,  ///< one corrupted byte (x8 IO-pin burst error)
+    kMultiByte,   ///< 2-8 corrupted bytes (multi-pin / burst)
+    kWideBlock,   ///< >8 corrupted bytes (command/address error, "8B+")
+};
+
+/** Inject one flipped bit at (byte_index, bit_index) into the data. */
+void flipBit(CodedBlock &coded, std::size_t byte_index,
+             std::size_t bit_index);
+
+/** XOR the given byte of the data with a non-zero mask. */
+void corruptDataByte(CodedBlock &coded, std::size_t byte_index,
+                     std::uint8_t mask);
+
+/** XOR the given parity byte with a non-zero mask. */
+void corruptParityByte(CodedBlock &coded, std::size_t byte_index,
+                       std::uint8_t mask);
+
+/**
+ * Inject a random instance of the given pattern.  Returns the number
+ * of distinct (data or parity) bytes touched; every touched byte is
+ * guaranteed to actually change.
+ */
+unsigned injectPattern(CodedBlock &coded, ErrorPattern pattern,
+                       util::Rng &rng);
+
+/**
+ * Corrupt exactly `count` distinct randomly-chosen bytes across the
+ * stored data+parity footprint.
+ */
+unsigned corruptBytes(CodedBlock &coded, unsigned count, util::Rng &rng);
+
+} // namespace hdmr::ecc
+
+#endif // HDMR_ECC_ERROR_INJECT_HH

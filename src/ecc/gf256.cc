@@ -1,0 +1,87 @@
+#include "ecc/gf256.hh"
+
+#include "util/logging.hh"
+
+namespace hdmr::ecc
+{
+
+Gf256::Tables::Tables()
+{
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+        exp[i] = static_cast<GfElem>(x);
+        log[x] = static_cast<int>(i);
+        x <<= 1;
+        if (x & 0x100)
+            x ^= kPrimitivePoly;
+    }
+    for (unsigned i = 255; i < 512; ++i)
+        exp[i] = exp[i - 255];
+    log[0] = -1; // log(0) is undefined; guarded by callers
+}
+
+const Gf256::Tables &
+Gf256::tables()
+{
+    static const Tables t;
+    return t;
+}
+
+GfElem
+Gf256::mul(GfElem a, GfElem b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[static_cast<unsigned>(t.log[a] + t.log[b])];
+}
+
+GfElem
+Gf256::div(GfElem a, GfElem b)
+{
+    hdmr_assert(b != 0, "GF(256) division by zero");
+    if (a == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[static_cast<unsigned>(t.log[a] - t.log[b] + 255)];
+}
+
+GfElem
+Gf256::inv(GfElem a)
+{
+    hdmr_assert(a != 0, "GF(256) inverse of zero");
+    const Tables &t = tables();
+    return t.exp[static_cast<unsigned>(255 - t.log[a])];
+}
+
+GfElem
+Gf256::expAlpha(int power)
+{
+    const Tables &t = tables();
+    int p = power % 255;
+    if (p < 0)
+        p += 255;
+    return t.exp[static_cast<unsigned>(p)];
+}
+
+int
+Gf256::logAlpha(GfElem a)
+{
+    hdmr_assert(a != 0, "GF(256) log of zero");
+    return tables().log[a];
+}
+
+GfElem
+Gf256::pow(GfElem a, int n)
+{
+    hdmr_assert(n >= 0);
+    if (n == 0)
+        return 1;
+    if (a == 0)
+        return 0;
+    const Tables &t = tables();
+    const long exponent = (static_cast<long>(t.log[a]) * n) % 255;
+    return t.exp[static_cast<unsigned>(exponent)];
+}
+
+} // namespace hdmr::ecc

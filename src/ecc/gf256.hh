@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GF(2^8) arithmetic for Reed-Solomon coding.
+ *
+ * Field: GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the primitive
+ * polynomial 0x11D commonly used for RS codes.  Multiplication and
+ * inversion go through log/antilog tables built once at startup.
+ */
+
+#ifndef HDMR_ECC_GF256_HH
+#define HDMR_ECC_GF256_HH
+
+#include <array>
+#include <cstdint>
+
+namespace hdmr::ecc
+{
+
+/** An element of GF(2^8). */
+using GfElem = std::uint8_t;
+
+/** GF(2^8) arithmetic with table-driven multiply/divide/power. */
+class Gf256
+{
+  public:
+    static constexpr unsigned kFieldSize = 256;
+    static constexpr unsigned kPrimitivePoly = 0x11d;
+
+    /** Addition (= subtraction) is XOR. */
+    static GfElem
+    add(GfElem a, GfElem b)
+    {
+        return a ^ b;
+    }
+
+    /** Multiply two field elements. */
+    static GfElem mul(GfElem a, GfElem b);
+
+    /** Divide a by b; b must be non-zero. */
+    static GfElem div(GfElem a, GfElem b);
+
+    /** Multiplicative inverse; a must be non-zero. */
+    static GfElem inv(GfElem a);
+
+    /** alpha^power where alpha = 0x02 is the primitive element. */
+    static GfElem expAlpha(int power);
+
+    /** Discrete log base alpha; a must be non-zero. */
+    static int logAlpha(GfElem a);
+
+    /** a^n for integer n >= 0. */
+    static GfElem pow(GfElem a, int n);
+
+  private:
+    struct Tables
+    {
+        std::array<GfElem, 512> exp; // doubled to skip the mod-255
+        std::array<int, 256> log;
+
+        Tables();
+    };
+
+    static const Tables &tables();
+};
+
+} // namespace hdmr::ecc
+
+#endif // HDMR_ECC_GF256_HH

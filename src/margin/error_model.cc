@@ -1,0 +1,102 @@
+#include "margin/error_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hdmr::margin
+{
+
+ErrorRateModel::ErrorRateModel(ErrorModelParams params) : params_(params)
+{
+}
+
+unsigned
+ErrorRateModel::stableRateAt(const MemoryModule &module,
+                             const OperatingPoint &op) const
+{
+    unsigned stable = module.maxStableRateMts;
+
+    if (op.voltage > 1.3 && module.respondsToOvervolt)
+        stable += params_.stepMts;
+
+    if (op.ambientC >= 45.0) {
+        const bool drops = op.latencyMarginsExploited
+                               ? module.marginDropsWhenHotWithLatency
+                               : module.marginDropsWhenHot;
+        if (drops) {
+            stable = stable > params_.stepMts ? stable - params_.stepMts
+                                              : 0;
+        }
+    }
+    // Exploiting the conservative latency-margin combination at room
+    // temperature leaves the frequency margin unchanged (Section II-A).
+    return stable;
+}
+
+unsigned
+ErrorRateModel::bootableRateAt(const MemoryModule &module,
+                               const OperatingPoint &op) const
+{
+    const unsigned stable23 = module.maxStableRateMts;
+    const unsigned stable_now = stableRateAt(module, op);
+    // The boot ceiling tracks the stable rate's corner-case shifts.
+    return module.maxBootableRateMts - (stable23 - std::min(stable23,
+                                                            stable_now));
+}
+
+double
+ErrorRateModel::errorsPerHour(const MemoryModule &module,
+                              const OperatingPoint &op) const
+{
+    const unsigned stable = stableRateAt(module, op);
+    if (op.dataRateMts <= stable) {
+        // 99.999%+ of accesses correct: essentially silent in a
+        // one-hour test.
+        return 0.002 * op.accessIntensity;
+    }
+
+    const double overshoot_steps =
+        static_cast<double>(op.dataRateMts - stable) /
+        static_cast<double>(params_.stepMts);
+
+    double rate = params_.baseErrorsPerHour * module.errorIntensity *
+                  std::pow(params_.growthPerStep, overshoot_steps - 1.0);
+
+    if (op.latencyMarginsExploited)
+        rate *= params_.latencyFactor;
+
+    if (op.ambientC >= 45.0) {
+        rate *= op.latencyMarginsExploited ? params_.hotFactorFreqLat
+                                           : params_.hotFactorFreq;
+    }
+
+    return rate * op.accessIntensity;
+}
+
+double
+ErrorRateModel::correctedErrorsPerHour(const MemoryModule &module,
+                                       const OperatingPoint &op) const
+{
+    return errorsPerHour(module, op) *
+           (1.0 - params_.uncorrectableFraction);
+}
+
+double
+ErrorRateModel::uncorrectedErrorsPerHour(const MemoryModule &module,
+                                         const OperatingPoint &op) const
+{
+    return errorsPerHour(module, op) * params_.uncorrectableFraction;
+}
+
+double
+ErrorRateModel::errorProbabilityPerRead(const MemoryModule &module,
+                                        const OperatingPoint &op) const
+{
+    const double hourly = errorsPerHour(module, op);
+    return std::min(1.0, hourly / (kStressAccessesPerHour *
+                                   op.accessIntensity));
+}
+
+} // namespace hdmr::margin

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Error-rate model for memory operated beyond its specification.
+ *
+ * Encodes the empirical regularities of Section II-C:
+ *  - below a module's latent stable rate, errors are essentially absent
+ *    (99.999%+ of accesses correct);
+ *  - at/above it, the hourly error rate grows steeply with overshoot
+ *    and varies by orders of magnitude across modules (log-normal
+ *    intensity);
+ *  - 45 degC ambient multiplies the frequency-margin error rate by ~4x
+ *    (and the freq+latency rate by ~2x relative to its own 23 degC
+ *    rate), and shaves one 200 MT/s step off a small subset of modules;
+ *  - most errors are ECC-correctable (CEs), a substantial minority are
+ *    not (UEs);
+ *  - a fully-populated system sees roughly half the naive per-module
+ *    sum because each module is accessed half as often.
+ */
+
+#ifndef HDMR_MARGIN_ERROR_MODEL_HH
+#define HDMR_MARGIN_ERROR_MODEL_HH
+
+#include "margin/module.hh"
+
+namespace hdmr::margin
+{
+
+/** Conditions a module is operated under. */
+struct OperatingPoint
+{
+    unsigned dataRateMts = 3200;
+    double ambientC = 23.0;
+    bool latencyMarginsExploited = false;
+    double voltage = 1.2;
+    /**
+     * Relative per-module access intensity; 1.0 = the single-module
+     * stress-test setup, 0.5 = two modules sharing a channel.
+     */
+    double accessIntensity = 1.0;
+};
+
+/** Model constants (defaults calibrated to Fig. 6). */
+struct ErrorModelParams
+{
+    /** Mean errors/hour one step past the stable rate, unit intensity. */
+    double baseErrorsPerHour = 200.0;
+    /** Multiplicative growth per additional 200 MT/s of overshoot. */
+    double growthPerStep = 30.0;
+    /** 45 degC multiplier when exploiting frequency margin only. */
+    double hotFactorFreq = 4.0;
+    /** 45 degC multiplier when also exploiting latency margins. */
+    double hotFactorFreqLat = 2.0;
+    /** 23 degC multiplier for adding latency-margin exploitation. */
+    double latencyFactor = 2.0;
+    /** Fraction of errors the conventional ECC cannot correct. */
+    double uncorrectableFraction = 0.3;
+    /** Step size used for margin-loss corner cases. */
+    unsigned stepMts = 200;
+};
+
+/**
+ * Deterministic error-rate oracle.  Stateless; randomness (Poisson
+ * sampling of actual counts) lives in the stress-test driver.
+ */
+class ErrorRateModel
+{
+  public:
+    explicit ErrorRateModel(ErrorModelParams params = {});
+
+    /**
+     * Highest data rate at which 99.999%+ of accesses are error-free
+     * under the given conditions (ambient/latency corner cases and
+     * overvolting applied to the module's latent stable rate).
+     */
+    unsigned stableRateAt(const MemoryModule &module,
+                          const OperatingPoint &op) const;
+
+    /** Highest data rate at which the system boots under `op`. */
+    unsigned bootableRateAt(const MemoryModule &module,
+                            const OperatingPoint &op) const;
+
+    /** Expected total errors per hour of stress testing at `op`. */
+    double errorsPerHour(const MemoryModule &module,
+                         const OperatingPoint &op) const;
+
+    /** Expected ECC-corrected errors per hour. */
+    double correctedErrorsPerHour(const MemoryModule &module,
+                                  const OperatingPoint &op) const;
+
+    /** Expected uncorrected errors per hour. */
+    double uncorrectedErrorsPerHour(const MemoryModule &module,
+                                    const OperatingPoint &op) const;
+
+    /**
+     * Probability that one 64-byte read performed at `op` returns a
+     * detectably corrupted block.  Used by the Hetero-DMR node model to
+     * drive its correction flow; derived from errorsPerHour() assuming
+     * the stress test's access volume.
+     */
+    double errorProbabilityPerRead(const MemoryModule &module,
+                                   const OperatingPoint &op) const;
+
+    const ErrorModelParams &params() const { return params_; }
+
+    /** Accesses/hour the single-module stress test performs. */
+    static constexpr double kStressAccessesPerHour = 1.0e9;
+
+  private:
+    ErrorModelParams params_;
+};
+
+} // namespace hdmr::margin
+
+#endif // HDMR_MARGIN_ERROR_MODEL_HH

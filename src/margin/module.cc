@@ -1,0 +1,44 @@
+#include "margin/module.hh"
+
+#include "util/logging.hh"
+
+namespace hdmr::margin
+{
+
+const char *
+toString(Brand brand)
+{
+    switch (brand) {
+      case Brand::kA:
+        return "A";
+      case Brand::kB:
+        return "B";
+      case Brand::kC:
+        return "C";
+      case Brand::kD:
+        return "D";
+    }
+    util::panic("unknown brand");
+}
+
+const char *
+toString(Condition condition)
+{
+    switch (condition) {
+      case Condition::kNew:
+        return "new";
+      case Condition::kInProduction3Years:
+        return "3yr-in-production";
+      case Condition::kRefurbished:
+        return "refurbished";
+    }
+    util::panic("unknown condition");
+}
+
+std::string
+MemoryModule::name() const
+{
+    return std::string(toString(spec.brand)) + std::to_string(id);
+}
+
+} // namespace hdmr::margin

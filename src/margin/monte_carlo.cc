@@ -1,0 +1,122 @@
+#include "margin/monte_carlo.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hdmr::margin
+{
+
+void
+MarginDistribution::add(unsigned margin_mts)
+{
+    ++counts_[margin_mts];
+    ++total_;
+}
+
+double
+MarginDistribution::fraction(unsigned margin_mts) const
+{
+    const auto it = counts_.find(margin_mts);
+    if (it == counts_.end() || total_ == 0)
+        return 0.0;
+    return static_cast<double>(it->second) /
+           static_cast<double>(total_);
+}
+
+double
+MarginDistribution::fractionAtLeast(unsigned margin_mts) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::size_t n = 0;
+    for (const auto &[value, count] : counts_) {
+        if (value >= margin_mts)
+            n += count;
+    }
+    return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+std::vector<unsigned>
+MarginDistribution::values() const
+{
+    std::vector<unsigned> out;
+    out.reserve(counts_.size());
+    for (const auto &[value, count] : counts_)
+        out.push_back(value);
+    return out;
+}
+
+unsigned
+sampleModuleMargin(const MonteCarloConfig &config, util::Rng &rng)
+{
+    const double raw =
+        rng.normal(config.marginMeanMts, config.marginStdevMts);
+    if (raw <= 0.0)
+        return 0;
+    const unsigned quantized =
+        static_cast<unsigned>(raw / config.quantStepMts) *
+        config.quantStepMts;
+    return std::min(quantized, config.marginCapMts);
+}
+
+namespace
+{
+
+/** Margin of one channel: best (aware) or first (unaware) module. */
+unsigned
+sampleChannelMargin(const MonteCarloConfig &config, util::Rng &rng)
+{
+    hdmr_assert(config.modulesPerChannel >= 1);
+    unsigned chosen = sampleModuleMargin(config, rng);
+    for (unsigned m = 1; m < config.modulesPerChannel; ++m) {
+        const unsigned margin = sampleModuleMargin(config, rng);
+        if (config.marginAware)
+            chosen = std::max(chosen, margin);
+        // Margin-unaware selection keeps the first module regardless,
+        // but the draws still happen so aware/unaware runs consume the
+        // same random stream per channel.
+    }
+    return chosen;
+}
+
+} // anonymous namespace
+
+MarginDistribution
+channelMarginDistribution(const MonteCarloConfig &config,
+                          std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    MarginDistribution dist;
+    for (std::size_t t = 0; t < config.trials; ++t)
+        dist.add(sampleChannelMargin(config, rng));
+    return dist;
+}
+
+MarginDistribution
+nodeMarginDistribution(const MonteCarloConfig &config, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    MarginDistribution dist;
+    for (std::size_t t = 0; t < config.trials; ++t) {
+        unsigned node_margin = ~0u;
+        for (unsigned c = 0; c < config.channelsPerNode; ++c)
+            node_margin =
+                std::min(node_margin, sampleChannelMargin(config, rng));
+        dist.add(node_margin);
+    }
+    return dist;
+}
+
+NodeMarginGroups
+nodeMarginGroups(const MonteCarloConfig &config, std::uint64_t seed)
+{
+    const MarginDistribution dist = nodeMarginDistribution(config, seed);
+    NodeMarginGroups groups;
+    groups.at800 = dist.fractionAtLeast(800);
+    groups.at600 = dist.fractionAtLeast(600) - groups.at800;
+    groups.at0 = 1.0 - groups.at800 - groups.at600;
+    return groups;
+}
+
+} // namespace hdmr::margin

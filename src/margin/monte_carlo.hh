@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Monte-Carlo estimation of channel- and node-level frequency-margin
+ * distributions (Section III-D, Fig. 11).
+ *
+ * Module margins are drawn from a normal distribution fitted to the
+ * Fig. 2a measurements of 9-chip/rank modules, quantized to the BIOS
+ * step and capped by the platform ceiling.  A channel's margin is that
+ * of the module *chosen to run unsafely fast* - the best module under
+ * margin-aware selection, an arbitrary (first) module under
+ * margin-unaware selection.  A node's margin is the minimum over its
+ * channels because channel interleaving makes the slowest channel the
+ * bandwidth bottleneck.
+ */
+
+#ifndef HDMR_MARGIN_MONTE_CARLO_HH
+#define HDMR_MARGIN_MONTE_CARLO_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace hdmr::margin
+{
+
+/** Monte-Carlo experiment configuration. */
+struct MonteCarloConfig
+{
+    double marginMeanMts = 900.0;  ///< fitted to Fig. 2a, 9 chips/rank
+    double marginStdevMts = 124.0; ///< measured STDev (Fig. 3b)
+    unsigned quantStepMts = 200;   ///< BIOS step
+    unsigned marginCapMts = 800;   ///< 4000 MT/s cap - 3200 MT/s spec
+    unsigned modulesPerChannel = 2;
+    unsigned channelsPerNode = 12;
+    std::size_t trials = 200000;
+    bool marginAware = true;       ///< pick best vs. first module
+};
+
+/** A discrete distribution over quantized margin values (MT/s). */
+class MarginDistribution
+{
+  public:
+    /** Record one observation. */
+    void add(unsigned margin_mts);
+
+    /** Fraction of observations exactly at `margin_mts`. */
+    double fraction(unsigned margin_mts) const;
+
+    /** Fraction of observations >= `margin_mts`. */
+    double fractionAtLeast(unsigned margin_mts) const;
+
+    /** All margin values observed, ascending. */
+    std::vector<unsigned> values() const;
+
+    std::size_t total() const { return total_; }
+
+  private:
+    std::map<unsigned, std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** Fractions of nodes per scheduler margin group (Section III-D3). */
+struct NodeMarginGroups
+{
+    double at800 = 0.0; ///< nodes with >= 0.8 GT/s margin
+    double at600 = 0.0; ///< nodes with margin in [0.6, 0.8) GT/s
+    double at0 = 0.0;   ///< the rest
+};
+
+/** Draw one module margin (quantized, capped). */
+unsigned sampleModuleMargin(const MonteCarloConfig &config,
+                            util::Rng &rng);
+
+/** Distribution of channel-level margins under `config`. */
+MarginDistribution channelMarginDistribution(const MonteCarloConfig &config,
+                                             std::uint64_t seed);
+
+/** Distribution of node-level margins under `config`. */
+MarginDistribution nodeMarginDistribution(const MonteCarloConfig &config,
+                                          std::uint64_t seed);
+
+/** The three-group node split the margin-aware scheduler uses. */
+NodeMarginGroups nodeMarginGroups(const MonteCarloConfig &config,
+                                  std::uint64_t seed);
+
+} // namespace hdmr::margin
+
+#endif // HDMR_MARGIN_MONTE_CARLO_HH

@@ -1,0 +1,162 @@
+#include "margin/population.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hdmr::margin
+{
+
+ModulePopulation::ModulePopulation(std::uint64_t seed,
+                                   PopulationModel model)
+    : model_(model), rng_(seed)
+{
+}
+
+MemoryModule
+ModulePopulation::sample(const ModuleSpec &spec)
+{
+    MemoryModule m;
+    m.id = nextId_++;
+    m.spec = spec;
+
+    double mean, stdev, floor_mts = 0.0;
+    if (spec.brand == Brand::kD) {
+        mean = model_.brandDMean;
+        stdev = model_.brandDStdev;
+    } else if (spec.specRateMts <= 2400) {
+        mean = model_.majorBrand2400Mean;
+        stdev = model_.majorBrand2400Stdev;
+    } else if (spec.chipsPerRank <= 9) {
+        mean = model_.majorBrand3200NineChipMean;
+        stdev = model_.majorBrand3200NineChipStdev;
+        floor_mts = model_.majorBrand3200NineChipFloor;
+    } else {
+        mean = model_.majorBrand3200EighteenChipMean;
+        stdev = model_.majorBrand3200EighteenChipStdev;
+    }
+
+    const double latent_margin =
+        std::max({0.0, floor_mts, rng_.normal(mean, stdev)});
+    m.maxStableRateMts =
+        spec.specRateMts + static_cast<unsigned>(latent_margin + 0.5);
+
+    const double gap = std::max(model_.bootableGapFloor,
+                                rng_.normal(model_.bootableGapMean,
+                                            model_.bootableGapStdev));
+    m.maxBootableRateMts =
+        m.maxStableRateMts + static_cast<unsigned>(gap + 0.5);
+
+    // Clamped so that even the "quietest" module errors reliably within
+    // a one-hour stress test one step past its stable rate; Fig. 6 still
+    // spans orders of magnitude across modules.
+    m.errorIntensity = std::clamp(
+        rng_.logNormal(0.0, model_.errorIntensitySigma), 0.3, 500.0);
+
+    // Corner-case behaviours.  The with-latency set is a superset of
+    // the frequency-only set, as in the paper (5 of the 9 overlap).
+    m.marginDropsWhenHotWithLatency =
+        rng_.bernoulli(model_.hotLatencyMarginDropFraction);
+    m.marginDropsWhenHot =
+        m.marginDropsWhenHotWithLatency &&
+        rng_.bernoulli(model_.hotMarginDropFraction /
+                       model_.hotLatencyMarginDropFraction);
+    m.respondsToOvervolt =
+        rng_.bernoulli(model_.overvoltResponseFraction);
+
+    return m;
+}
+
+std::vector<MemoryModule>
+ModulePopulation::sampleFleet(const ModuleSpec &spec, std::size_t count)
+{
+    std::vector<MemoryModule> fleet;
+    fleet.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        fleet.push_back(sample(spec));
+    return fleet;
+}
+
+namespace
+{
+
+/** Round-robin helper cycling metadata that must not affect margin. */
+struct MetadataCycler
+{
+    unsigned index = 0;
+
+    void
+    fill(ModuleSpec &spec)
+    {
+        static constexpr unsigned kDensities[] = {4, 8, 16};
+        static constexpr unsigned kYears[] = {2017, 2018, 2019, 2020};
+        static constexpr unsigned kRanks[] = {1, 2, 2, 2};
+        spec.chipDensityGbit = kDensities[index % 3];
+        spec.mfgYear = kYears[index % 4];
+        spec.ranksPerModule = kRanks[index % 4];
+        ++index;
+    }
+};
+
+} // anonymous namespace
+
+std::vector<MemoryModule>
+makeStudyFleet(std::uint64_t seed)
+{
+    ModulePopulation population(seed);
+    std::vector<MemoryModule> fleet;
+    fleet.reserve(119);
+    MetadataCycler cycler;
+
+    struct Group
+    {
+        Brand brand;
+        unsigned count;
+        unsigned rate;
+        unsigned chips_per_rank;
+    };
+    // Composition per Section II: per brand, 3200/9-chip modules (44
+    // total), 3200/18-chip modules (26 total) and 2400 modules (33
+    // total) across A(40)/B(35)/C(28); 16 brand-D modules.
+    static constexpr Group kGroups[] = {
+        {Brand::kA, 17, 3200, 9},  {Brand::kA, 10, 3200, 18},
+        {Brand::kA, 13, 2400, 9},  {Brand::kB, 15, 3200, 9},
+        {Brand::kB, 9, 3200, 18},  {Brand::kB, 11, 2400, 18},
+        {Brand::kC, 12, 3200, 9},  {Brand::kC, 7, 3200, 18},
+        {Brand::kC, 9, 2400, 18},  {Brand::kD, 16, 2666, 18},
+    };
+
+    unsigned per_brand_id[4] = {1, 1, 1, 1};
+    for (const Group &g : kGroups) {
+        for (unsigned i = 0; i < g.count; ++i) {
+            ModuleSpec spec;
+            spec.brand = g.brand;
+            spec.specRateMts = g.rate;
+            spec.chipsPerRank = g.chips_per_rank;
+            cycler.fill(spec);
+
+            const unsigned brand_index = static_cast<unsigned>(g.brand);
+            const unsigned module_number = per_brand_id[brand_index]++;
+            // Modules A8-A31 were borrowed from a 3-year-old
+            // in-production cluster; a few others are refurbished.
+            if (g.brand == Brand::kA && module_number >= 8 &&
+                module_number <= 31) {
+                spec.condition = Condition::kInProduction3Years;
+            } else if (module_number % 11 == 0) {
+                spec.condition = Condition::kRefurbished;
+            } else {
+                spec.condition = Condition::kNew;
+            }
+
+            MemoryModule m = population.sample(spec);
+            m.id = module_number;
+            fleet.push_back(m);
+        }
+    }
+
+    hdmr_assert(fleet.size() == 119);
+    return fleet;
+}
+
+} // namespace hdmr::margin

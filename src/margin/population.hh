@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Statistical generator for memory-module fleets.
+ *
+ * The latent margin distributions below are calibrated so that a
+ * simulated re-run of the paper's methodology (margin/test_machine.hh)
+ * reproduces the published statistics: brands A-C average 770 MT/s
+ * (27 %) of frequency margin, brand D averages 213 MT/s, 9-chip/rank
+ * modules show a much tighter spread than 18-chip/rank ones, 2400 MT/s
+ * modules show more margin than 3200 MT/s ones (partly a 4000 MT/s
+ * platform-cap artifact), and age/ranks/density/date have no effect.
+ */
+
+#ifndef HDMR_MARGIN_POPULATION_HH
+#define HDMR_MARGIN_POPULATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "margin/module.hh"
+#include "util/rng.hh"
+
+namespace hdmr::margin
+{
+
+/** Calibration constants for the latent margin model. */
+struct PopulationModel
+{
+    // Latent (unquantized) frequency margin, normal per class, MT/s.
+    double majorBrand2400Mean = 1067.0;
+    double majorBrand2400Stdev = 150.0;
+    double majorBrand3200NineChipMean = 920.0;
+    double majorBrand3200NineChipStdev = 130.0;
+    double majorBrand3200NineChipFloor = 600.0;
+    double majorBrand3200EighteenChipMean = 870.0;
+    double majorBrand3200EighteenChipStdev = 270.0;
+    double brandDMean = 310.0;
+    double brandDStdev = 130.0;
+
+    // Gap between "error-free" and "still boots", MT/s.
+    double bootableGapMean = 350.0;
+    double bootableGapStdev = 100.0;
+    double bootableGapFloor = 200.0;
+
+    // Per-module error-intensity spread (log-normal sigma).
+    double errorIntensitySigma = 2.0;
+
+    // Fractions of modules whose behaviour changes in the corner cases
+    // (Section II-C: 5/103 lose margin at 45 degC, 9/103 with latency
+    // margins also exploited; 22/27 respond to 1.35 V).
+    double hotMarginDropFraction = 5.0 / 103.0;
+    double hotLatencyMarginDropFraction = 9.0 / 103.0;
+    double overvoltResponseFraction = 22.0 / 27.0;
+};
+
+/**
+ * Draws MemoryModule instances with latent ground truth from the
+ * calibrated model.  Deterministic given the seed.
+ */
+class ModulePopulation
+{
+  public:
+    explicit ModulePopulation(std::uint64_t seed,
+                              PopulationModel model = {});
+
+    /** Sample one module with the given label-visible spec. */
+    MemoryModule sample(const ModuleSpec &spec);
+
+    /** Sample a homogeneous fleet of `count` modules. */
+    std::vector<MemoryModule> sampleFleet(const ModuleSpec &spec,
+                                          std::size_t count);
+
+    const PopulationModel &model() const { return model_; }
+
+  private:
+    PopulationModel model_;
+    util::Rng rng_;
+    unsigned nextId_ = 1;
+};
+
+/**
+ * Construct the paper's 119-module study fleet: 103 modules across
+ * major brands A (40), B (35), C (28) - of which 44 are 3200 MT/s with
+ * 9 chips/rank, 26 are 3200 MT/s with 18 chips/rank and 33 are
+ * 2400 MT/s - plus 16 brand-D modules.  Modules A8-A31 come from a
+ * three-year-old in-production cluster (Fig. 4a).
+ */
+std::vector<MemoryModule> makeStudyFleet(std::uint64_t seed);
+
+} // namespace hdmr::margin
+
+#endif // HDMR_MARGIN_POPULATION_HH

@@ -1,0 +1,67 @@
+#include "margin/profiler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hdmr::margin
+{
+
+MarginProfiler::MarginProfiler(ProfilerConfig config, std::uint64_t seed)
+    : config_(config), machine_(config.machine, seed)
+{
+}
+
+NodeProfile
+MarginProfiler::profile(const std::vector<MemoryModule> &modules,
+                        util::Tick now)
+{
+    NodeProfile result;
+    result.profiledAt = now;
+    result.moduleMarginsMts.reserve(modules.size());
+    for (const MemoryModule &module : modules) {
+        unsigned margin = machine_.characterize(module).marginMts();
+        const unsigned guard = config_.guardBandSteps * config_.stepMts;
+        margin = margin > guard ? margin - guard : 0;
+        result.moduleMarginsMts.push_back(margin);
+    }
+
+    // Pair modules two-per-channel; the channel margin is that of the
+    // (margin-aware chosen) Free Module.
+    for (std::size_t i = 0; i + 1 < result.moduleMarginsMts.size();
+         i += 2) {
+        // Margin-aware Free-Module choice: the channel margin is the
+        // better module's margin (Section III-D1).
+        result.channelMarginsMts.push_back(
+            std::max(result.moduleMarginsMts[i],
+                     result.moduleMarginsMts[i + 1]));
+    }
+    // Interleaving couples the node to its slowest channel.
+    result.nodeMarginMts =
+        result.channelMarginsMts.empty()
+            ? (result.moduleMarginsMts.empty()
+                   ? 0
+                   : result.moduleMarginsMts.front())
+            : *std::min_element(result.channelMarginsMts.begin(),
+                                result.channelMarginsMts.end());
+
+    current_ = result;
+    ++profilesTaken_;
+    return result;
+}
+
+bool
+MarginProfiler::maybeReprofile(const std::vector<MemoryModule> &modules,
+                               util::Tick now, bool node_idle)
+{
+    if (!node_idle)
+        return false;
+    if (profilesTaken_ > 0 &&
+        now - current_.profiledAt < config_.reprofileInterval) {
+        return false;
+    }
+    profile(modules, now);
+    return true;
+}
+
+} // namespace hdmr::margin

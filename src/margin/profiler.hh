@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Margin profiling (Section III-E, "Determining Margins").
+ *
+ * Hetero-DMR profiles a node's memory margins at boot and re-profiles
+ * periodically when the node is idle (extending REAPER [65] from
+ * tREFI to frequency).  Crucially, profiling here is needed only for
+ * *performance*: if conditions degrade past the profile (temperature
+ * spike, limited profiling time), the safely-operated originals still
+ * provide recovery; a stale profile can cost speed, never
+ * correctness.
+ */
+
+#ifndef HDMR_MARGIN_PROFILER_HH
+#define HDMR_MARGIN_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "margin/test_machine.hh"
+#include "util/units.hh"
+
+namespace hdmr::margin
+{
+
+/** Profiler configuration. */
+struct ProfilerConfig
+{
+    /** Re-profile when the node has been idle this long. */
+    util::Tick reprofileInterval = 24ull * 3600 * util::kTicksPerSec;
+    /** Derate the measured margin by this many steps for safety. */
+    unsigned guardBandSteps = 0;
+    unsigned stepMts = 200;
+    TestMachineConfig machine;
+};
+
+/** One node's profiled margin state. */
+struct NodeProfile
+{
+    std::vector<unsigned> moduleMarginsMts; ///< per module
+    std::vector<unsigned> channelMarginsMts;
+    unsigned nodeMarginMts = 0;
+    util::Tick profiledAt = 0;
+};
+
+/**
+ * Boot-time / idle-time margin profiler for one node.  The node's
+ * modules are paired two-per-channel in order.
+ */
+class MarginProfiler
+{
+  public:
+    MarginProfiler(ProfilerConfig config, std::uint64_t seed);
+
+    /** Full profile of all modules (boot time, or on demand). */
+    NodeProfile profile(const std::vector<MemoryModule> &modules,
+                        util::Tick now);
+
+    /**
+     * Re-profile if the node is idle and the profile is stale;
+     * returns true when a new profile was taken.
+     */
+    bool maybeReprofile(const std::vector<MemoryModule> &modules,
+                        util::Tick now, bool node_idle);
+
+    const NodeProfile &current() const { return current_; }
+    std::uint64_t profilesTaken() const { return profilesTaken_; }
+
+  private:
+    ProfilerConfig config_;
+    TestMachine machine_;
+    NodeProfile current_;
+    std::uint64_t profilesTaken_ = 0;
+};
+
+} // namespace hdmr::margin
+
+#endif // HDMR_MARGIN_PROFILER_HH

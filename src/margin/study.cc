@@ -1,0 +1,91 @@
+#include "margin/study.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace hdmr::margin
+{
+
+const std::vector<StudyScaleEntry> &
+studyScaleTable()
+{
+    static const std::vector<StudyScaleEntry> table = {
+        {"This Paper", "DDR4 RDIMM", "119", "3006", "frequency"},
+        {"Prior Work [60]", "DDR3 SO-DIMM", "96", "768", "latency"},
+        {"Prior Work [56]", "DDR3 SO-DIMM", "32", "416", "latency"},
+        {"Prior Work [47]", "DDR3 SO-DIMM", "30", "240", "latency"},
+        {"Prior Work [65]", "LPDDR4", "N/A", "368", "latency"},
+        {"Prior Work [62]", "DDR3 SO-DIMM", "34", "248", "latency"},
+        {"Prior Work [50]", "DDR3 UDIMM", "8", "64", "voltage"},
+    };
+    return table;
+}
+
+namespace
+{
+
+GroupStats
+finalize(const std::string &label,
+         const std::vector<double> &margins_mts,
+         const std::vector<double> &fractions)
+{
+    GroupStats stats;
+    stats.label = label;
+    stats.count = margins_mts.size();
+    if (margins_mts.empty())
+        return stats;
+
+    util::RunningStats mts;
+    for (double m : margins_mts)
+        mts.add(m);
+    stats.meanMarginMts = mts.mean();
+    stats.stdevMts = mts.stdev();
+    stats.ci99HalfWidthMts = mts.confidenceHalfWidth(0.99);
+    stats.minMarginMts = mts.min();
+    stats.meanMarginFraction = util::mean(fractions);
+    return stats;
+}
+
+} // anonymous namespace
+
+std::vector<GroupStats>
+groupMargins(const std::vector<MemoryModule> &fleet,
+             const std::vector<MarginMeasurement> &measurements,
+             const std::function<std::string(const MemoryModule &)> &key)
+{
+    hdmr_assert(fleet.size() == measurements.size());
+    std::map<std::string, std::pair<std::vector<double>,
+                                    std::vector<double>>> groups;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        auto &[margins, fractions] = groups[key(fleet[i])];
+        margins.push_back(static_cast<double>(measurements[i].marginMts()));
+        fractions.push_back(measurements[i].marginFraction());
+    }
+
+    std::vector<GroupStats> out;
+    out.reserve(groups.size());
+    for (const auto &[label, data] : groups)
+        out.push_back(finalize(label, data.first, data.second));
+    return out;
+}
+
+GroupStats
+aggregateMargins(const std::vector<MemoryModule> &fleet,
+                 const std::vector<MarginMeasurement> &measurements,
+                 const std::function<bool(const MemoryModule &)> &pred,
+                 const std::string &label)
+{
+    hdmr_assert(fleet.size() == measurements.size());
+    std::vector<double> margins, fractions;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        if (!pred(fleet[i]))
+            continue;
+        margins.push_back(static_cast<double>(measurements[i].marginMts()));
+        fractions.push_back(measurements[i].marginFraction());
+    }
+    return finalize(label, margins, fractions);
+}
+
+} // namespace hdmr::margin

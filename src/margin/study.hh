@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's characterization study: Table I scale constants and
+ * aggregation helpers used to regenerate Figures 2-4 from a simulated
+ * re-run of the methodology.
+ */
+
+#ifndef HDMR_MARGIN_STUDY_HH
+#define HDMR_MARGIN_STUDY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "margin/module.hh"
+
+namespace hdmr::margin
+{
+
+/** One row of Table I (scale of this study vs. prior work). */
+struct StudyScaleEntry
+{
+    const char *work;
+    const char *dramType;
+    const char *modules;
+    const char *chips;
+    const char *marginStudied;
+};
+
+/** Table I contents. */
+const std::vector<StudyScaleEntry> &studyScaleTable();
+
+/** Aggregate margin statistics for one group of modules (Figs. 3-4). */
+struct GroupStats
+{
+    std::string label;
+    std::size_t count = 0;
+    double meanMarginMts = 0.0;
+    double stdevMts = 0.0;
+    double ci99HalfWidthMts = 0.0; ///< normal-approx 99 % CI (Fig. 3a)
+    double meanMarginFraction = 0.0;
+    double minMarginMts = 0.0;
+};
+
+/**
+ * Group measured margins by an arbitrary key of the module.
+ * `measurements[i]` must correspond to `fleet[i]`.
+ */
+std::vector<GroupStats>
+groupMargins(const std::vector<MemoryModule> &fleet,
+             const std::vector<MarginMeasurement> &measurements,
+             const std::function<std::string(const MemoryModule &)> &key);
+
+/** Overall stats for a subset selected by a predicate. */
+GroupStats
+aggregateMargins(const std::vector<MemoryModule> &fleet,
+                 const std::vector<MarginMeasurement> &measurements,
+                 const std::function<bool(const MemoryModule &)> &pred,
+                 const std::string &label);
+
+} // namespace hdmr::margin
+
+#endif // HDMR_MARGIN_STUDY_HH

@@ -1,0 +1,108 @@
+#include "node/config.hh"
+
+#include "util/logging.hh"
+
+namespace hdmr::node
+{
+
+HierarchyConfig
+HierarchyConfig::hierarchy1()
+{
+    HierarchyConfig h;
+    h.name = "Hierarchy1";
+    h.cores = 8;
+    h.l2MiBPerCore = 1.0;
+    h.l3MiBPerCore = 3.5;
+    h.channels = 1;
+    return h;
+}
+
+HierarchyConfig
+HierarchyConfig::hierarchy2()
+{
+    HierarchyConfig h;
+    h.name = "Hierarchy2";
+    h.cores = 16;
+    h.l2MiBPerCore = 1.0;
+    h.l3MiBPerCore = 1.375; ///< L2+L3 = 2.375 MiB/core
+    h.channels = 4;
+    return h;
+}
+
+const char *
+toString(MemorySystemKind kind)
+{
+    switch (kind) {
+      case MemorySystemKind::kCommercialBaseline:
+        return "Commercial Baseline";
+      case MemorySystemKind::kExploitLatency:
+        return "Exploit Latency Margin";
+      case MemorySystemKind::kExploitFrequency:
+        return "Exploit Frequency Margin";
+      case MemorySystemKind::kExploitFreqLat:
+        return "Exploit Freq+Lat Margins";
+      case MemorySystemKind::kFmr:
+        return "FMR";
+      case MemorySystemKind::kHeteroDmr:
+        return "Hetero-DMR";
+      case MemorySystemKind::kHeteroDmrFmr:
+        return "Hetero-DMR+FMR";
+    }
+    util::panic("unknown memory system kind");
+}
+
+dram::MemorySetting
+NodeConfig::specSetting() const
+{
+    switch (memorySystem) {
+      case MemorySystemKind::kExploitLatency:
+        return dram::MemorySetting::exploitLatencyMargin(3200);
+      case MemorySystemKind::kExploitFrequency:
+        return dram::MemorySetting::exploitFrequencyMargin(3200 +
+                                                           nodeMarginMts);
+      case MemorySystemKind::kExploitFreqLat:
+        return dram::MemorySetting::exploitFreqLatMargins(3200 +
+                                                          nodeMarginMts);
+      default:
+        // Replicating designs always *write* at specification.
+        return dram::MemorySetting::manufacturerSpec(3200);
+    }
+}
+
+dram::MemorySetting
+NodeConfig::fastSetting() const
+{
+    switch (memorySystem) {
+      case MemorySystemKind::kHeteroDmr:
+      case MemorySystemKind::kHeteroDmrFmr:
+        // "Setting to Exploit Freq+Lat Margins" at the node margin.
+        return dram::MemorySetting::exploitFreqLatMargins(3200 +
+                                                          nodeMarginMts);
+      default:
+        return specSetting();
+    }
+}
+
+core::ReplicationMode
+NodeConfig::requestedReplication() const
+{
+    switch (memorySystem) {
+      case MemorySystemKind::kFmr:
+        return core::ReplicationMode::kFmr;
+      case MemorySystemKind::kHeteroDmr:
+        return core::ReplicationMode::kHeteroDmr;
+      case MemorySystemKind::kHeteroDmrFmr:
+        return core::ReplicationMode::kHeteroDmrFmr;
+      default:
+        return core::ReplicationMode::kNone;
+    }
+}
+
+core::ReplicationMode
+NodeConfig::effectiveReplication() const
+{
+    return core::ReplicationManager::effectiveMode(requestedReplication(),
+                                                   usage);
+}
+
+} // namespace hdmr::node

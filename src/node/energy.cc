@@ -1,0 +1,37 @@
+#include "node/energy.hh"
+
+namespace hdmr::node
+{
+
+EnergyBreakdown
+computeEnergy(const EnergyInputs &inputs, const EnergyParams &params)
+{
+    EnergyBreakdown out;
+
+    out.cpuStaticJ = params.cpuStaticWattsPerCore * inputs.cores *
+                     inputs.execSeconds;
+    out.cpuDynamicJ = params.cpuDynamicNjPerInst * 1.0e-9 *
+                      static_cast<double>(inputs.instructions);
+
+    out.dramDynamicJ =
+        1.0e-9 *
+        (params.actPreNj * static_cast<double>(inputs.activates) +
+         params.burstNj * static_cast<double>(inputs.readBursts +
+                                              inputs.writeRankBursts) +
+         params.refreshNj * static_cast<double>(inputs.refreshes));
+
+    const double standby_rank_seconds =
+        static_cast<double>(inputs.totalRanks) * inputs.execSeconds -
+        inputs.rankSelfRefreshSeconds;
+    out.dramBackgroundJ =
+        params.rankStandbyWatts * standby_rank_seconds +
+        params.rankSelfRefreshWatts * inputs.rankSelfRefreshSeconds;
+
+    out.epiNj = inputs.instructions == 0
+                    ? 0.0
+                    : out.totalJ() * 1.0e9 /
+                          static_cast<double>(inputs.instructions);
+    return out;
+}
+
+} // namespace hdmr::node

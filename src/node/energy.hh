@@ -1,0 +1,76 @@
+/**
+ * @file
+ * System-level (CPU + DRAM) energy model for Fig. 13.
+ *
+ * Follows the paper's reasoning: CPU idle/static power dominates, so
+ * finishing earlier saves the most energy; DRAM contributes ~18 % of
+ * system power; writes are ~15 % of traffic so broadcast-write energy
+ * overhead stays small; ranks parked in self-refresh burn less
+ * background power.  Per-operation energies are in the range of the
+ * Micron DDR4 power calculator.
+ */
+
+#ifndef HDMR_NODE_ENERGY_HH
+#define HDMR_NODE_ENERGY_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace hdmr::node
+{
+
+/** Energy-model constants. */
+struct EnergyParams
+{
+    // CPU
+    double cpuStaticWattsPerCore = 8.0;  ///< idle/static, per core
+    double cpuDynamicNjPerInst = 0.55;   ///< per retired instruction
+
+    // DRAM
+    double actPreNj = 18.0;          ///< one ACT+PRE pair
+    double burstNj = 12.0;           ///< one 64B RD or WR burst (rank)
+    double refreshNj = 350.0;        ///< one all-bank REF
+    double rankStandbyWatts = 0.4;   ///< powered-up rank background
+    double rankSelfRefreshWatts = 0.1; ///< parked rank background
+};
+
+/** Inputs to the energy model (filled by NodeSystem). */
+struct EnergyInputs
+{
+    double execSeconds = 0.0;
+    std::uint64_t instructions = 0;
+    unsigned cores = 0;
+    unsigned totalRanks = 0;
+    double rankSelfRefreshSeconds = 0.0; ///< sum over ranks
+    std::uint64_t activates = 0;
+    std::uint64_t readBursts = 0;
+    std::uint64_t writeRankBursts = 0; ///< rank-level (broadcast fans out)
+    std::uint64_t refreshes = 0;
+};
+
+/** Energy breakdown and the paper's EPI metric. */
+struct EnergyBreakdown
+{
+    double cpuStaticJ = 0.0;
+    double cpuDynamicJ = 0.0;
+    double dramDynamicJ = 0.0;
+    double dramBackgroundJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return cpuStaticJ + cpuDynamicJ + dramDynamicJ + dramBackgroundJ;
+    }
+
+    /** Energy per instruction in nJ. */
+    double epiNj = 0.0;
+};
+
+/** Evaluate the model. */
+EnergyBreakdown computeEnergy(const EnergyInputs &inputs,
+                              const EnergyParams &params = {});
+
+} // namespace hdmr::node
+
+#endif // HDMR_NODE_ENERGY_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The single-node simulator: cores + cache hierarchy + per-channel
+ * memory controllers + mode controllers, assembled per a NodeConfig.
+ *
+ * This plays the role gem5 full-system + Ramulator play in the paper
+ * (Section IV-A): it runs one benchmark across all cores (one MPI
+ * rank per core) and reports execution time, DRAM traffic/bandwidth,
+ * energy, and the Hetero-DMR-specific counters the figures need.
+ */
+
+#ifndef HDMR_NODE_NODE_SYSTEM_HH
+#define HDMR_NODE_NODE_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/prefetcher.hh"
+#include "core/mode_controller.hh"
+#include "cpu/core.hh"
+#include "dram/controller.hh"
+#include "node/config.hh"
+#include "node/energy.hh"
+#include "sim/event_queue.hh"
+
+namespace hdmr::node
+{
+
+/** Results of one node simulation. */
+struct NodeStats
+{
+    double execSeconds = 0.0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramDemandReads = 0;
+    std::uint64_t dramWrites = 0;        ///< bus transactions
+    std::uint64_t dramWriteRankOps = 0;  ///< rank-level (broadcast)
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMissesPlusConflicts = 0;
+    std::uint64_t corrections = 0;
+    std::uint64_t cleanedLines = 0;
+    std::uint64_t writeModeEntries = 0;
+    double avgReadLatencyNs = 0.0;
+    double busUtilization = 0.0;      ///< fraction of peak bandwidth
+    double readBandwidthGBs = 0.0;
+    double writeBandwidthGBs = 0.0;
+    double commFraction = 0.0;        ///< MPI core-hours share
+    double writeModeSeconds = 0.0;    ///< summed over channels
+    double transitionSeconds = 0.0;   ///< summed over channels
+    double dramAccessesPerInstruction = 0.0;
+    EnergyBreakdown energy;
+
+    /** Performance metric used throughout (1 / execution time). */
+    double
+    performance() const
+    {
+        return execSeconds > 0.0 ? 1.0 / execSeconds : 0.0;
+    }
+};
+
+/** The node simulator. */
+class NodeSystem : public cpu::MemoryInterface
+{
+  public:
+    explicit NodeSystem(NodeConfig config);
+    ~NodeSystem() override;
+
+    /** Run the configured benchmark to completion. */
+    NodeStats run();
+
+    // cpu::MemoryInterface
+    bool canAcceptMiss(unsigned core_id) override;
+    cpu::CacheOutcome load(unsigned core_id, std::uint64_t address,
+                           util::Tick now,
+                           std::function<void(util::Tick)> on_complete)
+        override;
+    util::Tick store(unsigned core_id, std::uint64_t address,
+                     util::Tick now) override;
+
+    const NodeConfig &config() const { return config_; }
+
+  private:
+    unsigned channelOf(std::uint64_t address) const;
+    void routeDirtyEviction(std::uint64_t address);
+    void issueDramRead(unsigned channel, std::uint64_t address,
+                       util::Tick when, bool prefetch,
+                       std::function<void(util::Tick)> on_complete);
+    void installLine(unsigned core_id, std::uint64_t address,
+                     bool dirty, util::Tick now);
+    void handleL3Fill(std::uint64_t address, bool dirty, bool prefetched,
+                      util::Tick now);
+    void runPrefetchers(unsigned core_id, std::uint64_t address,
+                        bool l2_missed, util::Tick now);
+    void onCoreDone(unsigned core_id);
+    NodeStats collectStats() const;
+
+    NodeConfig config_;
+    sim::EventQueue events_;
+
+    // Memory side.
+    std::vector<std::unique_ptr<dram::MemoryController>> controllers_;
+    std::vector<std::unique_ptr<core::ModeController>> modeControllers_;
+
+    // Cache hierarchy.
+    std::vector<std::unique_ptr<cache::Cache>> l1_; ///< per core
+    std::vector<std::unique_ptr<cache::Cache>> l2_; ///< per core
+    std::unique_ptr<cache::Cache> l3_;              ///< shared
+
+    // Prefetchers.
+    std::vector<cache::StridePrefetcher> l1Stride_;
+    std::vector<cache::StridePrefetcher> l2Stride_;
+    std::vector<cache::NextLinePrefetcher> l2NextLine_;
+    std::vector<std::uint64_t> prefetchScratch_;
+
+    // Cores.
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    unsigned coresRunning_ = 0;
+    bool warming_ = false;
+
+    /**
+     * MSHR table: lines with a DRAM read in flight (demand or
+     * prefetch).  A demand load that touches an in-flight line joins
+     * the entry and stalls until the data actually arrives - this is
+     * what makes prefetch-covered streams bandwidth-bound instead of
+     * free.
+     */
+    struct InFlightLine
+    {
+        std::vector<std::function<void(util::Tick)>> waiters;
+    };
+    std::unordered_map<std::uint64_t, InFlightLine> inFlight_;
+
+    /**
+     * Functional cache warm-up (the paper fast-forwards with KVM and
+     * warms caches before measuring): plays `ops` stream operations
+     * through the cache hierarchy with no timing side effects.
+     */
+    void warmUp(wl::AccessStream &stream, unsigned core_id,
+                std::uint64_t ops);
+
+    /** Fill the LLC with an aged steady-state footprint. */
+    void prefillCaches();
+
+    // Cached latencies (ticks).
+    util::Tick l1Latency_;
+    util::Tick l2Latency_;
+    util::Tick l3Latency_;
+    util::Tick storeCost_;
+};
+
+} // namespace hdmr::node
+
+#endif // HDMR_NODE_NODE_SYSTEM_HH

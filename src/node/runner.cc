@@ -1,0 +1,42 @@
+#include "node/runner.hh"
+
+#include <atomic>
+#include <thread>
+
+namespace hdmr::node
+{
+
+std::vector<NodeStats>
+runGrid(const std::vector<NodeConfig> &configs, unsigned threads)
+{
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 4 : hw;
+    }
+    threads = std::min<unsigned>(threads,
+                                 std::max<std::size_t>(configs.size(),
+                                                       1));
+
+    std::vector<NodeStats> results(configs.size());
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&] {
+        while (true) {
+            const std::size_t index = next.fetch_add(1);
+            if (index >= configs.size())
+                return;
+            NodeSystem system(configs[index]);
+            results[index] = system.run();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+    return results;
+}
+
+} // namespace hdmr::node

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Parallel evaluation runner: executes a grid of independent node
+ * simulations across hardware threads.  Every figure/table harness
+ * funnels its configurations through here.
+ */
+
+#ifndef HDMR_NODE_RUNNER_HH
+#define HDMR_NODE_RUNNER_HH
+
+#include <vector>
+
+#include "node/config.hh"
+#include "node/node_system.hh"
+
+namespace hdmr::node
+{
+
+/**
+ * Run every configuration and return stats in the same order.
+ * `threads` = 0 picks a sensible default from the host.
+ */
+std::vector<NodeStats> runGrid(const std::vector<NodeConfig> &configs,
+                               unsigned threads = 0);
+
+} // namespace hdmr::node
+
+#endif // HDMR_NODE_RUNNER_HH

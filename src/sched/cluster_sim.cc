@@ -1,0 +1,281 @@
+#include "sched/cluster_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace hdmr::sched
+{
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config)
+    : config_(config), rng_(config.seed)
+{
+    unsigned assigned = 0;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        freePerGroup_[g] = static_cast<unsigned>(
+            std::round(config_.groupFractions[g] * config_.nodes));
+        assigned += freePerGroup_[g];
+    }
+    // Fix rounding drift in the largest group.
+    if (assigned != config_.nodes) {
+        const int drift = static_cast<int>(config_.nodes) -
+                          static_cast<int>(assigned);
+        freePerGroup_[0] =
+            static_cast<unsigned>(static_cast<int>(freePerGroup_[0]) +
+                                  drift);
+    }
+}
+
+unsigned
+ClusterSimulator::totalFree() const
+{
+    return freePerGroup_[0] + freePerGroup_[1] + freePerGroup_[2];
+}
+
+bool
+ClusterSimulator::allocate(unsigned count,
+                           std::array<unsigned, kGroups> &allocated)
+{
+    allocated = {0, 0, 0};
+    if (totalFree() < count)
+        return false;
+
+    if (config_.marginAware) {
+        // The paper's policy: the fastest group with >= count free
+        // nodes takes the whole job; otherwise spill across groups
+        // fastest-first.
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            if (freePerGroup_[g] >= count) {
+                freePerGroup_[g] -= count;
+                allocated[g] = count;
+                return true;
+            }
+        }
+        unsigned remaining = count;
+        for (std::size_t g = 0; g < kGroups && remaining > 0; ++g) {
+            const unsigned take =
+                std::min(freePerGroup_[g], remaining);
+            freePerGroup_[g] -= take;
+            allocated[g] = take;
+            remaining -= take;
+        }
+        return true;
+    }
+
+    // Margin-unaware (Slurm default): nodes come from an undifferen-
+    // tiated pool; model it as hypergeometric draws across groups.
+    unsigned remaining = count;
+    while (remaining > 0) {
+        const unsigned free_now = totalFree();
+        std::uint64_t pick = rng_.uniformInt(1, free_now);
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            if (pick <= freePerGroup_[g]) {
+                const unsigned take = std::min<unsigned>(
+                    remaining, std::max<unsigned>(1, remaining / 4));
+                const unsigned granted =
+                    std::min(freePerGroup_[g], take);
+                freePerGroup_[g] -= granted;
+                allocated[g] += granted;
+                remaining -= granted;
+                break;
+            }
+            pick -= freePerGroup_[g];
+        }
+    }
+    return true;
+}
+
+double
+ClusterSimulator::speedupFor(
+    const traces::Job &job,
+    const std::array<unsigned, kGroups> &allocated)
+{
+    if (!config_.heteroDmr)
+        return 1.0;
+    // Jobs using >= 50 % memory cannot replicate: no speedup.
+    if (job.usageClass >= 2)
+        return 1.0;
+    // MPI couples the job to its slowest node.
+    std::size_t slowest = 0;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        if (allocated[g] > 0)
+            slowest = g;
+    }
+    return config_.speedups.forGroup(slowest);
+}
+
+ClusterMetrics
+ClusterSimulator::run(const std::vector<traces::Job> &jobs)
+{
+    // Event-driven replay: merge arrivals (sorted) with completions.
+    struct Completion
+    {
+        double time;
+        std::size_t index; ///< into running storage
+
+        bool
+        operator>(const Completion &other) const
+        {
+            return time > other.time;
+        }
+    };
+
+    std::vector<RunningJob> running;
+    std::vector<bool> runningLive;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>> completions;
+    std::deque<PendingJob> pending;
+
+    ClusterMetrics metrics;
+    double exec_sum = 0.0, queue_sum = 0.0, turnaround_sum = 0.0;
+    double busy_node_seconds = 0.0;
+    std::size_t eligible = 0, accelerated = 0;
+    double last_event_time = 0.0;
+    double span_end = 0.0;
+
+    auto start_job = [&](const traces::Job &job, double now) {
+        std::array<unsigned, kGroups> allocated;
+        const bool ok = allocate(job.nodes, allocated);
+        hdmr_assert(ok, "start_job called without room");
+        const double speedup = speedupFor(job, allocated);
+        const double exec = job.runtimeSeconds / speedup;
+        const double est = job.walltimeSeconds / speedup;
+
+        RunningJob rj;
+        rj.endTime = now + exec;
+        rj.estimatedEndTime = now + est;
+        rj.allocated = allocated;
+        running.push_back(rj);
+        runningLive.push_back(true);
+        completions.push({rj.endTime, running.size() - 1});
+
+        exec_sum += exec;
+        const double qdelay = now - job.submitSeconds;
+        queue_sum += qdelay;
+        turnaround_sum += qdelay + exec;
+        busy_node_seconds += exec * job.nodes;
+        ++metrics.jobsCompleted;
+        if (config_.heteroDmr && job.usageClass < 2) {
+            ++eligible;
+            accelerated += speedup > 1.0;
+        }
+        span_end = std::max(span_end, rj.endTime);
+    };
+
+    auto try_schedule = [&](double now) {
+        // FCFS head + EASY backfill.  Entries consumed by an earlier
+        // backfill pass are nulled in place; skip them.
+        while (!pending.empty()) {
+            if (pending.front().job == nullptr) {
+                pending.pop_front();
+                continue;
+            }
+            if (pending.front().job->nodes > totalFree())
+                break;
+            start_job(*pending.front().job, now);
+            pending.pop_front();
+        }
+        if (pending.empty())
+            return;
+
+        // Head blocked: compute its reservation ("shadow") time from
+        // the running jobs' *estimated* completions.
+        const unsigned needed = pending.front().job->nodes;
+        std::vector<std::pair<double, unsigned>> est_frees;
+        est_frees.reserve(running.size());
+        for (std::size_t i = 0; i < running.size(); ++i) {
+            if (!runningLive[i])
+                continue;
+            unsigned nodes = 0;
+            for (unsigned n : running[i].allocated)
+                nodes += n;
+            est_frees.emplace_back(running[i].estimatedEndTime, nodes);
+        }
+        std::sort(est_frees.begin(), est_frees.end());
+        unsigned free_now = totalFree();
+        double shadow_time = now;
+        unsigned accumulating = free_now;
+        for (const auto &[when, nodes] : est_frees) {
+            accumulating += nodes;
+            if (accumulating >= needed) {
+                shadow_time = when;
+                break;
+            }
+        }
+        // Nodes left over at the shadow time after the head starts.
+        const unsigned extra_nodes =
+            accumulating >= needed ? accumulating - needed : 0;
+
+        // Backfill: a queued job may jump ahead if it fits now and
+        // either finishes before the shadow time or uses few enough
+        // nodes to leave the head's reservation intact.
+        const std::size_t depth =
+            std::min(pending.size(), config_.backfillDepth);
+        for (std::size_t i = 1; i < depth; ++i) {
+            const traces::Job *job = pending[i].job;
+            if (job == nullptr)
+                continue;
+            if (job->nodes > totalFree())
+                continue;
+            const bool before_shadow =
+                now + job->walltimeSeconds <= shadow_time;
+            const bool within_extra = job->nodes <= extra_nodes;
+            if (before_shadow || within_extra) {
+                start_job(*job, now);
+                pending[i].job = nullptr; // consumed
+            }
+        }
+        while (!pending.empty() && pending.front().job == nullptr)
+            pending.pop_front();
+    };
+
+    std::size_t next_arrival = 0;
+    while (next_arrival < jobs.size() || !completions.empty()) {
+        const bool take_arrival =
+            next_arrival < jobs.size() &&
+            (completions.empty() ||
+             jobs[next_arrival].submitSeconds <= completions.top().time);
+
+        double now;
+        if (take_arrival) {
+            const traces::Job &job = jobs[next_arrival++];
+            now = job.submitSeconds;
+            if (job.nodes > config_.nodes)
+                continue; // cannot ever run
+            pending.push_back(PendingJob{&job, now});
+        } else {
+            const Completion done = completions.top();
+            completions.pop();
+            now = done.time;
+            RunningJob &rj = running[done.index];
+            runningLive[done.index] = false;
+            for (std::size_t g = 0; g < kGroups; ++g)
+                freePerGroup_[g] += rj.allocated[g];
+        }
+        last_event_time = now;
+        try_schedule(now);
+    }
+
+    if (metrics.jobsCompleted > 0) {
+        const auto n = static_cast<double>(metrics.jobsCompleted);
+        metrics.meanExecSeconds = exec_sum / n;
+        metrics.meanQueueSeconds = queue_sum / n;
+        metrics.meanTurnaroundSeconds = turnaround_sum / n;
+    }
+    const double span = std::max(span_end, last_event_time);
+    if (span > 0.0) {
+        metrics.meanNodeUtilization =
+            busy_node_seconds / (span * config_.nodes);
+    }
+    if (eligible > 0) {
+        metrics.acceleratedFraction =
+            static_cast<double>(accelerated) /
+            static_cast<double>(eligible);
+    }
+    return metrics;
+}
+
+} // namespace hdmr::sched

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * System-wide HPC scheduler simulation (Section IV-C, Fig. 17) - the
+ * role Slurmsim plays in the paper.
+ *
+ * The simulator replays a job trace against a cluster whose nodes are
+ * partitioned into memory-frequency-margin groups (Section III-D3)
+ * and schedules with FCFS + EASY backfill (Slurm's default behaviour)
+ * using either the margin-aware allocation policy (prefer the fastest
+ * group that can hold the whole job; the ~30-line Slurm patch) or the
+ * default margin-unaware allocation.
+ *
+ * Job execution times shrink per the node-level Hetero-DMR speedups:
+ * a job running entirely on 0.8 GT/s-margin nodes with <50 % memory
+ * utilization runs at the measured Hetero-DMR@0.8 speedup, and a job
+ * that touches nodes of different margins runs at its *slowest*
+ * node's speedup (MPI synchronization).
+ */
+
+#ifndef HDMR_SCHED_CLUSTER_SIM_HH
+#define HDMR_SCHED_CLUSTER_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "traces/job_trace.hh"
+#include "util/rng.hh"
+
+namespace hdmr::sched
+{
+
+/** Node margin groups (index 0: 0.8 GT/s, 1: 0.6 GT/s, 2: none). */
+constexpr std::size_t kGroups = 3;
+
+/** Node-level Hetero-DMR speedups measured by the node simulator. */
+struct SpeedupTable
+{
+    /** Speedup on 0.8 GT/s-margin nodes, <50 % memory utilization. */
+    double at800 = 1.20;
+    /** Speedup on 0.6 GT/s-margin nodes, <50 % memory utilization. */
+    double at600 = 1.15;
+
+    double
+    forGroup(std::size_t group) const
+    {
+        return group == 0 ? at800 : (group == 1 ? at600 : 1.0);
+    }
+};
+
+/** Simulation configuration. */
+struct ClusterConfig
+{
+    unsigned nodes = 1490;
+    /** Fractions of nodes per margin group (Fig. 11 / Sec. III-D3). */
+    std::array<double, kGroups> groupFractions = {0.62, 0.36, 0.02};
+    /** Hetero-DMR deployed (scales execution times)? */
+    bool heteroDmr = false;
+    /** Margin-aware node grouping in the scheduler? */
+    bool marginAware = true;
+    SpeedupTable speedups;
+    /** Limit of queued jobs inspected per backfill pass. */
+    std::size_t backfillDepth = 256;
+    std::uint64_t seed = 1;
+};
+
+/** Per-run aggregate metrics (Fig. 17). */
+struct ClusterMetrics
+{
+    std::size_t jobsCompleted = 0;
+    double meanExecSeconds = 0.0;
+    double meanQueueSeconds = 0.0;
+    double meanTurnaroundSeconds = 0.0;
+    double meanNodeUtilization = 0.0;
+    /** Fraction of Hetero-DMR-eligible jobs that actually sped up. */
+    double acceleratedFraction = 0.0;
+};
+
+/** The simulator. */
+class ClusterSimulator
+{
+  public:
+    explicit ClusterSimulator(ClusterConfig config);
+
+    /** Replay the trace; jobs must be sorted by submit time. */
+    ClusterMetrics run(const std::vector<traces::Job> &jobs);
+
+    const ClusterConfig &config() const { return config_; }
+
+  private:
+    struct RunningJob
+    {
+        double endTime = 0.0;
+        double estimatedEndTime = 0.0;
+        std::array<unsigned, kGroups> allocated = {0, 0, 0};
+    };
+
+    struct PendingJob
+    {
+        const traces::Job *job = nullptr;
+        double submit = 0.0;
+    };
+
+    /** Nodes free in total. */
+    unsigned totalFree() const;
+
+    /**
+     * Try to allocate `count` nodes under the configured policy.
+     * Returns true and fills `allocated` on success.
+     */
+    bool allocate(unsigned count,
+                  std::array<unsigned, kGroups> &allocated);
+
+    /** Effective speedup for a job given its allocation. */
+    double speedupFor(const traces::Job &job,
+                      const std::array<unsigned, kGroups> &allocated);
+
+    ClusterConfig config_;
+    std::array<unsigned, kGroups> freePerGroup_ = {0, 0, 0};
+    util::Rng rng_;
+};
+
+} // namespace hdmr::sched
+
+#endif // HDMR_SCHED_CLUSTER_SIM_HH

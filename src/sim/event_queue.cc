@@ -1,0 +1,107 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace hdmr::sim
+{
+
+Event::~Event()
+{
+    // Deleting a still-scheduled event would leave a dangling pointer in
+    // the heap; catching it here turns a heisenbug into a clean panic.
+    hdmr_assert(!scheduled_, "event destroyed while scheduled");
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    hdmr_assert(ev != nullptr);
+    hdmr_assert(!ev->scheduled_, "event double-scheduled");
+    hdmr_assert(when >= curTick_,
+                "scheduling into the past (when=%llu cur=%llu)",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(curTick_));
+    ev->when_ = when;
+    ev->scheduled_ = true;
+    heap_.push_back({when, nextSeq_++, ev->generation_, ev});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    ++liveEvents_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    hdmr_assert(ev != nullptr && ev->scheduled_,
+                "descheduling an unscheduled event");
+    ev->scheduled_ = false;
+    ++ev->generation_; // invalidates the heap entry lazily
+    --liveEvents_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::pruneStale()
+{
+    while (!heap_.empty()) {
+        const HeapEntry &top = heap_.front();
+        if (top.event->scheduled_ &&
+            top.event->generation_ == top.generation) {
+            return;
+        }
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        heap_.pop_back();
+    }
+}
+
+Tick
+EventQueue::nextTick()
+{
+    pruneStale();
+    hdmr_assert(!heap_.empty(), "nextTick() on an empty queue");
+    return heap_.front().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    pruneStale();
+    if (heap_.empty())
+        return false;
+
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    HeapEntry entry = heap_.back();
+    heap_.pop_back();
+
+    hdmr_assert(entry.when >= curTick_);
+    curTick_ = entry.when;
+
+    Event *ev = entry.event;
+    ev->scheduled_ = false;
+    ++ev->generation_;
+    --liveEvents_;
+    ++numProcessed_;
+    ev->process();
+    return true;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (true) {
+        pruneStale();
+        if (heap_.empty() || heap_.front().when > limit)
+            return;
+        runOne();
+    }
+}
+
+} // namespace hdmr::sim

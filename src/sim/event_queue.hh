@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Modelled after gem5's event queue: components own long-lived Event
+ * objects and (re)schedule them, so steady-state simulation performs no
+ * per-event allocation.  Time is integer picoseconds (util::Tick).
+ *
+ * Determinism: events scheduled for the same tick are processed in the
+ * order they were scheduled (FIFO within a tick), so replays are
+ * bit-identical.
+ */
+
+#ifndef HDMR_SIM_EVENT_QUEUE_HH
+#define HDMR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace hdmr::sim
+{
+
+using util::Tick;
+
+class EventQueue;
+
+/**
+ * Base class for all schedulable events.  Derive and implement
+ * process().  An Event may be scheduled on at most one queue at a time
+ * and must outlive its scheduled occurrence (or be descheduled first).
+ */
+class Event
+{
+  public:
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when the event's time arrives. */
+    virtual void process() = 0;
+
+    /** Human-readable label for debugging. */
+    virtual const char *description() const { return "generic event"; }
+
+    bool scheduled() const { return scheduled_; }
+
+    /** Time this event is scheduled for; valid only while scheduled(). */
+    Tick when() const { return when_; }
+
+  protected:
+    Event() = default;
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t generation_ = 0; // bumped on deschedule/reschedule
+    bool scheduled_ = false;
+};
+
+/** An Event that runs a std::function; handy for tests and glue code. */
+class CallbackEvent : public Event
+{
+  public:
+    CallbackEvent() = default;
+    explicit CallbackEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+    void setCallback(std::function<void()> fn) { fn_ = std::move(fn); }
+
+    void process() override { fn_(); }
+    const char *description() const override { return "callback event"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * gem5-style member-function event: EventWrapper<Foo, &Foo::tick>
+ * dispatches to obj->tick() with zero allocation.
+ */
+template <typename T, void (T::*F)()>
+class EventWrapper : public Event
+{
+  public:
+    explicit EventWrapper(T *obj) : obj_(obj) {}
+
+    void process() override { (obj_->*F)(); }
+    const char *description() const override { return "member event"; }
+
+  private:
+    T *obj_;
+};
+
+/**
+ * The event queue: a binary min-heap on (when, sequence).  Stale heap
+ * entries from deschedule()/reschedule() are skipped lazily using a
+ * per-event generation counter.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule ev at absolute time `when` (>= curTick()). */
+    void schedule(Event *ev, Tick when);
+
+    /** Schedule ev `delta` ticks from now. */
+    void scheduleIn(Event *ev, Tick delta) { schedule(ev, curTick_ + delta); }
+
+    /** Remove ev from the queue; no-op already-unscheduled is an error. */
+    void deschedule(Event *ev);
+
+    /** Move an already- or not-yet-scheduled event to a new time. */
+    void reschedule(Event *ev, Tick when);
+
+    /** True when no live events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of live (scheduled) events. */
+    std::size_t size() const { return liveEvents_; }
+
+    /** Time of the next live event; queue must not be empty. */
+    Tick nextTick();
+
+    /** Process exactly one event; returns false if the queue is empty. */
+    bool runOne();
+
+    /** Run until the queue empties or simulated time exceeds `limit`. */
+    void run(Tick limit = ~Tick(0));
+
+    /** Total events processed since construction. */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint64_t generation;
+        Event *event;
+
+        bool
+        operator>(const HeapEntry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    void pruneStale();
+
+    std::vector<HeapEntry> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numProcessed_ = 0;
+    std::size_t liveEvents_ = 0;
+};
+
+} // namespace hdmr::sim
+
+#endif // HDMR_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,120 @@
+#include "traces/job_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hdmr::traces
+{
+
+GrizzlyTraceGenerator::GrizzlyTraceGenerator(JobTraceModel model,
+                                             std::uint64_t seed)
+    : model_(model), rng_(seed)
+{
+}
+
+unsigned
+GrizzlyTraceGenerator::sampleNodes()
+{
+    // Node-count mix typical of capacity HPC systems: many small
+    // jobs, node-hours dominated by the mid/large ones.
+    const double draw = rng_.uniform();
+    if (draw < 0.35)
+        return 1;
+    if (draw < 0.60)
+        return static_cast<unsigned>(rng_.uniformInt(2, 8));
+    if (draw < 0.85)
+        return static_cast<unsigned>(rng_.uniformInt(9, 32));
+    if (draw < 0.97)
+        return static_cast<unsigned>(rng_.uniformInt(33, 128));
+    const unsigned largest =
+        std::max(130u, model_.systemNodes / 3);
+    return static_cast<unsigned>(rng_.uniformInt(129, largest));
+}
+
+double
+GrizzlyTraceGenerator::sampleRuntime()
+{
+    // Log-normal runtimes, median ~1.5 h, capped at 2 days.
+    const double runtime = rng_.logNormal(std::log(5400.0), 1.3);
+    return std::clamp(runtime, 60.0, 48.0 * 3600.0);
+}
+
+std::vector<Job>
+GrizzlyTraceGenerator::generate()
+{
+    std::vector<Job> jobs(model_.numJobs);
+
+    double node_seconds = 0.0;
+    double campaign_start = 0.0;
+    unsigned campaign_left = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Job &job = jobs[i];
+        job.id = static_cast<unsigned>(i + 1);
+        // Bursty submissions: a third of jobs belong to user
+        // "campaigns" (parameter sweeps submitted together), and the
+        // background rate follows a day/night cycle - both make the
+        // queue behave like a production machine's.
+        if (campaign_left > 0) {
+            --campaign_left;
+            job.submitSeconds =
+                campaign_start + rng_.exponential(1.0 / 30.0);
+            campaign_start = job.submitSeconds;
+        } else {
+            double t;
+            do {
+                t = rng_.uniform(0.0, model_.spanSeconds);
+                // Accept-reject against a diurnal intensity profile.
+            } while (rng_.uniform() >
+                     0.6 + 0.4 * std::sin(t * 2.0 * 3.14159265 /
+                                          86400.0));
+            job.submitSeconds = t;
+            if (rng_.bernoulli(0.05)) {
+                campaign_left = static_cast<unsigned>(
+                    rng_.uniformInt(5, 60));
+                campaign_start = t;
+            }
+        }
+        job.nodes = sampleNodes();
+        job.runtimeSeconds = sampleRuntime();
+        job.walltimeSeconds = job.runtimeSeconds *
+                              rng_.uniform(1.1, 3.0);
+        const double usage = rng_.uniform();
+        job.usageClass = usage < model_.under25Fraction
+                             ? 0
+                             : (usage < model_.under50Fraction ? 1 : 2);
+        node_seconds += static_cast<double>(job.nodes) *
+                        job.runtimeSeconds;
+    }
+
+    // Scale runtimes so offered load matches the target utilization.
+    const double target = model_.targetUtilization *
+                          static_cast<double>(model_.systemNodes) *
+                          model_.spanSeconds;
+    const double scale = target / node_seconds;
+    for (Job &job : jobs) {
+        job.runtimeSeconds =
+            std::max(60.0, job.runtimeSeconds * scale);
+        job.walltimeSeconds =
+            std::max(job.runtimeSeconds * 1.05,
+                     job.walltimeSeconds * scale);
+    }
+
+    std::sort(jobs.begin(), jobs.end(),
+              [](const Job &a, const Job &b) {
+                  return a.submitSeconds < b.submitSeconds;
+              });
+    return jobs;
+}
+
+double
+traceNodeSeconds(const std::vector<Job> &jobs)
+{
+    double total = 0.0;
+    for (const Job &job : jobs)
+        total += static_cast<double>(job.nodes) * job.runtimeSeconds;
+    return total;
+}
+
+} // namespace hdmr::traces

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Grizzly-style HPC job traces for the system-wide simulation
+ * (Section IV-C): ~58K jobs over four months on a 1490-node machine
+ * at ~78 % node utilization.
+ */
+
+#ifndef HDMR_TRACES_JOB_TRACE_HH
+#define HDMR_TRACES_JOB_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace hdmr::traces
+{
+
+/** One batch job. */
+struct Job
+{
+    unsigned id = 0;
+    double submitSeconds = 0.0;
+    unsigned nodes = 1;
+    double runtimeSeconds = 0.0;   ///< on a conventional system
+    double walltimeSeconds = 0.0;  ///< user's (over-)estimate
+    /** Peak memory class: 0 => <25 %, 1 => [25,50) %, 2 => >=50 %. */
+    unsigned usageClass = 0;
+};
+
+/** Trace-generator tuning (defaults approximate Grizzly). */
+struct JobTraceModel
+{
+    std::size_t numJobs = 58000;
+    double spanSeconds = 4.0 * 30 * 24 * 3600.0; ///< four months
+    unsigned systemNodes = 1490;
+    double targetUtilization = 0.78;
+    /** Fig. 1 memory-usage class weights. */
+    double under25Fraction = 0.55;
+    double under50Fraction = 0.80;
+};
+
+/** Generates a deterministic, load-calibrated job trace. */
+class GrizzlyTraceGenerator
+{
+  public:
+    GrizzlyTraceGenerator(JobTraceModel model, std::uint64_t seed);
+
+    /**
+     * Generate the full trace, sorted by submit time, with total
+     * node-seconds scaled to hit the target utilization.
+     */
+    std::vector<Job> generate();
+
+    const JobTraceModel &model() const { return model_; }
+
+  private:
+    unsigned sampleNodes();
+    double sampleRuntime();
+
+    JobTraceModel model_;
+    util::Rng rng_;
+};
+
+/** Total node-seconds of a trace. */
+double traceNodeSeconds(const std::vector<Job> &jobs);
+
+} // namespace hdmr::traces
+
+#endif // HDMR_TRACES_JOB_TRACE_HH

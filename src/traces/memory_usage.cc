@@ -1,0 +1,132 @@
+#include "traces/memory_usage.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hdmr::traces
+{
+
+double
+JobUsageTrace::peakUtilization() const
+{
+    double peak = 0.0;
+    for (const auto &node : utilization)
+        for (double u : node)
+            peak = std::max(peak, u);
+    return peak;
+}
+
+MemoryUsageTraceGenerator::MemoryUsageTraceGenerator(UsageModel model,
+                                                     std::uint64_t seed)
+    : model_(model), rng_(seed)
+{
+    hdmr_assert(model_.under25Fraction <= model_.under50Fraction);
+}
+
+unsigned
+MemoryUsageTraceGenerator::sampleUsageClass()
+{
+    const double draw = rng_.uniform();
+    if (draw < model_.under25Fraction)
+        return 0;
+    if (draw < model_.under50Fraction)
+        return 1;
+    return 2;
+}
+
+JobUsageTrace
+MemoryUsageTraceGenerator::generateJob(unsigned nodes)
+{
+    JobUsageTrace trace;
+    trace.jobId = nextJobId_++;
+    trace.nodes = nodes;
+
+    // Draw the job's peak class, then a concrete peak within it; HPC
+    // jobs sit at a fairly steady utilization (input decomposition is
+    // fixed), so samples fluctuate mildly below the peak.
+    const unsigned cls = sampleUsageClass();
+    double peak;
+    switch (cls) {
+      case 0:
+        peak = rng_.uniform(0.04, 0.249);
+        break;
+      case 1:
+        peak = rng_.uniform(0.25, 0.499);
+        break;
+      default:
+        peak = rng_.uniform(0.50, 0.97);
+        break;
+    }
+
+    trace.utilization.resize(nodes);
+    for (unsigned n = 0; n < nodes; ++n) {
+        // Per-node level slightly below the job peak.
+        const double node_level =
+            peak * std::clamp(1.0 - std::abs(rng_.normal(
+                                        0.0, model_.nodeImbalance)),
+                              0.5, 1.0);
+        auto &series = trace.utilization[n];
+        series.reserve(model_.samplesPerJob);
+        for (unsigned s = 0; s < model_.samplesPerJob; ++s) {
+            // Ramp up in the first sample (allocation), then steady
+            // with small fluctuations, never above the job peak.
+            double u = node_level *
+                       std::clamp(rng_.normal(0.95, 0.04), 0.6, 1.0);
+            if (s == 0)
+                u *= rng_.uniform(0.5, 1.0);
+            series.push_back(std::clamp(u, 0.0, peak));
+        }
+    }
+    // Ensure the intended peak actually occurs somewhere.
+    trace.utilization[rng_.uniformInt(0, nodes - 1)]
+                     [rng_.uniformInt(0, model_.samplesPerJob - 1)] =
+        peak;
+    return trace;
+}
+
+std::vector<JobUsageTrace>
+MemoryUsageTraceGenerator::generate(std::size_t num_jobs)
+{
+    std::vector<JobUsageTrace> traces;
+    traces.reserve(num_jobs);
+    for (std::size_t i = 0; i < num_jobs; ++i) {
+        // Node-count mix: mostly small jobs, a tail of large ones.
+        const double draw = rng_.uniform();
+        unsigned nodes;
+        if (draw < 0.40) {
+            nodes = 1;
+        } else if (draw < 0.70) {
+            nodes = static_cast<unsigned>(rng_.uniformInt(2, 8));
+        } else if (draw < 0.92) {
+            nodes = static_cast<unsigned>(rng_.uniformInt(9, 64));
+        } else {
+            nodes = static_cast<unsigned>(rng_.uniformInt(65, 512));
+        }
+        traces.push_back(generateJob(nodes));
+    }
+    return traces;
+}
+
+UsageAnalysis
+analyzeUsage(const std::vector<JobUsageTrace> &traces)
+{
+    UsageAnalysis result;
+    result.jobs = traces.size();
+    if (traces.empty())
+        return result;
+    std::size_t under50 = 0, under25 = 0;
+    for (const auto &trace : traces) {
+        const double peak = trace.peakUtilization();
+        under50 += peak < 0.50;
+        under25 += peak < 0.25;
+    }
+    result.fractionUnder50 =
+        static_cast<double>(under50) / static_cast<double>(traces.size());
+    result.fractionUnder25 =
+        static_cast<double>(under25) / static_cast<double>(traces.size());
+    return result;
+}
+
+} // namespace hdmr::traces

@@ -1,0 +1,76 @@
+#include "util/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hdmr::util
+{
+
+namespace
+{
+
+void
+vreport(FILE *stream, const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s: ", tag);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+}
+
+} // anonymous namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "warn", fmt, args);
+    va_end(args);
+}
+
+void
+assertFail(const char *condition, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed", condition);
+    if (fmt != nullptr && fmt[0] != '\0') {
+        std::fprintf(stderr, ": ");
+        va_list args;
+        va_start(args, fmt);
+        std::vfprintf(stderr, fmt, args);
+        va_end(args);
+    }
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stdout, "info", fmt, args);
+    va_end(args);
+}
+
+} // namespace hdmr::util

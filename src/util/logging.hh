@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is modelled approximately; simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef HDMR_UTIL_LOGGING_HH
+#define HDMR_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hdmr::util
+{
+
+/** Print "panic: <msg>" to stderr and abort(). For simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print "fatal: <msg>" to stderr and exit(1). For user/config errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print "warn: <msg>" to stderr; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Backend for hdmr_assert(); prints and aborts. */
+[[noreturn]] void assertFail(const char *condition, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Assert a simulation invariant.  Unlike assert(), stays on in release
+ * builds: timing-model invariants are cheap relative to event dispatch.
+ * An optional printf-style message may follow the condition.
+ */
+#define hdmr_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::hdmr::util::assertFail(#cond, "" __VA_ARGS__);            \
+        }                                                               \
+    } while (0)
+
+} // namespace hdmr::util
+
+#endif // HDMR_UTIL_LOGGING_HH

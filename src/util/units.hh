@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Time and data-rate unit helpers.
+ *
+ * The simulation kernel counts integer picoseconds (`Tick`).  DDR data
+ * rates are expressed in MT/s (mega-transfers per second); a DDR bus
+ * clocks at half the transfer rate, so e.g. 3200 MT/s means a 1600 MHz
+ * clock with tCK = 625 ps.
+ */
+
+#ifndef HDMR_UTIL_UNITS_HH
+#define HDMR_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace hdmr::util
+{
+
+/** Simulation time in integer picoseconds. */
+using Tick = std::uint64_t;
+
+constexpr Tick kTicksPerNs = 1000;
+constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert nanoseconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/** Convert microseconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs) + 0.5);
+}
+
+/** Convert ticks to (double) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Convert ticks to (double) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerSec);
+}
+
+/**
+ * DDR bus clock period in ticks for a data rate in MT/s.
+ * tCK[ps] = 2e6 / rate_mts (two transfers per clock).
+ */
+constexpr Tick
+dataRateToTck(unsigned rate_mts)
+{
+    return static_cast<Tick>(2000000.0 / static_cast<double>(rate_mts) + 0.5);
+}
+
+/**
+ * Time in ticks for one 64-byte burst (BL8: 8 beats = 4 clocks) at the
+ * given data rate.
+ */
+constexpr Tick
+burstTicks(unsigned rate_mts)
+{
+    return 4 * dataRateToTck(rate_mts);
+}
+
+/** Peak channel bandwidth in bytes/second for a 64-bit data bus. */
+constexpr double
+channelPeakBandwidth(unsigned rate_mts)
+{
+    return static_cast<double>(rate_mts) * 1.0e6 * 8.0;
+}
+
+/** CPU core clock period in ticks for a frequency in MHz. */
+constexpr Tick
+mhzToPeriod(double mhz)
+{
+    return static_cast<Tick>(1.0e6 / mhz + 0.5);
+}
+
+} // namespace hdmr::util
+
+#endif // HDMR_UTIL_UNITS_HH

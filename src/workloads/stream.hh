@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The instruction-segment stream interface between workload models
+ * and the core model.  A stream yields compute bursts, loads, stores,
+ * and MPI communication phases; the core turns them into time.
+ */
+
+#ifndef HDMR_WORKLOADS_STREAM_HH
+#define HDMR_WORKLOADS_STREAM_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace hdmr::wl
+{
+
+/** One unit of work handed to the core. */
+struct Op
+{
+    enum class Kind : std::uint8_t
+    {
+        kCompute, ///< `count` ALU/FP instructions
+        kLoad,    ///< one load instruction at `address`
+        kStore,   ///< one store instruction at `address`
+        kComm,    ///< MPI communication phase of `duration` ticks
+    };
+
+    Kind kind = Kind::kCompute;
+    std::uint32_t count = 0;
+    std::uint64_t address = 0;
+    util::Tick duration = 0;
+};
+
+/** A finite stream of ops; one instance per simulated core/rank. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /** Produce the next op; false when the stream is exhausted. */
+    virtual bool next(Op &op) = 0;
+};
+
+} // namespace hdmr::wl
+
+#endif // HDMR_WORKLOADS_STREAM_HH

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the DRAM subsystem: timing derivation (Table II),
+ * address mapping, controller scheduling invariants (ordering,
+ * row-hit preference, write drains, refresh, self-refresh, broadcast
+ * writes, mode transitions, error injection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "dram/address_map.hh"
+#include "dram/controller.hh"
+#include "dram/timing.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::dram;
+using util::Tick;
+
+// --------------------------------------------------------------------
+// Timing
+// --------------------------------------------------------------------
+
+TEST(Timing, TableTwoSettings)
+{
+    const auto spec = MemorySetting::manufacturerSpec();
+    EXPECT_EQ(spec.dataRateMts, 3200u);
+    EXPECT_DOUBLE_EQ(spec.trcdNs, 13.75);
+    EXPECT_DOUBLE_EQ(spec.trefiUs, 7.8);
+
+    const auto lat = MemorySetting::exploitLatencyMargin();
+    EXPECT_EQ(lat.dataRateMts, 3200u);
+    EXPECT_DOUBLE_EQ(lat.trcdNs, 11.5);
+    EXPECT_DOUBLE_EQ(lat.trpNs, 11.0);
+    EXPECT_DOUBLE_EQ(lat.trasNs, 29.5);
+    EXPECT_DOUBLE_EQ(lat.trefiUs, 15.0);
+
+    const auto freq = MemorySetting::exploitFrequencyMargin();
+    EXPECT_EQ(freq.dataRateMts, 4000u);
+    EXPECT_DOUBLE_EQ(freq.trcdNs, 13.75);
+
+    const auto both = MemorySetting::exploitFreqLatMargins();
+    EXPECT_EQ(both.dataRateMts, 4000u);
+    EXPECT_DOUBLE_EQ(both.trcdNs, 11.5);
+}
+
+TEST(Timing, DerivedPackageScalesWithRate)
+{
+    const auto slow =
+        DramTiming::fromSetting(MemorySetting::manufacturerSpec(3200));
+    const auto fast = DramTiming::fromSetting(
+        MemorySetting::exploitFrequencyMargin(4000));
+    EXPECT_EQ(slow.tCK, 625u);
+    EXPECT_EQ(fast.tCK, 500u);
+    EXPECT_EQ(slow.tBURST, 2500u);
+    EXPECT_EQ(fast.tBURST, 2000u);
+    // ns-specified latencies do not change with the data rate.
+    EXPECT_EQ(slow.tRCD, fast.tRCD);
+    EXPECT_EQ(slow.tCAS, fast.tCAS);
+}
+
+TEST(Timing, LatencyMarginDoesNotTouchCas)
+{
+    const auto spec =
+        DramTiming::fromSetting(MemorySetting::manufacturerSpec());
+    const auto lat =
+        DramTiming::fromSetting(MemorySetting::exploitLatencyMargin());
+    EXPECT_EQ(spec.tCAS, lat.tCAS); // CL is not in Table II
+    EXPECT_LT(lat.tRCD, spec.tRCD);
+    EXPECT_LT(lat.tRP, spec.tRP);
+    EXPECT_GT(lat.tREFI, spec.tREFI);
+}
+
+// --------------------------------------------------------------------
+// Address map
+// --------------------------------------------------------------------
+
+TEST(AddressMap, FieldsWithinBounds)
+{
+    AddressMap map(AddressMapConfig{4, 4, 16, 128, 64});
+    util::Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const auto coord = map.decode(rng.next() % (1ull << 36));
+        EXPECT_LT(coord.channel, 4u);
+        EXPECT_LT(coord.rank, 4u);
+        EXPECT_LT(coord.bank, 16u);
+        EXPECT_LT(coord.column, 128u);
+    }
+}
+
+TEST(AddressMap, ConsecutiveLinesShareRow)
+{
+    AddressMap map(AddressMapConfig{1, 4, 16, 128, 64});
+    const auto a = map.decode(0x100000);
+    const auto b = map.decode(0x100040);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.column + 1, b.column);
+}
+
+TEST(AddressMap, XorFoldSpreadsRowsAcrossBanks)
+{
+    AddressMap map(AddressMapConfig{1, 1, 16, 128, 64});
+    // Same column/rank, consecutive rows: banks must differ.
+    std::set<unsigned> banks;
+    const std::uint64_t row_stride = 64ull * 128 * 16; // one row step
+    for (int r = 0; r < 16; ++r)
+        banks.insert(map.decode(r * row_stride).bank);
+    EXPECT_GT(banks.size(), 8u);
+}
+
+// --------------------------------------------------------------------
+// Controller
+// --------------------------------------------------------------------
+
+ControllerConfig
+specConfig()
+{
+    ControllerConfig config;
+    config.readModeTiming =
+        DramTiming::fromSetting(MemorySetting::manufacturerSpec());
+    config.writeModeTiming = config.readModeTiming;
+    return config;
+}
+
+TEST(Controller, SingleReadCompletesWithSensibleLatency)
+{
+    sim::EventQueue events;
+    MemoryController controller(events, specConfig());
+    Tick done = 0;
+    MemRequest request;
+    request.address = 0x4000;
+    request.onComplete = [&](Tick t) { done = t; };
+    controller.enqueueRead(std::move(request));
+    events.run();
+    // Closed-bank read: ~tRCD + tCAS + tBURST = 30 ns.
+    EXPECT_GE(done, util::nsToTicks(25.0));
+    EXPECT_LE(done, util::nsToTicks(60.0));
+    EXPECT_EQ(controller.stats().reads, 1u);
+}
+
+TEST(Controller, RowHitsFasterThanConflicts)
+{
+    // Stream of same-row reads vs same-bank different-row reads.
+    auto run = [](bool same_row) {
+        sim::EventQueue events;
+        MemoryController controller(events, specConfig());
+        const std::uint64_t row_stride = 64ull * 128 * 16 * 4;
+        Tick last = 0;
+        for (int i = 0; i < 64; ++i) {
+            MemRequest request;
+            request.address = same_row
+                                  ? 0x10000 + 64ull * i
+                                  // XOR fold: use stride 17 rows to
+                                  // stay in one bank.
+                                  : 0x10000 + row_stride * 17 * i;
+            request.onComplete = [&](Tick t) {
+                last = std::max(last, t);
+            };
+            controller.enqueueRead(std::move(request));
+        }
+        events.run();
+        return last;
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+TEST(Controller, ReadsCompleteInMonotoneBusOrder)
+{
+    sim::EventQueue events;
+    MemoryController controller(events, specConfig());
+    util::Rng rng(5);
+    std::vector<Tick> completions;
+    for (int i = 0; i < 200; ++i) {
+        MemRequest request;
+        request.address = (rng.next() % (1ull << 28)) & ~63ull;
+        request.onComplete = [&](Tick t) { completions.push_back(t); };
+        controller.enqueueRead(std::move(request));
+    }
+    events.run();
+    ASSERT_EQ(completions.size(), 200u);
+    // The data bus serializes bursts: completions never overlap.
+    std::sort(completions.begin(), completions.end());
+    for (std::size_t i = 1; i < completions.size(); ++i) {
+        EXPECT_GE(completions[i] - completions[i - 1],
+                  specConfig().readModeTiming.tBURST);
+    }
+}
+
+TEST(Controller, WriteDrainEntersAndExitsWriteMode)
+{
+    sim::EventQueue events;
+    auto config = specConfig();
+    MemoryController controller(events, config);
+    for (std::size_t i = 0; i < config.writeDrainHigh + 4; ++i) {
+        MemRequest request;
+        request.address = 0x2000 + 64 * i;
+        request.type = MemRequest::Type::kWrite;
+        controller.enqueueWrite(std::move(request));
+    }
+    events.run();
+    EXPECT_GE(controller.stats().writeModeEntries, 1u);
+    EXPECT_GT(controller.stats().writes, 0u);
+    EXPECT_EQ(controller.mode(), ChannelMode::kRead);
+}
+
+TEST(Controller, BroadcastWriteTouchesAllTargets)
+{
+    sim::EventQueue events;
+    MemoryController controller(events, specConfig());
+    RankPolicy policy;
+    policy.writeTargets = [](unsigned home) {
+        RankSet set;
+        set.add(home);
+        set.add(home + 2);
+        return set;
+    };
+    controller.setRankPolicy(policy);
+
+    MemRequest request;
+    request.address = 0x8000;
+    request.type = MemRequest::Type::kWrite;
+    controller.enqueueWrite(std::move(request));
+    controller.requestWriteMode();
+    events.run();
+    EXPECT_EQ(controller.stats().writes, 1u);      // one bus transfer
+    EXPECT_EQ(controller.stats().writeRankOps, 2u); // two ranks updated
+}
+
+TEST(Controller, RefreshesHappenAtTrefiRate)
+{
+    sim::EventQueue events;
+    MemoryController controller(events, specConfig());
+    // Keep the channel alive for ~1 ms of simulated time.
+    std::function<void(Tick)> again = [&](Tick) {
+        if (events.curTick() < util::kTicksPerMs) {
+            MemRequest request;
+            request.address = 0x1000;
+            request.onComplete = again;
+            controller.enqueueRead(std::move(request));
+        }
+    };
+    again(0);
+    events.run();
+    // 4 ranks x (1 ms / 7.8 us) ~= 512 refreshes.
+    EXPECT_NEAR(static_cast<double>(controller.stats().refreshes),
+                512.0, 96.0);
+}
+
+TEST(Controller, SelfRefreshRanksAreNotRefreshed)
+{
+    sim::EventQueue events;
+    auto config = specConfig();
+    config.selfRefreshRankMask = 0b0011;
+    MemoryController controller(events, config);
+    std::function<void(Tick)> again = [&](Tick) {
+        if (events.curTick() < util::kTicksPerMs) {
+            MemRequest request;
+            request.address = 0x1000;
+            // Route to awake ranks via a policy below.
+            request.onComplete = again;
+            controller.enqueueRead(std::move(request));
+        }
+    };
+    RankPolicy policy;
+    policy.readCandidates = [](unsigned home) {
+        return RankSet::single(2 + (home & 1));
+    };
+    controller.setRankPolicy(policy);
+    again(0);
+    events.run();
+    controller.finalizeStats(); // close time-integrated counters
+    // Only the two awake ranks refresh: about half the refreshes.
+    EXPECT_NEAR(static_cast<double>(controller.stats().refreshes),
+                256.0, 64.0);
+    EXPECT_GT(controller.stats().selfRefreshRankTicks, 0u);
+}
+
+TEST(Controller, ErrorInjectionCountsAndRecovers)
+{
+    sim::EventQueue events;
+    auto config = specConfig();
+    config.readErrorProbability = 0.5;
+    config.errorRecoveryLatency = util::usToTicks(2.2);
+    MemoryController controller(events, config);
+    unsigned errors_seen = 0;
+    ControllerHooks hooks;
+    hooks.onReadError = [&] { ++errors_seen; };
+    controller.setHooks(std::move(hooks));
+
+    for (int i = 0; i < 100; ++i) {
+        MemRequest request;
+        request.address = 0x100000 + 64 * i;
+        controller.enqueueRead(std::move(request));
+    }
+    events.run();
+    EXPECT_EQ(controller.stats().readErrors, errors_seen);
+    EXPECT_NEAR(static_cast<double>(errors_seen), 50.0, 25.0);
+    // Recoveries serialize the channel: ~errors x 2.2 us of run time.
+    EXPECT_GE(events.curTick(),
+              errors_seen * util::usToTicks(2.0));
+}
+
+TEST(Controller, ReconfigureAppliesAtTransition)
+{
+    sim::EventQueue events;
+    auto config = specConfig();
+    MemoryController controller(events, config);
+
+    auto fast = config;
+    fast.readModeTiming = DramTiming::fromSetting(
+        MemorySetting::exploitFreqLatMargins());
+    controller.reconfigure(fast);
+
+    // Trigger a write-mode round trip to latch the new timing.
+    for (int i = 0; i < 8; ++i) {
+        MemRequest request;
+        request.address = 0x3000 + 64 * i;
+        request.type = MemRequest::Type::kWrite;
+        controller.enqueueWrite(std::move(request));
+    }
+    controller.requestWriteMode();
+    events.run();
+    EXPECT_EQ(controller.config().readModeTiming.dataRateMts, 4000u);
+}
+
+} // namespace

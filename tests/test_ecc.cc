@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the ECC library: GF(256) field axioms, Reed-Solomon
+ * round-trip/correction/detection properties, the Bamboo block codec
+ * with address folding, and detection-only semantics that Hetero-DMR
+ * relies on.  Property-style sweeps use parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ecc/bamboo.hh"
+#include "ecc/error_inject.hh"
+#include "ecc/gf256.hh"
+#include "ecc/reed_solomon.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace hdmr::ecc;
+using hdmr::util::Rng;
+
+// --------------------------------------------------------------------
+// GF(256)
+// --------------------------------------------------------------------
+
+TEST(Gf256, AdditionIsXorAndSelfInverse)
+{
+    EXPECT_EQ(Gf256::add(0x57, 0x83), 0x57 ^ 0x83);
+    for (unsigned a = 0; a < 256; ++a)
+        EXPECT_EQ(Gf256::add(static_cast<GfElem>(a),
+                             static_cast<GfElem>(a)), 0);
+}
+
+TEST(Gf256, MultiplicationIdentityAndZero)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), 1),
+                  static_cast<GfElem>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), 0), 0);
+    }
+}
+
+TEST(Gf256, MultiplicationCommutesAndAssociates)
+{
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<GfElem>(rng.uniformInt(0, 255));
+        const auto b = static_cast<GfElem>(rng.uniformInt(0, 255));
+        const auto c = static_cast<GfElem>(rng.uniformInt(0, 255));
+        EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+        EXPECT_EQ(Gf256::mul(Gf256::mul(a, b), c),
+                  Gf256::mul(a, Gf256::mul(b, c)));
+    }
+}
+
+TEST(Gf256, DistributesOverAddition)
+{
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<GfElem>(rng.uniformInt(0, 255));
+        const auto b = static_cast<GfElem>(rng.uniformInt(0, 255));
+        const auto c = static_cast<GfElem>(rng.uniformInt(0, 255));
+        EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+                  Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+    }
+}
+
+TEST(Gf256, InverseIsTwoSided)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const auto inv = Gf256::inv(static_cast<GfElem>(a));
+        EXPECT_EQ(Gf256::mul(static_cast<GfElem>(a), inv), 1);
+    }
+}
+
+TEST(Gf256, ExpLogRoundTrip)
+{
+    for (int p = 0; p < 255; ++p)
+        EXPECT_EQ(Gf256::logAlpha(Gf256::expAlpha(p)), p);
+    EXPECT_EQ(Gf256::expAlpha(255), Gf256::expAlpha(0));
+    EXPECT_EQ(Gf256::expAlpha(-1), Gf256::expAlpha(254));
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const auto a = static_cast<GfElem>(rng.uniformInt(1, 255));
+        const int n = static_cast<int>(rng.uniformInt(0, 12));
+        GfElem expected = 1;
+        for (int j = 0; j < n; ++j)
+            expected = Gf256::mul(expected, a);
+        EXPECT_EQ(Gf256::pow(a, n), expected);
+    }
+}
+
+// --------------------------------------------------------------------
+// Reed-Solomon
+// --------------------------------------------------------------------
+
+std::vector<GfElem>
+randomMessage(std::size_t k, Rng &rng)
+{
+    std::vector<GfElem> msg(k);
+    for (auto &m : msg)
+        m = static_cast<GfElem>(rng.uniformInt(0, 255));
+    return msg;
+}
+
+std::vector<GfElem>
+makeCodeword(const ReedSolomon &rs, const std::vector<GfElem> &msg)
+{
+    auto cw = msg;
+    const auto parity = rs.encode(msg);
+    cw.insert(cw.end(), parity.begin(), parity.end());
+    return cw;
+}
+
+TEST(ReedSolomon, CleanCodewordHasZeroSyndromes)
+{
+    ReedSolomon rs(64, 8);
+    Rng rng(10);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto cw = makeCodeword(rs, randomMessage(64, rng));
+        EXPECT_FALSE(rs.detect(cw));
+    }
+}
+
+TEST(ReedSolomon, DetectsAnySingleSymbolError)
+{
+    ReedSolomon rs(64, 8);
+    Rng rng(11);
+    auto cw = makeCodeword(rs, randomMessage(64, rng));
+    for (std::size_t pos = 0; pos < cw.size(); ++pos) {
+        auto bad = cw;
+        bad[pos] ^= 0x5a;
+        EXPECT_TRUE(rs.detect(bad)) << "position " << pos;
+    }
+}
+
+/** Correction property sweep over the number of injected errors. */
+class RsCorrection : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RsCorrection, CorrectsUpToTErrors)
+{
+    const unsigned num_errors = GetParam();
+    ReedSolomon rs(64, 8);
+    Rng rng(100 + num_errors);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto clean = makeCodeword(rs, randomMessage(64, rng));
+        auto bad = clean;
+        // Corrupt `num_errors` distinct positions.
+        std::vector<std::size_t> picked;
+        while (picked.size() < num_errors) {
+            const auto pos = rng.uniformInt(0, bad.size() - 1);
+            bool dup = false;
+            for (auto p : picked)
+                dup |= p == pos;
+            if (!dup)
+                picked.push_back(pos);
+        }
+        for (auto pos : picked)
+            bad[pos] ^= static_cast<GfElem>(rng.uniformInt(1, 255));
+
+        const auto result = rs.correct(bad);
+        ASSERT_EQ(result.status, DecodeStatus::kCorrected);
+        EXPECT_EQ(bad, clean);
+        EXPECT_EQ(result.correctedPositions.size(), num_errors);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToFourErrors, RsCorrection,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ReedSolomon, FiveErrorsNeverSilentlyMiscorrect)
+{
+    ReedSolomon rs(64, 8);
+    Rng rng(12);
+    int corrected_wrong = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        const auto clean = makeCodeword(rs, randomMessage(64, rng));
+        auto bad = clean;
+        for (std::size_t e = 0; e < 5; ++e)
+            bad[rng.uniformInt(0, bad.size() - 1)] ^=
+                static_cast<GfElem>(rng.uniformInt(1, 255));
+        auto copy = bad;
+        const auto result = rs.correct(copy);
+        // Beyond-capability errors must never be reported as a clean
+        // *incorrect* correction back to the original message region.
+        if (result.status == DecodeStatus::kCorrected && copy != clean)
+            ++corrected_wrong;
+    }
+    // RS(72,64) with 5 random errors miscorrects with probability
+    // ~ 1e-3; what must NEVER happen is high-rate silent miscorrection.
+    EXPECT_LE(corrected_wrong, 5);
+}
+
+TEST(ReedSolomon, CodewordUnchangedOnUncorrectable)
+{
+    ReedSolomon rs(64, 8);
+    Rng rng(13);
+    const auto clean = makeCodeword(rs, randomMessage(64, rng));
+    for (int trial = 0; trial < 100; ++trial) {
+        auto bad = clean;
+        for (std::size_t e = 0; e < 20; ++e)
+            bad[rng.uniformInt(0, bad.size() - 1)] ^=
+                static_cast<GfElem>(rng.uniformInt(1, 255));
+        auto attempt = bad;
+        const auto result = rs.correct(attempt);
+        if (result.status == DecodeStatus::kUncorrectable) {
+            EXPECT_EQ(attempt, bad);
+        }
+    }
+}
+
+TEST(ReedSolomon, ForbiddenRangeTurnsCorrectionIntoDetection)
+{
+    ReedSolomon rs(72, 8);
+    Rng rng(14);
+    const auto clean = makeCodeword(rs, randomMessage(72, rng));
+    // Inject an error inside the forbidden window [64, 72).
+    auto bad = clean;
+    bad[66] ^= 0x31;
+    const auto result = rs.correct(bad, 64, 72);
+    EXPECT_EQ(result.status, DecodeStatus::kDetectedOnly);
+    EXPECT_EQ(bad[66], clean[66] ^ 0x31) << "data must stay untouched";
+}
+
+TEST(ReedSolomon, ParityOnlyErrorsAreCorrectable)
+{
+    ReedSolomon rs(64, 8);
+    Rng rng(15);
+    const auto clean = makeCodeword(rs, randomMessage(64, rng));
+    auto bad = clean;
+    bad[64] ^= 0xff; // first parity symbol
+    bad[71] ^= 0x01; // last parity symbol
+    const auto result = rs.correct(bad);
+    EXPECT_EQ(result.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(bad, clean);
+}
+
+// --------------------------------------------------------------------
+// Bamboo block codec
+// --------------------------------------------------------------------
+
+Block
+randomBlock(Rng &rng)
+{
+    Block b;
+    for (auto &byte : b)
+        byte = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    return b;
+}
+
+TEST(Bamboo, EncodeDecodeCleanRoundTrip)
+{
+    BambooCodec codec;
+    Rng rng(20);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto data = randomBlock(rng);
+        const std::uint64_t addr = rng.next();
+        auto coded = codec.encode(data, addr);
+        EXPECT_EQ(codec.decodeDetectOnly(coded, addr).status,
+                  DecodeStatus::kClean);
+        EXPECT_EQ(codec.decodeCorrecting(coded, addr).status,
+                  DecodeStatus::kClean);
+        EXPECT_EQ(coded.data, data);
+    }
+}
+
+TEST(Bamboo, DetectOnlyFlagsButNeverModifies)
+{
+    BambooCodec codec;
+    Rng rng(21);
+    const auto data = randomBlock(rng);
+    auto coded = codec.encode(data, 0x1000);
+    corruptDataByte(coded, 5, 0x80);
+    const auto snapshot = coded;
+    const auto result = codec.decodeDetectOnly(coded, 0x1000);
+    EXPECT_EQ(result.status, DecodeStatus::kDetectedOnly);
+    EXPECT_EQ(coded.data, snapshot.data);
+    EXPECT_EQ(coded.parity, snapshot.parity);
+}
+
+TEST(Bamboo, DetectOnlyCatchesAllPatternsUpToEightBytes)
+{
+    BambooCodec codec;
+    Rng rng(22);
+    for (unsigned width = 1; width <= 8; ++width) {
+        for (int trial = 0; trial < 50; ++trial) {
+            auto coded = codec.encode(randomBlock(rng), 0xdead000);
+            corruptBytes(coded, width, rng);
+            EXPECT_TRUE(
+                codec.decodeDetectOnly(coded, 0xdead000).errorDetected())
+                << "width " << width;
+        }
+    }
+}
+
+TEST(Bamboo, DetectsWideBlockErrorsInPractice)
+{
+    BambooCodec codec;
+    Rng rng(23);
+    int undetected = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        auto coded = codec.encode(randomBlock(rng), 0xbeef00);
+        injectPattern(coded, ErrorPattern::kWideBlock, rng);
+        undetected +=
+            !codec.decodeDetectOnly(coded, 0xbeef00).errorDetected();
+    }
+    // Escape probability is 2^-64; seeing even one in 500 would be
+    // astronomically unlikely.
+    EXPECT_EQ(undetected, 0);
+}
+
+TEST(Bamboo, AddressMismatchIsDetected)
+{
+    BambooCodec codec;
+    Rng rng(24);
+    for (int trial = 0; trial < 100; ++trial) {
+        const auto data = randomBlock(rng);
+        const std::uint64_t addr = rng.next();
+        std::uint64_t wrong = rng.next();
+        if (wrong == addr)
+            wrong ^= 0x40;
+        const auto coded = codec.encode(data, addr);
+        EXPECT_TRUE(
+            codec.decodeDetectOnly(coded, wrong).errorDetected());
+    }
+}
+
+TEST(Bamboo, SingleBitAddressErrorDetected)
+{
+    BambooCodec codec;
+    Rng rng(25);
+    const auto coded = codec.encode(randomBlock(rng), 0x123456789abcull);
+    for (int bit = 0; bit < 48; ++bit) {
+        const std::uint64_t wrong = 0x123456789abcull ^ (1ull << bit);
+        EXPECT_TRUE(codec.decodeDetectOnly(coded, wrong).errorDetected())
+            << "address bit " << bit;
+    }
+}
+
+TEST(Bamboo, CorrectingModeRepairsUpToFourBytes)
+{
+    BambooCodec codec;
+    Rng rng(26);
+    for (unsigned width = 1; width <= 4; ++width) {
+        for (int trial = 0; trial < 50; ++trial) {
+            const auto data = randomBlock(rng);
+            auto coded = codec.encode(data, 0x77);
+            corruptBytes(coded, width, rng);
+            const auto result = codec.decodeCorrecting(coded, 0x77);
+            ASSERT_EQ(result.status, DecodeStatus::kCorrected);
+            EXPECT_EQ(coded.data, data);
+            EXPECT_EQ(result.correctedSymbols, width);
+        }
+    }
+}
+
+TEST(Bamboo, CorrectingModeNeverAppliesAddressCorrections)
+{
+    BambooCodec codec;
+    Rng rng(27);
+    // A pure address mismatch looks like errors in the virtual symbols;
+    // the decoder must refuse to "correct" and must not corrupt data.
+    const auto data = randomBlock(rng);
+    auto coded = codec.encode(data, 0xaaaa);
+    const auto result = codec.decodeCorrecting(coded, 0xaaab);
+    EXPECT_NE(result.status, DecodeStatus::kCorrected);
+    EXPECT_EQ(coded.data, data);
+}
+
+TEST(Bamboo, SameParityForOriginalAndBroadcastCopy)
+{
+    // Section III-C: original and copy share ECC byte values because the
+    // detect-only optimization changes decode, not encode.  Original and
+    // copy sit at the same channel offset (same folded address), so one
+    // broadcast write covers both.
+    BambooCodec codec;
+    Rng rng(28);
+    const auto data = randomBlock(rng);
+    const auto original = codec.encode(data, 0x4000);
+    const auto copy = codec.encode(data, 0x4000);
+    EXPECT_EQ(original.parity, copy.parity);
+}
+
+TEST(Bamboo, EscapeProbabilityMatchesPaperConstant)
+{
+    // The paper: one SDC per 2^64 = 18446744073709600000 detected 8B+
+    // errors (quoted there with rounding in the last digits).
+    EXPECT_DOUBLE_EQ(BambooCodec::escapeProbability8BPlus(),
+                     1.0 / 18446744073709551616.0);
+}
+
+} // namespace

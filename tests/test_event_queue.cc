@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, same-tick FIFO,
+ * deschedule/reschedule semantics, run limits, and wrappers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace hdmr::sim;
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    CallbackEvent a([&] { order.push_back(1); });
+    CallbackEvent b([&] { order.push_back(2); });
+    CallbackEvent c([&] { order.push_back(3); });
+    q.schedule(&c, 300);
+    q.schedule(&a, 100);
+    q.schedule(&b, 200);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    CallbackEvent a([&] { order.push_back(1); });
+    CallbackEvent b([&] { order.push_back(2); });
+    CallbackEvent c([&] { order.push_back(3); });
+    q.schedule(&a, 50);
+    q.schedule(&b, 50);
+    q.schedule(&c, 50);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    CallbackEvent a([&] { ++fired; });
+    q.schedule(&a, 10);
+    EXPECT_TRUE(a.scheduled());
+    q.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    q.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue q;
+    std::vector<Tick> fire_times;
+    CallbackEvent a([&] { fire_times.push_back(q.curTick()); });
+    q.schedule(&a, 10);
+    q.reschedule(&a, 99);
+    q.run();
+    EXPECT_EQ(fire_times, (std::vector<Tick>{99}));
+}
+
+TEST(EventQueue, RescheduleUnscheduledActsAsSchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    CallbackEvent a([&] { ++fired; });
+    q.reschedule(&a, 5);
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventCanRescheduleItself)
+{
+    EventQueue q;
+    int count = 0;
+    CallbackEvent tick;
+    tick.setCallback([&] {
+        if (++count < 5)
+            q.scheduleIn(&tick, 10);
+    });
+    q.schedule(&tick, 0);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.curTick(), 40u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    CallbackEvent a([&] { ++fired; });
+    CallbackEvent b([&] { ++fired; });
+    q.schedule(&a, 100);
+    q.schedule(&b, 200);
+    q.run(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextTickSkipsStaleEntries)
+{
+    EventQueue q;
+    CallbackEvent a([] {});
+    CallbackEvent b([] {});
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+    q.deschedule(&a);
+    EXPECT_EQ(q.nextTick(), 20u);
+    EXPECT_EQ(q.size(), 1u);
+    q.deschedule(&b); // events must not be destroyed while scheduled
+}
+
+TEST(EventQueue, NumProcessedCounts)
+{
+    EventQueue q;
+    CallbackEvent a([] {});
+    CallbackEvent b([] {});
+    q.schedule(&a, 1);
+    q.schedule(&b, 2);
+    q.run();
+    EXPECT_EQ(q.numProcessed(), 2u);
+}
+
+class Counter
+{
+  public:
+    void bump() { ++count; }
+    int count = 0;
+};
+
+TEST(EventQueue, MemberFunctionWrapper)
+{
+    EventQueue q;
+    Counter counter;
+    EventWrapper<Counter, &Counter::bump> ev(&counter);
+    q.schedule(&ev, 7);
+    q.run();
+    EXPECT_EQ(counter.count, 1);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    std::vector<std::unique_ptr<CallbackEvent>> events;
+    hdmr::util::Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+        auto ev = std::make_unique<CallbackEvent>(
+            [&] { fired.push_back(q.curTick()); });
+        q.schedule(ev.get(), rng.uniformInt(0, 100000));
+        events.push_back(std::move(ev));
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), 2000u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for workloads, the core model, and the assembled node
+ * simulator: stream properties, determinism, and the headline
+ * performance orderings the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "node/config.hh"
+#include "node/energy.hh"
+#include "node/node_system.hh"
+#include "workloads/hpc_workloads.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::node;
+
+// --------------------------------------------------------------------
+// Workload streams
+// --------------------------------------------------------------------
+
+TEST(Workloads, CatalogCoversSixSuites)
+{
+    std::map<std::string, int> suites;
+    for (const auto &w : wl::benchmarkCatalog())
+        ++suites[w.suite];
+    EXPECT_EQ(suites.size(), 6u);
+    for (const auto &name : wl::suiteNames())
+        EXPECT_GT(suites[name], 0) << name;
+    EXPECT_EQ(wl::benchmarksInSuite("CORAL2").size(), 4u);
+    EXPECT_EQ(wl::benchmarkByName("linpack").suite, "Linpack");
+}
+
+TEST(Workloads, StreamLengthAndMix)
+{
+    const auto &params = wl::benchmarkByName("hpcg");
+    wl::SyntheticHpcStream stream(params, 0, 20000, 7);
+    wl::Op op;
+    std::uint64_t loads = 0, stores = 0, comm = 0;
+    while (stream.next(op)) {
+        loads += op.kind == wl::Op::Kind::kLoad;
+        stores += op.kind == wl::Op::Kind::kStore;
+        comm += op.kind == wl::Op::Kind::kComm;
+    }
+    EXPECT_EQ(loads + stores, 20000u);
+    EXPECT_NEAR(static_cast<double>(stores) / 20000.0,
+                params.writeFraction, 0.02);
+    EXPECT_GE(comm, 3u); // periodic MPI phases
+}
+
+TEST(Workloads, RanksHaveDisjointAddressSpaces)
+{
+    const auto &params = wl::benchmarkByName("lulesh");
+    wl::SyntheticHpcStream a(params, 0, 1000, 7);
+    wl::SyntheticHpcStream b(params, 1, 1000, 7);
+    wl::Op op;
+    std::uint64_t max_a = 0, min_b = ~0ull;
+    while (a.next(op))
+        if (op.kind == wl::Op::Kind::kLoad ||
+            op.kind == wl::Op::Kind::kStore)
+            max_a = std::max(max_a, op.address);
+    while (b.next(op))
+        if (op.kind == wl::Op::Kind::kLoad ||
+            op.kind == wl::Op::Kind::kStore)
+            min_b = std::min(min_b, op.address);
+    EXPECT_LT(max_a, min_b);
+}
+
+TEST(Workloads, DeterministicForSeed)
+{
+    const auto &params = wl::benchmarkByName("bfs");
+    wl::SyntheticHpcStream a(params, 3, 500, 42);
+    wl::SyntheticHpcStream b(params, 3, 500, 42);
+    wl::Op opa, opb;
+    while (true) {
+        const bool more_a = a.next(opa);
+        const bool more_b = b.next(opb);
+        ASSERT_EQ(more_a, more_b);
+        if (!more_a)
+            break;
+        EXPECT_EQ(opa.address, opb.address);
+        EXPECT_EQ(static_cast<int>(opa.kind),
+                  static_cast<int>(opb.kind));
+    }
+}
+
+// --------------------------------------------------------------------
+// Energy model
+// --------------------------------------------------------------------
+
+TEST(Energy, EpiDecomposesAndScales)
+{
+    EnergyInputs inputs;
+    inputs.execSeconds = 1.0e-3;
+    inputs.instructions = 1000000;
+    inputs.cores = 8;
+    inputs.totalRanks = 4;
+    inputs.activates = 10000;
+    inputs.readBursts = 50000;
+    inputs.writeRankBursts = 10000;
+    inputs.refreshes = 500;
+    const auto base = computeEnergy(inputs);
+    EXPECT_GT(base.totalJ(), 0.0);
+    EXPECT_NEAR(base.epiNj,
+                base.totalJ() * 1.0e9 / 1000000.0, 1e-9);
+
+    // Self-refresh time reduces background energy.
+    auto parked = inputs;
+    parked.rankSelfRefreshSeconds = 2.0e-3; // 2 ranks x 1 ms
+    EXPECT_LT(computeEnergy(parked).dramBackgroundJ,
+              base.dramBackgroundJ);
+
+    // Broadcast writes cost rank-level energy.
+    auto broadcast = inputs;
+    broadcast.writeRankBursts *= 2;
+    EXPECT_GT(computeEnergy(broadcast).dramDynamicJ, base.dramDynamicJ);
+}
+
+// --------------------------------------------------------------------
+// Node system (smaller runs: these drive the full simulator)
+// --------------------------------------------------------------------
+
+NodeConfig
+smallConfig(MemorySystemKind kind, const char *bench = "hpcg")
+{
+    NodeConfig config;
+    config.hierarchy = HierarchyConfig::hierarchy1();
+    config.workload = wl::benchmarkByName(bench);
+    config.memorySystem = kind;
+    config.memOpsPerCore = 12000;
+    config.warmupOpsPerCore = 6000;
+    return config;
+}
+
+TEST(NodeSystem, BaselineRunsToCompletion)
+{
+    NodeSystem system(smallConfig(MemorySystemKind::kCommercialBaseline));
+    const auto stats = system.run();
+    EXPECT_GT(stats.execSeconds, 0.0);
+    EXPECT_GT(stats.instructions, 100000u);
+    EXPECT_GT(stats.dramReads, 1000u);
+    EXPECT_GT(stats.busUtilization, 0.05);
+    EXPECT_LT(stats.busUtilization, 1.0);
+}
+
+TEST(NodeSystem, DeterministicForSeed)
+{
+    const auto a =
+        NodeSystem(smallConfig(MemorySystemKind::kCommercialBaseline))
+            .run();
+    const auto b =
+        NodeSystem(smallConfig(MemorySystemKind::kCommercialBaseline))
+            .run();
+    EXPECT_DOUBLE_EQ(a.execSeconds, b.execSeconds);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+}
+
+TEST(NodeSystem, FreqLatMarginsBeatBaseline)
+{
+    const auto base =
+        NodeSystem(smallConfig(MemorySystemKind::kCommercialBaseline))
+            .run();
+    const auto fast =
+        NodeSystem(smallConfig(MemorySystemKind::kExploitFreqLat)).run();
+    EXPECT_GT(base.execSeconds / fast.execSeconds, 1.05);
+}
+
+TEST(NodeSystem, FrequencyMarginDominatesLatencyMargin)
+{
+    // The paper's central characterization finding (Fig. 5): on the
+    // memory-bound Hierarchy 1, the frequency component of the margin
+    // buys more than the latency component.
+    const auto base =
+        NodeSystem(smallConfig(MemorySystemKind::kCommercialBaseline))
+            .run();
+    const auto freq =
+        NodeSystem(smallConfig(MemorySystemKind::kExploitFrequency))
+            .run();
+    const auto lat =
+        NodeSystem(smallConfig(MemorySystemKind::kExploitLatency)).run();
+    EXPECT_GT(base.execSeconds / freq.execSeconds,
+              base.execSeconds / lat.execSeconds);
+}
+
+TEST(NodeSystem, HeteroDmrBetweenBaselineAndFreqLat)
+{
+    const auto base =
+        NodeSystem(smallConfig(MemorySystemKind::kCommercialBaseline))
+            .run();
+    const auto hdmr =
+        NodeSystem(smallConfig(MemorySystemKind::kHeteroDmr)).run();
+    const auto fast =
+        NodeSystem(smallConfig(MemorySystemKind::kExploitFreqLat)).run();
+    // Rigorous reliability costs a little performance vs raw margin
+    // exploitation (Section IV-B), but Hetero-DMR must not collapse.
+    EXPECT_GT(base.execSeconds / hdmr.execSeconds, 0.95);
+    EXPECT_LT(hdmr.execSeconds, base.execSeconds * 1.08);
+    EXPECT_GE(fast.execSeconds, hdmr.execSeconds * 0.7);
+}
+
+TEST(NodeSystem, HeteroDmrFallsBackAtHighUsage)
+{
+    auto config = smallConfig(MemorySystemKind::kHeteroDmr);
+    config.usage = core::MemoryUsage::kOver50;
+    EXPECT_EQ(config.effectiveReplication(),
+              core::ReplicationMode::kNone);
+    const auto stats = NodeSystem(config).run();
+    const auto base =
+        NodeSystem(smallConfig(MemorySystemKind::kCommercialBaseline))
+            .run();
+    // Same behaviour as the baseline within noise.
+    EXPECT_NEAR(stats.execSeconds / base.execSeconds, 1.0, 0.05);
+}
+
+TEST(NodeSystem, HeteroDmrWritesBroadcast)
+{
+    const auto hdmr =
+        NodeSystem(smallConfig(MemorySystemKind::kHeteroDmr)).run();
+    EXPECT_EQ(hdmr.dramWriteRankOps, 2 * hdmr.dramWrites);
+    const auto base =
+        NodeSystem(smallConfig(MemorySystemKind::kCommercialBaseline))
+            .run();
+    EXPECT_EQ(base.dramWriteRankOps, base.dramWrites);
+}
+
+TEST(NodeSystem, ErrorInjectionDrivesCorrections)
+{
+    auto config = smallConfig(MemorySystemKind::kHeteroDmr);
+    config.readErrorProbability = 1.0e-3;
+    const auto stats = NodeSystem(config).run();
+    EXPECT_GT(stats.corrections, 10u);
+}
+
+TEST(NodeSystem, Hierarchy2RunsAllSystems)
+{
+    for (const auto kind : {MemorySystemKind::kCommercialBaseline,
+                            MemorySystemKind::kFmr,
+                            MemorySystemKind::kHeteroDmr,
+                            MemorySystemKind::kHeteroDmrFmr}) {
+        auto config = smallConfig(kind, "linpack");
+        config.hierarchy = HierarchyConfig::hierarchy2();
+        if (kind == MemorySystemKind::kHeteroDmrFmr)
+            config.usage = core::MemoryUsage::kUnder25;
+        const auto stats = NodeSystem(config).run();
+        EXPECT_GT(stats.execSeconds, 0.0) << toString(kind);
+    }
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the trace generators and the cluster scheduler: trace
+ * calibration (load, usage classes), conservation invariants, EASY
+ * backfill behaviour, margin-aware allocation, and the Fig. 17
+ * orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/cluster_sim.hh"
+#include "traces/job_trace.hh"
+#include "traces/memory_usage.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::sched;
+using namespace hdmr::traces;
+
+// --------------------------------------------------------------------
+// Memory-usage traces (Fig. 1)
+// --------------------------------------------------------------------
+
+TEST(UsageTraces, FractionsMatchModel)
+{
+    UsageModel model;
+    MemoryUsageTraceGenerator generator(model, 5);
+    const auto jobs = generator.generate(5000);
+    const auto analysis = analyzeUsage(jobs);
+    EXPECT_EQ(analysis.jobs, 5000u);
+    EXPECT_NEAR(analysis.fractionUnder50, model.under50Fraction, 0.03);
+    EXPECT_NEAR(analysis.fractionUnder25, model.under25Fraction, 0.03);
+}
+
+TEST(UsageTraces, UtilizationWithinBounds)
+{
+    MemoryUsageTraceGenerator generator(UsageModel{}, 6);
+    const auto job = generator.generateJob(16);
+    EXPECT_EQ(job.utilization.size(), 16u);
+    for (const auto &series : job.utilization)
+        for (const double u : series) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    EXPECT_LE(job.peakUtilization(), 0.97);
+}
+
+TEST(UsageTraces, UsageClassDistribution)
+{
+    UsageModel model;
+    MemoryUsageTraceGenerator generator(model, 7);
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 20000; ++i)
+        ++counts[generator.sampleUsageClass()];
+    EXPECT_NEAR(counts[0] / 20000.0, 0.55, 0.02);
+    EXPECT_NEAR((counts[0] + counts[1]) / 20000.0, 0.80, 0.02);
+}
+
+// --------------------------------------------------------------------
+// Job traces (Grizzly)
+// --------------------------------------------------------------------
+
+TEST(JobTrace, CalibratedToTargetLoad)
+{
+    JobTraceModel model;
+    model.numJobs = 20000;
+    GrizzlyTraceGenerator generator(model, 9);
+    const auto jobs = generator.generate();
+    EXPECT_EQ(jobs.size(), 20000u);
+    EXPECT_TRUE(std::is_sorted(jobs.begin(), jobs.end(),
+                               [](const Job &a, const Job &b) {
+                                   return a.submitSeconds <
+                                          b.submitSeconds;
+                               }));
+    const double offered =
+        traceNodeSeconds(jobs) /
+        (model.systemNodes * model.spanSeconds);
+    EXPECT_NEAR(offered, model.targetUtilization, 0.02);
+    for (const auto &job : jobs) {
+        EXPECT_GE(job.nodes, 1u);
+        EXPECT_GE(job.walltimeSeconds, job.runtimeSeconds);
+        EXPECT_LE(job.usageClass, 2u);
+    }
+}
+
+// --------------------------------------------------------------------
+// Cluster simulator
+// --------------------------------------------------------------------
+
+std::vector<Job>
+smallTrace(std::size_t jobs = 6000, std::uint64_t seed = 11)
+{
+    JobTraceModel model;
+    model.numJobs = jobs;
+    model.spanSeconds = 14.0 * 86400;
+    model.systemNodes = 256;
+    GrizzlyTraceGenerator generator(model, seed);
+    auto trace = generator.generate();
+    // Clamp node counts to the small test system.
+    for (auto &job : trace)
+        job.nodes = std::min(job.nodes, 200u);
+    return trace;
+}
+
+ClusterConfig
+smallCluster(bool hdmr, bool aware)
+{
+    ClusterConfig config;
+    config.nodes = 256;
+    config.heteroDmr = hdmr;
+    config.marginAware = aware;
+    return config;
+}
+
+TEST(ClusterSim, AllJobsComplete)
+{
+    const auto trace = smallTrace();
+    ClusterSimulator sim(smallCluster(false, false));
+    const auto metrics = sim.run(trace);
+    EXPECT_EQ(metrics.jobsCompleted, trace.size());
+    EXPECT_GT(metrics.meanExecSeconds, 0.0);
+    EXPECT_GE(metrics.meanQueueSeconds, 0.0);
+    EXPECT_NEAR(metrics.meanTurnaroundSeconds,
+                metrics.meanExecSeconds + metrics.meanQueueSeconds,
+                1.0);
+}
+
+TEST(ClusterSim, ConventionalExecMatchesTrace)
+{
+    const auto trace = smallTrace();
+    ClusterSimulator sim(smallCluster(false, true));
+    const auto metrics = sim.run(trace);
+    double mean_runtime = 0.0;
+    for (const auto &job : trace)
+        mean_runtime += job.runtimeSeconds;
+    mean_runtime /= static_cast<double>(trace.size());
+    EXPECT_NEAR(metrics.meanExecSeconds, mean_runtime, 1.0);
+}
+
+TEST(ClusterSim, HeteroDmrShortensExecution)
+{
+    const auto trace = smallTrace();
+    const auto base =
+        ClusterSimulator(smallCluster(false, true)).run(trace);
+    const auto hdmr =
+        ClusterSimulator(smallCluster(true, true)).run(trace);
+    EXPECT_LT(hdmr.meanExecSeconds, base.meanExecSeconds);
+    EXPECT_LT(hdmr.meanTurnaroundSeconds, base.meanTurnaroundSeconds);
+    // Only <50 %-usage jobs accelerate; most eligible ones should.
+    EXPECT_GT(hdmr.acceleratedFraction, 0.7);
+}
+
+TEST(ClusterSim, MarginAwareBeatsDefaultScheduler)
+{
+    const auto trace = smallTrace();
+    const auto aware =
+        ClusterSimulator(smallCluster(true, true)).run(trace);
+    const auto unaware =
+        ClusterSimulator(smallCluster(true, false)).run(trace);
+    EXPECT_LT(aware.meanExecSeconds, unaware.meanExecSeconds * 1.001);
+    EXPECT_GT(aware.acceleratedFraction,
+              unaware.acceleratedFraction - 0.02);
+}
+
+TEST(ClusterSim, MoreNodesCutQueueing)
+{
+    const auto trace = smallTrace();
+    auto small = smallCluster(false, false);
+    auto big = small;
+    big.nodes = 300;
+    const auto base = ClusterSimulator(small).run(trace);
+    const auto more = ClusterSimulator(big).run(trace);
+    EXPECT_LT(more.meanQueueSeconds, base.meanQueueSeconds);
+    EXPECT_NEAR(more.meanExecSeconds, base.meanExecSeconds, 1.0);
+}
+
+TEST(ClusterSim, OversizedJobsAreSkippedNotHung)
+{
+    auto trace = smallTrace(100, 13);
+    trace[10].nodes = 100000; // larger than the system
+    ClusterSimulator sim(smallCluster(false, false));
+    const auto metrics = sim.run(trace);
+    EXPECT_EQ(metrics.jobsCompleted, trace.size() - 1);
+}
+
+} // namespace

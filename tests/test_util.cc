@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit and property tests for the util library: RNG determinism and
+ * distribution moments, streaming statistics, percentiles, confidence
+ * intervals, histograms, tables, and unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace hdmr::util;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.uniform();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.normal(10.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stdev(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.exponential(0.5));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge)
+{
+    Rng rng(17);
+    RunningStats small, large;
+    for (int i = 0; i < 100000; ++i) {
+        small.add(static_cast<double>(rng.poisson(3.0)));
+        large.add(static_cast<double>(rng.poisson(120.0)));
+    }
+    EXPECT_NEAR(small.mean(), 3.0, 0.05);
+    EXPECT_NEAR(large.mean(), 120.0, 0.5);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(19);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependent)
+{
+    Rng parent(23);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RunningStats, MeanVarianceKnownValues)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(29);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, ConfidenceIntervalShrinksWithSamples)
+{
+    Rng rng(31);
+    RunningStats few, many;
+    for (int i = 0; i < 100; ++i)
+        few.add(rng.normal(0, 1));
+    for (int i = 0; i < 10000; ++i)
+        many.add(rng.normal(0, 1));
+    EXPECT_GT(few.confidenceHalfWidth(0.99),
+              many.confidenceHalfWidth(0.99));
+}
+
+TEST(Stats, InverseNormalCdfKnownQuantiles)
+{
+    EXPECT_NEAR(inverseNormalCdf(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(inverseNormalCdf(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.995), 2.575829, 1e-4);
+    EXPECT_NEAR(inverseNormalCdf(0.025), -1.959964, 1e-4);
+}
+
+TEST(Stats, PercentileInterpolation)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, GeomeanOfSpeedups)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndFractions)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.total(), 10.0);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(h.binCount(i), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(5.0), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClamped)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.binCount(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCount(4), 1.0);
+}
+
+TEST(Table, RendersAlignedAscii)
+{
+    Table t({"suite", "speedup"});
+    t.row().cell("linpack").cell(1.24, 2);
+    t.row().cell("hpcg").cell(1.19, 2);
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("linpack"), std::string::npos);
+    EXPECT_NE(out.find("1.24"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    Table t({"a", "b"});
+    t.row().cell("x,y").cell("plain");
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+}
+
+TEST(Units, DataRateToTck)
+{
+    EXPECT_EQ(dataRateToTck(3200), 625u);   // 1600 MHz clock
+    EXPECT_EQ(dataRateToTck(2400), 833u);   // 1200 MHz clock
+    EXPECT_EQ(dataRateToTck(4000), 500u);   // 2000 MHz clock
+}
+
+TEST(Units, BurstTicksScalesInversely)
+{
+    EXPECT_EQ(burstTicks(3200), 2500u); // 4 clocks at 625 ps
+    EXPECT_LT(burstTicks(4000), burstTicks(3200));
+}
+
+TEST(Units, TimeConversions)
+{
+    EXPECT_EQ(nsToTicks(13.75), 13750u);
+    EXPECT_EQ(usToTicks(7.8), 7800000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(625), 0.625);
+}
+
+TEST(Units, PeakBandwidth)
+{
+    EXPECT_DOUBLE_EQ(channelPeakBandwidth(3200), 25.6e9);
+}
+
+} // namespace
