@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_heterodmr"
+  "../bench/ablation_heterodmr.pdb"
+  "CMakeFiles/ablation_heterodmr.dir/ablation_heterodmr.cc.o"
+  "CMakeFiles/ablation_heterodmr.dir/ablation_heterodmr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterodmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

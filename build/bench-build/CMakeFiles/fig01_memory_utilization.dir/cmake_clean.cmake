@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_memory_utilization"
+  "../bench/fig01_memory_utilization.pdb"
+  "CMakeFiles/fig01_memory_utilization.dir/fig01_memory_utilization.cc.o"
+  "CMakeFiles/fig01_memory_utilization.dir/fig01_memory_utilization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_memory_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_brand_chips_per_rank.cc" "bench-build/CMakeFiles/fig03_brand_chips_per_rank.dir/fig03_brand_chips_per_rank.cc.o" "gcc" "bench-build/CMakeFiles/fig03_brand_chips_per_rank.dir/fig03_brand_chips_per_rank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/margin/CMakeFiles/hdmr_margin.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

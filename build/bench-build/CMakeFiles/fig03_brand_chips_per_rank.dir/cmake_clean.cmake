@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_brand_chips_per_rank"
+  "../bench/fig03_brand_chips_per_rank.pdb"
+  "CMakeFiles/fig03_brand_chips_per_rank.dir/fig03_brand_chips_per_rank.cc.o"
+  "CMakeFiles/fig03_brand_chips_per_rank.dir/fig03_brand_chips_per_rank.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_brand_chips_per_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_brand_chips_per_rank.
+# This may be replaced when dependencies are built.

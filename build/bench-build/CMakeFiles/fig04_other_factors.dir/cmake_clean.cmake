@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_other_factors"
+  "../bench/fig04_other_factors.pdb"
+  "CMakeFiles/fig04_other_factors.dir/fig04_other_factors.cc.o"
+  "CMakeFiles/fig04_other_factors.dir/fig04_other_factors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_other_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

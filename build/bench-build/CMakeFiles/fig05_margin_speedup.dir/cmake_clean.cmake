@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_margin_speedup"
+  "../bench/fig05_margin_speedup.pdb"
+  "CMakeFiles/fig05_margin_speedup.dir/fig05_margin_speedup.cc.o"
+  "CMakeFiles/fig05_margin_speedup.dir/fig05_margin_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_margin_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_error_rates"
+  "../bench/fig06_error_rates.pdb"
+  "CMakeFiles/fig06_error_rates.dir/fig06_error_rates.cc.o"
+  "CMakeFiles/fig06_error_rates.dir/fig06_error_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_error_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_margin_variability"
+  "../bench/fig11_margin_variability.pdb"
+  "CMakeFiles/fig11_margin_variability.dir/fig11_margin_variability.cc.o"
+  "CMakeFiles/fig11_margin_variability.dir/fig11_margin_variability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_margin_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

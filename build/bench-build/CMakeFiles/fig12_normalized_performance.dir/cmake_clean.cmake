@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_normalized_performance"
+  "../bench/fig12_normalized_performance.pdb"
+  "CMakeFiles/fig12_normalized_performance.dir/fig12_normalized_performance.cc.o"
+  "CMakeFiles/fig12_normalized_performance.dir/fig12_normalized_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_normalized_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_energy_epi"
+  "../bench/fig13_energy_epi.pdb"
+  "CMakeFiles/fig13_energy_epi.dir/fig13_energy_epi.cc.o"
+  "CMakeFiles/fig13_energy_epi.dir/fig13_energy_epi.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_energy_epi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_dram_accesses"
+  "../bench/fig14_dram_accesses.pdb"
+  "CMakeFiles/fig14_dram_accesses.dir/fig14_dram_accesses.cc.o"
+  "CMakeFiles/fig14_dram_accesses.dir/fig14_dram_accesses.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dram_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_silicon_corroboration"
+  "../bench/fig16_silicon_corroboration.pdb"
+  "CMakeFiles/fig16_silicon_corroboration.dir/fig16_silicon_corroboration.cc.o"
+  "CMakeFiles/fig16_silicon_corroboration.dir/fig16_silicon_corroboration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_silicon_corroboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

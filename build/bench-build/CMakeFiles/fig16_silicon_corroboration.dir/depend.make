@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_silicon_corroboration.
+# This may be replaced when dependencies are built.

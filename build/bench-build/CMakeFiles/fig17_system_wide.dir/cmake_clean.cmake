@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_system_wide"
+  "../bench/fig17_system_wide.pdb"
+  "CMakeFiles/fig17_system_wide.dir/fig17_system_wide.cc.o"
+  "CMakeFiles/fig17_system_wide.dir/fig17_system_wide.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_system_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

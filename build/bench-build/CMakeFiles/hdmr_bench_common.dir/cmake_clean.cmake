@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libhdmr_bench_common.a"
+  "../lib/libhdmr_bench_common.pdb"
+  "CMakeFiles/hdmr_bench_common.dir/eval_common.cc.o"
+  "CMakeFiles/hdmr_bench_common.dir/eval_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

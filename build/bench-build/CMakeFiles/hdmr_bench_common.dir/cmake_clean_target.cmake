@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libhdmr_bench_common.a"
+)

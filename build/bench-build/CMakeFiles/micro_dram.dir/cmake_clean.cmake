@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_dram"
+  "../bench/micro_dram.pdb"
+  "CMakeFiles/micro_dram.dir/micro_dram.cc.o"
+  "CMakeFiles/micro_dram.dir/micro_dram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

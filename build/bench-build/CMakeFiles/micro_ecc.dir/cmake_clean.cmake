@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ecc"
+  "../bench/micro_ecc.pdb"
+  "CMakeFiles/micro_ecc.dir/micro_ecc.cc.o"
+  "CMakeFiles/micro_ecc.dir/micro_ecc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_eventqueue"
+  "../bench/micro_eventqueue.pdb"
+  "CMakeFiles/micro_eventqueue.dir/micro_eventqueue.cc.o"
+  "CMakeFiles/micro_eventqueue.dir/micro_eventqueue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_eventqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

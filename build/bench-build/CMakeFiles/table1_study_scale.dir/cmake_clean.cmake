@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_study_scale"
+  "../bench/table1_study_scale.pdb"
+  "CMakeFiles/table1_study_scale.dir/table1_study_scale.cc.o"
+  "CMakeFiles/table1_study_scale.dir/table1_study_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_study_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

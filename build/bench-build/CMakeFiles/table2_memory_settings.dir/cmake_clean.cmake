@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_memory_settings"
+  "../bench/table2_memory_settings.pdb"
+  "CMakeFiles/table2_memory_settings.dir/table2_memory_settings.cc.o"
+  "CMakeFiles/table2_memory_settings.dir/table2_memory_settings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

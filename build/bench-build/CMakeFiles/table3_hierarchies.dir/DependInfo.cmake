@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_hierarchies.cc" "bench-build/CMakeFiles/table3_hierarchies.dir/table3_hierarchies.cc.o" "gcc" "bench-build/CMakeFiles/table3_hierarchies.dir/table3_hierarchies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/node/CMakeFiles/hdmr_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hdmr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hdmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hdmr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hdmr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hdmr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_hierarchies"
+  "../bench/table3_hierarchies.pdb"
+  "CMakeFiles/table3_hierarchies.dir/table3_hierarchies.cc.o"
+  "CMakeFiles/table3_hierarchies.dir/table3_hierarchies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hierarchies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

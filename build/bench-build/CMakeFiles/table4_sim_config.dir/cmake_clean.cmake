@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_sim_config"
+  "../bench/table4_sim_config.pdb"
+  "CMakeFiles/table4_sim_config.dir/table4_sim_config.cc.o"
+  "CMakeFiles/table4_sim_config.dir/table4_sim_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

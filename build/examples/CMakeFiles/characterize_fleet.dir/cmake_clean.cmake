@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_fleet.dir/characterize_fleet.cc.o"
+  "CMakeFiles/characterize_fleet.dir/characterize_fleet.cc.o.d"
+  "characterize_fleet"
+  "characterize_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

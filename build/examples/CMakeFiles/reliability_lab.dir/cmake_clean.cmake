@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_lab.dir/reliability_lab.cc.o"
+  "CMakeFiles/reliability_lab.dir/reliability_lab.cc.o.d"
+  "reliability_lab"
+  "reliability_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("ecc")
+subdirs("margin")
+subdirs("dram")
+subdirs("cache")
+subdirs("workloads")
+subdirs("cpu")
+subdirs("core")
+subdirs("node")
+subdirs("traces")
+subdirs("sched")

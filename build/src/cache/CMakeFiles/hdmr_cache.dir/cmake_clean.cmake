@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_cache.dir/cache.cc.o"
+  "CMakeFiles/hdmr_cache.dir/cache.cc.o.d"
+  "CMakeFiles/hdmr_cache.dir/prefetcher.cc.o"
+  "CMakeFiles/hdmr_cache.dir/prefetcher.cc.o.d"
+  "CMakeFiles/hdmr_cache.dir/writeback_cache.cc.o"
+  "CMakeFiles/hdmr_cache.dir/writeback_cache.cc.o.d"
+  "libhdmr_cache.a"
+  "libhdmr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/epoch_guard.cc" "src/core/CMakeFiles/hdmr_core.dir/epoch_guard.cc.o" "gcc" "src/core/CMakeFiles/hdmr_core.dir/epoch_guard.cc.o.d"
+  "/root/repo/src/core/mode_controller.cc" "src/core/CMakeFiles/hdmr_core.dir/mode_controller.cc.o" "gcc" "src/core/CMakeFiles/hdmr_core.dir/mode_controller.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/hdmr_core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/hdmr_core.dir/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hdmr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hdmr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hdmr_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_core.dir/epoch_guard.cc.o"
+  "CMakeFiles/hdmr_core.dir/epoch_guard.cc.o.d"
+  "CMakeFiles/hdmr_core.dir/mode_controller.cc.o"
+  "CMakeFiles/hdmr_core.dir/mode_controller.cc.o.d"
+  "CMakeFiles/hdmr_core.dir/replication.cc.o"
+  "CMakeFiles/hdmr_core.dir/replication.cc.o.d"
+  "libhdmr_core.a"
+  "libhdmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

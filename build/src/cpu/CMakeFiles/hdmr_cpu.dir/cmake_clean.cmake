@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_cpu.dir/core.cc.o"
+  "CMakeFiles/hdmr_cpu.dir/core.cc.o.d"
+  "libhdmr_cpu.a"
+  "libhdmr_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

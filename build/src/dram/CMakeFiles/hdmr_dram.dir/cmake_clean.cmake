@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_dram.dir/address_map.cc.o"
+  "CMakeFiles/hdmr_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/hdmr_dram.dir/controller.cc.o"
+  "CMakeFiles/hdmr_dram.dir/controller.cc.o.d"
+  "CMakeFiles/hdmr_dram.dir/timing.cc.o"
+  "CMakeFiles/hdmr_dram.dir/timing.cc.o.d"
+  "libhdmr_dram.a"
+  "libhdmr_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

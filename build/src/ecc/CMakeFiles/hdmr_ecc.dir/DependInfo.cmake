@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bamboo.cc" "src/ecc/CMakeFiles/hdmr_ecc.dir/bamboo.cc.o" "gcc" "src/ecc/CMakeFiles/hdmr_ecc.dir/bamboo.cc.o.d"
+  "/root/repo/src/ecc/error_inject.cc" "src/ecc/CMakeFiles/hdmr_ecc.dir/error_inject.cc.o" "gcc" "src/ecc/CMakeFiles/hdmr_ecc.dir/error_inject.cc.o.d"
+  "/root/repo/src/ecc/gf256.cc" "src/ecc/CMakeFiles/hdmr_ecc.dir/gf256.cc.o" "gcc" "src/ecc/CMakeFiles/hdmr_ecc.dir/gf256.cc.o.d"
+  "/root/repo/src/ecc/reed_solomon.cc" "src/ecc/CMakeFiles/hdmr_ecc.dir/reed_solomon.cc.o" "gcc" "src/ecc/CMakeFiles/hdmr_ecc.dir/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hdmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_ecc.dir/bamboo.cc.o"
+  "CMakeFiles/hdmr_ecc.dir/bamboo.cc.o.d"
+  "CMakeFiles/hdmr_ecc.dir/error_inject.cc.o"
+  "CMakeFiles/hdmr_ecc.dir/error_inject.cc.o.d"
+  "CMakeFiles/hdmr_ecc.dir/gf256.cc.o"
+  "CMakeFiles/hdmr_ecc.dir/gf256.cc.o.d"
+  "CMakeFiles/hdmr_ecc.dir/reed_solomon.cc.o"
+  "CMakeFiles/hdmr_ecc.dir/reed_solomon.cc.o.d"
+  "libhdmr_ecc.a"
+  "libhdmr_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdmr_ecc.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/margin/error_model.cc" "src/margin/CMakeFiles/hdmr_margin.dir/error_model.cc.o" "gcc" "src/margin/CMakeFiles/hdmr_margin.dir/error_model.cc.o.d"
+  "/root/repo/src/margin/module.cc" "src/margin/CMakeFiles/hdmr_margin.dir/module.cc.o" "gcc" "src/margin/CMakeFiles/hdmr_margin.dir/module.cc.o.d"
+  "/root/repo/src/margin/monte_carlo.cc" "src/margin/CMakeFiles/hdmr_margin.dir/monte_carlo.cc.o" "gcc" "src/margin/CMakeFiles/hdmr_margin.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/margin/population.cc" "src/margin/CMakeFiles/hdmr_margin.dir/population.cc.o" "gcc" "src/margin/CMakeFiles/hdmr_margin.dir/population.cc.o.d"
+  "/root/repo/src/margin/profiler.cc" "src/margin/CMakeFiles/hdmr_margin.dir/profiler.cc.o" "gcc" "src/margin/CMakeFiles/hdmr_margin.dir/profiler.cc.o.d"
+  "/root/repo/src/margin/study.cc" "src/margin/CMakeFiles/hdmr_margin.dir/study.cc.o" "gcc" "src/margin/CMakeFiles/hdmr_margin.dir/study.cc.o.d"
+  "/root/repo/src/margin/test_machine.cc" "src/margin/CMakeFiles/hdmr_margin.dir/test_machine.cc.o" "gcc" "src/margin/CMakeFiles/hdmr_margin.dir/test_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hdmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_margin.dir/error_model.cc.o"
+  "CMakeFiles/hdmr_margin.dir/error_model.cc.o.d"
+  "CMakeFiles/hdmr_margin.dir/module.cc.o"
+  "CMakeFiles/hdmr_margin.dir/module.cc.o.d"
+  "CMakeFiles/hdmr_margin.dir/monte_carlo.cc.o"
+  "CMakeFiles/hdmr_margin.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/hdmr_margin.dir/population.cc.o"
+  "CMakeFiles/hdmr_margin.dir/population.cc.o.d"
+  "CMakeFiles/hdmr_margin.dir/profiler.cc.o"
+  "CMakeFiles/hdmr_margin.dir/profiler.cc.o.d"
+  "CMakeFiles/hdmr_margin.dir/study.cc.o"
+  "CMakeFiles/hdmr_margin.dir/study.cc.o.d"
+  "CMakeFiles/hdmr_margin.dir/test_machine.cc.o"
+  "CMakeFiles/hdmr_margin.dir/test_machine.cc.o.d"
+  "libhdmr_margin.a"
+  "libhdmr_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

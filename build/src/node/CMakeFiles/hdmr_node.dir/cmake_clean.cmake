@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_node.dir/config.cc.o"
+  "CMakeFiles/hdmr_node.dir/config.cc.o.d"
+  "CMakeFiles/hdmr_node.dir/energy.cc.o"
+  "CMakeFiles/hdmr_node.dir/energy.cc.o.d"
+  "CMakeFiles/hdmr_node.dir/node_system.cc.o"
+  "CMakeFiles/hdmr_node.dir/node_system.cc.o.d"
+  "CMakeFiles/hdmr_node.dir/runner.cc.o"
+  "CMakeFiles/hdmr_node.dir/runner.cc.o.d"
+  "libhdmr_node.a"
+  "libhdmr_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

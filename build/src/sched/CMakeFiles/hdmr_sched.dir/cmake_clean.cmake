@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_sched.dir/cluster_sim.cc.o"
+  "CMakeFiles/hdmr_sched.dir/cluster_sim.cc.o.d"
+  "libhdmr_sched.a"
+  "libhdmr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hdmr_sim.dir/event_queue.cc.o.d"
+  "libhdmr_sim.a"
+  "libhdmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_traces.dir/job_trace.cc.o"
+  "CMakeFiles/hdmr_traces.dir/job_trace.cc.o.d"
+  "CMakeFiles/hdmr_traces.dir/memory_usage.cc.o"
+  "CMakeFiles/hdmr_traces.dir/memory_usage.cc.o.d"
+  "libhdmr_traces.a"
+  "libhdmr_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_util.dir/logging.cc.o"
+  "CMakeFiles/hdmr_util.dir/logging.cc.o.d"
+  "CMakeFiles/hdmr_util.dir/rng.cc.o"
+  "CMakeFiles/hdmr_util.dir/rng.cc.o.d"
+  "CMakeFiles/hdmr_util.dir/stats.cc.o"
+  "CMakeFiles/hdmr_util.dir/stats.cc.o.d"
+  "CMakeFiles/hdmr_util.dir/table.cc.o"
+  "CMakeFiles/hdmr_util.dir/table.cc.o.d"
+  "libhdmr_util.a"
+  "libhdmr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdmr_workloads.dir/hpc_workloads.cc.o"
+  "CMakeFiles/hdmr_workloads.dir/hpc_workloads.cc.o.d"
+  "libhdmr_workloads.a"
+  "libhdmr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdmr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

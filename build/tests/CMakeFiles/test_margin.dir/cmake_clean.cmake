@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_margin.dir/test_margin.cc.o"
+  "CMakeFiles/test_margin.dir/test_margin.cc.o.d"
+  "test_margin"
+  "test_margin.pdb"
+  "test_margin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/hdmr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/margin/CMakeFiles/hdmr_margin.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hdmr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/hdmr_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hdmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hdmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
