@@ -10,8 +10,11 @@
 #include <cstdio>
 
 #include "core/epoch_guard.hh"
+#include "core/mode_controller.hh"
 #include "ecc/bamboo.hh"
 #include "ecc/error_inject.hh"
+#include "fault/campaign.hh"
+#include "fault/injector.hh"
 #include "util/rng.hh"
 
 int
@@ -76,5 +79,49 @@ main()
     std::printf("epoch error budget for a 1e9-year MTT-SDC: %llu "
                 "errors/hour (paper: ~2,100,000)\n",
                 static_cast<unsigned long long>(guard.errorThreshold()));
+
+    // 5. When the margin assumption itself breaks: a seeded fault
+    //    campaign delivers UEs to a channel whose quarantine policy
+    //    demotes it 200 MT/s per recovery event until it is parked at
+    //    specification for good.
+    sim::EventQueue events;
+    core::ModeControllerConfig mc_config;
+    mc_config.specSetting = dram::MemorySetting::manufacturerSpec();
+    mc_config.fastSetting = dram::MemorySetting::exploitFreqLatMargins();
+    mc_config.plan = core::ReplicationManager::planChannel(
+        core::ReplicationMode::kHeteroDmr);
+    mc_config.quarantine.demoteAfterRecoveries = 2;
+    auto cc = core::ModeController::buildControllerConfig(mc_config, 1);
+    dram::MemoryController controller(events, cc);
+    core::ModeController mode(events, controller, nullptr,
+                              [](std::uint64_t) { return true; },
+                              mc_config);
+
+    fault::CampaignConfig campaign;
+    campaign.intensity = 1.0;
+    campaign.horizonSeconds = 1.0e-3; // a short, violent demo window
+    campaign.uncorrectablePerHour = 4.0e7;
+    campaign.burstsPerHour = 2.0e7;
+    fault::NodeFaultInjector injector(events, {&mode});
+    injector.arm(fault::FaultCampaign(campaign).schedule());
+
+    std::printf("\nfault campaign vs one channel (demote after 2 "
+                "recoveries):\n  fast setting before: %u MT/s\n",
+                mode.fastRateMts());
+    events.run();
+    std::printf("  injected %llu faults (%llu UEs) -> %llu demotions, "
+                "%llu quarantine\n",
+                static_cast<unsigned long long>(
+                    injector.accounting().injected),
+                static_cast<unsigned long long>(
+                    injector.accounting().uncorrectable),
+                static_cast<unsigned long long>(mode.stats().demotions),
+                static_cast<unsigned long long>(
+                    mode.stats().quarantines));
+    std::printf("  fast setting after: %u MT/s (%s)\n",
+                mode.fastRateMts(),
+                mode.quarantined() ? "quarantined - never runs fast "
+                                     "again"
+                                   : "still exploiting margin");
     return 0;
 }

@@ -40,10 +40,17 @@ struct EpochGuardConfig
     errorThreshold() const
     {
         // 2^64 detected 8B+ errors per escape, spread over the MTTSDC
-        // expressed in (epoch-length) hours.
+        // expressed in *epochs*: a half-hour epoch gets half the
+        // hourly budget, a two-hour epoch twice, so the target MTT-SDC
+        // holds for any epoch length (the paper's 2.1e6/hour is the
+        // one-hour instance).
         const double escapes_per_sdc = 18446744073709551616.0;
         const double hours = mttSdcYears * 365.25 * 24.0;
-        return static_cast<std::uint64_t>(escapes_per_sdc / hours);
+        const double epoch_hours =
+            static_cast<double>(epochLength) /
+            static_cast<double>(3600ull * util::kTicksPerSec);
+        return static_cast<std::uint64_t>(escapes_per_sdc / hours *
+                                          epoch_hours);
     }
 };
 

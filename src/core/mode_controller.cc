@@ -1,6 +1,7 @@
 #include "core/mode_controller.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -27,6 +28,8 @@ ModeController::buildControllerConfig(const ModeControllerConfig &config,
     cc.selfRefreshRankMask = config.plan.selfRefreshMask;
     cc.readErrorProbability =
         config.plan.fastReads ? config.readErrorProbability : 0.0;
+    cc.recoveryFailureProbability =
+        config.plan.fastReads ? config.recoveryFailureProbability : 0.0;
     cc.errorRecoveryLatency = config.errorRecoveryLatency;
     // Hetero-DMR drains its whole batch once it pays the transition.
     cc.writeDrainLow = config.plan.fastReads ? 0 : 16;
@@ -52,6 +55,7 @@ ModeController::ModeController(
     hooks.onWriteModeEnter = [this] { onWriteModeEnter(); };
     hooks.onWriteModeExit = [this] { onWriteModeExit(); };
     hooks.onReadError = [this] { onReadError(); };
+    hooks.onUncorrectableError = [this] { onUncorrectableError(); };
     controller_.setHooks(std::move(hooks));
 
     if (config_.plan.rankPolicy.readCandidates ||
@@ -169,12 +173,158 @@ ModeController::onWriteModeExit()
     cleanBudget_ = 0;
 }
 
+ModeControllerConfig
+ModeController::activeConfig() const
+{
+    ModeControllerConfig active = config_;
+    active.readErrorProbability = std::min(
+        1.0, active.readErrorProbability * ambientMultiplier_);
+    return active;
+}
+
+void
+ModeController::applyReconfiguration()
+{
+    controller_.reconfigure(buildControllerConfig(activeConfig(), 1));
+    controller_.setSelfRefreshMask(config_.plan.selfRefreshMask);
+    // Reconfiguration latches at a mode transition; force one so the
+    // new operating point takes effect now, not at the next drain.
+    controller_.requestWriteMode();
+}
+
+void
+ModeController::countRecoveryEvent()
+{
+    ++recoveryEventsSinceDemotion_;
+    const unsigned k = config_.quarantine.demoteAfterRecoveries;
+    if (k > 0 && recoveryEventsSinceDemotion_ >= k)
+        demote();
+}
+
 void
 ModeController::onReadError()
 {
     ++stats_.corrections;
     if (guard_.recordError(events_.curTick()))
         disableFastOperation();
+    countRecoveryEvent();
+}
+
+void
+ModeController::onUncorrectableError()
+{
+    ++stats_.uncorrectedErrors;
+    if (onUncorrectable_)
+        onUncorrectable_();
+    countRecoveryEvent();
+}
+
+void
+ModeController::injectDetectedErrors(std::uint64_t count)
+{
+    if (!fastEnabled_)
+        return; // at specification: no fast reads, no fast-read errors
+    for (std::uint64_t i = 0; i < count && fastEnabled_; ++i)
+        onReadError();
+}
+
+void
+ModeController::injectUncorrectable()
+{
+    onUncorrectableError();
+}
+
+void
+ModeController::applyMarginDrift(unsigned mts)
+{
+    if (!config_.plan.fastReads || quarantined_ || mts == 0)
+        return;
+    stats_.marginDriftMts += mts;
+    const double steps =
+        static_cast<double>(mts) /
+        static_cast<double>(config_.quarantine.demoteStepMts);
+    const double floor = config_.quarantine.driftFloorErrorProbability;
+    config_.readErrorProbability =
+        std::min(1.0, std::max(config_.readErrorProbability, floor) *
+                          std::pow(
+                              config_.quarantine.driftErrorGrowthPerStep,
+                              steps));
+    if (fastEnabled_)
+        applyReconfiguration();
+}
+
+void
+ModeController::setAmbientErrorMultiplier(double factor)
+{
+    if (!config_.plan.fastReads || quarantined_)
+        return;
+    ambientMultiplier_ = factor;
+    if (fastEnabled_)
+        applyReconfiguration();
+}
+
+void
+ModeController::demote()
+{
+    if (quarantined_ || !config_.plan.fastReads)
+        return;
+    ++stats_.demotions;
+    recoveryEventsSinceDemotion_ = 0;
+
+    const unsigned spec = config_.specSetting.dataRateMts;
+    const unsigned step = config_.quarantine.demoteStepMts;
+    if (config_.fastSetting.dataRateMts <= spec + step) {
+        // Out of exploitable margin: permanent quarantine at spec.
+        ++stats_.quarantines;
+        config_.fastSetting = config_.specSetting;
+        config_.readErrorProbability = 0.0;
+        suspendFastOperation(0, /*permanent=*/true);
+        return;
+    }
+    config_.fastSetting.dataRateMts -= step;
+    // One step less overshoot: errors shrink by the margin model's
+    // per-step growth factor.
+    config_.readErrorProbability *=
+        config_.quarantine.demotionErrorFactor;
+    stats_.reprofileTicks += config_.quarantine.reprofileDowntime;
+    suspendFastOperation(events_.curTick() +
+                             config_.quarantine.reprofileDowntime,
+                         /*permanent=*/false);
+}
+
+void
+ModeController::suspendFastOperation(Tick resume_at, bool permanent)
+{
+    if (permanent)
+        quarantined_ = true;
+
+    if (fastEnabled_) {
+        fastEnabled_ = false;
+        fastDisabledAt_ = events_.curTick();
+
+        // Fall back to specification: same timing in both modes, no
+        // error injection, originals active.
+        ModeControllerConfig safe = config_;
+        safe.fastSetting = config_.specSetting;
+        safe.readErrorProbability = 0.0;
+        safe.recoveryFailureProbability = 0.0;
+        safe.plan.fastReads = false;
+        safe.plan.selfRefreshMask = 0;
+        controller_.reconfigure(buildControllerConfig(safe, 1));
+        controller_.setSelfRefreshMask(0);
+        // Force a mode transition so the slow-down happens
+        // immediately, not at the next write drain.
+        controller_.requestWriteMode();
+    }
+
+    if (quarantined_) {
+        if (reenableEvent_.scheduled())
+            events_.deschedule(&reenableEvent_);
+        return;
+    }
+    // Extend, never shorten, a pending suspension.
+    if (!reenableEvent_.scheduled() || reenableEvent_.when() < resume_at)
+        events_.reschedule(&reenableEvent_, resume_at);
 }
 
 void
@@ -182,35 +332,38 @@ ModeController::disableFastOperation()
 {
     if (!fastEnabled_)
         return;
-    fastEnabled_ = false;
-    fastDisabledAt_ = events_.curTick();
     ++stats_.epochTrips;
 
-    // Fall back to specification for the rest of the epoch: same
-    // timing in both modes, no error injection, originals active.
-    ModeControllerConfig safe = config_;
-    safe.fastSetting = config_.specSetting;
-    safe.readErrorProbability = 0.0;
-    safe.plan.fastReads = false;
-    safe.plan.selfRefreshMask = 0;
-    controller_.reconfigure(buildControllerConfig(safe, 1));
-    controller_.setSelfRefreshMask(0);
-    // Reconfiguration latches at a mode transition; force one now so
-    // the slow-down happens immediately, not at the next write drain.
-    controller_.requestWriteMode();
+    // Trip-streak accounting for the quarantine policy: consecutive
+    // tripped epochs mean the channel's profiled margin is wrong, not
+    // merely unlucky.
+    const std::uint64_t epoch =
+        events_.curTick() / config_.epochConfig.epochLength;
+    tripStreak_ =
+        (lastTripEpoch_ != ~std::uint64_t(0) &&
+         epoch == lastTripEpoch_ + 1)
+            ? tripStreak_ + 1
+            : 1;
+    lastTripEpoch_ = epoch;
 
-    const Tick epoch_end = guard_.epochEnd(events_.curTick());
-    events_.reschedule(&reenableEvent_, epoch_end);
+    suspendFastOperation(guard_.epochEnd(events_.curTick()),
+                         /*permanent=*/false);
+
+    const unsigned streak_limit = config_.quarantine.demoteAfterTripStreak;
+    if (streak_limit > 0 && tripStreak_ >= streak_limit) {
+        tripStreak_ = 0;
+        demote();
+    }
 }
 
 void
 ModeController::reenableFastOperation()
 {
-    if (fastEnabled_ || !config_.plan.fastReads)
+    if (fastEnabled_ || !config_.plan.fastReads || quarantined_)
         return;
     fastEnabled_ = true;
     stats_.fastDisabledTicks += events_.curTick() - fastDisabledAt_;
-    controller_.reconfigure(buildControllerConfig(config_, 1));
+    controller_.reconfigure(buildControllerConfig(activeConfig(), 1));
     controller_.setSelfRefreshMask(config_.plan.selfRefreshMask);
 }
 

@@ -33,6 +33,39 @@
 namespace hdmr::core
 {
 
+/**
+ * Module-quarantine / margin-demotion policy (fault-tolerance layer).
+ *
+ * A channel whose margin assumption turns out to be wrong - evidenced
+ * by repeated recovery events or by the SDC epoch guard tripping in
+ * consecutive epochs - is *demoted*: its fast setting is permanently
+ * lowered one 200 MT/s step (with a modelled re-profiling downtime),
+ * and once the fast setting reaches specification the channel is
+ * *quarantined*: it never runs fast again.  Both triggers default to
+ * disabled (0), in which case behaviour is identical to the seed.
+ */
+struct QuarantinePolicy
+{
+    /** Demote after this many recovery/UE events; 0 disables. */
+    unsigned demoteAfterRecoveries = 0;
+    /** Demote after this many consecutive tripped epochs; 0 disables. */
+    unsigned demoteAfterTripStreak = 0;
+    /** Fast-setting reduction per demotion. */
+    unsigned demoteStepMts = 200;
+    /**
+     * Error-probability scale per demotion step: one step less
+     * overshoot divides the error rate by roughly the margin model's
+     * per-step growth factor (ErrorModelParams::growthPerStep).
+     */
+    double demotionErrorFactor = 1.0 / 30.0;
+    /** Error-probability growth per 200 MT/s of margin *drift*. */
+    double driftErrorGrowthPerStep = 30.0;
+    /** Error probability a drifting but previously clean channel gets. */
+    double driftFloorErrorProbability = 1.0e-8;
+    /** Downtime modelling the re-profiling sweep after a demotion. */
+    util::Tick reprofileDowntime = 100 * util::kTicksPerUs;
+};
+
 /** Mode-controller configuration. */
 struct ModeControllerConfig
 {
@@ -56,6 +89,10 @@ struct ModeControllerConfig
     double readErrorProbability = 0.0;
     /** Cost of the slow-down/read-original/overwrite recovery flow. */
     util::Tick errorRecoveryLatency = 2200000;
+    /** Probability the recovery read of the original also fails (UE). */
+    double recoveryFailureProbability = 0.0;
+    /** Quarantine / margin-demotion policy. */
+    QuarantinePolicy quarantine;
     /** Victim write-back cache geometry. */
     cache::WritebackCacheConfig writebackCacheConfig;
     /** Epoch-guard parameters. */
@@ -70,8 +107,13 @@ struct ModeControllerStats
     std::uint64_t dirtyEvictions = 0;
     std::uint64_t cleanedLines = 0;
     std::uint64_t corrections = 0; ///< detected errors recovered
+    std::uint64_t uncorrectedErrors = 0; ///< recoveries that failed (UEs)
     std::uint64_t epochTrips = 0;
     std::uint64_t fastDisabledTicks = 0;
+    std::uint64_t demotions = 0;     ///< fast setting permanently lowered
+    std::uint64_t quarantines = 0;   ///< demoted all the way to spec
+    std::uint64_t marginDriftMts = 0; ///< injected drift absorbed
+    util::Tick reprofileTicks = 0;   ///< modelled re-profiling downtime
 };
 
 /** The per-channel mode controller / write path. */
@@ -104,6 +146,46 @@ class ModeController
     const cache::WritebackCache &writebackCache() const { return wbCache_; }
     const EpochGuard &epochGuard() const { return guard_; }
     bool fastOperationEnabled() const { return fastEnabled_; }
+    bool quarantined() const { return quarantined_; }
+    /** Current (possibly demoted) fast-setting data rate. */
+    unsigned fastRateMts() const { return config_.fastSetting.dataRateMts; }
+
+    /** Handler for uncorrectable errors (job kill at the node layer). */
+    void
+    setUncorrectableHandler(std::function<void()> handler)
+    {
+        onUncorrectable_ = std::move(handler);
+    }
+
+    // ---- Fault-injection surface (fault::NodeFaultInjector). ----
+
+    /**
+     * Deliver a burst of detected errors (an intermittent module
+     * episode): each error is charged to the recovery flow and the SDC
+     * epoch guard exactly like an organically detected one.  Ignored
+     * while the channel is not running fast (no fast reads, no fast
+     * read errors).
+     */
+    void injectDetectedErrors(std::uint64_t count);
+
+    /** Deliver one uncorrectable error directly. */
+    void injectUncorrectable();
+
+    /**
+     * Erode the channel's margin by `mts`: the same fast setting now
+     * overshoots the (drifted) stable rate, so the error probability
+     * grows per the margin model's per-step factor.
+     */
+    void applyMarginDrift(unsigned mts);
+
+    /**
+     * Scale the fast-read error probability by `factor` (45 degC
+     * temperature excursion: ~4x; 1.0 restores nominal conditions).
+     */
+    void setAmbientErrorMultiplier(double factor);
+
+    /** Demote one step now (external policy decision). */
+    void demote();
 
     /** The controller configuration this mode controller installs. */
     static dram::ControllerConfig
@@ -115,9 +197,23 @@ class ModeController
     void onWriteModeEnter();
     void onWriteModeExit();
     void onReadError();
+    void onUncorrectableError();
+    void countRecoveryEvent();
     void disableFastOperation();
     void reenableFastOperation();
     void enqueueWriteNow(std::uint64_t address);
+
+    /** config_ with transient (ambient) adjustments applied. */
+    ModeControllerConfig activeConfig() const;
+
+    /**
+     * Drop to specification until `resume_at` (or forever when
+     * `permanent`); extends but never shortens a pending suspension.
+     */
+    void suspendFastOperation(util::Tick resume_at, bool permanent);
+
+    /** Push the current active config into the memory controller. */
+    void applyReconfiguration();
 
     sim::EventQueue &events_;
     dram::MemoryController &controller_;
@@ -129,7 +225,13 @@ class ModeController
     std::deque<std::uint64_t> overflow_; ///< victim-cache spill
     std::size_t cleanBudget_ = 0;
     bool fastEnabled_ = false;
+    bool quarantined_ = false;
     util::Tick fastDisabledAt_ = 0;
+    double ambientMultiplier_ = 1.0;
+    std::uint64_t recoveryEventsSinceDemotion_ = 0;
+    std::uint64_t lastTripEpoch_ = ~std::uint64_t(0);
+    unsigned tripStreak_ = 0;
+    std::function<void()> onUncorrectable_;
 
     sim::CallbackEvent reenableEvent_;
     EpochGuard guard_;

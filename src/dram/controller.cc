@@ -458,6 +458,15 @@ MemoryController::issueRead(std::size_t queue_index)
             hooks_.onReadError();
         complete += config_.errorRecoveryLatency;
         busFreeAt_ += config_.errorRecoveryLatency;
+        // The recovery flow slowed the channel down and re-read the
+        // original; with margin assumptions violated (drift, heat),
+        // that read may itself be corrupt - an uncorrectable error.
+        if (config_.recoveryFailureProbability > 0.0 &&
+            rng_.bernoulli(config_.recoveryFailureProbability)) {
+            ++stats_.uncorrectableErrors;
+            if (hooks_.onUncorrectableError)
+                hooks_.onUncorrectableError();
+        }
     }
 
     ++stats_.reads;

@@ -106,6 +106,14 @@ struct ControllerConfig
     double readErrorProbability = 0.0;
     /** Channel-blocking penalty of the error-correction flow. */
     util::Tick errorRecoveryLatency = 2200000; ///< ~2.2 us
+    /**
+     * Probability that the recovery flow *also* fails (the slowed-down
+     * read of the original returns corrupt data): the detected error
+     * becomes an uncorrectable error surfaced through the
+     * onUncorrectableError hook instead of being silently absorbed as
+     * recovery latency.
+     */
+    double recoveryFailureProbability = 0.0;
     std::uint64_t seed = 1;
 };
 
@@ -122,6 +130,7 @@ struct ControllerStats
     std::uint64_t activates = 0;
     std::uint64_t refreshes = 0;
     std::uint64_t readErrors = 0;      ///< injected detected errors
+    std::uint64_t uncorrectableErrors = 0; ///< failed recoveries (UEs)
     std::uint64_t writeModeEntries = 0;
     util::Tick busBusyTicks = 0;
     util::Tick writeModeTicks = 0;
@@ -150,6 +159,12 @@ struct ControllerHooks
     std::function<void()> onWriteModeEnter;
     /** Called for every injected read error (epoch accounting). */
     std::function<void()> onReadError;
+    /**
+     * Called when the recovery read of the original also fails: the
+     * data is lost as far as this channel is concerned and upstream
+     * (mode controller, node, cluster) must degrade gracefully.
+     */
+    std::function<void()> onUncorrectableError;
     /**
      * While in write mode with queue space, the controller asks
      * upstream for more writes (victim-cache drain, LLC cleaning).

@@ -1,0 +1,144 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hh"
+
+namespace hdmr::fault
+{
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kTransientUncorrectable:
+        return "transient-UE";
+      case FaultKind::kErrorBurst:
+        return "error-burst";
+      case FaultKind::kMarginDrift:
+        return "margin-drift";
+      case FaultKind::kTemperatureExcursion:
+        return "temp-excursion";
+      case FaultKind::kNodeFailure:
+        return "node-failure";
+      case FaultKind::kGroupDemotion:
+        return "group-demotion";
+    }
+    return "unknown";
+}
+
+FaultCampaign::FaultCampaign(CampaignConfig config) : config_(config)
+{
+}
+
+namespace
+{
+
+/** SplitMix64 finalizer: decorrelates structured (seed, id) inputs. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Append one kind's Poisson arrivals.  Each kind derives its RNG from
+ * (seed, kind), so the streams are independent and a kind's schedule
+ * is invariant under changes to the other kinds' rates.
+ */
+void
+appendArrivals(std::vector<FaultEvent> &events,
+               const CampaignConfig &config, FaultKind kind,
+               double base_per_hour)
+{
+    const double rate = config.ratePerSecond(base_per_hour);
+    if (rate <= 0.0 || config.horizonSeconds <= 0.0)
+        return;
+
+    util::Rng rng(mix(config.seed ^
+                      (static_cast<std::uint64_t>(kind) + 1) *
+                          0x100000001b3ULL));
+    double t = 0.0;
+    while (true) {
+        t += rng.exponential(rate);
+        if (t >= config.horizonSeconds)
+            break;
+
+        FaultEvent ev;
+        ev.atSeconds = t;
+        ev.kind = kind;
+        ev.target = config.targets <= 1
+                        ? 0
+                        : static_cast<unsigned>(
+                              rng.uniformInt(0, config.targets - 1));
+        switch (kind) {
+          case FaultKind::kErrorBurst:
+            // 1 + Poisson keeps bursts non-empty at small means.
+            ev.magnitude = 1.0 + static_cast<double>(rng.poisson(
+                                     config.burstErrorsMean));
+            break;
+          case FaultKind::kMarginDrift:
+            ev.magnitude = config.driftStepMts;
+            break;
+          case FaultKind::kTemperatureExcursion:
+            ev.durationSeconds =
+                rng.exponential(1.0 / config.excursionMeanSeconds);
+            break;
+          default:
+            break;
+        }
+        events.push_back(ev);
+    }
+}
+
+} // namespace
+
+std::vector<FaultEvent>
+FaultCampaign::schedule() const
+{
+    std::vector<FaultEvent> events;
+    if (!config_.enabled())
+        return events;
+
+    appendArrivals(events, config_, FaultKind::kTransientUncorrectable,
+                   config_.uncorrectablePerHour);
+    appendArrivals(events, config_, FaultKind::kErrorBurst,
+                   config_.burstsPerHour);
+    appendArrivals(events, config_, FaultKind::kMarginDrift,
+                   config_.driftEventsPerHour);
+    appendArrivals(events, config_, FaultKind::kTemperatureExcursion,
+                   config_.excursionsPerHour);
+    appendArrivals(events, config_, FaultKind::kNodeFailure,
+                   config_.nodeFailuresPerHour);
+    appendArrivals(events, config_, FaultKind::kGroupDemotion,
+                   config_.demotionsPerHour);
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.atSeconds < b.atSeconds;
+                     });
+    return events;
+}
+
+double
+FaultCampaign::killTimeSeconds(std::uint64_t seed, unsigned job_id,
+                               unsigned attempt, double rate_per_second)
+{
+    if (rate_per_second <= 0.0)
+        return std::numeric_limits<double>::infinity();
+
+    // One uniform draw per (job, attempt); the inverse exponential CDF
+    // maps it to a kill time at whatever rate the caller is sweeping.
+    util::Rng rng(mix(seed ^ mix((static_cast<std::uint64_t>(job_id)
+                                  << 20) +
+                                 attempt)));
+    const double u = rng.uniform(); // in [0, 1)
+    return -std::log1p(-u) / rate_per_second;
+}
+
+} // namespace hdmr::fault

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic, seeded fault-injection campaign engine.
+ *
+ * A campaign is a *schedule*: given per-kind base rates, a global
+ * intensity knob, a target count and a horizon, it expands into a
+ * time-sorted list of FaultEvents via independent Poisson processes
+ * (one forked RNG stream per kind, so enabling one fault kind never
+ * perturbs the arrival times of another).  Intensity 0 produces an
+ * empty schedule and touches no RNG at all - a zero campaign is
+ * bit-identical to not having the subsystem.
+ *
+ * Job-killing UEs at the cluster layer use killTimeSeconds() instead
+ * of the schedule: each (job, attempt) pair owns one uniform draw that
+ * is mapped through the exponential inverse CDF at the current rate.
+ * Realizations are therefore *nested* across intensities - raising the
+ * fault rate can only move every kill earlier, never un-kill a job -
+ * which makes "speedup retained vs fault rate" sweeps monotone by
+ * construction instead of by luck.
+ */
+
+#ifndef HDMR_FAULT_CAMPAIGN_HH
+#define HDMR_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hh"
+
+namespace hdmr::fault
+{
+
+/** Campaign parameters.  Rates are per target per hour at intensity 1. */
+struct CampaignConfig
+{
+    /** Global fault-rate scale; 0 disables the campaign entirely. */
+    double intensity = 0.0;
+    std::uint64_t seed = 0xfa17u;
+    /** Schedule horizon in seconds. */
+    double horizonSeconds = 4.0 * 30 * 24 * 3600.0;
+    /** Number of targets (channels or nodes) faults spread over. */
+    unsigned targets = 1;
+
+    // Base event rates, per target-hour, at intensity 1.0.
+    double uncorrectablePerHour = 0.0;
+    double burstsPerHour = 0.0;
+    double driftEventsPerHour = 0.0;
+    double excursionsPerHour = 0.0;
+    double nodeFailuresPerHour = 0.0;
+    double demotionsPerHour = 0.0;
+
+    // Magnitudes.
+    double burstErrorsMean = 50.0;      ///< detected errors per burst
+    double driftStepMts = 200.0;        ///< stable-rate loss per event
+    double excursionMeanSeconds = 1800.0; ///< mean 45 degC window
+
+    bool
+    enabled() const
+    {
+        return intensity > 0.0 &&
+               (uncorrectablePerHour > 0.0 || burstsPerHour > 0.0 ||
+                driftEventsPerHour > 0.0 || excursionsPerHour > 0.0 ||
+                nodeFailuresPerHour > 0.0 || demotionsPerHour > 0.0);
+    }
+
+    /** Effective aggregate rate for one kind, per second, all targets. */
+    double
+    ratePerSecond(double base_per_hour) const
+    {
+        return intensity * base_per_hour *
+               static_cast<double>(targets) / 3600.0;
+    }
+};
+
+/** Expands a CampaignConfig into a deterministic fault schedule. */
+class FaultCampaign
+{
+  public:
+    explicit FaultCampaign(CampaignConfig config);
+
+    /**
+     * The full schedule, sorted by time (stable across kinds).  Same
+     * config => same schedule, bit for bit.
+     */
+    std::vector<FaultEvent> schedule() const;
+
+    /**
+     * Time to the job-killing UE for (job, attempt) at the given
+     * per-second aggregate rate, or +infinity when the rate is 0.
+     * Deterministic in (seed, job, attempt) and nested across rates:
+     * for fixed identifiers the kill time is strictly decreasing in
+     * the rate, so fault realizations at a higher intensity are a
+     * superset of those at a lower one.
+     */
+    static double killTimeSeconds(std::uint64_t seed, unsigned job_id,
+                                  unsigned attempt,
+                                  double rate_per_second);
+
+    const CampaignConfig &config() const { return config_; }
+
+  private:
+    CampaignConfig config_;
+};
+
+} // namespace hdmr::fault
+
+#endif // HDMR_FAULT_CAMPAIGN_HH

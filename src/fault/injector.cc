@@ -1,0 +1,103 @@
+#include "fault/injector.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hdmr::fault
+{
+
+using util::Tick;
+
+NodeFaultInjector::NodeFaultInjector(
+    sim::EventQueue &events,
+    std::vector<core::ModeController *> channels, double hotFactor)
+    : events_(events), channels_(std::move(channels)),
+      hotFactor_(hotFactor), excursionDepth_(channels_.size(), 0)
+{
+    hdmr_assert(!channels_.empty(),
+                "fault injector needs at least one channel");
+}
+
+NodeFaultInjector::~NodeFaultInjector()
+{
+    for (auto &event : pendingEvents_) {
+        if (event.scheduled())
+            events_.deschedule(&event);
+    }
+}
+
+void
+NodeFaultInjector::arm(const std::vector<FaultEvent> &schedule,
+                       Tick horizon)
+{
+    for (const FaultEvent &fault : schedule) {
+        const double ticks =
+            fault.atSeconds * static_cast<double>(util::kTicksPerSec);
+        if (ticks >= static_cast<double>(horizon))
+            continue;
+        const Tick when = static_cast<Tick>(ticks);
+        pendingEvents_.emplace_back(
+            [this, fault] { deliver(fault); });
+        events_.schedule(&pendingEvents_.back(),
+                         std::max(when, events_.curTick()));
+    }
+}
+
+void
+NodeFaultInjector::deliver(const FaultEvent &fault)
+{
+    ++accounting_.injected;
+    const unsigned ch = fault.target % channels_.size();
+    core::ModeController &channel = *channels_[ch];
+
+    switch (fault.kind) {
+      case FaultKind::kTransientUncorrectable:
+        ++accounting_.uncorrectable;
+        channel.injectUncorrectable();
+        break;
+      case FaultKind::kErrorBurst: {
+        const auto count = static_cast<std::uint64_t>(
+            std::max(1.0, fault.magnitude));
+        accounting_.detectedErrors += count;
+        channel.injectDetectedErrors(count);
+        break;
+      }
+      case FaultKind::kMarginDrift: {
+        const auto mts =
+            static_cast<unsigned>(std::max(0.0, fault.magnitude));
+        accounting_.marginDriftMts += mts;
+        channel.applyMarginDrift(mts);
+        break;
+      }
+      case FaultKind::kTemperatureExcursion: {
+        ++accounting_.excursions;
+        if (excursionDepth_[ch]++ == 0)
+            channel.setAmbientErrorMultiplier(hotFactor_);
+        const double ticks = fault.durationSeconds *
+                             static_cast<double>(util::kTicksPerSec);
+        pendingEvents_.emplace_back(
+            [this, ch] { endExcursion(ch); });
+        events_.schedule(&pendingEvents_.back(),
+                         events_.curTick() +
+                             static_cast<Tick>(std::max(ticks, 1.0)));
+        break;
+      }
+      case FaultKind::kNodeFailure:
+        ++accounting_.nodeFailures; // cluster-layer kind: count only
+        break;
+      case FaultKind::kGroupDemotion:
+        ++accounting_.groupDemotions; // cluster-layer kind: count only
+        break;
+    }
+}
+
+void
+NodeFaultInjector::endExcursion(unsigned channel)
+{
+    hdmr_assert(excursionDepth_[channel] > 0, "unbalanced excursion");
+    if (--excursionDepth_[channel] == 0)
+        channels_[channel]->setAmbientErrorMultiplier(1.0);
+}
+
+} // namespace hdmr::fault

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Node-layer fault delivery: walks a campaign schedule and delivers
+ * each fault to the targeted channel's ModeController through the
+ * simulation event queue, so injected faults interleave with organic
+ * traffic in deterministic event order.
+ *
+ * Channel-scoped kinds map onto the mode controller's fault surface
+ * (UE, detected-error burst, margin drift, ambient multiplier);
+ * node-scoped kinds (node failure, group demotion) are counted but
+ * otherwise ignored here - they are cluster-layer faults.
+ */
+
+#ifndef HDMR_FAULT_INJECTOR_HH
+#define HDMR_FAULT_INJECTOR_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/mode_controller.hh"
+#include "fault/campaign.hh"
+#include "sim/event_queue.hh"
+
+namespace hdmr::fault
+{
+
+/** Delivers a fault schedule to a node's mode controllers. */
+class NodeFaultInjector
+{
+  public:
+    /**
+     * @param events    the node's event queue
+     * @param channels  one mode controller per channel; targets in the
+     *                  schedule are taken modulo the channel count
+     * @param hotFactor error-rate multiplier a temperature excursion
+     *                  applies (Section II-C: ~4x at 45 degC)
+     */
+    NodeFaultInjector(sim::EventQueue &events,
+                      std::vector<core::ModeController *> channels,
+                      double hotFactor = 4.0);
+
+    ~NodeFaultInjector();
+
+    /**
+     * Schedule every event in `schedule` (seconds -> ticks).  Events
+     * beyond `horizon` ticks are dropped (the node simulation's
+     * window is much shorter than a cluster campaign's).
+     */
+    void arm(const std::vector<FaultEvent> &schedule,
+             util::Tick horizon = ~util::Tick(0));
+
+    const FaultAccounting &accounting() const { return accounting_; }
+
+  private:
+    void deliver(const FaultEvent &fault);
+    void endExcursion(unsigned channel);
+
+    sim::EventQueue &events_;
+    std::vector<core::ModeController *> channels_;
+    double hotFactor_;
+    FaultAccounting accounting_;
+
+    /** One owned event per scheduled delivery (Events are pinned). */
+    std::deque<sim::CallbackEvent> pendingEvents_;
+    /** Nested-excursion depth per channel. */
+    std::vector<unsigned> excursionDepth_;
+};
+
+} // namespace hdmr::fault
+
+#endif // HDMR_FAULT_INJECTOR_HH

@@ -99,4 +99,50 @@ ErrorRateModel::errorProbabilityPerRead(const MemoryModule &module,
                                    op.accessIntensity));
 }
 
+namespace
+{
+
+/** The module as it stands after `hour` hours of drift. */
+MemoryModule
+wornModule(const MemoryModule &module,
+           const TimeVaryingConditions &conditions, double hour)
+{
+    MemoryModule worn = module;
+    const double erosion = conditions.erosionMts(hour);
+    const unsigned lost = static_cast<unsigned>(
+        std::min(erosion, static_cast<double>(worn.maxStableRateMts)));
+    worn.maxStableRateMts -= lost;
+    worn.maxBootableRateMts -= std::min(worn.maxBootableRateMts, lost);
+    return worn;
+}
+
+} // namespace
+
+unsigned
+ErrorRateModel::stableRateAt(const MemoryModule &module,
+                             const TimeVaryingConditions &conditions,
+                             double hour) const
+{
+    return stableRateAt(wornModule(module, conditions, hour),
+                        conditions.at(hour));
+}
+
+double
+ErrorRateModel::errorsPerHourAt(const MemoryModule &module,
+                                const TimeVaryingConditions &conditions,
+                                double hour) const
+{
+    return errorsPerHour(wornModule(module, conditions, hour),
+                         conditions.at(hour));
+}
+
+double
+ErrorRateModel::errorProbabilityPerReadAt(
+    const MemoryModule &module, const TimeVaryingConditions &conditions,
+    double hour) const
+{
+    return errorProbabilityPerRead(wornModule(module, conditions, hour),
+                                   conditions.at(hour));
+}
+
 } // namespace hdmr::margin

@@ -20,6 +20,8 @@
 #ifndef HDMR_MARGIN_ERROR_MODEL_HH
 #define HDMR_MARGIN_ERROR_MODEL_HH
 
+#include <vector>
+
 #include "margin/module.hh"
 
 namespace hdmr::margin
@@ -37,6 +39,55 @@ struct OperatingPoint
      * stress-test setup, 0.5 = two modules sharing a channel.
      */
     double accessIntensity = 1.0;
+};
+
+/** One bounded window of elevated ambient temperature. */
+struct TemperatureExcursion
+{
+    double startHour = 0.0;
+    double durationHours = 0.0;
+    /** Ambient during the window (cooling failure: 45 degC). */
+    double ambientC = 45.0;
+
+    bool
+    covers(double hour) const
+    {
+        return hour >= startHour && hour < startHour + durationHours;
+    }
+};
+
+/**
+ * Time-varying operating conditions: a base OperatingPoint plus the
+ * two slow processes the fault model injects - monotonic margin drift
+ * (aging erodes the latent stable rate) and scheduled temperature
+ * excursions.  With zero drift and no excursions, at(h) == base for
+ * every h, so the time-varying oracle degenerates to the stateless one.
+ */
+struct TimeVaryingConditions
+{
+    OperatingPoint base;
+    /** Stable-rate erosion, MT/s per operating hour (aging). */
+    double marginDriftMtsPerHour = 0.0;
+    std::vector<TemperatureExcursion> excursions;
+
+    /** The operating point in effect `hour` hours into the run. */
+    OperatingPoint
+    at(double hour) const
+    {
+        OperatingPoint op = base;
+        for (const TemperatureExcursion &window : excursions) {
+            if (window.covers(hour) && window.ambientC > op.ambientC)
+                op.ambientC = window.ambientC;
+        }
+        return op;
+    }
+
+    /** Accumulated stable-rate erosion after `hour` hours. */
+    double
+    erosionMts(double hour) const
+    {
+        return marginDriftMtsPerHour * (hour > 0.0 ? hour : 0.0);
+    }
 };
 
 /** Model constants (defaults calibrated to Fig. 6). */
@@ -99,6 +150,29 @@ class ErrorRateModel
      */
     double errorProbabilityPerRead(const MemoryModule &module,
                                    const OperatingPoint &op) const;
+
+    // ---- Time-varying oracle (fault-campaign conditions). ----
+    //
+    // Each *At() overload evaluates the stateless oracle against a
+    // "worn" copy of the module - its latent stable rate reduced by the
+    // drift accumulated up to `hour` - under the operating point in
+    // effect at `hour` (excursions applied).  With default conditions
+    // these are exactly the stateless results.
+
+    /** Stable rate `hour` hours into a run under drifting conditions. */
+    unsigned stableRateAt(const MemoryModule &module,
+                          const TimeVaryingConditions &conditions,
+                          double hour) const;
+
+    /** Expected errors/hour at time `hour` under drifting conditions. */
+    double errorsPerHourAt(const MemoryModule &module,
+                           const TimeVaryingConditions &conditions,
+                           double hour) const;
+
+    /** Per-read error probability at time `hour`. */
+    double errorProbabilityPerReadAt(
+        const MemoryModule &module,
+        const TimeVaryingConditions &conditions, double hour) const;
 
     const ErrorModelParams &params() const { return params_; }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/mode_controller.hh"
 #include "core/replication.hh"
 #include "cpu/core.hh"
 #include "dram/timing.hh"
@@ -69,6 +70,10 @@ struct NodeConfig
     std::uint64_t seed = 1;
     /** Per-read detected-error probability when running fast. */
     double readErrorProbability = 1.0e-7;
+    /** Probability the recovery read of the original also fails (UE). */
+    double recoveryFailureProbability = 0.0;
+    /** Quarantine / margin-demotion policy (defaults: disabled). */
+    core::QuarantinePolicy quarantine;
     /** LLC lines proactively cleaned per write-mode window (III-A1). */
     std::size_t cleanLinesPerWriteMode = 12800;
     /** Frequency-scaling transition latency in microseconds (Fig. 9). */

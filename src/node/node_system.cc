@@ -23,6 +23,8 @@ NodeSystem::NodeSystem(NodeConfig config) : config_(std::move(config))
         plan.fastReads ? config_.fastSetting() : config_.specSetting();
     mc.plan = plan;
     mc.readErrorProbability = config_.readErrorProbability;
+    mc.recoveryFailureProbability = config_.recoveryFailureProbability;
+    mc.quarantine = config_.quarantine;
     mc.cleanLinesPerWriteMode = config_.cleanLinesPerWriteMode;
     mc.frequencyTransitionLatency =
         util::usToTicks(config_.frequencyTransitionUs);
@@ -471,6 +473,9 @@ NodeSystem::collectStats() const
 
     for (const auto &mc : modeControllers_) {
         stats.corrections += mc->stats().corrections;
+        stats.uncorrectedErrors += mc->stats().uncorrectedErrors;
+        stats.demotions += mc->stats().demotions;
+        stats.quarantines += mc->stats().quarantines;
         stats.cleanedLines += mc->stats().cleanedLines;
     }
 

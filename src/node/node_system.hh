@@ -41,6 +41,9 @@ struct NodeStats
     std::uint64_t rowHits = 0;
     std::uint64_t rowMissesPlusConflicts = 0;
     std::uint64_t corrections = 0;
+    std::uint64_t uncorrectedErrors = 0; ///< recoveries that failed (UEs)
+    std::uint64_t demotions = 0;         ///< fast setting lowered a step
+    std::uint64_t quarantines = 0;       ///< channels retired to spec
     std::uint64_t cleanedLines = 0;
     std::uint64_t writeModeEntries = 0;
     double avgReadLatencyNs = 0.0;
@@ -81,6 +84,20 @@ class NodeSystem : public cpu::MemoryInterface
                      util::Tick now) override;
 
     const NodeConfig &config() const { return config_; }
+
+    /** The node's event queue (fault-injection wiring). */
+    sim::EventQueue &events() { return events_; }
+
+    /** Non-owning views of the per-channel mode controllers. */
+    std::vector<core::ModeController *>
+    modeControllers()
+    {
+        std::vector<core::ModeController *> channels;
+        channels.reserve(modeControllers_.size());
+        for (auto &mc : modeControllers_)
+            channels.push_back(mc.get());
+        return channels;
+    }
 
   private:
     unsigned channelOf(std::uint64_t address) const;

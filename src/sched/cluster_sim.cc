@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <queue>
 
 #include "util/logging.hh"
 
 namespace hdmr::sched
 {
+
+util::CounterSet
+ClusterMetrics::counters() const
+{
+    util::CounterSet set;
+    set.add("cluster.jobs_completed",
+            static_cast<double>(jobsCompleted));
+    set.add("cluster.ue_injected", static_cast<double>(ueInjected));
+    set.add("cluster.job_kills", static_cast<double>(jobKills));
+    set.add("cluster.requeues", static_cast<double>(requeues));
+    set.add("cluster.nodes_failed", static_cast<double>(nodesFailed));
+    set.add("cluster.nodes_demoted", static_cast<double>(nodesDemoted));
+    set.add("cluster.jobs_dropped", static_cast<double>(jobsDropped));
+    set.add("cluster.lost_node_seconds", lostNodeSeconds);
+    set.add("cluster.checkpoint_overhead_seconds",
+            checkpointOverheadSeconds);
+    return set;
+}
 
 ClusterSimulator::ClusterSimulator(ClusterConfig config)
     : config_(config), rng_(config.seed)
@@ -27,12 +46,102 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
             static_cast<unsigned>(static_cast<int>(freePerGroup_[0]) +
                                   drift);
     }
+    totalPerGroup_ = freePerGroup_;
 }
 
 unsigned
 ClusterSimulator::totalFree() const
 {
     return freePerGroup_[0] + freePerGroup_[1] + freePerGroup_[2];
+}
+
+unsigned
+ClusterSimulator::capacity() const
+{
+    return totalPerGroup_[0] + totalPerGroup_[1] + totalPerGroup_[2];
+}
+
+std::size_t
+ClusterSimulator::groupOfTarget(unsigned target) const
+{
+    const unsigned cap = capacity();
+    if (cap == 0)
+        return kGroups;
+    unsigned idx = target % cap;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        if (idx < totalPerGroup_[g])
+            return g;
+        idx -= totalPerGroup_[g];
+    }
+    return kGroups - 1;
+}
+
+void
+ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault,
+                                    ClusterMetrics &metrics)
+{
+    std::size_t g = groupOfTarget(fault.target);
+    if (g >= kGroups)
+        return; // no surviving nodes left to fault
+
+    switch (fault.kind) {
+      case fault::FaultKind::kNodeFailure:
+        ++metrics.nodesFailed;
+        if (freePerGroup_[g] > 0) {
+            --freePerGroup_[g];
+            --totalPerGroup_[g];
+        } else {
+            // All of the group is busy: the node drops out when its
+            // current job releases it.
+            ++pendingFailures_[g];
+        }
+        break;
+
+      case fault::FaultKind::kGroupDemotion:
+        if (g == kGroups - 1) {
+            // Already in the no-margin group; reclassify the fastest
+            // group that still has nodes instead.
+            if (totalPerGroup_[0] > 0)
+                g = 0;
+            else if (totalPerGroup_[1] > 0)
+                g = 1;
+            else
+                return;
+        }
+        ++metrics.nodesDemoted;
+        if (freePerGroup_[g] > 0) {
+            --freePerGroup_[g];
+            --totalPerGroup_[g];
+            ++freePerGroup_[g + 1];
+            ++totalPerGroup_[g + 1];
+        } else {
+            ++pendingDemotions_[g];
+        }
+        break;
+
+      default:
+        break; // node-layer kinds are not delivered here
+    }
+}
+
+void
+ClusterSimulator::drainDeferredFaults()
+{
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        while (pendingFailures_[g] > 0 && freePerGroup_[g] > 0) {
+            --pendingFailures_[g];
+            --freePerGroup_[g];
+            --totalPerGroup_[g];
+        }
+        while (g + 1 < kGroups && pendingDemotions_[g] > 0 &&
+               freePerGroup_[g] > 0) {
+            --pendingDemotions_[g];
+            --freePerGroup_[g];
+            --totalPerGroup_[g];
+            ++freePerGroup_[g + 1];
+            ++totalPerGroup_[g + 1];
+        }
+    }
 }
 
 bool
@@ -110,7 +219,10 @@ ClusterSimulator::speedupFor(
 ClusterMetrics
 ClusterSimulator::run(const std::vector<traces::Job> &jobs)
 {
-    // Event-driven replay: merge arrivals (sorted) with completions.
+    // Event-driven replay: merge arrivals (sorted) with completions,
+    // cluster-scoped campaign faults, and requeue resubmissions.  With
+    // the campaign disabled the latter two sources are empty and the
+    // replay is the fault-free one, bit for bit.
     struct Completion
     {
         double time;
@@ -123,11 +235,61 @@ ClusterSimulator::run(const std::vector<traces::Job> &jobs)
         }
     };
 
+    struct Resubmit
+    {
+        double time;
+        const traces::Job *job;
+        std::uint64_t seq; ///< FIFO among equal times
+
+        bool
+        operator>(const Resubmit &other) const
+        {
+            if (time != other.time)
+                return time > other.time;
+            return seq > other.seq;
+        }
+    };
+
     std::vector<RunningJob> running;
     std::vector<bool> runningLive;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<>> completions;
+    std::priority_queue<Resubmit, std::vector<Resubmit>,
+                        std::greater<>> resubmits;
     std::deque<PendingJob> pending;
+
+    // Per-job resilience state, indexed like `jobs`.
+    struct JobState
+    {
+        unsigned attempts = 0;
+        double remainingSeconds = -1.0; ///< set at first start
+    };
+    std::vector<JobState> state(jobs.size());
+
+    // Cluster-scoped campaign events.  Job-killing UEs do not come
+    // from this schedule: they use nested per-(job, attempt) hazard
+    // draws (FaultCampaign::killTimeSeconds) so fault realizations at
+    // a higher intensity are a superset of those at a lower one.
+    std::vector<fault::FaultEvent> clusterFaults;
+    if (config_.faults.enabled()) {
+        fault::CampaignConfig fc = config_.faults;
+        fc.targets = config_.nodes; // rates are per node-hour
+        for (const fault::FaultEvent &ev :
+             fault::FaultCampaign(fc).schedule()) {
+            if (ev.kind == fault::FaultKind::kNodeFailure ||
+                ev.kind == fault::FaultKind::kGroupDemotion)
+                clusterFaults.push_back(ev);
+        }
+    }
+    const double ue_node_rate = config_.faults.intensity *
+                                config_.faults.uncorrectablePerHour /
+                                3600.0;
+    const double ckpt_interval =
+        config_.resilience.checkpointIntervalSeconds;
+    const double ckpt_ovh =
+        ckpt_interval > 0.0
+            ? config_.resilience.checkpointOverheadFraction
+            : 0.0;
 
     ClusterMetrics metrics;
     double exec_sum = 0.0, queue_sum = 0.0, turnaround_sum = 0.0;
@@ -135,34 +297,82 @@ ClusterSimulator::run(const std::vector<traces::Job> &jobs)
     std::size_t eligible = 0, accelerated = 0;
     double last_event_time = 0.0;
     double span_end = 0.0;
+    std::uint64_t resubmit_seq = 0;
 
     auto start_job = [&](const traces::Job &job, double now) {
+        JobState &st = state[static_cast<std::size_t>(&job -
+                                                      jobs.data())];
+        if (st.remainingSeconds < 0.0)
+            st.remainingSeconds = job.runtimeSeconds;
+        const unsigned attempt = ++st.attempts;
+
         std::array<unsigned, kGroups> allocated;
         const bool ok = allocate(job.nodes, allocated);
         hdmr_assert(ok, "start_job called without room");
         const double speedup = speedupFor(job, allocated);
-        const double exec = job.runtimeSeconds / speedup;
+        const double exec =
+            st.remainingSeconds / speedup * (1.0 + ckpt_ovh);
         const double est = job.walltimeSeconds / speedup;
 
+        // Will a UE kill this attempt?  Margin UEs only strike jobs
+        // actually running fast; the hazard scales with the job's
+        // node count.
+        double kill_after = std::numeric_limits<double>::infinity();
+        if (ue_node_rate > 0.0 && speedup > 1.0) {
+            kill_after = fault::FaultCampaign::killTimeSeconds(
+                config_.faults.seed, job.id, attempt,
+                ue_node_rate * static_cast<double>(job.nodes));
+        }
+
         RunningJob rj;
-        rj.endTime = now + exec;
-        rj.estimatedEndTime = now + est;
+        rj.job = &job;
         rj.allocated = allocated;
+        rj.attempt = attempt;
+        rj.estimatedEndTime = now + est;
+
+        if (kill_after < exec) {
+            // Attempt dies mid-run; metrics for the job are deferred
+            // to its eventually-successful attempt.
+            rj.killed = true;
+            rj.endTime = now + kill_after;
+            ++metrics.ueInjected;
+            ++metrics.jobKills;
+            const double useful =
+                kill_after / (1.0 + ckpt_ovh) * speedup;
+            double saved = 0.0;
+            if (ckpt_interval > 0.0) {
+                saved = std::floor(useful / ckpt_interval) *
+                        ckpt_interval;
+            }
+            saved = std::min(saved, st.remainingSeconds);
+            st.remainingSeconds -= saved;
+            metrics.lostNodeSeconds +=
+                (kill_after -
+                 saved / speedup * (1.0 + ckpt_ovh)) *
+                static_cast<double>(job.nodes);
+            metrics.checkpointOverheadSeconds +=
+                kill_after * ckpt_ovh / (1.0 + ckpt_ovh);
+            busy_node_seconds += kill_after * job.nodes;
+            span_end = std::max(span_end, rj.endTime);
+        } else {
+            rj.endTime = now + exec;
+            exec_sum += exec;
+            const double qdelay = now - job.submitSeconds;
+            queue_sum += qdelay;
+            turnaround_sum += qdelay + exec;
+            busy_node_seconds += exec * job.nodes;
+            ++metrics.jobsCompleted;
+            if (config_.heteroDmr && job.usageClass < 2) {
+                ++eligible;
+                accelerated += speedup > 1.0;
+            }
+            metrics.checkpointOverheadSeconds +=
+                exec * ckpt_ovh / (1.0 + ckpt_ovh);
+            span_end = std::max(span_end, rj.endTime);
+        }
         running.push_back(rj);
         runningLive.push_back(true);
         completions.push({rj.endTime, running.size() - 1});
-
-        exec_sum += exec;
-        const double qdelay = now - job.submitSeconds;
-        queue_sum += qdelay;
-        turnaround_sum += qdelay + exec;
-        busy_node_seconds += exec * job.nodes;
-        ++metrics.jobsCompleted;
-        if (config_.heteroDmr && job.usageClass < 2) {
-            ++eligible;
-            accelerated += speedup > 1.0;
-        }
-        span_end = std::max(span_end, rj.endTime);
     };
 
     auto try_schedule = [&](double now) {
@@ -170,6 +380,12 @@ ClusterSimulator::run(const std::vector<traces::Job> &jobs)
         // backfill pass are nulled in place; skip them.
         while (!pending.empty()) {
             if (pending.front().job == nullptr) {
+                pending.pop_front();
+                continue;
+            }
+            if (pending.front().job->nodes > capacity()) {
+                // Node failures shrank the machine below the job.
+                ++metrics.jobsDropped;
                 pending.pop_front();
                 continue;
             }
@@ -232,20 +448,45 @@ ClusterSimulator::run(const std::vector<traces::Job> &jobs)
             pending.pop_front();
     };
 
+    const double inf = std::numeric_limits<double>::infinity();
     std::size_t next_arrival = 0;
-    while (next_arrival < jobs.size() || !completions.empty()) {
-        const bool take_arrival =
-            next_arrival < jobs.size() &&
-            (completions.empty() ||
-             jobs[next_arrival].submitSeconds <= completions.top().time);
+    std::size_t next_fault = 0;
+    while (next_arrival < jobs.size() || !completions.empty() ||
+           next_fault < clusterFaults.size() || !resubmits.empty()) {
+        const double t_arrival = next_arrival < jobs.size()
+                                     ? jobs[next_arrival].submitSeconds
+                                     : inf;
+        const double t_fault = next_fault < clusterFaults.size()
+                                   ? clusterFaults[next_fault].atSeconds
+                                   : inf;
+        const double t_resubmit =
+            resubmits.empty() ? inf : resubmits.top().time;
+        const double t_completion =
+            completions.empty() ? inf : completions.top().time;
 
+        // Tie order: faults first (capacity changes are visible to
+        // anything scheduled at the same instant), then trace
+        // arrivals, then resubmissions, then completions (matching
+        // the fault-free arrival-before-completion order).
         double now;
-        if (take_arrival) {
+        if (next_fault < clusterFaults.size() &&
+            t_fault <= t_arrival && t_fault <= t_resubmit &&
+            t_fault <= t_completion) {
+            now = t_fault;
+            applyClusterFault(clusterFaults[next_fault++], metrics);
+        } else if (next_arrival < jobs.size() &&
+                   t_arrival <= t_resubmit &&
+                   t_arrival <= t_completion) {
             const traces::Job &job = jobs[next_arrival++];
-            now = job.submitSeconds;
+            now = t_arrival;
             if (job.nodes > config_.nodes)
                 continue; // cannot ever run
             pending.push_back(PendingJob{&job, now});
+        } else if (!resubmits.empty() && t_resubmit <= t_completion) {
+            const Resubmit resubmit = resubmits.top();
+            resubmits.pop();
+            now = resubmit.time;
+            pending.push_back(PendingJob{resubmit.job, now});
         } else {
             const Completion done = completions.top();
             completions.pop();
@@ -254,6 +495,18 @@ ClusterSimulator::run(const std::vector<traces::Job> &jobs)
             runningLive[done.index] = false;
             for (std::size_t g = 0; g < kGroups; ++g)
                 freePerGroup_[g] += rj.allocated[g];
+            drainDeferredFaults();
+            if (rj.killed) {
+                // Requeue with capped exponential backoff.
+                ++metrics.requeues;
+                const double backoff = std::min(
+                    config_.resilience.requeueBackoffCapSeconds,
+                    config_.resilience.requeueBackoffBaseSeconds *
+                        std::pow(2.0, static_cast<double>(
+                                          rj.attempt - 1)));
+                resubmits.push(
+                    {now + backoff, rj.job, resubmit_seq++});
+            }
         }
         last_event_time = now;
         try_schedule(now);

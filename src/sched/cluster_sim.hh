@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/campaign.hh"
 #include "traces/job_trace.hh"
 #include "util/rng.hh"
+#include "util/stats.hh"
 
 namespace hdmr::sched
 {
@@ -48,6 +50,27 @@ struct SpeedupTable
     }
 };
 
+/**
+ * How the cluster responds to faults.  All members only take effect
+ * when the fault campaign is enabled or checkpointing is configured;
+ * the defaults leave behaviour identical to a fault-free run.
+ */
+struct ResiliencePolicy
+{
+    /** First-requeue backoff after a job-killing UE. */
+    double requeueBackoffBaseSeconds = 60.0;
+    /** Capped exponential backoff ceiling. */
+    double requeueBackoffCapSeconds = 3600.0;
+    /**
+     * Useful-work seconds between checkpoints; 0 disables.  A killed
+     * job restarts from its last completed checkpoint instead of from
+     * scratch.
+     */
+    double checkpointIntervalSeconds = 0.0;
+    /** Wall-clock overhead fraction checkpointing adds while running. */
+    double checkpointOverheadFraction = 0.0;
+};
+
 /** Simulation configuration. */
 struct ClusterConfig
 {
@@ -62,6 +85,18 @@ struct ClusterConfig
     /** Limit of queued jobs inspected per backfill pass. */
     std::size_t backfillDepth = 256;
     std::uint64_t seed = 1;
+
+    /**
+     * Fault campaign.  Rates are interpreted per *node*-hour (targets
+     * is overridden with the node count).  Job-killing UEs come from
+     * `uncorrectablePerHour` and hit only jobs actually running fast;
+     * `nodeFailuresPerHour` permanently removes nodes;
+     * `demotionsPerHour` reclassifies nodes one margin group down.
+     * Default intensity 0 reproduces the fault-free simulation
+     * bit for bit.
+     */
+    fault::CampaignConfig faults;
+    ResiliencePolicy resilience;
 };
 
 /** Per-run aggregate metrics (Fig. 17). */
@@ -74,6 +109,19 @@ struct ClusterMetrics
     double meanNodeUtilization = 0.0;
     /** Fraction of Hetero-DMR-eligible jobs that actually sped up. */
     double acceleratedFraction = 0.0;
+
+    // ---- Fault / resilience accounting. ----
+    std::uint64_t ueInjected = 0;   ///< job-killing UEs delivered
+    std::uint64_t jobKills = 0;     ///< attempts terminated by a UE
+    std::uint64_t requeues = 0;     ///< killed jobs resubmitted
+    std::uint64_t nodesFailed = 0;  ///< nodes permanently lost
+    std::uint64_t nodesDemoted = 0; ///< nodes moved one group down
+    std::uint64_t jobsDropped = 0;  ///< jobs no surviving capacity fits
+    double lostNodeSeconds = 0.0;   ///< work discarded by kills
+    double checkpointOverheadSeconds = 0.0;
+
+    /** Export into the shared counter vocabulary. */
+    util::CounterSet counters() const;
 };
 
 /** The simulator. */
@@ -90,9 +138,12 @@ class ClusterSimulator
   private:
     struct RunningJob
     {
+        const traces::Job *job = nullptr;
         double endTime = 0.0;
         double estimatedEndTime = 0.0;
         std::array<unsigned, kGroups> allocated = {0, 0, 0};
+        unsigned attempt = 1;   ///< 1-based attempt number
+        bool killed = false;    ///< this attempt ends in a UE kill
     };
 
     struct PendingJob
@@ -103,6 +154,19 @@ class ClusterSimulator
 
     /** Nodes free in total. */
     unsigned totalFree() const;
+
+    /** Surviving nodes in total (shrinks with node failures). */
+    unsigned capacity() const;
+
+    /** Margin group a campaign node index falls into. */
+    std::size_t groupOfTarget(unsigned target) const;
+
+    /** Apply one cluster-scoped fault (failure or demotion). */
+    void applyClusterFault(const fault::FaultEvent &fault,
+                           ClusterMetrics &metrics);
+
+    /** Apply capacity changes deferred while their nodes were busy. */
+    void drainDeferredFaults();
 
     /**
      * Try to allocate `count` nodes under the configured policy.
@@ -117,6 +181,10 @@ class ClusterSimulator
 
     ClusterConfig config_;
     std::array<unsigned, kGroups> freePerGroup_ = {0, 0, 0};
+    std::array<unsigned, kGroups> totalPerGroup_ = {0, 0, 0};
+    /** Node failures/demotions waiting for a node of the group to free. */
+    std::array<unsigned, kGroups> pendingFailures_ = {0, 0, 0};
+    std::array<unsigned, kGroups> pendingDemotions_ = {0, 0, 0};
     util::Rng rng_;
 };
 

@@ -63,6 +63,54 @@ TEST(EpochGuard, ResetsAtEpochBoundary)
     EXPECT_EQ(guard.epochEnd(1500), 2000u);
 }
 
+TEST(EpochGuard, MultiEpochRolloverAndTripClearing)
+{
+    EpochGuardConfig config;
+    config.epochLength = util::kTicksPerSec; // 1-second epochs
+    config.mttSdcYears = 5.8e10;             // ~10-error budget/epoch
+    EpochGuard guard(config);
+    const std::uint64_t threshold = config.errorThreshold();
+    ASSERT_GE(threshold, 2u);
+    ASSERT_LE(threshold, 1000u);
+
+    // Stay at the threshold in epoch 0: no trip.
+    for (std::uint64_t i = 0; i < threshold; ++i)
+        EXPECT_FALSE(guard.recordError(0));
+    EXPECT_FALSE(guard.tripped(0));
+
+    // Rollover resets the count: the same sub-threshold volume in the
+    // next epoch does not trip either.
+    for (std::uint64_t i = 0; i < threshold; ++i)
+        EXPECT_FALSE(guard.recordError(config.epochLength + 1));
+    EXPECT_EQ(guard.errorsThisEpoch(), threshold);
+    EXPECT_EQ(guard.totalErrors(), 2 * threshold);
+
+    // One more error in the same epoch trips; the trip clears at the
+    // next boundary.
+    EXPECT_TRUE(guard.recordError(config.epochLength + 2));
+    EXPECT_TRUE(guard.tripped(config.epochLength + 2));
+    EXPECT_FALSE(guard.tripped(2 * config.epochLength + 1));
+    EXPECT_EQ(guard.trips(), 1u);
+}
+
+TEST(EpochGuard, ThresholdScalesWithEpochLength)
+{
+    // The MTT-SDC target is global, so a half-hour epoch gets half the
+    // hourly error budget and a two-hour epoch twice.
+    EpochGuardConfig hourly;
+    EpochGuardConfig half = hourly;
+    half.epochLength = 1800ull * util::kTicksPerSec;
+    EpochGuardConfig two_hour = hourly;
+    two_hour.epochLength = 2ull * 3600ull * util::kTicksPerSec;
+
+    EXPECT_NEAR(static_cast<double>(half.errorThreshold()),
+                static_cast<double>(hourly.errorThreshold()) / 2.0,
+                1.0);
+    EXPECT_NEAR(static_cast<double>(two_hour.errorThreshold()),
+                static_cast<double>(hourly.errorThreshold()) * 2.0,
+                2.0);
+}
+
 // --------------------------------------------------------------------
 // Replication planning
 // --------------------------------------------------------------------

@@ -398,4 +398,31 @@ TEST(Bamboo, EscapeProbabilityMatchesPaperConstant)
                      1.0 / 18446744073709551616.0);
 }
 
+TEST(ErrorInject, WideBlockChangesExactlyTheTouchedBytes)
+{
+    // injectPattern promises every touched byte actually changes; for
+    // kWideBlock that means 9-40 distinct bytes differ from the clean
+    // codeword, and detection-only Bamboo must flag the block.
+    BambooCodec codec;
+    Rng rng(29);
+    for (int trial = 0; trial < 200; ++trial) {
+        auto coded = codec.encode(randomBlock(rng), 0xabc00);
+        const auto snapshot = coded;
+        const unsigned touched =
+            injectPattern(coded, ErrorPattern::kWideBlock, rng);
+        EXPECT_GE(touched, 9u);
+        EXPECT_LE(touched, 40u);
+
+        unsigned changed = 0;
+        for (std::size_t i = 0; i < BambooCodec::kDataBytes; ++i)
+            changed += coded.data[i] != snapshot.data[i];
+        for (std::size_t i = 0; i < BambooCodec::kParityBytes; ++i)
+            changed += coded.parity[i] != snapshot.parity[i];
+        EXPECT_EQ(changed, touched);
+
+        EXPECT_TRUE(
+            codec.decodeDetectOnly(coded, 0xabc00).errorDetected());
+    }
+}
+
 } // namespace
