@@ -9,13 +9,16 @@
 #include <cstdio>
 
 #include "sched/cluster_sim.hh"
+#include "snapshot_cli.hh"
 #include "traces/job_trace.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hdmr;
+
+    bench::SweepRunner runner("fig17_system_wide", argc, argv);
 
     traces::JobTraceModel trace_model;
     traces::GrizzlyTraceGenerator generator(trace_model, 42);
@@ -34,20 +37,25 @@ main()
     speedups.at800 = 1.13;
     speedups.at600 = 1.10;
 
-    auto simulate = [&](bool hdmr, bool aware, unsigned nodes) {
+    auto simulate = [&](const char *label, bool hdmr, bool aware,
+                        unsigned nodes) {
         sched::ClusterConfig config;
         config.heteroDmr = hdmr;
         config.marginAware = aware;
         config.nodes = nodes;
         config.speedups = speedups;
-        sched::ClusterSimulator sim(config);
-        return sim.run(jobs);
+        return runner.leg(label, config, jobs);
     };
 
-    const auto conventional = simulate(false, false, 1490);
-    const auto hdmr = simulate(true, true, 1490);
-    const auto hdmr_default = simulate(true, false, 1490);
-    const auto more_nodes = simulate(false, false, 1743); // +17 %
+    const auto conventional =
+        simulate("conventional", false, false, 1490);
+    const auto hdmr = simulate("hetero-dmr", true, true, 1490);
+    const auto hdmr_default =
+        simulate("hetero-dmr-default-sched", true, false, 1490);
+    const auto more_nodes =
+        simulate("conventional-more-nodes", false, false, 1743); // +17 %
+    if (runner.stoppedEarly())
+        return runner.finish();
 
     util::Table table({"system", "mean exec (h)", "mean queue (h)",
                        "mean turnaround (h)", "utilization"});
@@ -91,5 +99,5 @@ main()
                      conventional.meanQueueSeconds -
                  1.0) *
                     100.0);
-    return 0;
+    return runner.finish();
 }

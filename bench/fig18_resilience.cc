@@ -17,15 +17,19 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "sched/cluster_sim.hh"
+#include "snapshot_cli.hh"
 #include "traces/job_trace.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hdmr;
+
+    bench::SweepRunner runner("fig18_resilience", argc, argv);
 
     traces::JobTraceModel trace_model;
     traces::GrizzlyTraceGenerator generator(trace_model, 42);
@@ -39,7 +43,8 @@ main()
     speedups.at800 = 1.13;
     speedups.at600 = 1.10;
 
-    auto simulate = [&](bool hdmr, double intensity, bool checkpoint) {
+    auto simulate = [&](const std::string &label, bool hdmr,
+                        double intensity, bool checkpoint) {
         sched::ClusterConfig config;
         config.heteroDmr = hdmr;
         config.marginAware = hdmr;
@@ -56,12 +61,12 @@ main()
             config.resilience.checkpointIntervalSeconds = 1800.0;
             config.resilience.checkpointOverheadFraction = 0.02;
         }
-        sched::ClusterSimulator sim(config);
-        return sim.run(jobs);
+        return runner.leg(label, config, jobs);
     };
 
-    const auto conventional = simulate(false, 0.0, false);
-    const auto clean = simulate(true, 0.0, false);
+    const auto conventional = simulate("conventional", false, 0.0,
+                                       false);
+    const auto clean = simulate("hetero-dmr-clean", true, 0.0, false);
     const double clean_speedup = conventional.meanTurnaroundSeconds /
                                  clean.meanTurnaroundSeconds;
 
@@ -72,7 +77,11 @@ main()
                        "mean turnaround (h)", "retained speedup"});
     sched::ClusterMetrics worst;
     for (const double intensity : intensities) {
-        const auto m = simulate(true, intensity, false);
+        const auto m = simulate(
+            "intensity-" + std::to_string(intensity), true, intensity,
+            false);
+        if (runner.stoppedEarly())
+            return runner.finish();
         const double speedup =
             conventional.meanTurnaroundSeconds / m.meanTurnaroundSeconds;
         table.row()
@@ -89,7 +98,10 @@ main()
 
     // Checkpointing recovers part of the lost work at the worst swept
     // intensity.
-    const auto ckpt = simulate(true, intensities[5], true);
+    const auto ckpt =
+        simulate("checkpointed", true, intensities[5], true);
+    if (runner.stoppedEarly())
+        return runner.finish();
     std::printf("\nat intensity %.1f, 30-min checkpoints (2%% overhead):"
                 "\n  turnaround %.2f h -> %.2f h, lost node-seconds "
                 "%.0f -> %.0f\n",
@@ -99,5 +111,5 @@ main()
 
     std::printf("\ncampaign accounting at intensity %.1f:\n%s",
                 intensities[5], worst.counters().toString().c_str());
-    return 0;
+    return runner.finish();
 }

@@ -1,0 +1,261 @@
+#include "snapshot_cli.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "snapshot/serializer.hh"
+#include "util/logging.hh"
+
+namespace hdmr::bench
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void
+handleStopSignal(int)
+{
+    g_interrupted = 1;
+}
+
+double
+parseSeconds(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        util::fatal("%s expects a number of simulated seconds "
+                    "(got '%s')",
+                    flag, text);
+    return value;
+}
+
+void
+printUsage(const char *bench)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --snapshot-every=<sim seconds>  periodic crash-safe "
+        "snapshots (0 = off)\n"
+        "  --snapshot-path=<file>          snapshot file "
+        "(default %s.snap)\n"
+        "  --resume-from=<file>            resume an interrupted "
+        "sweep\n"
+        "  --digest-every=<sim seconds>    state-digest cadence "
+        "(default 86400)\n"
+        "  --help                          this text\n"
+        "\nSIGINT/SIGTERM save a final snapshot before exiting "
+        "(code 130).\n",
+        bench, bench);
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(std::string bench_name, int argc, char **argv)
+    : bench_(std::move(bench_name)), snapshotPath_(bench_ + ".snap")
+{
+    parseArgs(argc, argv);
+    if (!resumeFrom_.empty())
+        loadResumeFile();
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+}
+
+void
+SweepRunner::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--snapshot-every=", 17) == 0) {
+            snapshotEvery_ = parseSeconds("--snapshot-every", arg + 17);
+            if (snapshotEvery_ < 0.0)
+                util::fatal("--snapshot-every must be non-negative "
+                            "(got %g)",
+                            snapshotEvery_);
+        } else if (std::strncmp(arg, "--snapshot-path=", 16) == 0) {
+            snapshotPath_ = arg + 16;
+            if (snapshotPath_.empty())
+                util::fatal("--snapshot-path expects a file name");
+        } else if (std::strncmp(arg, "--resume-from=", 14) == 0) {
+            resumeFrom_ = arg + 14;
+            if (resumeFrom_.empty())
+                util::fatal("--resume-from expects a file name");
+        } else if (std::strncmp(arg, "--digest-every=", 15) == 0) {
+            digestEvery_ = parseSeconds("--digest-every", arg + 15);
+            if (!(digestEvery_ > 0.0))
+                util::fatal("--digest-every must be positive (got %g)",
+                            digestEvery_);
+        } else if (std::strcmp(arg, "--help") == 0) {
+            printUsage(bench_.c_str());
+            std::exit(0);
+        } else {
+            util::fatal("unknown argument '%s' (try --help)", arg);
+        }
+    }
+}
+
+void
+SweepRunner::loadResumeFile()
+{
+    std::vector<std::uint8_t> payload;
+    std::string error;
+    if (!snapshot::readSnapshotFile(
+            resumeFrom_, snapshot::kSweepStateKind, &payload, &error))
+        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
+                    error.c_str());
+
+    snapshot::Deserializer in(payload);
+    const std::string bench = in.readString();
+    if (in.ok() && bench != bench_)
+        util::fatal("cannot resume from '%s': snapshot belongs to "
+                    "benchmark '%s', not '%s'",
+                    resumeFrom_.c_str(), bench.c_str(),
+                    bench_.c_str());
+    const std::uint64_t count = in.readU64();
+    if (count * 8 > in.remaining())
+        util::fatal("cannot resume from '%s': completed-leg list "
+                    "longer than the payload",
+                    resumeFrom_.c_str());
+    for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
+        CompletedLeg leg;
+        leg.label = in.readString();
+        restoreMetrics(in, &leg.metrics);
+        completed_.push_back(std::move(leg));
+    }
+    resumeActiveLabel_ = in.readString();
+    resumeActiveState_ = in.readBlob();
+    if (!in.ok() || in.remaining() != 0)
+        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
+                    in.ok() ? "trailing garbage after the sweep image"
+                            : in.error().c_str());
+    resumeActive_ = !resumeActiveLabel_.empty();
+
+    std::printf("resuming sweep from %s: %zu completed leg(s), "
+                "active leg '%s'%s\n\n",
+                resumeFrom_.c_str(), completed_.size(),
+                resumeActive_ ? resumeActiveLabel_.c_str() : "(none)",
+                resumeActiveState_.empty() ? " (not yet started)" : "");
+}
+
+void
+SweepRunner::writeSweepFile() const
+{
+    snapshot::Serializer out;
+    out.writeString(bench_);
+    out.writeU64(completed_.size());
+    for (const CompletedLeg &leg : completed_) {
+        out.writeString(leg.label);
+        saveMetrics(out, leg.metrics);
+    }
+    out.writeString(activeLabel_);
+    out.writeBlob(activeState_);
+
+    std::string error;
+    if (!snapshot::writeSnapshotFile(snapshotPath_,
+                                     snapshot::kSweepStateKind,
+                                     out.data(), &error)) {
+        // A failed periodic snapshot should not kill a long run; the
+        // simulation itself is unaffected.
+        std::fprintf(stderr, "warning: snapshot write failed: %s\n",
+                     error.c_str());
+    }
+}
+
+sched::ClusterMetrics
+SweepRunner::leg(const std::string &label,
+                 const sched::ClusterConfig &config,
+                 const std::vector<traces::Job> &jobs)
+{
+    if (stopped_)
+        return {};
+
+    // Legs already completed in the resumed sweep replay from their
+    // recorded metrics.
+    if (nextCached_ < completed_.size()) {
+        const CompletedLeg &cached = completed_[nextCached_];
+        if (cached.label != label)
+            util::fatal("sweep snapshot mismatch: recorded leg '%s', "
+                        "benchmark asked for '%s'",
+                        cached.label.c_str(), label.c_str());
+        ++nextCached_;
+        return cached.metrics;
+    }
+
+    // Interrupt landed between legs: save a sweep image marking this
+    // leg as active-but-unstarted and stop.
+    if (g_interrupted != 0) {
+        activeLabel_ = label;
+        if (resumeActive_ && label == resumeActiveLabel_)
+            activeState_ = resumeActiveState_;
+        else
+            activeState_.clear();
+        writeSweepFile();
+        stopped_ = true;
+        return {};
+    }
+
+    sched::ClusterSimulator sim(config);
+    activeLabel_ = label;
+    activeState_.clear();
+
+    sched::RunOptions options;
+    options.digestEverySeconds = digestEvery_;
+    options.snapshotEverySeconds = snapshotEvery_;
+    options.snapshotSink =
+        [this](const std::vector<std::uint8_t> &state) {
+            activeState_ = state;
+            writeSweepFile();
+        };
+    options.interrupted = [] { return g_interrupted != 0; };
+
+    sched::RunOutcome outcome;
+    if (resumeActive_) {
+        if (label != resumeActiveLabel_)
+            util::fatal("sweep snapshot mismatch: active leg '%s', "
+                        "benchmark asked for '%s'",
+                        resumeActiveLabel_.c_str(), label.c_str());
+        resumeActive_ = false;
+        if (resumeActiveState_.empty()) {
+            // Interrupted before the leg started; run it fresh.
+            outcome = sim.run(jobs, options);
+        } else {
+            std::string error;
+            if (!sim.restoreState(resumeActiveState_, jobs, &error))
+                util::fatal("cannot resume leg '%s' from '%s': %s",
+                            label.c_str(), resumeFrom_.c_str(),
+                            error.c_str());
+            outcome = sim.resume(options);
+        }
+    } else {
+        outcome = sim.run(jobs, options);
+    }
+
+    if (!outcome.completed) {
+        // The final snapshot already went through the sink.
+        stopped_ = true;
+        return outcome.metrics;
+    }
+    completed_.push_back(CompletedLeg{label, outcome.metrics});
+    nextCached_ = completed_.size();
+    activeState_.clear();
+    return outcome.metrics;
+}
+
+int
+SweepRunner::finish() const
+{
+    if (!stopped_)
+        return 0;
+    std::fprintf(stderr,
+                 "\n%s: interrupted during leg '%s'; sweep state "
+                 "saved to %s\nresume with: --resume-from=%s\n",
+                 bench_.c_str(), activeLabel_.c_str(),
+                 snapshotPath_.c_str(), snapshotPath_.c_str());
+    return 130;
+}
+
+} // namespace hdmr::bench

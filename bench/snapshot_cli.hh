@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Crash-safe snapshot/resume plumbing for the system-wide benchmark
+ * drivers (fig17, fig18).
+ *
+ * The benchmarks run a *sweep* of simulation legs (conventional,
+ * Hetero-DMR, fault intensities, ...).  SweepRunner executes each leg
+ * through the snapshot-aware ClusterSimulator API and maintains one
+ * sweep-level snapshot file holding the metrics of every completed leg
+ * plus the serialized mid-run state of the active leg, so an
+ * interrupted sweep resumes exactly where it stopped: finished legs
+ * replay from their recorded metrics, the active leg restores its
+ * simulator state and continues bit-identically.
+ *
+ * Flags (parsed from argv; anything unrecognised is fatal):
+ *   --snapshot-every=<sim seconds>  periodic snapshots (0 = off)
+ *   --snapshot-path=<file>          snapshot file (default <bench>.snap)
+ *   --resume-from=<file>            resume a previous sweep
+ *   --digest-every=<sim seconds>    digest-trail cadence (default 86400)
+ *
+ * SIGINT/SIGTERM set a flag the event loop polls at its next decision
+ * point; the run writes a final snapshot and the process exits 130
+ * with a message naming the file to resume from.
+ */
+
+#ifndef HDMR_BENCH_SNAPSHOT_CLI_HH
+#define HDMR_BENCH_SNAPSHOT_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/cluster_sim.hh"
+#include "traces/job_trace.hh"
+
+namespace hdmr::bench
+{
+
+/** Runs a benchmark's simulation legs with snapshot/resume support. */
+class SweepRunner
+{
+  public:
+    /**
+     * Parses the snapshot flags (fatal on unknown arguments or
+     * malformed values) and installs SIGINT/SIGTERM handlers.
+     * `bench_name` tags the snapshot file so a fig18 image cannot be
+     * resumed into fig17.
+     */
+    SweepRunner(std::string bench_name, int argc, char **argv);
+
+    /**
+     * Execute one sweep leg.  Legs are identified by `label` and must
+     * be issued in a fixed order across runs; on resume, completed
+     * legs return their recorded metrics instantly and the active leg
+     * restores and continues.  Once the sweep is interrupted, further
+     * legs are skipped (zeroed metrics) - check stoppedEarly().
+     */
+    sched::ClusterMetrics leg(const std::string &label,
+                              const sched::ClusterConfig &config,
+                              const std::vector<traces::Job> &jobs);
+
+    /** True once a leg was interrupted (results are incomplete). */
+    bool stoppedEarly() const { return stopped_; }
+
+    /**
+     * Final bookkeeping: on an interrupted sweep, prints where the
+     * snapshot went and how to resume, and returns exit code 130;
+     * otherwise returns 0.
+     */
+    int finish() const;
+
+  private:
+    struct CompletedLeg
+    {
+        std::string label;
+        sched::ClusterMetrics metrics;
+    };
+
+    void parseArgs(int argc, char **argv);
+    void loadResumeFile();
+    void writeSweepFile() const;
+
+    std::string bench_;
+    double snapshotEvery_ = 0.0;
+    double digestEvery_ = 86400.0;
+    std::string snapshotPath_;
+    std::string resumeFrom_;
+
+    std::vector<CompletedLeg> completed_;
+    std::size_t nextCached_ = 0;
+
+    bool resumeActive_ = false;
+    std::string resumeActiveLabel_;
+    std::vector<std::uint8_t> resumeActiveState_;
+
+    std::string activeLabel_;
+    std::vector<std::uint8_t> activeState_;
+
+    bool stopped_ = false;
+};
+
+} // namespace hdmr::bench
+
+#endif // HDMR_BENCH_SNAPSHOT_CLI_HH

@@ -1,5 +1,7 @@
 #include "core/epoch_guard.hh"
 
+#include "snapshot/serializer.hh"
+
 namespace hdmr::core
 {
 
@@ -44,6 +46,37 @@ Tick
 EpochGuard::epochEnd(Tick now) const
 {
     return (now / config_.epochLength + 1) * config_.epochLength;
+}
+
+void
+EpochGuard::saveState(snapshot::Serializer &out) const
+{
+    out.writeU64(config_.epochLength);
+    out.writeDouble(config_.mttSdcYears);
+    out.writeU64(epochIndex_);
+    out.writeU64(errorsThisEpoch_);
+    out.writeU64(totalErrors_);
+    out.writeU64(trips_);
+    out.writeBool(trippedThisEpoch_);
+}
+
+bool
+EpochGuard::restoreState(snapshot::Deserializer &in)
+{
+    const std::uint64_t epoch_length = in.readU64();
+    const double mtt_sdc_years = in.readDouble();
+    if (in.ok() && (epoch_length != config_.epochLength ||
+                    mtt_sdc_years != config_.mttSdcYears)) {
+        in.fail("epoch-guard snapshot was taken under a different "
+                "epoch configuration");
+        return false;
+    }
+    epochIndex_ = in.readU64();
+    errorsThisEpoch_ = in.readU64();
+    totalErrors_ = in.readU64();
+    trips_ = in.readU64();
+    trippedThisEpoch_ = in.readBool();
+    return in.ok();
 }
 
 } // namespace hdmr::core

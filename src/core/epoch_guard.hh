@@ -23,6 +23,12 @@
 
 #include "util/units.hh"
 
+namespace hdmr::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace hdmr::snapshot
+
 namespace hdmr::core
 {
 
@@ -77,6 +83,20 @@ class EpochGuard
     std::uint64_t totalErrors() const { return totalErrors_; }
     std::uint64_t trips() const { return trips_; }
     const EpochGuardConfig &config() const { return config_; }
+
+    /**
+     * Serialize the guard's mutable state (epoch cursor, per-epoch and
+     * total error counts, trip flag) plus a fingerprint of the
+     * configuration it was built with.
+     */
+    void saveState(snapshot::Serializer &out) const;
+
+    /**
+     * Restore a captured state.  Fails the deserializer (and returns
+     * false) when the snapshot was taken under a different epoch
+     * configuration.
+     */
+    bool restoreState(snapshot::Deserializer &in);
 
   private:
     void rollEpoch(Tick now);

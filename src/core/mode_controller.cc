@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/serializer.hh"
 #include "util/logging.hh"
 
 namespace hdmr::core
@@ -372,6 +373,105 @@ ModeController::flush()
 {
     if (!wbCache_.empty() || !overflow_.empty())
         controller_.requestWriteMode();
+}
+
+void
+ModeController::saveState(snapshot::Serializer &out) const
+{
+    out.writeU32(config_.specSetting.dataRateMts);
+    out.writeU32(config_.fastSetting.dataRateMts);
+    out.writeDouble(config_.readErrorProbability);
+    out.writeBool(quarantined_);
+    out.writeBool(fastEnabled_);
+    out.writeDouble(ambientMultiplier_);
+    out.writeU64(recoveryEventsSinceDemotion_);
+    out.writeU64(lastTripEpoch_);
+    out.writeU32(tripStreak_);
+    guard_.saveState(out);
+
+    out.writeU64(stats_.dirtyEvictions);
+    out.writeU64(stats_.cleanedLines);
+    out.writeU64(stats_.corrections);
+    out.writeU64(stats_.uncorrectedErrors);
+    out.writeU64(stats_.epochTrips);
+    out.writeU64(stats_.fastDisabledTicks);
+    out.writeU64(stats_.demotions);
+    out.writeU64(stats_.quarantines);
+    out.writeU64(stats_.marginDriftMts);
+    out.writeU64(stats_.reprofileTicks);
+}
+
+bool
+ModeController::restoreState(snapshot::Deserializer &in)
+{
+    const std::uint32_t spec_rate = in.readU32();
+    const std::uint32_t fast_rate = in.readU32();
+    const double read_error = in.readDouble();
+    const bool quarantined = in.readBool();
+    const bool fast_enabled = in.readBool();
+    const double ambient = in.readDouble();
+    const std::uint64_t recoveries = in.readU64();
+    const std::uint64_t last_trip_epoch = in.readU64();
+    const std::uint32_t trip_streak = in.readU32();
+    if (!in.ok())
+        return false;
+    if (spec_rate != config_.specSetting.dataRateMts) {
+        in.fail("mode-controller snapshot was taken under a different "
+                "specification setting");
+        return false;
+    }
+    if (fast_rate > config_.fastSetting.dataRateMts ||
+        fast_rate < config_.specSetting.dataRateMts) {
+        in.fail("mode-controller snapshot carries an impossible fast "
+                "setting (demotions only ever move toward spec)");
+        return false;
+    }
+    if (!(read_error >= 0.0 && read_error <= 1.0)) {
+        in.fail("mode-controller snapshot carries an out-of-range read "
+                "error probability");
+        return false;
+    }
+
+    config_.fastSetting.dataRateMts = fast_rate;
+    config_.readErrorProbability = read_error;
+    quarantined_ = quarantined;
+    ambientMultiplier_ = ambient;
+    recoveryEventsSinceDemotion_ = recoveries;
+    lastTripEpoch_ = last_trip_epoch;
+    tripStreak_ = trip_streak;
+    if (!guard_.restoreState(in))
+        return false;
+
+    stats_.dirtyEvictions = in.readU64();
+    stats_.cleanedLines = in.readU64();
+    stats_.corrections = in.readU64();
+    stats_.uncorrectedErrors = in.readU64();
+    stats_.epochTrips = in.readU64();
+    stats_.fastDisabledTicks = in.readU64();
+    stats_.demotions = in.readU64();
+    stats_.quarantines = in.readU64();
+    stats_.marginDriftMts = in.readU64();
+    stats_.reprofileTicks = in.readU64();
+    if (!in.ok())
+        return false;
+
+    // Re-apply the restored operating point.
+    if (quarantined_) {
+        config_.fastSetting = config_.specSetting;
+        config_.readErrorProbability = 0.0;
+        suspendFastOperation(0, /*permanent=*/true);
+    } else if (config_.plan.fastReads) {
+        if (fast_enabled) {
+            applyReconfiguration();
+        } else {
+            // fastEnabled_ is still true from construction, so the
+            // suspension path actually installs the safe config; fast
+            // operation resumes at the next epoch boundary.
+            suspendFastOperation(guard_.epochEnd(events_.curTick()),
+                                 /*permanent=*/false);
+        }
+    }
+    return true;
 }
 
 } // namespace hdmr::core

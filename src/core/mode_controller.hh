@@ -192,6 +192,28 @@ class ModeController
     buildControllerConfig(const ModeControllerConfig &config,
                           std::uint64_t seed);
 
+    // ---- Snapshot/resume surface (src/snapshot). ----
+
+    /**
+     * Serialize the controller's durable quarantine/demotion state:
+     * the (possibly demoted) fast setting, error probabilities, the
+     * trip-streak and recovery counters, the epoch guard, and the
+     * statistics block.  Transient write-path state (victim cache
+     * contents, pending write-mode events) is deliberately *not*
+     * serialized: snapshots are taken at quiescent points and the
+     * write path refills organically after resume.
+     */
+    void saveState(snapshot::Serializer &out) const;
+
+    /**
+     * Restore a captured state into a freshly constructed controller
+     * (same configuration, before simulation resumes).  Re-applies
+     * the demoted operating point (or the permanent quarantine) to the
+     * memory controller.  Fails the deserializer and returns false on
+     * corrupt or incompatible images.
+     */
+    bool restoreState(snapshot::Deserializer &in);
+
   private:
     std::size_t refillWrites(std::size_t space);
     void onWriteModeEnter();

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "snapshot/digest.hh"
+#include "snapshot/serializer.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace hdmr::fault
@@ -29,8 +32,46 @@ toString(FaultKind kind)
     return "unknown";
 }
 
+void
+CampaignConfig::validate() const
+{
+    const auto check_rate = [](const char *field, double value) {
+        if (!(value >= 0.0) || !std::isfinite(value))
+            util::fatal("CampaignConfig.%s must be a finite "
+                        "non-negative rate (got %g)",
+                        field, value);
+    };
+    check_rate("intensity", intensity);
+    check_rate("uncorrectablePerHour", uncorrectablePerHour);
+    check_rate("burstsPerHour", burstsPerHour);
+    check_rate("driftEventsPerHour", driftEventsPerHour);
+    check_rate("excursionsPerHour", excursionsPerHour);
+    check_rate("nodeFailuresPerHour", nodeFailuresPerHour);
+    check_rate("demotionsPerHour", demotionsPerHour);
+    if (!(horizonSeconds >= 0.0) || !std::isfinite(horizonSeconds))
+        util::fatal("CampaignConfig.horizonSeconds must be a finite "
+                    "non-negative duration (got %g)",
+                    horizonSeconds);
+    if (targets == 0)
+        util::fatal("CampaignConfig.targets must be at least 1");
+    if (!(burstErrorsMean >= 0.0) || !std::isfinite(burstErrorsMean))
+        util::fatal("CampaignConfig.burstErrorsMean must be finite and "
+                    "non-negative (got %g)",
+                    burstErrorsMean);
+    if (!(driftStepMts >= 0.0) || !std::isfinite(driftStepMts))
+        util::fatal("CampaignConfig.driftStepMts must be finite and "
+                    "non-negative (got %g)",
+                    driftStepMts);
+    if (!(excursionMeanSeconds > 0.0) ||
+        !std::isfinite(excursionMeanSeconds))
+        util::fatal("CampaignConfig.excursionMeanSeconds must be a "
+                    "finite positive duration (got %g)",
+                    excursionMeanSeconds);
+}
+
 FaultCampaign::FaultCampaign(CampaignConfig config) : config_(config)
 {
+    config_.validate();
 }
 
 namespace
@@ -139,6 +180,71 @@ FaultCampaign::killTimeSeconds(std::uint64_t seed, unsigned job_id,
                                  attempt)));
     const double u = rng.uniform(); // in [0, 1)
     return -std::log1p(-u) / rate_per_second;
+}
+
+// --------------------------------------------------------------------
+// ScheduleCursor
+// --------------------------------------------------------------------
+
+ScheduleCursor::ScheduleCursor(std::vector<FaultEvent> schedule)
+    : schedule_(std::move(schedule))
+{
+}
+
+const FaultEvent &
+ScheduleCursor::current() const
+{
+    hdmr_assert(!done(), "ScheduleCursor read past the end");
+    return schedule_[index_];
+}
+
+void
+ScheduleCursor::advance()
+{
+    hdmr_assert(!done(), "ScheduleCursor advanced past the end");
+    ++index_;
+}
+
+std::uint64_t
+ScheduleCursor::scheduleDigest() const
+{
+    snapshot::Fnv1a hash;
+    hash.addU64(schedule_.size());
+    for (const FaultEvent &ev : schedule_) {
+        hash.addDouble(ev.atSeconds);
+        hash.addU32(static_cast<std::uint32_t>(ev.kind));
+        hash.addU32(ev.target);
+        hash.addDouble(ev.magnitude);
+        hash.addDouble(ev.durationSeconds);
+    }
+    return hash.value();
+}
+
+void
+ScheduleCursor::save(snapshot::Serializer &out) const
+{
+    out.writeU64(scheduleDigest());
+    out.writeU64(index_);
+}
+
+bool
+ScheduleCursor::restore(snapshot::Deserializer &in)
+{
+    const std::uint64_t digest = in.readU64();
+    const std::uint64_t index = in.readU64();
+    if (!in.ok())
+        return false;
+    if (digest != scheduleDigest()) {
+        in.fail("fault-schedule digest mismatch: the snapshot was taken "
+                "under a different campaign realization");
+        return false;
+    }
+    if (index > schedule_.size()) {
+        in.fail("fault-schedule cursor out of range");
+        return false;
+    }
+    index_ = static_cast<std::size_t>(index);
+    return true;
 }
 
 } // namespace hdmr::fault

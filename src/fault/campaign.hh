@@ -23,9 +23,16 @@
 #define HDMR_FAULT_CAMPAIGN_HH
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "fault/fault.hh"
+
+namespace hdmr::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace hdmr::snapshot
 
 namespace hdmr::fault
 {
@@ -53,6 +60,14 @@ struct CampaignConfig
     double burstErrorsMean = 50.0;      ///< detected errors per burst
     double driftStepMts = 200.0;        ///< stable-rate loss per event
     double excursionMeanSeconds = 1800.0; ///< mean 45 degC window
+
+    /**
+     * Reject impossible campaigns (NaN/negative rates or magnitudes,
+     * zero targets, negative horizon) with a fatal() naming the
+     * offending field.  Called once at FaultCampaign construction so
+     * bad configs fail loudly up front instead of deep inside a run.
+     */
+    void validate() const;
 
     bool
     enabled() const
@@ -100,6 +115,59 @@ class FaultCampaign
 
   private:
     CampaignConfig config_;
+};
+
+/**
+ * A resumable position inside an expanded fault schedule.
+ *
+ * The cursor owns the (deterministically re-derivable) schedule and a
+ * consumption index; snapshots persist only the index plus an FNV-1a
+ * digest of the whole schedule, so a resumed run proves it is walking
+ * the *same* campaign realization and a snapshot taken under a
+ * different campaign config is rejected instead of silently replayed
+ * against the wrong fault sequence.
+ */
+class ScheduleCursor
+{
+  public:
+    ScheduleCursor() = default;
+    explicit ScheduleCursor(std::vector<FaultEvent> schedule);
+
+    bool done() const { return index_ >= schedule_.size(); }
+
+    /** Next undelivered event; must not be called when done(). */
+    const FaultEvent &current() const;
+
+    /** Arrival time of the next event, +infinity when exhausted. */
+    double
+    nextTimeSeconds() const
+    {
+        return done() ? std::numeric_limits<double>::infinity()
+                      : schedule_[index_].atSeconds;
+    }
+
+    void advance();
+
+    std::size_t index() const { return index_; }
+    std::size_t size() const { return schedule_.size(); }
+
+    /** Order- and content-sensitive digest of the full schedule. */
+    std::uint64_t scheduleDigest() const;
+
+    /** Persist the cursor (index + schedule digest). */
+    void save(snapshot::Serializer &out) const;
+
+    /**
+     * Restore a cursor persisted by save() against this cursor's
+     * schedule.  Fails the deserializer (and returns false) when the
+     * digests disagree, i.e. the snapshot belongs to a different
+     * campaign realization.
+     */
+    bool restore(snapshot::Deserializer &in);
+
+  private:
+    std::vector<FaultEvent> schedule_;
+    std::size_t index_ = 0;
 };
 
 } // namespace hdmr::fault

@@ -2,14 +2,88 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <limits>
-#include <queue>
 
+#include "snapshot/serializer.hh"
 #include "util/logging.hh"
 
 namespace hdmr::sched
 {
+
+// --------------------------------------------------------------------
+// Configuration validation
+// --------------------------------------------------------------------
+
+void
+SpeedupTable::validate() const
+{
+    if (!std::isfinite(at800) || !(at800 >= 1.0))
+        util::fatal("SpeedupTable.at800 must be a finite speedup >= 1 "
+                    "(got %g)",
+                    at800);
+    if (!std::isfinite(at600) || !(at600 >= 1.0))
+        util::fatal("SpeedupTable.at600 must be a finite speedup >= 1 "
+                    "(got %g)",
+                    at600);
+    if (at600 > at800)
+        util::fatal("SpeedupTable.at600 (%g) must not exceed at800 "
+                    "(%g): group 0 is the faster margin group",
+                    at600, at800);
+}
+
+void
+ResiliencePolicy::validate() const
+{
+    if (!std::isfinite(requeueBackoffBaseSeconds) ||
+        !(requeueBackoffBaseSeconds >= 0.0))
+        util::fatal("ResiliencePolicy.requeueBackoffBaseSeconds must "
+                    "be a finite non-negative duration (got %g)",
+                    requeueBackoffBaseSeconds);
+    if (!std::isfinite(requeueBackoffCapSeconds) ||
+        !(requeueBackoffCapSeconds >= requeueBackoffBaseSeconds))
+        util::fatal("ResiliencePolicy.requeueBackoffCapSeconds (%g) "
+                    "must be finite and at least the base backoff (%g)",
+                    requeueBackoffCapSeconds, requeueBackoffBaseSeconds);
+    if (!std::isfinite(checkpointIntervalSeconds) ||
+        !(checkpointIntervalSeconds >= 0.0))
+        util::fatal("ResiliencePolicy.checkpointIntervalSeconds must "
+                    "be a finite non-negative duration (got %g)",
+                    checkpointIntervalSeconds);
+    if (!std::isfinite(checkpointOverheadFraction) ||
+        !(checkpointOverheadFraction >= 0.0) ||
+        checkpointOverheadFraction >= 1.0)
+        util::fatal("ResiliencePolicy.checkpointOverheadFraction must "
+                    "be a finite fraction in [0, 1) (got %g)",
+                    checkpointOverheadFraction);
+}
+
+void
+ClusterConfig::validate() const
+{
+    if (nodes == 0)
+        util::fatal("ClusterConfig.nodes must be at least 1");
+    double fraction_sum = 0.0;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        const double f = groupFractions[g];
+        if (!std::isfinite(f) || !(f >= 0.0) || f > 1.0)
+            util::fatal("ClusterConfig.groupFractions[%zu] must be a "
+                        "finite fraction in [0, 1] (got %g)",
+                        g, f);
+        fraction_sum += f;
+    }
+    if (std::abs(fraction_sum - 1.0) > 1e-6)
+        util::fatal("ClusterConfig.groupFractions must sum to 1 "
+                    "(got %g)",
+                    fraction_sum);
+    if (backfillDepth == 0)
+        util::fatal("ClusterConfig.backfillDepth must be at least 1");
+    speedups.validate();
+    resilience.validate();
+    faults.validate();
+}
+
+// --------------------------------------------------------------------
+// Metrics
+// --------------------------------------------------------------------
 
 util::CounterSet
 ClusterMetrics::counters() const
@@ -29,8 +103,94 @@ ClusterMetrics::counters() const
     return set;
 }
 
+void
+saveMetrics(snapshot::Serializer &out, const ClusterMetrics &m)
+{
+    out.writeU64(m.jobsCompleted);
+    out.writeDouble(m.meanExecSeconds);
+    out.writeDouble(m.meanQueueSeconds);
+    out.writeDouble(m.meanTurnaroundSeconds);
+    out.writeDouble(m.meanNodeUtilization);
+    out.writeDouble(m.acceleratedFraction);
+    out.writeU64(m.ueInjected);
+    out.writeU64(m.jobKills);
+    out.writeU64(m.requeues);
+    out.writeU64(m.nodesFailed);
+    out.writeU64(m.nodesDemoted);
+    out.writeU64(m.jobsDropped);
+    out.writeDouble(m.lostNodeSeconds);
+    out.writeDouble(m.checkpointOverheadSeconds);
+}
+
+bool
+restoreMetrics(snapshot::Deserializer &in, ClusterMetrics *m)
+{
+    m->jobsCompleted = static_cast<std::size_t>(in.readU64());
+    m->meanExecSeconds = in.readDouble();
+    m->meanQueueSeconds = in.readDouble();
+    m->meanTurnaroundSeconds = in.readDouble();
+    m->meanNodeUtilization = in.readDouble();
+    m->acceleratedFraction = in.readDouble();
+    m->ueInjected = in.readU64();
+    m->jobKills = in.readU64();
+    m->requeues = in.readU64();
+    m->nodesFailed = in.readU64();
+    m->nodesDemoted = in.readU64();
+    m->jobsDropped = in.readU64();
+    m->lostNodeSeconds = in.readDouble();
+    m->checkpointOverheadSeconds = in.readDouble();
+    return in.ok();
+}
+
+bool
+metricsIdentical(const ClusterMetrics &a, const ClusterMetrics &b)
+{
+    return a.jobsCompleted == b.jobsCompleted &&
+           a.meanExecSeconds == b.meanExecSeconds &&
+           a.meanQueueSeconds == b.meanQueueSeconds &&
+           a.meanTurnaroundSeconds == b.meanTurnaroundSeconds &&
+           a.meanNodeUtilization == b.meanNodeUtilization &&
+           a.acceleratedFraction == b.acceleratedFraction &&
+           a.ueInjected == b.ueInjected && a.jobKills == b.jobKills &&
+           a.requeues == b.requeues && a.nodesFailed == b.nodesFailed &&
+           a.nodesDemoted == b.nodesDemoted &&
+           a.jobsDropped == b.jobsDropped &&
+           a.lostNodeSeconds == b.lostNodeSeconds &&
+           a.checkpointOverheadSeconds == b.checkpointOverheadSeconds;
+}
+
+// --------------------------------------------------------------------
+// Heap orderings
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Min-heap comparators: (time, seq) is a strict total order. */
+bool
+laterCompletion(const double a_time, const std::uint64_t a_seq,
+                const double b_time, const std::uint64_t b_seq)
+{
+    if (a_time != b_time)
+        return a_time > b_time;
+    return a_seq > b_seq;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Construction / capacity
+// --------------------------------------------------------------------
+
 ClusterSimulator::ClusterSimulator(ClusterConfig config)
     : config_(config), rng_(config.seed)
+{
+    config_.validate();
+    resetCapacity();
+}
+
+void
+ClusterSimulator::resetCapacity()
 {
     unsigned assigned = 0;
     for (std::size_t g = 0; g < kGroups; ++g) {
@@ -47,6 +207,8 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
                                   drift);
     }
     totalPerGroup_ = freePerGroup_;
+    pendingFailures_ = {0, 0, 0};
+    pendingDemotions_ = {0, 0, 0};
 }
 
 unsigned
@@ -77,8 +239,7 @@ ClusterSimulator::groupOfTarget(unsigned target) const
 }
 
 void
-ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault,
-                                    ClusterMetrics &metrics)
+ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault)
 {
     std::size_t g = groupOfTarget(fault.target);
     if (g >= kGroups)
@@ -86,7 +247,7 @@ ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault,
 
     switch (fault.kind) {
       case fault::FaultKind::kNodeFailure:
-        ++metrics.nodesFailed;
+        ++st_.metrics.nodesFailed;
         if (freePerGroup_[g] > 0) {
             --freePerGroup_[g];
             --totalPerGroup_[g];
@@ -108,7 +269,7 @@ ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault,
             else
                 return;
         }
-        ++metrics.nodesDemoted;
+        ++st_.metrics.nodesDemoted;
         if (freePerGroup_[g] > 0) {
             --freePerGroup_[g];
             --totalPerGroup_[g];
@@ -216,61 +377,26 @@ ClusterSimulator::speedupFor(
     return config_.speedups.forGroup(slowest);
 }
 
-ClusterMetrics
-ClusterSimulator::run(const std::vector<traces::Job> &jobs)
+// --------------------------------------------------------------------
+// Event loop
+// --------------------------------------------------------------------
+
+void
+ClusterSimulator::initRun(const std::vector<traces::Job> &jobs,
+                          double digest_every_seconds)
 {
-    // Event-driven replay: merge arrivals (sorted) with completions,
-    // cluster-scoped campaign faults, and requeue resubmissions.  With
-    // the campaign disabled the latter two sources are empty and the
-    // replay is the fault-free one, bit for bit.
-    struct Completion
-    {
-        double time;
-        std::size_t index; ///< into running storage
-
-        bool
-        operator>(const Completion &other) const
-        {
-            return time > other.time;
-        }
-    };
-
-    struct Resubmit
-    {
-        double time;
-        const traces::Job *job;
-        std::uint64_t seq; ///< FIFO among equal times
-
-        bool
-        operator>(const Resubmit &other) const
-        {
-            if (time != other.time)
-                return time > other.time;
-            return seq > other.seq;
-        }
-    };
-
-    std::vector<RunningJob> running;
-    std::vector<bool> runningLive;
-    std::priority_queue<Completion, std::vector<Completion>,
-                        std::greater<>> completions;
-    std::priority_queue<Resubmit, std::vector<Resubmit>,
-                        std::greater<>> resubmits;
-    std::deque<PendingJob> pending;
-
-    // Per-job resilience state, indexed like `jobs`.
-    struct JobState
-    {
-        unsigned attempts = 0;
-        double remainingSeconds = -1.0; ///< set at first start
-    };
-    std::vector<JobState> state(jobs.size());
+    resetCapacity();
+    rng_.seed(config_.seed);
+    st_ = RunState{};
+    st_.jobs = &jobs;
+    st_.jobState.assign(jobs.size(), JobState{});
+    st_.trail.epochSeconds = digest_every_seconds;
 
     // Cluster-scoped campaign events.  Job-killing UEs do not come
     // from this schedule: they use nested per-(job, attempt) hazard
     // draws (FaultCampaign::killTimeSeconds) so fault realizations at
     // a higher intensity are a superset of those at a lower one.
-    std::vector<fault::FaultEvent> clusterFaults;
+    std::vector<fault::FaultEvent> cluster_faults;
     if (config_.faults.enabled()) {
         fault::CampaignConfig fc = config_.faults;
         fc.targets = config_.nodes; // rates are per node-hour
@@ -278,9 +404,22 @@ ClusterSimulator::run(const std::vector<traces::Job> &jobs)
              fault::FaultCampaign(fc).schedule()) {
             if (ev.kind == fault::FaultKind::kNodeFailure ||
                 ev.kind == fault::FaultKind::kGroupDemotion)
-                clusterFaults.push_back(ev);
+                cluster_faults.push_back(ev);
         }
     }
+    st_.faults = fault::ScheduleCursor(std::move(cluster_faults));
+    st_.active = true;
+}
+
+void
+ClusterSimulator::startJob(std::uint32_t job_index, double now)
+{
+    const traces::Job &job = (*st_.jobs)[job_index];
+    JobState &jst = st_.jobState[job_index];
+    if (jst.remainingSeconds < 0.0)
+        jst.remainingSeconds = job.runtimeSeconds;
+    const unsigned attempt = ++jst.attempts;
+
     const double ue_node_rate = config_.faults.intensity *
                                 config_.faults.uncorrectablePerHour /
                                 3600.0;
@@ -291,244 +430,792 @@ ClusterSimulator::run(const std::vector<traces::Job> &jobs)
             ? config_.resilience.checkpointOverheadFraction
             : 0.0;
 
-    ClusterMetrics metrics;
-    double exec_sum = 0.0, queue_sum = 0.0, turnaround_sum = 0.0;
-    double busy_node_seconds = 0.0;
-    std::size_t eligible = 0, accelerated = 0;
-    double last_event_time = 0.0;
-    double span_end = 0.0;
-    std::uint64_t resubmit_seq = 0;
+    std::array<unsigned, kGroups> allocated;
+    const bool ok = allocate(job.nodes, allocated);
+    hdmr_assert(ok, "startJob called without room");
+    const double speedup = speedupFor(job, allocated);
+    const double exec =
+        jst.remainingSeconds / speedup * (1.0 + ckpt_ovh);
+    const double est = job.walltimeSeconds / speedup;
 
-    auto start_job = [&](const traces::Job &job, double now) {
-        JobState &st = state[static_cast<std::size_t>(&job -
-                                                      jobs.data())];
-        if (st.remainingSeconds < 0.0)
-            st.remainingSeconds = job.runtimeSeconds;
-        const unsigned attempt = ++st.attempts;
+    // Will a UE kill this attempt?  Margin UEs only strike jobs
+    // actually running fast; the hazard scales with the job's node
+    // count.
+    double kill_after = std::numeric_limits<double>::infinity();
+    if (ue_node_rate > 0.0 && speedup > 1.0) {
+        kill_after = fault::FaultCampaign::killTimeSeconds(
+            config_.faults.seed, job.id, attempt,
+            ue_node_rate * static_cast<double>(job.nodes));
+    }
 
-        std::array<unsigned, kGroups> allocated;
-        const bool ok = allocate(job.nodes, allocated);
-        hdmr_assert(ok, "start_job called without room");
-        const double speedup = speedupFor(job, allocated);
-        const double exec =
-            st.remainingSeconds / speedup * (1.0 + ckpt_ovh);
-        const double est = job.walltimeSeconds / speedup;
+    RunningJob rj;
+    rj.jobIndex = job_index;
+    rj.allocated = allocated;
+    rj.attempt = attempt;
+    rj.estimatedEndTime = now + est;
+    rj.seq = st_.startSeq++;
 
-        // Will a UE kill this attempt?  Margin UEs only strike jobs
-        // actually running fast; the hazard scales with the job's
-        // node count.
-        double kill_after = std::numeric_limits<double>::infinity();
-        if (ue_node_rate > 0.0 && speedup > 1.0) {
-            kill_after = fault::FaultCampaign::killTimeSeconds(
-                config_.faults.seed, job.id, attempt,
-                ue_node_rate * static_cast<double>(job.nodes));
+    if (kill_after < exec) {
+        // Attempt dies mid-run; metrics for the job are deferred to
+        // its eventually-successful attempt.
+        rj.killed = true;
+        rj.endTime = now + kill_after;
+        ++st_.metrics.ueInjected;
+        ++st_.metrics.jobKills;
+        const double useful =
+            kill_after / (1.0 + ckpt_ovh) * speedup;
+        double saved = 0.0;
+        if (ckpt_interval > 0.0) {
+            saved = std::floor(useful / ckpt_interval) *
+                    ckpt_interval;
         }
-
-        RunningJob rj;
-        rj.job = &job;
-        rj.allocated = allocated;
-        rj.attempt = attempt;
-        rj.estimatedEndTime = now + est;
-
-        if (kill_after < exec) {
-            // Attempt dies mid-run; metrics for the job are deferred
-            // to its eventually-successful attempt.
-            rj.killed = true;
-            rj.endTime = now + kill_after;
-            ++metrics.ueInjected;
-            ++metrics.jobKills;
-            const double useful =
-                kill_after / (1.0 + ckpt_ovh) * speedup;
-            double saved = 0.0;
-            if (ckpt_interval > 0.0) {
-                saved = std::floor(useful / ckpt_interval) *
-                        ckpt_interval;
-            }
-            saved = std::min(saved, st.remainingSeconds);
-            st.remainingSeconds -= saved;
-            metrics.lostNodeSeconds +=
-                (kill_after -
-                 saved / speedup * (1.0 + ckpt_ovh)) *
-                static_cast<double>(job.nodes);
-            metrics.checkpointOverheadSeconds +=
-                kill_after * ckpt_ovh / (1.0 + ckpt_ovh);
-            busy_node_seconds += kill_after * job.nodes;
-            span_end = std::max(span_end, rj.endTime);
-        } else {
-            rj.endTime = now + exec;
-            exec_sum += exec;
-            const double qdelay = now - job.submitSeconds;
-            queue_sum += qdelay;
-            turnaround_sum += qdelay + exec;
-            busy_node_seconds += exec * job.nodes;
-            ++metrics.jobsCompleted;
-            if (config_.heteroDmr && job.usageClass < 2) {
-                ++eligible;
-                accelerated += speedup > 1.0;
-            }
-            metrics.checkpointOverheadSeconds +=
-                exec * ckpt_ovh / (1.0 + ckpt_ovh);
-            span_end = std::max(span_end, rj.endTime);
+        saved = std::min(saved, jst.remainingSeconds);
+        jst.remainingSeconds -= saved;
+        st_.metrics.lostNodeSeconds +=
+            (kill_after - saved / speedup * (1.0 + ckpt_ovh)) *
+            static_cast<double>(job.nodes);
+        st_.metrics.checkpointOverheadSeconds +=
+            kill_after * ckpt_ovh / (1.0 + ckpt_ovh);
+        st_.busyNodeSeconds += kill_after * job.nodes;
+        st_.spanEnd = std::max(st_.spanEnd, rj.endTime);
+    } else {
+        rj.endTime = now + exec;
+        st_.execSum += exec;
+        const double qdelay = now - job.submitSeconds;
+        st_.queueSum += qdelay;
+        st_.turnaroundSum += qdelay + exec;
+        st_.busyNodeSeconds += exec * job.nodes;
+        ++st_.metrics.jobsCompleted;
+        if (config_.heteroDmr && job.usageClass < 2) {
+            ++st_.eligible;
+            st_.accelerated += speedup > 1.0;
         }
-        running.push_back(rj);
-        runningLive.push_back(true);
-        completions.push({rj.endTime, running.size() - 1});
-    };
+        st_.metrics.checkpointOverheadSeconds +=
+            exec * ckpt_ovh / (1.0 + ckpt_ovh);
+        st_.spanEnd = std::max(st_.spanEnd, rj.endTime);
+    }
+    st_.running.push_back(rj);
+    st_.completions.push_back(
+        Completion{rj.endTime, rj.seq, st_.running.size() - 1});
+    std::push_heap(st_.completions.begin(), st_.completions.end(),
+                   [](const Completion &a, const Completion &b) {
+                       return laterCompletion(a.time, a.seq, b.time,
+                                              b.seq);
+                   });
+}
 
-    auto try_schedule = [&](double now) {
-        // FCFS head + EASY backfill.  Entries consumed by an earlier
-        // backfill pass are nulled in place; skip them.
-        while (!pending.empty()) {
-            if (pending.front().job == nullptr) {
-                pending.pop_front();
-                continue;
-            }
-            if (pending.front().job->nodes > capacity()) {
-                // Node failures shrank the machine below the job.
-                ++metrics.jobsDropped;
-                pending.pop_front();
-                continue;
-            }
-            if (pending.front().job->nodes > totalFree())
-                break;
-            start_job(*pending.front().job, now);
+void
+ClusterSimulator::trySchedule(double now)
+{
+    auto &pending = st_.pending;
+    const auto &jobs = *st_.jobs;
+
+    // FCFS head + EASY backfill.  Entries consumed by an earlier
+    // backfill pass are nulled in place; skip them.
+    while (!pending.empty()) {
+        if (pending.front().jobIndex < 0) {
             pending.pop_front();
+            continue;
         }
-        if (pending.empty())
-            return;
-
-        // Head blocked: compute its reservation ("shadow") time from
-        // the running jobs' *estimated* completions.
-        const unsigned needed = pending.front().job->nodes;
-        std::vector<std::pair<double, unsigned>> est_frees;
-        est_frees.reserve(running.size());
-        for (std::size_t i = 0; i < running.size(); ++i) {
-            if (!runningLive[i])
-                continue;
-            unsigned nodes = 0;
-            for (unsigned n : running[i].allocated)
-                nodes += n;
-            est_frees.emplace_back(running[i].estimatedEndTime, nodes);
-        }
-        std::sort(est_frees.begin(), est_frees.end());
-        unsigned free_now = totalFree();
-        double shadow_time = now;
-        unsigned accumulating = free_now;
-        for (const auto &[when, nodes] : est_frees) {
-            accumulating += nodes;
-            if (accumulating >= needed) {
-                shadow_time = when;
-                break;
-            }
-        }
-        // Nodes left over at the shadow time after the head starts.
-        const unsigned extra_nodes =
-            accumulating >= needed ? accumulating - needed : 0;
-
-        // Backfill: a queued job may jump ahead if it fits now and
-        // either finishes before the shadow time or uses few enough
-        // nodes to leave the head's reservation intact.
-        const std::size_t depth =
-            std::min(pending.size(), config_.backfillDepth);
-        for (std::size_t i = 1; i < depth; ++i) {
-            const traces::Job *job = pending[i].job;
-            if (job == nullptr)
-                continue;
-            if (job->nodes > totalFree())
-                continue;
-            const bool before_shadow =
-                now + job->walltimeSeconds <= shadow_time;
-            const bool within_extra = job->nodes <= extra_nodes;
-            if (before_shadow || within_extra) {
-                start_job(*job, now);
-                pending[i].job = nullptr; // consumed
-            }
-        }
-        while (!pending.empty() && pending.front().job == nullptr)
+        const traces::Job &head =
+            jobs[static_cast<std::size_t>(pending.front().jobIndex)];
+        if (head.nodes > capacity()) {
+            // Node failures shrank the machine below the job.
+            ++st_.metrics.jobsDropped;
             pending.pop_front();
-    };
+            continue;
+        }
+        if (head.nodes > totalFree())
+            break;
+        startJob(static_cast<std::uint32_t>(pending.front().jobIndex),
+                 now);
+        pending.pop_front();
+    }
+    if (pending.empty())
+        return;
 
+    // Head blocked: compute its reservation ("shadow") time from the
+    // running jobs' *estimated* completions.
+    const unsigned needed =
+        jobs[static_cast<std::size_t>(pending.front().jobIndex)].nodes;
+    std::vector<std::pair<double, unsigned>> est_frees;
+    est_frees.reserve(st_.running.size());
+    for (const RunningJob &rj : st_.running) {
+        if (!rj.live)
+            continue;
+        unsigned nodes = 0;
+        for (unsigned n : rj.allocated)
+            nodes += n;
+        est_frees.emplace_back(rj.estimatedEndTime, nodes);
+    }
+    std::sort(est_frees.begin(), est_frees.end());
+    const unsigned free_now = totalFree();
+    double shadow_time = now;
+    unsigned accumulating = free_now;
+    for (const auto &[when, nodes] : est_frees) {
+        accumulating += nodes;
+        if (accumulating >= needed) {
+            shadow_time = when;
+            break;
+        }
+    }
+    // Nodes left over at the shadow time after the head starts.
+    const unsigned extra_nodes =
+        accumulating >= needed ? accumulating - needed : 0;
+
+    // Backfill: a queued job may jump ahead if it fits now and either
+    // finishes before the shadow time or uses few enough nodes to
+    // leave the head's reservation intact.
+    const std::size_t depth =
+        std::min(pending.size(), config_.backfillDepth);
+    for (std::size_t i = 1; i < depth; ++i) {
+        if (pending[i].jobIndex < 0)
+            continue;
+        const auto job_index =
+            static_cast<std::uint32_t>(pending[i].jobIndex);
+        const traces::Job &job = jobs[job_index];
+        if (job.nodes > totalFree())
+            continue;
+        const bool before_shadow =
+            now + job.walltimeSeconds <= shadow_time;
+        const bool within_extra = job.nodes <= extra_nodes;
+        if (before_shadow || within_extra) {
+            startJob(job_index, now);
+            pending[i].jobIndex = -1; // consumed
+        }
+    }
+    while (!pending.empty() && pending.front().jobIndex < 0)
+        pending.pop_front();
+}
+
+void
+ClusterSimulator::recordDigests(double now)
+{
+    const double every = st_.trail.epochSeconds;
+    if (!(every > 0.0))
+        return;
+    while (static_cast<double>(st_.digestEpoch + 1) * every <= now) {
+        st_.trail.digests.push_back(stateDigest());
+        ++st_.digestEpoch;
+    }
+}
+
+void
+ClusterSimulator::emitSnapshot(const RunOptions &options) const
+{
+    if (!options.snapshotSink)
+        return;
+    snapshot::Serializer out;
+    serializeState(out);
+    options.snapshotSink(out.data());
+}
+
+ClusterMetrics
+ClusterSimulator::finalizeMetrics() const
+{
+    ClusterMetrics metrics = st_.metrics;
+    if (metrics.jobsCompleted > 0) {
+        const auto n = static_cast<double>(metrics.jobsCompleted);
+        metrics.meanExecSeconds = st_.execSum / n;
+        metrics.meanQueueSeconds = st_.queueSum / n;
+        metrics.meanTurnaroundSeconds = st_.turnaroundSum / n;
+    }
+    const double span = std::max(st_.spanEnd, st_.lastEventTime);
+    if (span > 0.0) {
+        metrics.meanNodeUtilization =
+            st_.busyNodeSeconds / (span * config_.nodes);
+    }
+    if (st_.eligible > 0) {
+        metrics.acceleratedFraction =
+            static_cast<double>(st_.accelerated) /
+            static_cast<double>(st_.eligible);
+    }
+    return metrics;
+}
+
+RunOutcome
+ClusterSimulator::runLoop(const RunOptions &options)
+{
+    hdmr_assert(st_.active, "runLoop without initRun/restoreState");
+    const auto &jobs = *st_.jobs;
     const double inf = std::numeric_limits<double>::infinity();
-    std::size_t next_arrival = 0;
-    std::size_t next_fault = 0;
-    while (next_arrival < jobs.size() || !completions.empty() ||
-           next_fault < clusterFaults.size() || !resubmits.empty()) {
-        const double t_arrival = next_arrival < jobs.size()
-                                     ? jobs[next_arrival].submitSeconds
-                                     : inf;
-        const double t_fault = next_fault < clusterFaults.size()
-                                   ? clusterFaults[next_fault].atSeconds
-                                   : inf;
+
+    const double snap_every = options.snapshotEverySeconds;
+    double next_snapshot_at =
+        snap_every > 0.0
+            ? (std::floor(st_.lastEventTime / snap_every) + 1.0) *
+                  snap_every
+            : inf;
+
+    const auto completion_later = [](const Completion &a,
+                                     const Completion &b) {
+        return laterCompletion(a.time, a.seq, b.time, b.seq);
+    };
+    const auto resubmit_later = [](const Resubmit &a,
+                                   const Resubmit &b) {
+        return laterCompletion(a.time, a.seq, b.time, b.seq);
+    };
+
+    bool completed = true;
+    while (st_.nextArrival < jobs.size() || !st_.completions.empty() ||
+           !st_.faults.done() || !st_.resubmits.empty()) {
+        const double t_arrival =
+            st_.nextArrival < jobs.size()
+                ? jobs[st_.nextArrival].submitSeconds
+                : inf;
+        const double t_fault = st_.faults.nextTimeSeconds();
         const double t_resubmit =
-            resubmits.empty() ? inf : resubmits.top().time;
+            st_.resubmits.empty() ? inf : st_.resubmits.front().time;
         const double t_completion =
-            completions.empty() ? inf : completions.top().time;
+            st_.completions.empty() ? inf : st_.completions.front().time;
 
         // Tie order: faults first (capacity changes are visible to
         // anything scheduled at the same instant), then trace
         // arrivals, then resubmissions, then completions (matching
         // the fault-free arrival-before-completion order).
+        enum class Kind
+        {
+            kFault,
+            kArrival,
+            kResubmit,
+            kCompletion
+        } kind;
         double now;
-        if (next_fault < clusterFaults.size() &&
-            t_fault <= t_arrival && t_fault <= t_resubmit &&
-            t_fault <= t_completion) {
+        if (!st_.faults.done() && t_fault <= t_arrival &&
+            t_fault <= t_resubmit && t_fault <= t_completion) {
+            kind = Kind::kFault;
             now = t_fault;
-            applyClusterFault(clusterFaults[next_fault++], metrics);
-        } else if (next_arrival < jobs.size() &&
+        } else if (st_.nextArrival < jobs.size() &&
                    t_arrival <= t_resubmit &&
                    t_arrival <= t_completion) {
-            const traces::Job &job = jobs[next_arrival++];
+            kind = Kind::kArrival;
             now = t_arrival;
-            if (job.nodes > config_.nodes)
-                continue; // cannot ever run
-            pending.push_back(PendingJob{&job, now});
-        } else if (!resubmits.empty() && t_resubmit <= t_completion) {
-            const Resubmit resubmit = resubmits.top();
-            resubmits.pop();
-            now = resubmit.time;
-            pending.push_back(PendingJob{resubmit.job, now});
+        } else if (!st_.resubmits.empty() &&
+                   t_resubmit <= t_completion) {
+            kind = Kind::kResubmit;
+            now = t_resubmit;
         } else {
-            const Completion done = completions.top();
-            completions.pop();
-            now = done.time;
-            RunningJob &rj = running[done.index];
-            runningLive[done.index] = false;
+            kind = Kind::kCompletion;
+            now = t_completion;
+        }
+
+        // Decision-point bookkeeping *before* the event mutates
+        // anything: digest epochs the simulation is about to cross,
+        // then stop/snapshot checks.  A resumed run re-enters here
+        // with the exact pre-event state, so the digest trail and the
+        // replay are bit-identical.
+        recordDigests(now);
+        if (now >= options.stopAfterSeconds ||
+            (options.interrupted && options.interrupted())) {
+            emitSnapshot(options);
+            completed = false;
+            break;
+        }
+        if (now >= next_snapshot_at) {
+            emitSnapshot(options);
+            next_snapshot_at =
+                (std::floor(now / snap_every) + 1.0) * snap_every;
+        }
+
+        switch (kind) {
+          case Kind::kFault:
+            applyClusterFault(st_.faults.current());
+            st_.faults.advance();
+            break;
+
+          case Kind::kArrival: {
+            const auto job_index =
+                static_cast<std::uint32_t>(st_.nextArrival++);
+            if (jobs[job_index].nodes > config_.nodes)
+                continue; // cannot ever run
+            st_.pending.push_back(
+                PendingJob{static_cast<std::int64_t>(job_index), now});
+            break;
+          }
+
+          case Kind::kResubmit: {
+            const Resubmit resubmit = st_.resubmits.front();
+            std::pop_heap(st_.resubmits.begin(), st_.resubmits.end(),
+                          resubmit_later);
+            st_.resubmits.pop_back();
+            st_.pending.push_back(PendingJob{
+                static_cast<std::int64_t>(resubmit.jobIndex),
+                resubmit.time});
+            break;
+          }
+
+          case Kind::kCompletion: {
+            const Completion done = st_.completions.front();
+            std::pop_heap(st_.completions.begin(),
+                          st_.completions.end(), completion_later);
+            st_.completions.pop_back();
+            RunningJob &rj = st_.running[done.index];
+            rj.live = false;
             for (std::size_t g = 0; g < kGroups; ++g)
                 freePerGroup_[g] += rj.allocated[g];
             drainDeferredFaults();
             if (rj.killed) {
                 // Requeue with capped exponential backoff.
-                ++metrics.requeues;
+                ++st_.metrics.requeues;
                 const double backoff = std::min(
                     config_.resilience.requeueBackoffCapSeconds,
                     config_.resilience.requeueBackoffBaseSeconds *
                         std::pow(2.0, static_cast<double>(
                                           rj.attempt - 1)));
-                resubmits.push(
-                    {now + backoff, rj.job, resubmit_seq++});
+                st_.resubmits.push_back(Resubmit{
+                    now + backoff, rj.jobIndex, st_.resubmitSeq++});
+                std::push_heap(st_.resubmits.begin(),
+                               st_.resubmits.end(), resubmit_later);
             }
+            break;
+          }
         }
-        last_event_time = now;
-        try_schedule(now);
+        st_.lastEventTime = now;
+        trySchedule(now);
     }
 
-    if (metrics.jobsCompleted > 0) {
-        const auto n = static_cast<double>(metrics.jobsCompleted);
-        metrics.meanExecSeconds = exec_sum / n;
-        metrics.meanQueueSeconds = queue_sum / n;
-        metrics.meanTurnaroundSeconds = turnaround_sum / n;
+    RunOutcome outcome;
+    if (completed) {
+        // Terminal digest: the final state both the straight-through
+        // and any resumed replay must agree on.
+        st_.trail.digests.push_back(stateDigest());
     }
-    const double span = std::max(span_end, last_event_time);
-    if (span > 0.0) {
-        metrics.meanNodeUtilization =
-            busy_node_seconds / (span * config_.nodes);
+    outcome.metrics = finalizeMetrics();
+    outcome.completed = completed;
+    outcome.simSeconds = st_.lastEventTime;
+    outcome.digests = st_.trail;
+    if (completed)
+        st_.active = false;
+    return outcome;
+}
+
+ClusterMetrics
+ClusterSimulator::run(const std::vector<traces::Job> &jobs)
+{
+    return run(jobs, RunOptions{}).metrics;
+}
+
+RunOutcome
+ClusterSimulator::run(const std::vector<traces::Job> &jobs,
+                      const RunOptions &options)
+{
+    if (!std::isfinite(options.digestEverySeconds) ||
+        !(options.digestEverySeconds > 0.0))
+        util::fatal("RunOptions.digestEverySeconds must be a finite "
+                    "positive duration (got %g)",
+                    options.digestEverySeconds);
+    if (!(options.snapshotEverySeconds >= 0.0))
+        util::fatal("RunOptions.snapshotEverySeconds must be "
+                    "non-negative (got %g)",
+                    options.snapshotEverySeconds);
+    initRun(jobs, options.digestEverySeconds);
+    return runLoop(options);
+}
+
+RunOutcome
+ClusterSimulator::resume(const RunOptions &options)
+{
+    hdmr_assert(st_.active,
+                "resume() without a successful restoreState()");
+    return runLoop(options);
+}
+
+// --------------------------------------------------------------------
+// Digesting and serialization
+// --------------------------------------------------------------------
+
+std::uint64_t
+ClusterSimulator::configDigest() const
+{
+    snapshot::Fnv1a hash;
+    hash.addU32(config_.nodes);
+    for (const double f : config_.groupFractions)
+        hash.addDouble(f);
+    hash.addU32(config_.heteroDmr ? 1 : 0);
+    hash.addU32(config_.marginAware ? 1 : 0);
+    hash.addDouble(config_.speedups.at800);
+    hash.addDouble(config_.speedups.at600);
+    hash.addU64(config_.backfillDepth);
+    hash.addU64(config_.seed);
+    const fault::CampaignConfig &fc = config_.faults;
+    hash.addDouble(fc.intensity);
+    hash.addU64(fc.seed);
+    hash.addDouble(fc.horizonSeconds);
+    hash.addU32(fc.targets);
+    hash.addDouble(fc.uncorrectablePerHour);
+    hash.addDouble(fc.burstsPerHour);
+    hash.addDouble(fc.driftEventsPerHour);
+    hash.addDouble(fc.excursionsPerHour);
+    hash.addDouble(fc.nodeFailuresPerHour);
+    hash.addDouble(fc.demotionsPerHour);
+    hash.addDouble(fc.burstErrorsMean);
+    hash.addDouble(fc.driftStepMts);
+    hash.addDouble(fc.excursionMeanSeconds);
+    const ResiliencePolicy &rp = config_.resilience;
+    hash.addDouble(rp.requeueBackoffBaseSeconds);
+    hash.addDouble(rp.requeueBackoffCapSeconds);
+    hash.addDouble(rp.checkpointIntervalSeconds);
+    hash.addDouble(rp.checkpointOverheadFraction);
+    return hash.value();
+}
+
+std::uint64_t
+ClusterSimulator::traceDigest(const std::vector<traces::Job> &jobs)
+{
+    snapshot::Fnv1a hash;
+    hash.addU64(jobs.size());
+    for (const traces::Job &job : jobs) {
+        hash.addU32(job.id);
+        hash.addDouble(job.submitSeconds);
+        hash.addU32(job.nodes);
+        hash.addDouble(job.runtimeSeconds);
+        hash.addDouble(job.walltimeSeconds);
+        hash.addU32(job.usageClass);
     }
-    if (eligible > 0) {
-        metrics.acceleratedFraction =
-            static_cast<double>(accelerated) /
-            static_cast<double>(eligible);
+    return hash.value();
+}
+
+std::uint64_t
+ClusterSimulator::stateDigest() const
+{
+    snapshot::Fnv1a hash;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        hash.addU32(freePerGroup_[g]);
+        hash.addU32(totalPerGroup_[g]);
+        hash.addU32(pendingFailures_[g]);
+        hash.addU32(pendingDemotions_[g]);
     }
-    return metrics;
+    const util::RngState rng_state = rng_.state();
+    for (const std::uint64_t word : rng_state.s)
+        hash.addU64(word);
+    hash.addU32(rng_state.hasSpareNormal ? 1 : 0);
+    hash.addDouble(rng_state.spareNormal);
+
+    hash.addU64(st_.nextArrival);
+    hash.addU64(st_.resubmitSeq);
+    hash.addU64(st_.startSeq);
+    hash.addU64(st_.faults.index());
+    hash.addDouble(st_.execSum);
+    hash.addDouble(st_.queueSum);
+    hash.addDouble(st_.turnaroundSum);
+    hash.addDouble(st_.busyNodeSeconds);
+    hash.addU64(st_.eligible);
+    hash.addU64(st_.accelerated);
+    hash.addDouble(st_.lastEventTime);
+    hash.addDouble(st_.spanEnd);
+
+    hash.addU64(st_.metrics.jobsCompleted);
+    hash.addU64(st_.metrics.ueInjected);
+    hash.addU64(st_.metrics.jobKills);
+    hash.addU64(st_.metrics.requeues);
+    hash.addU64(st_.metrics.nodesFailed);
+    hash.addU64(st_.metrics.nodesDemoted);
+    hash.addU64(st_.metrics.jobsDropped);
+    hash.addDouble(st_.metrics.lostNodeSeconds);
+    hash.addDouble(st_.metrics.checkpointOverheadSeconds);
+
+    // Live running jobs in start order (dead slots are not state: a
+    // resumed run compacts them away and must hash identically).
+    std::uint64_t live = 0;
+    for (const RunningJob &rj : st_.running) {
+        if (!rj.live)
+            continue;
+        ++live;
+        hash.addU64(rj.seq);
+        hash.addU32(rj.jobIndex);
+        hash.addDouble(rj.endTime);
+        hash.addDouble(rj.estimatedEndTime);
+        for (const unsigned n : rj.allocated)
+            hash.addU32(n);
+        hash.addU32(rj.attempt);
+        hash.addU32(rj.killed ? 1 : 0);
+    }
+    hash.addU64(live);
+
+    // The pending queue verbatim, including consumed backfill slots:
+    // they still occupy backfill-depth window positions.
+    hash.addU64(st_.pending.size());
+    for (const PendingJob &pj : st_.pending) {
+        hash.addU64(static_cast<std::uint64_t>(pj.jobIndex));
+        hash.addDouble(pj.submit);
+    }
+
+    // Resubmits in canonical (time, seq) order; the heap's internal
+    // array order is layout-dependent and not state.
+    std::vector<Resubmit> resubmits = st_.resubmits;
+    std::sort(resubmits.begin(), resubmits.end(),
+              [](const Resubmit &a, const Resubmit &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.seq < b.seq;
+              });
+    hash.addU64(resubmits.size());
+    for (const Resubmit &rs : resubmits) {
+        hash.addDouble(rs.time);
+        hash.addU32(rs.jobIndex);
+        hash.addU64(rs.seq);
+    }
+
+    hash.addU64(st_.jobState.size());
+    for (const JobState &jst : st_.jobState) {
+        hash.addU32(jst.attempts);
+        hash.addDouble(jst.remainingSeconds);
+    }
+    return hash.value();
+}
+
+void
+ClusterSimulator::serializeState(snapshot::Serializer &out) const
+{
+    out.writeU64(configDigest());
+    out.writeU64(traceDigest(*st_.jobs));
+
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        out.writeU32(freePerGroup_[g]);
+        out.writeU32(totalPerGroup_[g]);
+        out.writeU32(pendingFailures_[g]);
+        out.writeU32(pendingDemotions_[g]);
+    }
+    const util::RngState rng_state = rng_.state();
+    for (const std::uint64_t word : rng_state.s)
+        out.writeU64(word);
+    out.writeBool(rng_state.hasSpareNormal);
+    out.writeDouble(rng_state.spareNormal);
+
+    out.writeU64(st_.nextArrival);
+    out.writeU64(st_.resubmitSeq);
+    out.writeU64(st_.startSeq);
+    st_.faults.save(out);
+    out.writeDouble(st_.execSum);
+    out.writeDouble(st_.queueSum);
+    out.writeDouble(st_.turnaroundSum);
+    out.writeDouble(st_.busyNodeSeconds);
+    out.writeU64(st_.eligible);
+    out.writeU64(st_.accelerated);
+    out.writeDouble(st_.lastEventTime);
+    out.writeDouble(st_.spanEnd);
+    saveMetrics(out, st_.metrics);
+
+    // Live running jobs only: the completion heap is rebuilt
+    // declaratively from these on restore, never serialized.
+    std::uint64_t live = 0;
+    for (const RunningJob &rj : st_.running)
+        live += rj.live ? 1 : 0;
+    out.writeU64(live);
+    for (const RunningJob &rj : st_.running) {
+        if (!rj.live)
+            continue;
+        out.writeU64(rj.seq);
+        out.writeU32(rj.jobIndex);
+        out.writeDouble(rj.endTime);
+        out.writeDouble(rj.estimatedEndTime);
+        for (const unsigned n : rj.allocated)
+            out.writeU32(n);
+        out.writeU32(rj.attempt);
+        out.writeBool(rj.killed);
+    }
+
+    out.writeU64(st_.pending.size());
+    for (const PendingJob &pj : st_.pending) {
+        out.writeI64(pj.jobIndex);
+        out.writeDouble(pj.submit);
+    }
+
+    std::vector<Resubmit> resubmits = st_.resubmits;
+    std::sort(resubmits.begin(), resubmits.end(),
+              [](const Resubmit &a, const Resubmit &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.seq < b.seq;
+              });
+    out.writeU64(resubmits.size());
+    for (const Resubmit &rs : resubmits) {
+        out.writeDouble(rs.time);
+        out.writeU32(rs.jobIndex);
+        out.writeU64(rs.seq);
+    }
+
+    out.writeU64(st_.jobState.size());
+    for (const JobState &jst : st_.jobState) {
+        out.writeU32(jst.attempts);
+        out.writeDouble(jst.remainingSeconds);
+    }
+
+    out.writeU64(st_.digestEpoch);
+    st_.trail.save(out);
+}
+
+bool
+ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
+                               const std::vector<traces::Job> &jobs,
+                               std::string *error)
+{
+    const auto reject = [&](const std::string &message) {
+        // Never leave a half-restored simulator behind.
+        st_ = RunState{};
+        resetCapacity();
+        rng_.seed(config_.seed);
+        if (error != nullptr)
+            *error = message;
+        return false;
+    };
+
+    // Re-derive the fresh-run baseline (notably the fault schedule the
+    // cursor must be walked along).
+    initRun(jobs, /*digest_every_seconds=*/1.0);
+
+    snapshot::Deserializer in(state);
+    const std::uint64_t config_digest = in.readU64();
+    const std::uint64_t trace_digest = in.readU64();
+    if (!in.ok())
+        return reject("cluster snapshot: " + in.error());
+    if (config_digest != configDigest())
+        return reject("cluster snapshot was taken with a different "
+                      "cluster configuration; refusing to resume");
+    if (trace_digest != traceDigest(jobs))
+        return reject("cluster snapshot was taken against a different "
+                      "job trace; refusing to resume");
+
+    for (std::size_t g = 0; g < kGroups; ++g) {
+        freePerGroup_[g] = in.readU32();
+        totalPerGroup_[g] = in.readU32();
+        pendingFailures_[g] = in.readU32();
+        pendingDemotions_[g] = in.readU32();
+    }
+    util::RngState rng_state;
+    for (std::uint64_t &word : rng_state.s)
+        word = in.readU64();
+    rng_state.hasSpareNormal = in.readBool();
+    rng_state.spareNormal = in.readDouble();
+    rng_.setState(rng_state);
+
+    st_.nextArrival = static_cast<std::size_t>(in.readU64());
+    st_.resubmitSeq = in.readU64();
+    st_.startSeq = in.readU64();
+    if (!st_.faults.restore(in))
+        return reject("cluster snapshot: " + in.error());
+    st_.execSum = in.readDouble();
+    st_.queueSum = in.readDouble();
+    st_.turnaroundSum = in.readDouble();
+    st_.busyNodeSeconds = in.readDouble();
+    st_.eligible = in.readU64();
+    st_.accelerated = in.readU64();
+    st_.lastEventTime = in.readDouble();
+    st_.spanEnd = in.readDouble();
+    if (!restoreMetrics(in, &st_.metrics))
+        return reject("cluster snapshot: " + in.error());
+
+    const std::uint64_t live = in.readU64();
+    if (live * 46 > in.remaining())
+        return reject("cluster snapshot: running-job list longer than "
+                      "the payload");
+    st_.running.clear();
+    st_.running.reserve(static_cast<std::size_t>(live));
+    st_.completions.clear();
+    for (std::uint64_t i = 0; i < live; ++i) {
+        RunningJob rj;
+        rj.seq = in.readU64();
+        rj.jobIndex = in.readU32();
+        rj.endTime = in.readDouble();
+        rj.estimatedEndTime = in.readDouble();
+        for (unsigned &n : rj.allocated)
+            n = in.readU32();
+        rj.attempt = in.readU32();
+        rj.killed = in.readBool();
+        rj.live = true;
+        if (in.ok() && rj.jobIndex >= jobs.size())
+            return reject("cluster snapshot: running job references a "
+                          "job outside the trace");
+        st_.running.push_back(rj);
+        st_.completions.push_back(
+            Completion{rj.endTime, rj.seq, st_.running.size() - 1});
+    }
+    std::make_heap(st_.completions.begin(), st_.completions.end(),
+                   [](const Completion &a, const Completion &b) {
+                       return laterCompletion(a.time, a.seq, b.time,
+                                              b.seq);
+                   });
+
+    const std::uint64_t pending_count = in.readU64();
+    if (pending_count * 16 > in.remaining())
+        return reject("cluster snapshot: pending queue longer than "
+                      "the payload");
+    st_.pending.clear();
+    for (std::uint64_t i = 0; i < pending_count; ++i) {
+        PendingJob pj;
+        pj.jobIndex = in.readI64();
+        pj.submit = in.readDouble();
+        if (in.ok() &&
+            (pj.jobIndex < -1 ||
+             pj.jobIndex >= static_cast<std::int64_t>(jobs.size())))
+            return reject("cluster snapshot: pending job references a "
+                          "job outside the trace");
+        st_.pending.push_back(pj);
+    }
+
+    const std::uint64_t resubmit_count = in.readU64();
+    if (resubmit_count * 20 > in.remaining())
+        return reject("cluster snapshot: resubmit queue longer than "
+                      "the payload");
+    st_.resubmits.clear();
+    st_.resubmits.reserve(static_cast<std::size_t>(resubmit_count));
+    for (std::uint64_t i = 0; i < resubmit_count; ++i) {
+        Resubmit rs;
+        rs.time = in.readDouble();
+        rs.jobIndex = in.readU32();
+        rs.seq = in.readU64();
+        if (in.ok() && rs.jobIndex >= jobs.size())
+            return reject("cluster snapshot: resubmit references a job "
+                          "outside the trace");
+        st_.resubmits.push_back(rs);
+    }
+    std::make_heap(st_.resubmits.begin(), st_.resubmits.end(),
+                   [](const Resubmit &a, const Resubmit &b) {
+                       return laterCompletion(a.time, a.seq, b.time,
+                                              b.seq);
+                   });
+
+    const std::uint64_t job_state_count = in.readU64();
+    if (job_state_count != jobs.size())
+        return reject("cluster snapshot: per-job state table does not "
+                      "match the trace size");
+    for (JobState &jst : st_.jobState) {
+        jst.attempts = in.readU32();
+        jst.remainingSeconds = in.readDouble();
+    }
+
+    st_.digestEpoch = in.readU64();
+    if (!st_.trail.restore(in))
+        return reject("cluster snapshot: " + in.error());
+    if (!in.ok())
+        return reject("cluster snapshot: " + in.error());
+    if (in.remaining() != 0)
+        return reject("cluster snapshot: trailing garbage after the "
+                      "state image");
+
+    st_.active = true;
+    return true;
+}
+
+bool
+ClusterSimulator::writeStateFile(const std::string &path,
+                                 const std::vector<std::uint8_t> &state,
+                                 std::string *error)
+{
+    return snapshot::writeSnapshotFile(
+        path, snapshot::kClusterStateKind, state, error);
+}
+
+bool
+ClusterSimulator::restoreFile(const std::string &path,
+                              const std::vector<traces::Job> &jobs,
+                              std::string *error)
+{
+    std::vector<std::uint8_t> state;
+    if (!snapshot::readSnapshotFile(path, snapshot::kClusterStateKind,
+                                    &state, error))
+        return false;
+    return restoreState(state, jobs, error);
 }
 
 } // namespace hdmr::sched

@@ -15,6 +15,14 @@
  * utilization runs at the measured Hetero-DMR@0.8 speedup, and a job
  * that touches nodes of different margins runs at its *slowest*
  * node's speedup (MPI synchronization).
+ *
+ * Crash safety / replay auditing (src/snapshot): the event loop keeps
+ * its entire state in an explicit RunState, so the simulation can be
+ * serialized at any scheduler decision point (between events) and
+ * resumed bit-identically.  The pending-event set is never serialized
+ * as such - completions are rebuilt declaratively from the surviving
+ * running jobs - and a per-epoch FNV-1a digest trail lets a resumed
+ * run *prove* bit-identity against the straight-through run.
  */
 
 #ifndef HDMR_SCHED_CLUSTER_SIM_HH
@@ -22,12 +30,23 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "fault/campaign.hh"
+#include "snapshot/digest.hh"
 #include "traces/job_trace.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
+
+namespace hdmr::snapshot
+{
+class Serializer;
+class Deserializer;
+} // namespace hdmr::snapshot
 
 namespace hdmr::sched
 {
@@ -48,6 +67,12 @@ struct SpeedupTable
     {
         return group == 0 ? at800 : (group == 1 ? at600 : 1.0);
     }
+
+    /**
+     * Reject NaN, non-positive, or inverted (at600 > at800) speedups
+     * with a fatal() naming the offending field.
+     */
+    void validate() const;
 };
 
 /**
@@ -69,6 +94,13 @@ struct ResiliencePolicy
     double checkpointIntervalSeconds = 0.0;
     /** Wall-clock overhead fraction checkpointing adds while running. */
     double checkpointOverheadFraction = 0.0;
+
+    /**
+     * Reject NaN, negative durations/fractions, and inconsistent
+     * bounds (base backoff above the cap, overhead fraction >= 1)
+     * with a fatal() naming the offending field.
+     */
+    void validate() const;
 };
 
 /** Simulation configuration. */
@@ -97,6 +129,14 @@ struct ClusterConfig
      */
     fault::CampaignConfig faults;
     ResiliencePolicy resilience;
+
+    /**
+     * One-pass construction-time validation: group fractions in
+     * [0, 1] summing to ~1, positive node count and backfill depth,
+     * plus the nested SpeedupTable, ResiliencePolicy, and
+     * CampaignConfig checks.  fatal()s name the offending field.
+     */
+    void validate() const;
 };
 
 /** Per-run aggregate metrics (Fig. 17). */
@@ -124,6 +164,63 @@ struct ClusterMetrics
     util::CounterSet counters() const;
 };
 
+/** Serialize/deserialize a metrics block (snapshot payloads). */
+void saveMetrics(snapshot::Serializer &out, const ClusterMetrics &m);
+bool restoreMetrics(snapshot::Deserializer &in, ClusterMetrics *m);
+
+/** Field-by-field equality (doubles compared exactly). */
+bool metricsIdentical(const ClusterMetrics &a, const ClusterMetrics &b);
+
+/** Options for a snapshot/digest-aware run. */
+struct RunOptions
+{
+    /**
+     * Simulated seconds between state digests recorded into the
+     * divergence trail.  Must be positive; the cadence is captured in
+     * snapshots, and a resumed run keeps the cadence it was saved
+     * with.
+     */
+    double digestEverySeconds = 86400.0;
+    /**
+     * Simulated seconds between periodic snapshot emissions through
+     * `snapshotSink`; 0 disables periodic snapshots.
+     */
+    double snapshotEverySeconds = 0.0;
+    /**
+     * Receives the serialized simulator state at every snapshot
+     * point: periodic emissions, the stopAfterSeconds stop, and
+     * interruption.  The bytes restore via restoreState(); callers
+     * decide whether to wrap them in a snapshot file or embed them in
+     * a larger sweep image.
+     */
+    std::function<void(const std::vector<std::uint8_t> &state)>
+        snapshotSink;
+    /**
+     * Polled once per event at the scheduler decision point; when it
+     * returns true (e.g. a SIGINT/SIGTERM flag), the run emits a
+     * final snapshot and returns with completed == false.
+     */
+    std::function<bool()> interrupted;
+    /**
+     * Stop (with a final snapshot) at the first decision point at or
+     * after this simulated time; +infinity runs to completion.
+     */
+    double stopAfterSeconds = std::numeric_limits<double>::infinity();
+};
+
+/** Result of a snapshot-aware run. */
+struct RunOutcome
+{
+    /** Aggregate metrics (partial when completed == false). */
+    ClusterMetrics metrics;
+    /** False when the run stopped early and emitted a snapshot. */
+    bool completed = true;
+    /** Simulated time reached. */
+    double simSeconds = 0.0;
+    /** Per-epoch state-digest trail (replay-divergence detection). */
+    snapshot::DigestTrail digests;
+};
+
 /** The simulator. */
 class ClusterSimulator
 {
@@ -133,24 +230,160 @@ class ClusterSimulator
     /** Replay the trace; jobs must be sorted by submit time. */
     ClusterMetrics run(const std::vector<traces::Job> &jobs);
 
+    /** Snapshot/digest-aware replay. */
+    RunOutcome run(const std::vector<traces::Job> &jobs,
+                   const RunOptions &options);
+
+    /**
+     * Load a state image produced by a snapshotSink.  The simulator
+     * must have been constructed with the *same* configuration and be
+     * given the *same* trace; both are fingerprinted into the image
+     * and any mismatch - as well as truncation or corruption - is
+     * rejected (returns false, sets *error) with the simulator reset
+     * to its freshly constructed state, never left half-restored.  On
+     * success, call resume() to continue the run.
+     */
+    bool restoreState(const std::vector<std::uint8_t> &state,
+                      const std::vector<traces::Job> &jobs,
+                      std::string *error);
+
+    /** Continue a restored run to completion (or the next stop). */
+    RunOutcome resume(const RunOptions &options);
+
+    /** Convenience: wrap a state image in a snapshot file. */
+    static bool writeStateFile(const std::string &path,
+                               const std::vector<std::uint8_t> &state,
+                               std::string *error);
+
+    /** Convenience: restoreState() from a snapshot file. */
+    bool restoreFile(const std::string &path,
+                     const std::vector<traces::Job> &jobs,
+                     std::string *error);
+
+    /** Fingerprint of the full configuration (stored in snapshots). */
+    std::uint64_t configDigest() const;
+
+    /** Fingerprint of a job trace (stored in snapshots). */
+    static std::uint64_t
+    traceDigest(const std::vector<traces::Job> &jobs);
+
     const ClusterConfig &config() const { return config_; }
 
   private:
     struct RunningJob
     {
-        const traces::Job *job = nullptr;
+        std::uint32_t jobIndex = 0; ///< into the trace vector
         double endTime = 0.0;
         double estimatedEndTime = 0.0;
         std::array<unsigned, kGroups> allocated = {0, 0, 0};
         unsigned attempt = 1;   ///< 1-based attempt number
         bool killed = false;    ///< this attempt ends in a UE kill
+        bool live = true;       ///< not yet completed
+        std::uint64_t seq = 0;  ///< start order, total tie-break
     };
 
     struct PendingJob
     {
-        const traces::Job *job = nullptr;
+        std::int64_t jobIndex = -1; ///< -1: consumed backfill slot
         double submit = 0.0;
     };
+
+    struct Resubmit
+    {
+        double time = 0.0;
+        std::uint32_t jobIndex = 0;
+        std::uint64_t seq = 0; ///< FIFO among equal times
+    };
+
+    /** Per-job resilience state, indexed like the trace. */
+    struct JobState
+    {
+        unsigned attempts = 0;
+        double remainingSeconds = -1.0; ///< set at first start
+    };
+
+    /**
+     * One expected completion.  (time, seq) is a strict total order,
+     * so the pop sequence is independent of heap-internal layout -
+     * which is what lets a resumed run rebuild the heap from the
+     * surviving running jobs and still pop bit-identically.
+     */
+    struct Completion
+    {
+        double time = 0.0;
+        std::uint64_t seq = 0;
+        std::size_t index = 0; ///< into `running`
+    };
+
+    /**
+     * The complete event-loop state.  Everything the future of the
+     * simulation depends on lives here (or in the group-capacity
+     * arrays and RNG below), which is what makes mid-run snapshots
+     * and the state digest possible.
+     */
+    struct RunState
+    {
+        const std::vector<traces::Job> *jobs = nullptr;
+        std::vector<RunningJob> running;
+        /** Min-heap keyed (endTime, seq). */
+        std::vector<Completion> completions;
+        /** Min-heap keyed (time, seq). */
+        std::vector<Resubmit> resubmits;
+        std::deque<PendingJob> pending;
+        std::vector<JobState> jobState;
+        fault::ScheduleCursor faults;
+        std::size_t nextArrival = 0;
+        std::uint64_t resubmitSeq = 0;
+        std::uint64_t startSeq = 0;
+
+        // Metric accumulators.
+        double execSum = 0.0;
+        double queueSum = 0.0;
+        double turnaroundSum = 0.0;
+        double busyNodeSeconds = 0.0;
+        std::uint64_t eligible = 0;
+        std::uint64_t accelerated = 0;
+        double lastEventTime = 0.0;
+        double spanEnd = 0.0;
+        ClusterMetrics metrics;
+
+        // Divergence-audit state.
+        std::uint64_t digestEpoch = 0; ///< next epoch index to record
+        snapshot::DigestTrail trail;
+
+        bool active = false;
+    };
+
+    /** Initialise a fresh run over `jobs`. */
+    void initRun(const std::vector<traces::Job> &jobs,
+                 double digest_every_seconds);
+
+    /** Drive the event loop until completion or a stop. */
+    RunOutcome runLoop(const RunOptions &options);
+
+    /** Start one job (or requeued attempt) now. */
+    void startJob(std::uint32_t job_index, double now);
+
+    /** FCFS head + EASY backfill pass. */
+    void trySchedule(double now);
+
+    /** Record elapsed digest epochs up to (not including) `now`. */
+    void recordDigests(double now);
+
+    /** FNV-1a hash of the complete simulation state. */
+    std::uint64_t stateDigest() const;
+
+    /** Serialize the complete mid-run state. */
+    void serializeState(snapshot::Serializer &out) const;
+
+    /** Emit one snapshot through the sink, if any. */
+    void emitSnapshot(const RunOptions &options) const;
+
+    /** Finalize means/utilization into a metrics copy. */
+    ClusterMetrics finalizeMetrics() const;
+
+    /** Derive the per-group node counts from the configuration. */
+    void resetCapacity();
 
     /** Nodes free in total. */
     unsigned totalFree() const;
@@ -162,8 +395,7 @@ class ClusterSimulator
     std::size_t groupOfTarget(unsigned target) const;
 
     /** Apply one cluster-scoped fault (failure or demotion). */
-    void applyClusterFault(const fault::FaultEvent &fault,
-                           ClusterMetrics &metrics);
+    void applyClusterFault(const fault::FaultEvent &fault);
 
     /** Apply capacity changes deferred while their nodes were busy. */
     void drainDeferredFaults();
@@ -186,6 +418,7 @@ class ClusterSimulator
     std::array<unsigned, kGroups> pendingFailures_ = {0, 0, 0};
     std::array<unsigned, kGroups> pendingDemotions_ = {0, 0, 0};
     util::Rng rng_;
+    RunState st_;
 };
 
 } // namespace hdmr::sched

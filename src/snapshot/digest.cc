@@ -1,0 +1,86 @@
+#include "snapshot/digest.hh"
+
+#include <cstring>
+
+#include "snapshot/serializer.hh"
+
+namespace hdmr::snapshot
+{
+
+void
+Fnv1a::addBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        value_ ^= bytes[i];
+        value_ *= 0x00000100000001b3ULL;
+    }
+}
+
+void
+Fnv1a::addU32(std::uint32_t value)
+{
+    std::uint8_t bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    addBytes(bytes, sizeof(bytes));
+}
+
+void
+Fnv1a::addU64(std::uint64_t value)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    addBytes(bytes, sizeof(bytes));
+}
+
+void
+Fnv1a::addDouble(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    addU64(bits);
+}
+
+void
+DigestTrail::save(Serializer &out) const
+{
+    out.writeDouble(epochSeconds);
+    out.writeU64(digests.size());
+    for (const std::uint64_t digest : digests)
+        out.writeU64(digest);
+}
+
+bool
+DigestTrail::restore(Deserializer &in)
+{
+    epochSeconds = in.readDouble();
+    const std::uint64_t count = in.readU64();
+    if (count * 8 > in.remaining()) {
+        in.fail("digest trail longer than the payload");
+        return false;
+    }
+    digests.resize(static_cast<std::size_t>(count));
+    for (std::uint64_t &digest : digests)
+        digest = in.readU64();
+    return in.ok();
+}
+
+std::optional<std::size_t>
+DigestTrail::firstDivergence(const DigestTrail &a, const DigestTrail &b)
+{
+    if (a.epochSeconds != b.epochSeconds)
+        return 0;
+    const std::size_t common = std::min(a.digests.size(),
+                                        b.digests.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a.digests[i] != b.digests[i])
+            return i;
+    }
+    if (a.digests.size() != b.digests.size())
+        return common;
+    return std::nullopt;
+}
+
+} // namespace hdmr::snapshot

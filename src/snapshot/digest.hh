@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Replay-divergence detection: cheap FNV-1a state digests recorded at
+ * fixed simulated-time epochs.
+ *
+ * The repository's determinism claim ("same seed => bit-identical
+ * replay") used to be asserted, never verified.  A DigestTrail makes
+ * it checkable: the simulation hashes its complete state at every
+ * digest epoch, the trail rides along inside snapshots, and a resumed
+ * run can prove bit-identity against the straight-through run.  Any
+ * nondeterminism (unordered-container iteration, uninitialized reads)
+ * surfaces as a first divergent epoch instead of silently wrong
+ * figures.
+ */
+
+#ifndef HDMR_SNAPSHOT_DIGEST_HH
+#define HDMR_SNAPSHOT_DIGEST_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hdmr::snapshot
+{
+
+class Serializer;
+class Deserializer;
+
+/** Streaming 64-bit FNV-1a hash. */
+class Fnv1a
+{
+  public:
+    void addBytes(const void *data, std::size_t size);
+    void addU32(std::uint32_t value);
+    void addU64(std::uint64_t value);
+    /** Hashes the IEEE-754 bit pattern (exact, not approximate). */
+    void addDouble(double value);
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0xcbf29ce484222325ULL;
+};
+
+/** One state digest per elapsed digest epoch of simulated time. */
+struct DigestTrail
+{
+    /** Simulated seconds between digests (fixed for a trail's life). */
+    double epochSeconds = 0.0;
+    /** digests[k] is the state hash at the end of epoch k. */
+    std::vector<std::uint64_t> digests;
+
+    void save(Serializer &out) const;
+    bool restore(Deserializer &in);
+
+    /**
+     * First epoch at which two trails disagree: differing entry, or
+     * the shorter length when one is a strict prefix of the other, or
+     * 0 when the cadences differ.  nullopt when the trails are
+     * identical.
+     */
+    static std::optional<std::size_t>
+    firstDivergence(const DigestTrail &a, const DigestTrail &b);
+};
+
+} // namespace hdmr::snapshot
+
+#endif // HDMR_SNAPSHOT_DIGEST_HH

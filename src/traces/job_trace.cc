@@ -8,10 +8,39 @@
 namespace hdmr::traces
 {
 
+void
+JobTraceModel::validate() const
+{
+    if (systemNodes == 0)
+        util::fatal("JobTraceModel.systemNodes must be at least 1");
+    if (!(spanSeconds > 0.0) || !std::isfinite(spanSeconds))
+        util::fatal("JobTraceModel.spanSeconds must be a finite "
+                    "positive duration (got %g)",
+                    spanSeconds);
+    if (!(targetUtilization > 0.0) || !std::isfinite(targetUtilization))
+        util::fatal("JobTraceModel.targetUtilization must be finite "
+                    "and positive (got %g)",
+                    targetUtilization);
+    if (!(under25Fraction >= 0.0) || !(under25Fraction <= 1.0))
+        util::fatal("JobTraceModel.under25Fraction must be in [0, 1] "
+                    "(got %g)",
+                    under25Fraction);
+    if (!(under50Fraction >= 0.0) || !(under50Fraction <= 1.0))
+        util::fatal("JobTraceModel.under50Fraction must be in [0, 1] "
+                    "(got %g)",
+                    under50Fraction);
+    if (under25Fraction > under50Fraction)
+        util::fatal("JobTraceModel.under25Fraction (%g) must not "
+                    "exceed under50Fraction (%g): the classes are "
+                    "cumulative",
+                    under25Fraction, under50Fraction);
+}
+
 GrizzlyTraceGenerator::GrizzlyTraceGenerator(JobTraceModel model,
                                              std::uint64_t seed)
     : model_(model), rng_(seed)
 {
+    model_.validate();
 }
 
 unsigned
@@ -44,6 +73,12 @@ GrizzlyTraceGenerator::sampleRuntime()
 std::vector<Job>
 GrizzlyTraceGenerator::generate()
 {
+    // A zero-job model is a legitimate degenerate case (an empty
+    // trace); bail out before the load-calibration division below
+    // would hit 0/0.
+    if (model_.numJobs == 0)
+        return {};
+
     std::vector<Job> jobs(model_.numJobs);
 
     double node_seconds = 0.0;

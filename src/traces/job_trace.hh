@@ -38,6 +38,15 @@ struct JobTraceModel
     /** Fig. 1 memory-usage class weights. */
     double under25Fraction = 0.55;
     double under50Fraction = 0.80;
+
+    /**
+     * Reject degenerate models - zero nodes, zero/NaN span or
+     * utilization, usage fractions outside [0, 1] or with
+     * under25Fraction > under50Fraction - with a fatal() naming the
+     * offending field.  numJobs == 0 is allowed and yields an empty
+     * trace.  Called at GrizzlyTraceGenerator construction.
+     */
+    void validate() const;
 };
 
 /** Generates a deterministic, load-calibrated job trace. */

@@ -165,4 +165,24 @@ Rng::fork()
     return Rng(next() ^ 0xa5a5a5a55a5a5a5aULL);
 }
 
+RngState
+Rng::state() const
+{
+    RngState state;
+    for (std::size_t i = 0; i < state.s.size(); ++i)
+        state.s[i] = s_[i];
+    state.hasSpareNormal = hasSpareNormal_;
+    state.spareNormal = spareNormal_;
+    return state;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (std::size_t i = 0; i < state.s.size(); ++i)
+        s_[i] = state.s[i];
+    hasSpareNormal_ = state.hasSpareNormal;
+    spareNormal_ = state.spareNormal;
+}
+
 } // namespace hdmr::util

@@ -11,11 +11,25 @@
 #ifndef HDMR_UTIL_RNG_HH
 #define HDMR_UTIL_RNG_HH
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
 namespace hdmr::util
 {
+
+/**
+ * Complete generator state, exposed for snapshot/resume.  Restoring a
+ * captured state replays the exact draw sequence that would have
+ * followed the capture, bit for bit (including a buffered spare
+ * normal from the Marsaglia polar method).
+ */
+struct RngState
+{
+    std::array<std::uint64_t, 4> s{};
+    bool hasSpareNormal = false;
+    double spareNormal = 0.0;
+};
 
 /**
  * Deterministic random number generator with the distributions the
@@ -84,6 +98,12 @@ class Rng
      * component cannot perturb another.
      */
     Rng fork();
+
+    /** Capture the full generator state (snapshot/resume). */
+    RngState state() const;
+
+    /** Restore a previously captured state. */
+    void setState(const RngState &state);
 
   private:
     std::uint64_t s_[4];

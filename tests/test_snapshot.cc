@@ -1,0 +1,713 @@
+/**
+ * @file
+ * Tests for the snapshot/resume layer: serializer byte layout and
+ * bounds checking, snapshot-file rejection (truncated, corrupted,
+ * wrong version/kind), RNG and epoch-guard state round-trips,
+ * fault-schedule fingerprinting, digest-trail divergence detection,
+ * mid-run save -> resume bit-identity for the cluster simulator, and
+ * the construction-time config validation fatal()s.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/epoch_guard.hh"
+#include "fault/campaign.hh"
+#include "sched/cluster_sim.hh"
+#include "snapshot/digest.hh"
+#include "snapshot/serializer.hh"
+#include "traces/job_trace.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::snapshot;
+
+// --------------------------------------------------------------------
+// Serializer / Deserializer
+// --------------------------------------------------------------------
+
+TEST(Serializer, ScalarRoundTrip)
+{
+    Serializer out;
+    out.writeU8(0xab);
+    out.writeU16(0xbeef);
+    out.writeU32(0xdeadbeefu);
+    out.writeU64(0x0123456789abcdefull);
+    out.writeI64(-42);
+    out.writeBool(true);
+    out.writeBool(false);
+    out.writeDouble(-1.5e-300);
+    out.writeString("hello");
+    out.writeBlob({1, 2, 3});
+
+    Deserializer in(out.data());
+    EXPECT_EQ(in.readU8(), 0xab);
+    EXPECT_EQ(in.readU16(), 0xbeef);
+    EXPECT_EQ(in.readU32(), 0xdeadbeefu);
+    EXPECT_EQ(in.readU64(), 0x0123456789abcdefull);
+    EXPECT_EQ(in.readI64(), -42);
+    EXPECT_TRUE(in.readBool());
+    EXPECT_FALSE(in.readBool());
+    EXPECT_EQ(in.readDouble(), -1.5e-300);
+    EXPECT_EQ(in.readString(), "hello");
+    EXPECT_EQ(in.readBlob(), (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_TRUE(in.ok());
+    EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(Serializer, LittleEndianLayout)
+{
+    Serializer out;
+    out.writeU32(0x01020304u);
+    ASSERT_EQ(out.data().size(), 4u);
+    EXPECT_EQ(out.data()[0], 0x04);
+    EXPECT_EQ(out.data()[1], 0x03);
+    EXPECT_EQ(out.data()[2], 0x02);
+    EXPECT_EQ(out.data()[3], 0x01);
+
+    Serializer dbl;
+    dbl.writeDouble(1.0); // IEEE-754: 0x3ff0000000000000
+    ASSERT_EQ(dbl.data().size(), 8u);
+    EXPECT_EQ(dbl.data()[7], 0x3f);
+    EXPECT_EQ(dbl.data()[6], 0xf0);
+    EXPECT_EQ(dbl.data()[0], 0x00);
+}
+
+TEST(Serializer, TruncationLatchesError)
+{
+    Serializer out;
+    out.writeU32(7);
+    Deserializer in(out.data());
+    EXPECT_EQ(in.readU64(), 0u); // underrun
+    EXPECT_FALSE(in.ok());
+    EXPECT_EQ(in.readU32(), 0u); // latched: everything reads zero
+    EXPECT_NE(in.error().find("truncated"), std::string::npos);
+}
+
+TEST(Serializer, BoolRejectsCorruptEncoding)
+{
+    const std::uint8_t byte = 2;
+    Deserializer in(&byte, 1);
+    in.readBool();
+    EXPECT_FALSE(in.ok());
+}
+
+TEST(Serializer, StringRejectsLengthBeyondPayload)
+{
+    Serializer out;
+    out.writeU32(1000); // claims 1000 bytes follow
+    out.writeU8('x');
+    Deserializer in(out.data());
+    EXPECT_EQ(in.readString(), "");
+    EXPECT_FALSE(in.ok());
+}
+
+// --------------------------------------------------------------------
+// Snapshot files
+// --------------------------------------------------------------------
+
+class SnapshotFile : public ::testing::Test
+{
+  protected:
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::vector<std::uint8_t>
+    fileBytes() const
+    {
+        std::ifstream file(path_, std::ios::binary);
+        return std::vector<std::uint8_t>(
+            std::istreambuf_iterator<char>(file),
+            std::istreambuf_iterator<char>());
+    }
+
+    void
+    writeBytes(const std::vector<std::uint8_t> &bytes) const
+    {
+        std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+        file.write(reinterpret_cast<const char *>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()));
+    }
+
+    std::string path_ = "test_snapshot_file.snap";
+    std::vector<std::uint8_t> payload_ = {10, 20, 30, 40, 50};
+};
+
+TEST_F(SnapshotFile, RoundTrip)
+{
+    std::string error;
+    ASSERT_TRUE(
+        writeSnapshotFile(path_, kClusterStateKind, payload_, &error))
+        << error;
+    std::vector<std::uint8_t> loaded;
+    ASSERT_TRUE(
+        readSnapshotFile(path_, kClusterStateKind, &loaded, &error))
+        << error;
+    EXPECT_EQ(loaded, payload_);
+}
+
+TEST_F(SnapshotFile, RejectsTruncatedImage)
+{
+    std::string error;
+    ASSERT_TRUE(
+        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+    auto bytes = fileBytes();
+    bytes.resize(bytes.size() - 3);
+    writeBytes(bytes);
+
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(
+        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SnapshotFile, RejectsCorruptedPayload)
+{
+    std::string error;
+    ASSERT_TRUE(
+        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+    auto bytes = fileBytes();
+    bytes[26] ^= 0x40; // inside the payload
+    writeBytes(bytes);
+
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(
+        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST_F(SnapshotFile, RejectsBadMagic)
+{
+    std::string error;
+    ASSERT_TRUE(
+        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+    auto bytes = fileBytes();
+    bytes[0] = 'X';
+    writeBytes(bytes);
+
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(
+        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST_F(SnapshotFile, RejectsWrongFormatVersion)
+{
+    // Forge an otherwise-valid image (correct CRC) with version + 1:
+    // the version check must fire before anything is interpreted.
+    std::string error;
+    ASSERT_TRUE(
+        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+    auto bytes = fileBytes();
+    bytes[8] = static_cast<std::uint8_t>(kFormatVersion + 1);
+    const std::uint32_t crc = crc32(bytes.data(), bytes.size() - 4);
+    for (int i = 0; i < 4; ++i)
+        bytes[bytes.size() - 4 + i] =
+            static_cast<std::uint8_t>(crc >> (8 * i));
+    writeBytes(bytes);
+
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(
+        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(SnapshotFile, RejectsWrongPayloadKind)
+{
+    std::string error;
+    ASSERT_TRUE(
+        writeSnapshotFile(path_, kSweepStateKind, payload_, &error));
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(
+        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SnapshotFile, RejectsMissingFile)
+{
+    std::string error;
+    std::vector<std::uint8_t> loaded;
+    EXPECT_FALSE(readSnapshotFile("no_such_file.snap",
+                                  kClusterStateKind, &loaded, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+// --------------------------------------------------------------------
+// RNG state round-trip
+// --------------------------------------------------------------------
+
+TEST(RngSnapshot, StateRoundTripReplaysBitIdentically)
+{
+    util::Rng rng(12345);
+    for (int i = 0; i < 100; ++i)
+        rng.next();
+    rng.normal(); // buffer a spare normal (Marsaglia polar)
+
+    const util::RngState saved = rng.state();
+    std::vector<double> expected;
+    for (int i = 0; i < 50; ++i) {
+        expected.push_back(rng.uniform());
+        expected.push_back(rng.normal());
+        expected.push_back(
+            static_cast<double>(rng.uniformInt(0, 1000)));
+    }
+
+    util::Rng replay(999); // different seed; state overrides it
+    replay.setState(saved);
+    for (std::size_t i = 0; i < expected.size(); i += 3) {
+        EXPECT_EQ(replay.uniform(), expected[i]);
+        EXPECT_EQ(replay.normal(), expected[i + 1]);
+        EXPECT_EQ(static_cast<double>(replay.uniformInt(0, 1000)),
+                  expected[i + 2]);
+    }
+}
+
+// --------------------------------------------------------------------
+// Epoch guard round-trip
+// --------------------------------------------------------------------
+
+TEST(EpochGuardSnapshot, RoundTrip)
+{
+    core::EpochGuardConfig config;
+    config.mttSdcYears = 1.0; // small threshold => trips are reachable
+    core::EpochGuard guard(config);
+    const util::Tick hour = 3600ull * util::kTicksPerSec;
+    for (int i = 0; i < 3000000; ++i)
+        guard.recordError(hour / 2);
+
+    Serializer out;
+    guard.saveState(out);
+    core::EpochGuard restored(config);
+    Deserializer in(out.data());
+    ASSERT_TRUE(restored.restoreState(in));
+    EXPECT_EQ(restored.errorsThisEpoch(), guard.errorsThisEpoch());
+    EXPECT_EQ(restored.totalErrors(), guard.totalErrors());
+    EXPECT_EQ(restored.trips(), guard.trips());
+    EXPECT_EQ(restored.tripped(hour / 2), guard.tripped(hour / 2));
+}
+
+TEST(EpochGuardSnapshot, RejectsDifferentConfiguration)
+{
+    core::EpochGuard guard;
+    Serializer out;
+    guard.saveState(out);
+
+    core::EpochGuardConfig other;
+    other.epochLength /= 2;
+    core::EpochGuard restored(other);
+    Deserializer in(out.data());
+    EXPECT_FALSE(restored.restoreState(in));
+    EXPECT_NE(in.error().find("epoch"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Fault-schedule cursor
+// --------------------------------------------------------------------
+
+fault::CampaignConfig
+smallCampaign(std::uint64_t seed)
+{
+    fault::CampaignConfig config;
+    config.intensity = 1.0;
+    config.seed = seed;
+    config.horizonSeconds = 7 * 86400.0;
+    config.targets = 64;
+    config.nodeFailuresPerHour = 1.0e-2;
+    config.demotionsPerHour = 1.0e-2;
+    return config;
+}
+
+TEST(ScheduleCursor, SaveRestoreKeepsPosition)
+{
+    fault::ScheduleCursor cursor(
+        fault::FaultCampaign(smallCampaign(1)).schedule());
+    ASSERT_GT(cursor.size(), 4u);
+    cursor.advance();
+    cursor.advance();
+
+    Serializer out;
+    cursor.save(out);
+    fault::ScheduleCursor restored(
+        fault::FaultCampaign(smallCampaign(1)).schedule());
+    Deserializer in(out.data());
+    ASSERT_TRUE(restored.restore(in));
+    EXPECT_EQ(restored.index(), 2u);
+    EXPECT_EQ(restored.nextTimeSeconds(), cursor.nextTimeSeconds());
+}
+
+TEST(ScheduleCursor, RejectsDifferentCampaignRealization)
+{
+    fault::ScheduleCursor cursor(
+        fault::FaultCampaign(smallCampaign(1)).schedule());
+    Serializer out;
+    cursor.save(out);
+
+    fault::ScheduleCursor other(
+        fault::FaultCampaign(smallCampaign(2)).schedule());
+    Deserializer in(out.data());
+    EXPECT_FALSE(other.restore(in));
+    EXPECT_NE(in.error().find("campaign"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Digest trail
+// --------------------------------------------------------------------
+
+TEST(DigestTrail, FirstDivergence)
+{
+    DigestTrail a;
+    a.epochSeconds = 100.0;
+    a.digests = {1, 2, 3, 4};
+    DigestTrail b = a;
+    EXPECT_EQ(DigestTrail::firstDivergence(a, b), std::nullopt);
+
+    b.digests[2] = 99;
+    EXPECT_EQ(DigestTrail::firstDivergence(a, b),
+              std::optional<std::size_t>(2));
+
+    b = a;
+    b.digests.pop_back(); // strict prefix: diverges at its length
+    EXPECT_EQ(DigestTrail::firstDivergence(a, b),
+              std::optional<std::size_t>(3));
+
+    b = a;
+    b.epochSeconds = 50.0; // cadence mismatch: nothing comparable
+    EXPECT_EQ(DigestTrail::firstDivergence(a, b),
+              std::optional<std::size_t>(0));
+}
+
+// --------------------------------------------------------------------
+// Cluster simulator: save -> resume bit-identity
+// --------------------------------------------------------------------
+
+std::vector<traces::Job>
+testTrace()
+{
+    traces::JobTraceModel model;
+    model.numJobs = 2000;
+    model.systemNodes = 192;
+    model.spanSeconds = 10 * 86400.0;
+    return traces::GrizzlyTraceGenerator(model, 11).generate();
+}
+
+sched::ClusterConfig
+testConfig()
+{
+    sched::ClusterConfig config;
+    config.nodes = 192;
+    config.heteroDmr = true;
+    config.marginAware = true;
+    return config;
+}
+
+/**
+ * Run straight through and via a mid-run save -> restore -> resume,
+ * then require bit-identical metrics and digest trails.
+ */
+void
+expectResumeBitIdentical(const sched::ClusterConfig &config,
+                         const std::vector<traces::Job> &jobs,
+                         double stop_after_seconds)
+{
+    sched::RunOptions options;
+    options.digestEverySeconds = 6 * 3600.0;
+
+    sched::ClusterSimulator straight(config);
+    const sched::RunOutcome full = straight.run(jobs, options);
+    ASSERT_TRUE(full.completed);
+    ASSERT_GT(full.digests.digests.size(), 2u);
+
+    std::vector<std::uint8_t> state;
+    sched::RunOptions stopping = options;
+    stopping.stopAfterSeconds = stop_after_seconds;
+    stopping.snapshotSink =
+        [&](const std::vector<std::uint8_t> &bytes) { state = bytes; };
+    sched::ClusterSimulator interrupted(config);
+    const sched::RunOutcome partial = interrupted.run(jobs, stopping);
+    ASSERT_FALSE(partial.completed);
+    ASSERT_FALSE(state.empty());
+
+    sched::ClusterSimulator resumed(config);
+    std::string error;
+    ASSERT_TRUE(resumed.restoreState(state, jobs, &error)) << error;
+    const sched::RunOutcome rest = resumed.resume(options);
+    ASSERT_TRUE(rest.completed);
+
+    EXPECT_TRUE(sched::metricsIdentical(full.metrics, rest.metrics));
+    const auto divergence =
+        DigestTrail::firstDivergence(full.digests, rest.digests);
+    EXPECT_EQ(divergence, std::nullopt)
+        << "replay diverged at digest epoch " << *divergence;
+    EXPECT_EQ(full.digests.digests.size(), rest.digests.digests.size());
+}
+
+TEST(ClusterSnapshot, ResumeMatchesStraightThroughFaultFree)
+{
+    expectResumeBitIdentical(testConfig(), testTrace(), 4 * 86400.0);
+}
+
+TEST(ClusterSnapshot, ResumeMatchesStraightThroughWithFaults)
+{
+    // Margin-unaware allocation consumes RNG draws and the fault
+    // campaign exercises the schedule cursor, requeues, and
+    // checkpointing - the full stochastic surface must survive the
+    // round-trip.
+    sched::ClusterConfig config = testConfig();
+    config.marginAware = false;
+    config.faults.intensity = 4.0;
+    config.faults.uncorrectablePerHour = 2.0e-4;
+    config.faults.nodeFailuresPerHour = 2.0e-5;
+    config.faults.demotionsPerHour = 1.0e-4;
+    config.faults.horizonSeconds = 10 * 86400.0;
+    config.resilience.checkpointIntervalSeconds = 1800.0;
+    config.resilience.checkpointOverheadFraction = 0.02;
+    expectResumeBitIdentical(config, testTrace(), 5 * 86400.0);
+}
+
+TEST(ClusterSnapshot, PeriodicSnapshotsAllRestorable)
+{
+    const auto jobs = testTrace();
+    const sched::ClusterConfig config = testConfig();
+
+    std::vector<std::vector<std::uint8_t>> states;
+    sched::RunOptions options;
+    options.digestEverySeconds = 86400.0;
+    options.snapshotEverySeconds = 2 * 86400.0;
+    options.snapshotSink =
+        [&](const std::vector<std::uint8_t> &bytes) {
+            states.push_back(bytes);
+        };
+    sched::ClusterSimulator sim(config);
+    const sched::RunOutcome full = sim.run(jobs, options);
+    ASSERT_TRUE(full.completed);
+    ASSERT_GE(states.size(), 3u);
+
+    for (const auto &state : states) {
+        sched::ClusterSimulator resumed(config);
+        std::string error;
+        ASSERT_TRUE(resumed.restoreState(state, jobs, &error))
+            << error;
+        const sched::RunOutcome rest = resumed.resume({});
+        EXPECT_TRUE(
+            sched::metricsIdentical(full.metrics, rest.metrics));
+    }
+}
+
+TEST(ClusterSnapshot, RejectsDifferentConfiguration)
+{
+    const auto jobs = testTrace();
+    std::vector<std::uint8_t> state;
+    sched::RunOptions options;
+    options.stopAfterSeconds = 2 * 86400.0;
+    options.snapshotSink =
+        [&](const std::vector<std::uint8_t> &bytes) { state = bytes; };
+    sched::ClusterSimulator sim(testConfig());
+    sim.run(jobs, options);
+    ASSERT_FALSE(state.empty());
+
+    sched::ClusterConfig other = testConfig();
+    other.speedups.at800 = 1.25;
+    sched::ClusterSimulator mismatched(other);
+    std::string error;
+    EXPECT_FALSE(mismatched.restoreState(state, jobs, &error));
+    EXPECT_NE(error.find("configuration"), std::string::npos) << error;
+}
+
+TEST(ClusterSnapshot, RejectsDifferentTrace)
+{
+    const auto jobs = testTrace();
+    std::vector<std::uint8_t> state;
+    sched::RunOptions options;
+    options.stopAfterSeconds = 2 * 86400.0;
+    options.snapshotSink =
+        [&](const std::vector<std::uint8_t> &bytes) { state = bytes; };
+    sched::ClusterSimulator sim(testConfig());
+    sim.run(jobs, options);
+
+    auto other_jobs = jobs;
+    other_jobs[100].runtimeSeconds += 1.0;
+    sched::ClusterSimulator resumed(testConfig());
+    std::string error;
+    EXPECT_FALSE(resumed.restoreState(state, other_jobs, &error));
+    EXPECT_NE(error.find("trace"), std::string::npos) << error;
+}
+
+TEST(ClusterSnapshot, FileLevelCorruptionIsRejected)
+{
+    const auto jobs = testTrace();
+    std::vector<std::uint8_t> state;
+    sched::RunOptions options;
+    options.stopAfterSeconds = 2 * 86400.0;
+    options.snapshotSink =
+        [&](const std::vector<std::uint8_t> &bytes) { state = bytes; };
+    sched::ClusterSimulator sim(testConfig());
+    sim.run(jobs, options);
+    ASSERT_FALSE(state.empty());
+
+    const std::string path = "test_snapshot_cluster.snap";
+    std::string error;
+    ASSERT_TRUE(
+        sched::ClusterSimulator::writeStateFile(path, state, &error))
+        << error;
+
+    // Intact file restores.
+    sched::ClusterSimulator resumed(testConfig());
+    ASSERT_TRUE(resumed.restoreFile(path, jobs, &error)) << error;
+
+    // Flip one byte in the middle: the CRC must catch it.
+    {
+        std::fstream file(path, std::ios::binary | std::ios::in |
+                                    std::ios::out);
+        file.seekp(200);
+        char byte = 0;
+        file.seekg(200);
+        file.get(byte);
+        byte = static_cast<char>(byte ^ 0x01);
+        file.seekp(200);
+        file.put(byte);
+    }
+    sched::ClusterSimulator corrupt(testConfig());
+    EXPECT_FALSE(corrupt.restoreFile(path, jobs, &error));
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Construction-time config validation
+// --------------------------------------------------------------------
+
+TEST(ConfigValidation, ClusterConfigRejectsBadFractions)
+{
+    sched::ClusterConfig config;
+    config.groupFractions = {0.5, 0.4, 0.3}; // sums to 1.2
+    EXPECT_EXIT(sched::ClusterSimulator sim(config),
+                ::testing::ExitedWithCode(1), "groupFractions");
+}
+
+TEST(ConfigValidation, ClusterConfigRejectsZeroNodes)
+{
+    sched::ClusterConfig config;
+    config.nodes = 0;
+    EXPECT_EXIT(sched::ClusterSimulator sim(config),
+                ::testing::ExitedWithCode(1), "nodes");
+}
+
+TEST(ConfigValidation, ClusterConfigRejectsZeroBackfillDepth)
+{
+    sched::ClusterConfig config;
+    config.backfillDepth = 0;
+    EXPECT_EXIT(sched::ClusterSimulator sim(config),
+                ::testing::ExitedWithCode(1), "backfillDepth");
+}
+
+TEST(ConfigValidation, SpeedupTableRejectsInvertedSpeedups)
+{
+    sched::ClusterConfig config;
+    config.speedups.at800 = 1.05;
+    config.speedups.at600 = 1.15; // faster than the faster group
+    EXPECT_EXIT(sched::ClusterSimulator sim(config),
+                ::testing::ExitedWithCode(1), "at600");
+}
+
+TEST(ConfigValidation, SpeedupTableRejectsNan)
+{
+    sched::ClusterConfig config;
+    config.speedups.at800 = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EXIT(sched::ClusterSimulator sim(config),
+                ::testing::ExitedWithCode(1), "at800");
+}
+
+TEST(ConfigValidation, ResiliencePolicyRejectsInconsistentBackoff)
+{
+    sched::ClusterConfig config;
+    config.resilience.requeueBackoffBaseSeconds = 7200.0;
+    config.resilience.requeueBackoffCapSeconds = 60.0;
+    EXPECT_EXIT(sched::ClusterSimulator sim(config),
+                ::testing::ExitedWithCode(1),
+                "requeueBackoffCapSeconds");
+}
+
+TEST(ConfigValidation, ResiliencePolicyRejectsOverheadAboveOne)
+{
+    sched::ClusterConfig config;
+    config.resilience.checkpointOverheadFraction = 1.5;
+    EXPECT_EXIT(sched::ClusterSimulator sim(config),
+                ::testing::ExitedWithCode(1),
+                "checkpointOverheadFraction");
+}
+
+TEST(ConfigValidation, CampaignConfigRejectsNegativeRate)
+{
+    fault::CampaignConfig config;
+    config.uncorrectablePerHour = -1.0;
+    EXPECT_EXIT(fault::FaultCampaign campaign(config),
+                ::testing::ExitedWithCode(1), "uncorrectablePerHour");
+}
+
+TEST(ConfigValidation, CampaignConfigRejectsZeroTargets)
+{
+    fault::CampaignConfig config;
+    config.targets = 0;
+    EXPECT_EXIT(fault::FaultCampaign campaign(config),
+                ::testing::ExitedWithCode(1), "targets");
+}
+
+TEST(ConfigValidation, JobTraceModelRejectsInvertedFractions)
+{
+    traces::JobTraceModel model;
+    model.under25Fraction = 0.9;
+    model.under50Fraction = 0.5;
+    EXPECT_EXIT(traces::GrizzlyTraceGenerator generator(model, 1),
+                ::testing::ExitedWithCode(1), "under25Fraction");
+}
+
+TEST(ConfigValidation, JobTraceModelRejectsZeroNodes)
+{
+    traces::JobTraceModel model;
+    model.systemNodes = 0;
+    EXPECT_EXIT(traces::GrizzlyTraceGenerator generator(model, 1),
+                ::testing::ExitedWithCode(1), "systemNodes");
+}
+
+TEST(ConfigValidation, JobTraceModelRejectsZeroSpan)
+{
+    traces::JobTraceModel model;
+    model.spanSeconds = 0.0;
+    EXPECT_EXIT(traces::GrizzlyTraceGenerator generator(model, 1),
+                ::testing::ExitedWithCode(1), "spanSeconds");
+}
+
+TEST(ConfigValidation, RunOptionsRejectNonPositiveDigestCadence)
+{
+    sched::ClusterSimulator sim(testConfig());
+    sched::RunOptions options;
+    options.digestEverySeconds = 0.0;
+    EXPECT_EXIT(sim.run(testTrace(), options),
+                ::testing::ExitedWithCode(1), "digestEverySeconds");
+}
+
+// --------------------------------------------------------------------
+// Degenerate trace models
+// --------------------------------------------------------------------
+
+TEST(TraceDegenerate, ZeroJobsYieldEmptyTrace)
+{
+    traces::JobTraceModel model;
+    model.numJobs = 0;
+    traces::GrizzlyTraceGenerator generator(model, 3);
+    EXPECT_TRUE(generator.generate().empty());
+}
+
+TEST(TraceDegenerate, EmptyTraceRunsToCompletion)
+{
+    sched::ClusterSimulator sim(testConfig());
+    const sched::ClusterMetrics metrics = sim.run({});
+    EXPECT_EQ(metrics.jobsCompleted, 0u);
+    EXPECT_EQ(metrics.meanNodeUtilization, 0.0);
+}
+
+} // namespace
