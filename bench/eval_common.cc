@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "traces/csv.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -55,35 +56,50 @@ serialize(const EvalRow &row)
     return out.str();
 }
 
-bool
-deserialize(const std::string &line, EvalRow &row)
+/**
+ * Strict cache-row parsing: a result cache is machine-written, so any
+ * malformed line means the file is corrupt (truncated write, disk
+ * fault, manual edit) and silently skipping it would quietly re-run -
+ * or worse, mis-plot - that configuration.  Reject loudly, naming the
+ * file, line and field.
+ */
+EvalRow
+deserialize(const traces::CsvCursor &at, const std::string &line)
 {
-    std::istringstream in(line);
-    std::string field;
-    auto next = [&](std::string &target) {
-        return static_cast<bool>(std::getline(in, target, ','));
-    };
-    std::string margin, usage, numbers[8];
-    if (!next(row.benchmark) || !next(row.suite) ||
-        !next(row.hierarchy) || !next(row.system) || !next(margin) ||
-        !next(usage)) {
-        return false;
+    const auto fields = traces::splitCsvLine(at, line, 14);
+    constexpr double kHuge = 1.0e18;
+    for (unsigned i = 0; i < 4; ++i) {
+        if (fields[i].empty()) {
+            util::fatal("%s:%zu: field %u: empty name",
+                        at.file.c_str(), at.line, i + 1);
+        }
     }
-    for (auto &value : numbers) {
-        if (!next(value))
-            return false;
-    }
-    row.marginMts = static_cast<unsigned>(std::stoul(margin));
-    row.usageClass = static_cast<unsigned>(std::stoul(usage));
-    row.execSeconds = std::stod(numbers[0]);
-    row.epiNj = std::stod(numbers[1]);
-    row.dramAccessesPerInstruction = std::stod(numbers[2]);
-    row.busUtilization = std::stod(numbers[3]);
-    row.readBandwidthGBs = std::stod(numbers[4]);
-    row.writeBandwidthGBs = std::stod(numbers[5]);
-    row.commFraction = std::stod(numbers[6]);
-    row.corrections = std::stod(numbers[7]);
-    return true;
+    EvalRow row;
+    row.benchmark = fields[0];
+    row.suite = fields[1];
+    row.hierarchy = fields[2];
+    row.system = fields[3];
+    row.marginMts = static_cast<unsigned>(
+        traces::parseCsvUnsigned(at, "marginMts", fields[4], 0, 100000));
+    row.usageClass = static_cast<unsigned>(
+        traces::parseCsvUnsigned(at, "usageClass", fields[5], 0, 2));
+    row.execSeconds = traces::parseCsvDouble(at, "execSeconds",
+                                             fields[6], 0.0, kHuge);
+    row.epiNj =
+        traces::parseCsvDouble(at, "epiNj", fields[7], 0.0, kHuge);
+    row.dramAccessesPerInstruction = traces::parseCsvDouble(
+        at, "dramAccessesPerInstruction", fields[8], 0.0, kHuge);
+    row.busUtilization = traces::parseCsvDouble(
+        at, "busUtilization", fields[9], 0.0, 1.0);
+    row.readBandwidthGBs = traces::parseCsvDouble(
+        at, "readBandwidthGBs", fields[10], 0.0, kHuge);
+    row.writeBandwidthGBs = traces::parseCsvDouble(
+        at, "writeBandwidthGBs", fields[11], 0.0, kHuge);
+    row.commFraction = traces::parseCsvDouble(at, "commFraction",
+                                              fields[12], 0.0, 1.0);
+    row.corrections = traces::parseCsvDouble(at, "corrections",
+                                             fields[13], 0.0, kHuge);
+    return row;
 }
 
 } // anonymous namespace
@@ -96,15 +112,17 @@ EvalGrid::runOrLoad(const std::string &cache_path,
 
     std::ifstream cache(cache_path);
     if (cache) {
+        traces::CsvCursor at{cache_path, 0};
         std::string line;
         while (std::getline(cache, line)) {
-            EvalRow row;
-            if (deserialize(line, row)) {
-                grid.index_[rowKey(row.benchmark, row.hierarchy,
-                                   row.system, row.marginMts,
-                                   row.usageClass)] = grid.rows_.size();
-                grid.rows_.push_back(std::move(row));
-            }
+            ++at.line;
+            if (line.empty() || line[0] == '#')
+                continue;
+            EvalRow row = deserialize(at, line);
+            grid.index_[rowKey(row.benchmark, row.hierarchy,
+                               row.system, row.marginMts,
+                               row.usageClass)] = grid.rows_.size();
+            grid.rows_.push_back(std::move(row));
         }
         // Use the cache only if it covers every requested config.
         bool complete = true;

@@ -45,7 +45,8 @@ ModeController::ModeController(
     ModeControllerConfig config)
     : events_(events), controller_(controller), llc_(llc),
       channelFilter_(std::move(channel_filter)), config_(config),
-      wbCache_(config.writebackCacheConfig), guard_(config.epochConfig)
+      wbCache_(config.writebackCacheConfig),
+      ladderRng_(config.ladder.seed), guard_(config.epochConfig)
 {
     fastEnabled_ = config_.plan.fastReads;
 
@@ -202,18 +203,79 @@ ModeController::countRecoveryEvent()
         demote();
 }
 
+bool
+ModeController::chargeErrorBudget(Tick now)
+{
+    const RecoveryLadderConfig &ladder = config_.ladder;
+    if (ladder.errorBudgetWindow == 0)
+        return false;
+
+    budgetWindow_.push_back(now);
+    const Tick horizon =
+        now > ladder.errorBudgetWindow ? now - ladder.errorBudgetWindow
+                                       : 0;
+    while (!budgetWindow_.empty() && budgetWindow_.front() < horizon)
+        budgetWindow_.pop_front();
+
+    if (budgetWindow_.size() <= ladder.errorBudgetLimit)
+        return false;
+    // Budget blown: this channel is producing detected errors faster
+    // than its margin classification allows, even if no single epoch
+    // trips the SDC guard.  Feed the demotion policy and restart the
+    // window so one burst cannot demote the channel repeatedly.
+    budgetWindow_.clear();
+    ++stats_.budgetDemotions;
+    demote();
+    return true;
+}
+
 void
 ModeController::onReadError()
 {
     ++stats_.corrections;
     if (guard_.recordError(events_.curTick()))
         disableFastOperation();
+    chargeErrorBudget(events_.curTick());
     countRecoveryEvent();
+}
+
+bool
+ModeController::walkRetryLadder()
+{
+    const RecoveryLadderConfig &ladder = config_.ladder;
+    Tick backoff = ladder.retryBackoff;
+    for (unsigned attempt = 1; attempt <= ladder.retryAttempts;
+         ++attempt) {
+        ++stats_.ladderRetries;
+        stats_.ladderRetryTicks += backoff;
+        // A retry re-reads the original at specification: hold the
+        // channel at spec for the backoff window (extends any pending
+        // suspension; never shortens one).
+        if (!quarantined_) {
+            suspendFastOperation(events_.curTick() + backoff,
+                                 /*permanent=*/false);
+        }
+        if (!ladderRng_.bernoulli(ladder.retryFailureProbability)) {
+            ++stats_.ladderRecoveries;
+            return true;
+        }
+        backoff = static_cast<Tick>(static_cast<double>(backoff) *
+                                    ladder.backoffFactor);
+    }
+    return false;
 }
 
 void
 ModeController::onUncorrectableError()
 {
+    // The first recovery rung (modelled inside the memory controller)
+    // failed.  Walk the bounded retry rungs before escalating: only
+    // when the original cannot be read back after every attempt does
+    // the error become uncorrectable.
+    if (walkRetryLadder()) {
+        countRecoveryEvent();
+        return;
+    }
     ++stats_.uncorrectedErrors;
     if (onUncorrectable_)
         onUncorrectable_();
@@ -399,6 +461,21 @@ ModeController::saveState(snapshot::Serializer &out) const
     out.writeU64(stats_.quarantines);
     out.writeU64(stats_.marginDriftMts);
     out.writeU64(stats_.reprofileTicks);
+
+    // Recovery-ladder state: the private retry stream, the sliding
+    // error-budget window, and the ladder statistics.
+    const util::RngState rng = ladderRng_.state();
+    for (std::uint64_t word : rng.s)
+        out.writeU64(word);
+    out.writeBool(rng.hasSpareNormal);
+    out.writeDouble(rng.spareNormal);
+    out.writeU32(static_cast<std::uint32_t>(budgetWindow_.size()));
+    for (Tick tick : budgetWindow_)
+        out.writeU64(tick);
+    out.writeU64(stats_.ladderRetries);
+    out.writeU64(stats_.ladderRecoveries);
+    out.writeU64(stats_.ladderRetryTicks);
+    out.writeU64(stats_.budgetDemotions);
 }
 
 bool
@@ -452,8 +529,29 @@ ModeController::restoreState(snapshot::Deserializer &in)
     stats_.quarantines = in.readU64();
     stats_.marginDriftMts = in.readU64();
     stats_.reprofileTicks = in.readU64();
+
+    util::RngState rng;
+    for (std::uint64_t &word : rng.s)
+        word = in.readU64();
+    rng.hasSpareNormal = in.readBool();
+    rng.spareNormal = in.readDouble();
+    const std::uint32_t window_size = in.readU32();
+    if (in.ok() &&
+        window_size > config_.ladder.errorBudgetLimit + 1) {
+        in.fail("mode-controller snapshot carries an error-budget "
+                "window larger than the budget allows");
+        return false;
+    }
+    budgetWindow_.clear();
+    for (std::uint32_t i = 0; i < window_size; ++i)
+        budgetWindow_.push_back(in.readU64());
+    stats_.ladderRetries = in.readU64();
+    stats_.ladderRecoveries = in.readU64();
+    stats_.ladderRetryTicks = in.readU64();
+    stats_.budgetDemotions = in.readU64();
     if (!in.ok())
         return false;
+    ladderRng_.setState(rng);
 
     // Re-apply the restored operating point.
     if (quarantined_) {

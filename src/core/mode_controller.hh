@@ -29,6 +29,7 @@
 #include "core/replication.hh"
 #include "dram/controller.hh"
 #include "sim/event_queue.hh"
+#include "util/rng.hh"
 
 namespace hdmr::core
 {
@@ -66,6 +67,41 @@ struct QuarantinePolicy
     util::Tick reprofileDowntime = 100 * util::kTicksPerUs;
 };
 
+/**
+ * The hardened recovery ladder (robustness layer over Section III-C's
+ * recovery flow).
+ *
+ * The baseline recovery path is one rung: slow to specification, read
+ * the original, overwrite the copy.  When that read *also* fails the
+ * seed escalated straight to an uncorrectable error.  The ladder adds
+ * bounded retries with exponential backoff - each retry re-reads the
+ * original at specification, so the channel is held at spec for the
+ * backoff window - and an explicit sliding-window error budget: a
+ * channel whose *detected*-error arrivals exceed the budget gets fed
+ * into the existing demotion/quarantine policy even if no single epoch
+ * trips the SDC guard.  All knobs default to disabled (0), in which
+ * case behaviour is bit-identical to the seed.
+ */
+struct RecoveryLadderConfig
+{
+    /** Retry rungs after the first failed recovery; 0 = escalate
+     *  immediately (seed behaviour). */
+    unsigned retryAttempts = 0;
+    /** Probability an individual retry read also fails. */
+    double retryFailureProbability = 0.5;
+    /** Channel-at-spec window paid by the first retry. */
+    util::Tick retryBackoff = 2200000;
+    /** Backoff growth per further retry (exponential backoff). */
+    double backoffFactor = 2.0;
+    /** Seed of the ladder's private retry-outcome stream. */
+    std::uint64_t seed = 0x1adde5u;
+    /** Sliding error-budget window; 0 disables the budget. */
+    util::Tick errorBudgetWindow = 0;
+    /** Detected errors tolerated inside the window before the channel
+     *  is demoted; only meaningful with a non-zero window. */
+    std::uint64_t errorBudgetLimit = 0;
+};
+
 /** Mode-controller configuration. */
 struct ModeControllerConfig
 {
@@ -93,6 +129,8 @@ struct ModeControllerConfig
     double recoveryFailureProbability = 0.0;
     /** Quarantine / margin-demotion policy. */
     QuarantinePolicy quarantine;
+    /** Hardened recovery ladder (retries + error budget). */
+    RecoveryLadderConfig ladder;
     /** Victim write-back cache geometry. */
     cache::WritebackCacheConfig writebackCacheConfig;
     /** Epoch-guard parameters. */
@@ -114,6 +152,10 @@ struct ModeControllerStats
     std::uint64_t quarantines = 0;   ///< demoted all the way to spec
     std::uint64_t marginDriftMts = 0; ///< injected drift absorbed
     util::Tick reprofileTicks = 0;   ///< modelled re-profiling downtime
+    std::uint64_t ladderRetries = 0; ///< retry rungs walked
+    std::uint64_t ladderRecoveries = 0; ///< UEs averted by a retry rung
+    util::Tick ladderRetryTicks = 0; ///< channel-at-spec backoff paid
+    std::uint64_t budgetDemotions = 0; ///< demotions by the error budget
 };
 
 /** The per-channel mode controller / write path. */
@@ -221,6 +263,10 @@ class ModeController
     void onReadError();
     void onUncorrectableError();
     void countRecoveryEvent();
+    /** Sliding-window error budget; true when it demoted the channel. */
+    bool chargeErrorBudget(util::Tick now);
+    /** Walk the retry rungs; true when a retry recovered the data. */
+    bool walkRetryLadder();
     void disableFastOperation();
     void reenableFastOperation();
     void enqueueWriteNow(std::uint64_t address);
@@ -254,6 +300,10 @@ class ModeController
     std::uint64_t lastTripEpoch_ = ~std::uint64_t(0);
     unsigned tripStreak_ = 0;
     std::function<void()> onUncorrectable_;
+    /** Private stream deciding retry-rung outcomes. */
+    util::Rng ladderRng_;
+    /** Detected-error arrival ticks inside the budget window. */
+    std::deque<util::Tick> budgetWindow_;
 
     sim::CallbackEvent reenableEvent_;
     EpochGuard guard_;

@@ -72,6 +72,9 @@ class BambooCodec
     static constexpr std::size_t kAddressBytes = 8;
     static constexpr std::size_t kParityBytes = 8;
 
+    /** Bytes of a CodedBlock that actually live in DRAM. */
+    static constexpr std::size_t kStoredBytes = kDataBytes + kParityBytes;
+
     BambooCodec();
 
     /**
@@ -106,6 +109,35 @@ class BambooCodec
     escapeProbability8BPlus()
     {
         return 1.0 / 18446744073709551616.0; // 2^-64
+    }
+
+    /**
+     * The underlying RS(80, 72) code.  Exposed read-only so the SDC
+     * oracle (src/verify) can reason about the code algebraically -
+     * e.g. construct error vectors that are themselves codewords when
+     * importance-sampling the silent-escape tail.
+     */
+    const ReedSolomon &code() const { return rs_; }
+
+    /**
+     * Codeword index of stored byte `i` (data bytes first, then parity;
+     * the 8 recomputed address symbols in between are never stored and
+     * therefore can never be in error).
+     */
+    static constexpr std::size_t
+    storedToCodewordIndex(std::size_t i)
+    {
+        return i < kDataBytes ? i : i + kAddressBytes;
+    }
+
+    /** XOR `mask` into stored byte `i` of a coded block. */
+    static void
+    xorStoredByte(CodedBlock &coded, std::size_t i, std::uint8_t mask)
+    {
+        if (i < kDataBytes)
+            coded.data[i] ^= mask;
+        else
+            coded.parity[i - kDataBytes] ^= mask;
     }
 
   private:

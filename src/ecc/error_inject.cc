@@ -39,7 +39,12 @@ corruptBytes(CodedBlock &coded, unsigned count, util::Rng &rng)
 {
     constexpr unsigned total =
         BambooCodec::kDataBytes + BambooCodec::kParityBytes;
-    hdmr_assert(count > 0 && count <= total);
+    // A zero-byte burst is a legitimate degenerate case (a Poisson
+    // burst draw of 0 in the fault campaign): no bytes touched, no RNG
+    // consumed.
+    if (count == 0)
+        return 0;
+    hdmr_assert(count <= total);
 
     // Choose `count` distinct byte slots across data+parity.
     std::vector<unsigned> slots(total);

@@ -49,7 +49,8 @@ unsigned injectPattern(CodedBlock &coded, ErrorPattern pattern,
 
 /**
  * Corrupt exactly `count` distinct randomly-chosen bytes across the
- * stored data+parity footprint.
+ * stored data+parity footprint.  `count` 0 (a zero-error burst) is a
+ * no-op that consumes no randomness.
  */
 unsigned corruptBytes(CodedBlock &coded, unsigned count, util::Rng &rng);
 

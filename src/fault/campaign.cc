@@ -166,6 +166,17 @@ FaultCampaign::schedule() const
     return events;
 }
 
+std::vector<FaultEvent>
+FaultCampaign::schedule(FaultKind kind) const
+{
+    std::vector<FaultEvent> filtered;
+    for (const FaultEvent &ev : schedule()) {
+        if (ev.kind == kind)
+            filtered.push_back(ev);
+    }
+    return filtered;
+}
+
 double
 FaultCampaign::killTimeSeconds(std::uint64_t seed, unsigned job_id,
                                unsigned attempt, double rate_per_second)

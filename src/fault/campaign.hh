@@ -100,6 +100,15 @@ class FaultCampaign
     std::vector<FaultEvent> schedule() const;
 
     /**
+     * The events of one kind only, in schedule order.  A filtered view
+     * of schedule(): consumers interested in a single process (e.g. the
+     * SDC audit overlaying error bursts) get the same realization the
+     * full schedule carries, so mixing filtered and unfiltered walks of
+     * one campaign stays consistent.
+     */
+    std::vector<FaultEvent> schedule(FaultKind kind) const;
+
+    /**
      * Time to the job-killing UE for (job, attempt) at the given
      * per-second aggregate rate, or +infinity when the rate is 0.
      * Deterministic in (seed, job, attempt) and nested across rates:

@@ -99,6 +99,38 @@ ErrorRateModel::errorProbabilityPerRead(const MemoryModule &module,
                                    op.accessIntensity));
 }
 
+ErrorPatternMix
+ErrorRateModel::patternMix(const MemoryModule &module,
+                           const OperatingPoint &op) const
+{
+    // Modeling assumption (no published per-pattern breakdown exists):
+    // at one overshoot step errors are overwhelmingly narrow - 55%
+    // single-bit, 30% single-byte, 13% multi-byte bursts, 2% wide
+    // command/address mishaps.  Each further step doubles the wide
+    // share (capped at 20%) and grows the burst share 1.5x (capped at
+    // 30%), eating proportionally into the narrow classes.
+    const unsigned stable = stableRateAt(module, op);
+    const double overshoot_steps =
+        op.dataRateMts > stable
+            ? static_cast<double>(op.dataRateMts - stable) /
+                  static_cast<double>(params_.stepMts)
+            : 0.0;
+    const double extra_steps = std::max(0.0, overshoot_steps - 1.0);
+
+    double wide = std::min(0.20, 0.02 * std::pow(2.0, extra_steps));
+    if (op.latencyMarginsExploited)
+        wide = std::min(0.20, wide * 2.0);
+    const double multi = std::min(0.30, 0.13 * std::pow(1.5, extra_steps));
+
+    const double narrow = 1.0 - wide - multi;
+    ErrorPatternMix mix;
+    mix.singleBit = narrow * (0.55 / 0.85);
+    mix.singleByte = narrow * (0.30 / 0.85);
+    mix.multiByte = multi;
+    mix.wideBlock = wide;
+    return mix;
+}
+
 namespace
 {
 

@@ -110,6 +110,20 @@ struct ErrorModelParams
 };
 
 /**
+ * How the errors of one operating point split across the corruption
+ * shapes of ecc::ErrorPattern (Section III: bit flips, whole-IO-pin
+ * byte errors, multi-pin bursts, command/address "8B+" mishaps).
+ * Fractions sum to 1.
+ */
+struct ErrorPatternMix
+{
+    double singleBit = 0.0;
+    double singleByte = 0.0;
+    double multiByte = 0.0;
+    double wideBlock = 0.0;
+};
+
+/**
  * Deterministic error-rate oracle.  Stateless; randomness (Poisson
  * sampling of actual counts) lives in the stress-test driver.
  */
@@ -150,6 +164,17 @@ class ErrorRateModel
      */
     double errorProbabilityPerRead(const MemoryModule &module,
                                    const OperatingPoint &op) const;
+
+    /**
+     * Corruption-shape mix of the errors at `op`.  Mild overshoot is
+     * dominated by single-bit/single-byte (signal-integrity) errors;
+     * each additional overshoot step shifts weight toward multi-pin
+     * bursts and command/address mishaps, so the dangerous wide-block
+     * ("8B+") tail grows with aggressiveness.  Exploiting latency
+     * margins stresses command timing and doubles the wide share.
+     */
+    ErrorPatternMix patternMix(const MemoryModule &module,
+                               const OperatingPoint &op) const;
 
     // ---- Time-varying oracle (fault-campaign conditions). ----
     //

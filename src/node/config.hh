@@ -74,6 +74,8 @@ struct NodeConfig
     double recoveryFailureProbability = 0.0;
     /** Quarantine / margin-demotion policy (defaults: disabled). */
     core::QuarantinePolicy quarantine;
+    /** Hardened recovery ladder (defaults: disabled, seed behaviour). */
+    core::RecoveryLadderConfig ladder;
     /** LLC lines proactively cleaned per write-mode window (III-A1). */
     std::size_t cleanLinesPerWriteMode = 12800;
     /** Frequency-scaling transition latency in microseconds (Fig. 9). */

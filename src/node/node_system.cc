@@ -25,6 +25,7 @@ NodeSystem::NodeSystem(NodeConfig config) : config_(std::move(config))
     mc.readErrorProbability = config_.readErrorProbability;
     mc.recoveryFailureProbability = config_.recoveryFailureProbability;
     mc.quarantine = config_.quarantine;
+    mc.ladder = config_.ladder;
     mc.cleanLinesPerWriteMode = config_.cleanLinesPerWriteMode;
     mc.frequencyTransitionLatency =
         util::usToTicks(config_.frequencyTransitionUs);
@@ -77,6 +78,9 @@ NodeSystem::NodeSystem(NodeConfig config) : config_(std::move(config))
         core::ModeControllerConfig mc_ch = mc;
         mc_ch.writeModeTriggerFill =
             mc.writeModeTriggerFill - 0.03 * static_cast<double>(ch);
+        // Decorrelate retry-outcome streams across channels (and nodes).
+        mc_ch.ladder.seed =
+            mc.ladder.seed ^ (config_.seed * 0x9e3779b97f4a7c15ULL + ch);
         modeControllers_.push_back(std::make_unique<core::ModeController>(
             events_, *controllers_.back(), l3_.get(), filter, mc_ch));
     }
@@ -476,6 +480,9 @@ NodeSystem::collectStats() const
         stats.uncorrectedErrors += mc->stats().uncorrectedErrors;
         stats.demotions += mc->stats().demotions;
         stats.quarantines += mc->stats().quarantines;
+        stats.ladderRetries += mc->stats().ladderRetries;
+        stats.ladderRecoveries += mc->stats().ladderRecoveries;
+        stats.budgetDemotions += mc->stats().budgetDemotions;
         stats.cleanedLines += mc->stats().cleanedLines;
     }
 

@@ -44,6 +44,9 @@ struct NodeStats
     std::uint64_t uncorrectedErrors = 0; ///< recoveries that failed (UEs)
     std::uint64_t demotions = 0;         ///< fast setting lowered a step
     std::uint64_t quarantines = 0;       ///< channels retired to spec
+    std::uint64_t ladderRetries = 0;     ///< recovery retry rungs walked
+    std::uint64_t ladderRecoveries = 0;  ///< UEs averted by a retry rung
+    std::uint64_t budgetDemotions = 0;   ///< error-budget demotions
     std::uint64_t cleanedLines = 0;
     std::uint64_t writeModeEntries = 0;
     double avgReadLatencyNs = 0.0;

@@ -32,8 +32,9 @@ inline constexpr char kMagic[8] = {'H', 'D', 'M', 'R',
 inline constexpr std::uint32_t kFormatVersion = 1;
 
 /** Payload kinds (fourcc-style tags) the repository writes. */
-inline constexpr std::uint32_t kClusterStateKind = 0x4d495343; // "CSIM"
-inline constexpr std::uint32_t kSweepStateKind = 0x50455753;   // "SWEP"
+inline constexpr std::uint32_t kClusterStateKind = 0x4d495343;  // "CSIM"
+inline constexpr std::uint32_t kSweepStateKind = 0x50455753;    // "SWEP"
+inline constexpr std::uint32_t kSdcAuditStateKind = 0x41434453; // "SDCA"
 
 /** CRC-32 (IEEE 802.3, reflected) over a byte range. */
 std::uint32_t crc32(const void *data, std::size_t size,

@@ -1,0 +1,95 @@
+#include "traces/csv.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace hdmr::traces
+{
+
+std::vector<std::string>
+splitCsvLine(const CsvCursor &at, const std::string &text,
+             std::size_t expected_fields)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(text.substr(start));
+            break;
+        }
+        fields.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    if (fields.size() != expected_fields) {
+        util::fatal("%s:%zu: expected %zu comma-separated fields, got "
+                    "%zu (truncated or malformed record)",
+                    at.file.c_str(), at.line, expected_fields,
+                    fields.size());
+    }
+    return fields;
+}
+
+double
+parseCsvDouble(const CsvCursor &at, const char *field,
+               const std::string &text, double lo, double hi)
+{
+    if (text.empty())
+        util::fatal("%s:%zu: field '%s': empty", at.file.c_str(),
+                    at.line, field);
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) {
+        util::fatal("%s:%zu: field '%s': '%s' is not a number",
+                    at.file.c_str(), at.line, field, text.c_str());
+    }
+    if (!std::isfinite(value)) {
+        util::fatal("%s:%zu: field '%s': '%s' is not finite",
+                    at.file.c_str(), at.line, field, text.c_str());
+    }
+    if (value < lo || value > hi) {
+        util::fatal("%s:%zu: field '%s': %g out of range [%g, %g]",
+                    at.file.c_str(), at.line, field, value, lo, hi);
+    }
+    return value;
+}
+
+std::uint64_t
+parseCsvUnsigned(const CsvCursor &at, const char *field,
+                 const std::string &text, std::uint64_t lo,
+                 std::uint64_t hi)
+{
+    if (text.empty())
+        util::fatal("%s:%zu: field '%s': empty", at.file.c_str(),
+                    at.line, field);
+    // strtoull silently accepts a sign and wraps; reject anything that
+    // is not a plain digit string up front.
+    for (const char c : text) {
+        if (c < '0' || c > '9') {
+            util::fatal("%s:%zu: field '%s': '%s' is not an unsigned "
+                        "integer",
+                        at.file.c_str(), at.line, field, text.c_str());
+        }
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || errno == ERANGE) {
+        util::fatal("%s:%zu: field '%s': '%s' does not fit an unsigned "
+                    "integer",
+                    at.file.c_str(), at.line, field, text.c_str());
+    }
+    if (value < lo || value > hi) {
+        util::fatal("%s:%zu: field '%s': %llu out of range [%llu, %llu]",
+                    at.file.c_str(), at.line, field, value,
+                    static_cast<unsigned long long>(lo),
+                    static_cast<unsigned long long>(hi));
+    }
+    return value;
+}
+
+} // namespace hdmr::traces

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Strict CSV field parsing shared by the trace loaders and the bench
+ * result caches.
+ *
+ * Every helper takes a CsvCursor naming the source file and 1-based
+ * line, plus the field's name; malformed input - truncated lines,
+ * non-numeric text, trailing junk, non-finite numbers, out-of-range
+ * values - is rejected with a util::fatal() message of the form
+ *
+ *     <file>:<line>: field '<name>': <what is wrong>
+ *
+ * so a corrupt trace or cache points at the exact offending cell
+ * instead of silently skewing results.
+ */
+
+#ifndef HDMR_TRACES_CSV_HH
+#define HDMR_TRACES_CSV_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hdmr::traces
+{
+
+/** Where in which file the current record came from. */
+struct CsvCursor
+{
+    std::string file;
+    std::size_t line = 0; ///< 1-based
+};
+
+/**
+ * Split `text` on commas into exactly `expected_fields` fields;
+ * truncated and over-long records are fatal.  Fields are returned
+ * verbatim (no quoting support - none of our formats needs it).
+ */
+std::vector<std::string> splitCsvLine(const CsvCursor &at,
+                                      const std::string &text,
+                                      std::size_t expected_fields);
+
+/** Parse a finite double; [lo, hi] is inclusive on both ends. */
+double parseCsvDouble(const CsvCursor &at, const char *field,
+                      const std::string &text, double lo, double hi);
+
+/** Parse an unsigned integer in [lo, hi]; rejects signs and junk. */
+std::uint64_t parseCsvUnsigned(const CsvCursor &at, const char *field,
+                               const std::string &text, std::uint64_t lo,
+                               std::uint64_t hi);
+
+} // namespace hdmr::traces
+
+#endif // HDMR_TRACES_CSV_HH

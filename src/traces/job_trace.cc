@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
+#include "traces/csv.hh"
 #include "util/logging.hh"
 
 namespace hdmr::traces
@@ -150,6 +152,68 @@ traceNodeSeconds(const std::vector<Job> &jobs)
     for (const Job &job : jobs)
         total += static_cast<double>(job.nodes) * job.runtimeSeconds;
     return total;
+}
+
+std::vector<Job>
+loadJobTraceCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("job trace: cannot open '%s'", path.c_str());
+
+    std::vector<Job> jobs;
+    CsvCursor at{path, 0};
+    std::string line;
+    while (std::getline(in, line)) {
+        ++at.line;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        const auto fields = splitCsvLine(at, line, 6);
+        Job job;
+        job.id = static_cast<unsigned>(
+            parseCsvUnsigned(at, "id", fields[0], 0, ~0u));
+        job.submitSeconds = parseCsvDouble(at, "submit_s", fields[1],
+                                           0.0, 1.0e12);
+        job.nodes = static_cast<unsigned>(
+            parseCsvUnsigned(at, "nodes", fields[2], 1, 10'000'000));
+        job.runtimeSeconds = parseCsvDouble(at, "runtime_s", fields[3],
+                                            0.0, 1.0e12);
+        job.walltimeSeconds = parseCsvDouble(at, "walltime_s", fields[4],
+                                             0.0, 1.0e12);
+        job.usageClass = static_cast<unsigned>(
+            parseCsvUnsigned(at, "usage_class", fields[5], 0, 2));
+        if (job.walltimeSeconds < job.runtimeSeconds) {
+            util::fatal("%s:%zu: field 'walltime_s': %g below the "
+                        "job's runtime %g",
+                        path.c_str(), at.line, job.walltimeSeconds,
+                        job.runtimeSeconds);
+        }
+        jobs.push_back(job);
+    }
+
+    std::sort(jobs.begin(), jobs.end(),
+              [](const Job &a, const Job &b) {
+                  return a.submitSeconds < b.submitSeconds;
+              });
+    return jobs;
+}
+
+void
+writeJobTraceCsv(const std::string &path, const std::vector<Job> &jobs)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        util::fatal("job trace: cannot write '%s'", path.c_str());
+    out.precision(17); // round-trip exactly
+    out << "# id,submit_s,nodes,runtime_s,walltime_s,usage_class\n";
+    for (const Job &job : jobs) {
+        out << job.id << ',' << job.submitSeconds << ',' << job.nodes
+            << ',' << job.runtimeSeconds << ',' << job.walltimeSeconds
+            << ',' << job.usageClass << '\n';
+    }
+    if (!out)
+        util::fatal("job trace: write to '%s' failed", path.c_str());
 }
 
 } // namespace hdmr::traces

@@ -9,6 +9,7 @@
 #define HDMR_TRACES_JOB_TRACE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/rng.hh"
@@ -73,6 +74,23 @@ class GrizzlyTraceGenerator
 
 /** Total node-seconds of a trace. */
 double traceNodeSeconds(const std::vector<Job> &jobs);
+
+/**
+ * Load a job trace from a CSV file with columns
+ *
+ *     id,submit_s,nodes,runtime_s,walltime_s,usage_class
+ *
+ * ('#'-prefixed comment lines and blank lines are skipped; jobs are
+ * returned sorted by submit time).  Any malformed record - truncated
+ * line, non-numeric or non-finite field, zero nodes, negative times,
+ * walltime below runtime, usage class above 2 - is rejected with a
+ * fatal() naming the file, line and field.
+ */
+std::vector<Job> loadJobTraceCsv(const std::string &path);
+
+/** Write `jobs` in the loadJobTraceCsv() format (fatal on IO error). */
+void writeJobTraceCsv(const std::string &path,
+                      const std::vector<Job> &jobs);
 
 } // namespace hdmr::traces
 

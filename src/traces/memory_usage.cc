@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
+#include "traces/csv.hh"
 #include "util/logging.hh"
 
 namespace hdmr::traces
@@ -127,6 +129,119 @@ analyzeUsage(const std::vector<JobUsageTrace> &traces)
     result.fractionUnder25 =
         static_cast<double>(under25) / static_cast<double>(traces.size());
     return result;
+}
+
+namespace
+{
+
+/** A finished job must be rectangular: equal samples on every node. */
+void
+checkRectangular(const CsvCursor &at, const JobUsageTrace &job)
+{
+    if (job.utilization.empty() || job.utilization.front().empty()) {
+        util::fatal("%s:%zu: job %u has no samples", at.file.c_str(),
+                    at.line, job.jobId);
+    }
+    const std::size_t samples = job.utilization.front().size();
+    for (std::size_t n = 1; n < job.utilization.size(); ++n) {
+        if (job.utilization[n].size() != samples) {
+            util::fatal("%s:%zu: job %u is ragged: node %zu has %zu "
+                        "samples, node 0 has %zu (collector dropped "
+                        "data?)",
+                        at.file.c_str(), at.line, job.jobId, n,
+                        job.utilization[n].size(), samples);
+        }
+    }
+}
+
+} // namespace
+
+std::vector<JobUsageTrace>
+loadUsageTraceCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("usage trace: cannot open '%s'", path.c_str());
+
+    std::vector<JobUsageTrace> traces;
+    JobUsageTrace current;
+    bool open = false;
+
+    CsvCursor at{path, 0};
+    std::string line;
+    while (std::getline(in, line)) {
+        ++at.line;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        const auto fields = splitCsvLine(at, line, 4);
+        const auto job_id = static_cast<unsigned>(
+            parseCsvUnsigned(at, "job_id", fields[0], 0, ~0u));
+        const auto node = static_cast<std::size_t>(
+            parseCsvUnsigned(at, "node", fields[1], 0, 1'000'000));
+        const auto sample = static_cast<std::size_t>(
+            parseCsvUnsigned(at, "sample", fields[2], 0, 1'000'000'000));
+        const double utilization =
+            parseCsvDouble(at, "utilization", fields[3], 0.0, 1.0);
+
+        if (!open || job_id != current.jobId) {
+            if (open) {
+                checkRectangular(at, current);
+                traces.push_back(std::move(current));
+            }
+            current = JobUsageTrace{};
+            current.jobId = job_id;
+            open = true;
+        }
+
+        // Indices must count up in order: node n opens only after
+        // node n-1, sample s only as the next sample of its node.
+        if (node == current.utilization.size()) {
+            current.utilization.emplace_back();
+        } else if (node != current.utilization.size() - 1) {
+            util::fatal("%s:%zu: field 'node': %zu out of order (job "
+                        "%u is on node %zu)",
+                        path.c_str(), at.line, node, job_id,
+                        current.utilization.empty()
+                            ? 0
+                            : current.utilization.size() - 1);
+        }
+        std::vector<double> &series = current.utilization.back();
+        if (sample != series.size()) {
+            util::fatal("%s:%zu: field 'sample': %zu out of order "
+                        "(expected %zu)",
+                        path.c_str(), at.line, sample, series.size());
+        }
+        series.push_back(utilization);
+        current.nodes = static_cast<unsigned>(current.utilization.size());
+    }
+
+    if (open) {
+        checkRectangular(at, current);
+        traces.push_back(std::move(current));
+    }
+    return traces;
+}
+
+void
+writeUsageTraceCsv(const std::string &path,
+                   const std::vector<JobUsageTrace> &traces)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        util::fatal("usage trace: cannot write '%s'", path.c_str());
+    out.precision(17); // round-trip exactly
+    out << "# job_id,node,sample,utilization\n";
+    for (const JobUsageTrace &job : traces) {
+        for (std::size_t n = 0; n < job.utilization.size(); ++n) {
+            for (std::size_t s = 0; s < job.utilization[n].size(); ++s) {
+                out << job.jobId << ',' << n << ',' << s << ','
+                    << job.utilization[n][s] << '\n';
+            }
+        }
+    }
+    if (!out)
+        util::fatal("usage trace: write to '%s' failed", path.c_str());
 }
 
 } // namespace hdmr::traces

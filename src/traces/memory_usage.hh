@@ -15,6 +15,7 @@
 #define HDMR_TRACES_MEMORY_USAGE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/rng.hh"
@@ -84,6 +85,24 @@ struct UsageAnalysis
 
 /** Analyze traces the way the paper does. */
 UsageAnalysis analyzeUsage(const std::vector<JobUsageTrace> &traces);
+
+/**
+ * Load usage traces from a CSV file of per-sample measurements:
+ *
+ *     job_id,node,sample,utilization
+ *
+ * ('#'-prefixed comments and blank lines are skipped).  Rows of one
+ * job must be grouped; node and sample indices must count up from 0
+ * in order, and every node of a job must record the same number of
+ * samples (a ragged or shuffled trace means the collector dropped
+ * data).  Utilization must be a finite value in [0, 1].  Violations
+ * are fatal() errors naming the file, line and field.
+ */
+std::vector<JobUsageTrace> loadUsageTraceCsv(const std::string &path);
+
+/** Write traces in the loadUsageTraceCsv() format (fatal on IO error). */
+void writeUsageTraceCsv(const std::string &path,
+                        const std::vector<JobUsageTrace> &traces);
 
 } // namespace hdmr::traces
 

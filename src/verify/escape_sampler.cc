@@ -1,0 +1,202 @@
+#include "verify/escape_sampler.hh"
+
+#include <cmath>
+
+#include "ecc/gf256.hh"
+#include "util/logging.hh"
+
+namespace hdmr::verify
+{
+
+using ecc::BambooCodec;
+using ecc::Gf256;
+using ecc::GfElem;
+
+bool
+WideErrorDraw::nonZero() const
+{
+    for (std::uint8_t mask : masks) {
+        if (mask != 0)
+            return true;
+    }
+    return false;
+}
+
+EscapeSampler::EscapeSampler(const ecc::BambooCodec &codec, double lambda)
+    : codec_(codec), lambda_(lambda)
+{
+    hdmr_assert(lambda >= 0.0 && lambda < 1.0,
+                "null-space mixture weight must be in [0, 1)");
+
+    // Build the parity-check column of every stored byte by pushing a
+    // unit vector through the code's own syndrome computation, so the
+    // sampler can never drift out of sync with the decoder's
+    // polynomial/indexing conventions.
+    const ecc::ReedSolomon &rs = codec.code();
+    columns_.resize(BambooCodec::kStoredBytes);
+    std::vector<GfElem> unit(rs.codewordSymbols(), 0);
+    for (unsigned slot = 0; slot < BambooCodec::kStoredBytes; ++slot) {
+        const std::size_t cw_index =
+            BambooCodec::storedToCodewordIndex(slot);
+        unit[cw_index] = 1;
+        columns_[slot] = rs.syndromes(unit);
+        unit[cw_index] = 0;
+    }
+}
+
+const std::vector<GfElem> &
+EscapeSampler::column(unsigned slot) const
+{
+    return columns_[slot];
+}
+
+std::vector<std::uint8_t>
+EscapeSampler::pickSupport(unsigned width, util::Rng &rng) const
+{
+    constexpr unsigned total = BambooCodec::kStoredBytes;
+    hdmr_assert(width > BambooCodec::kParityBytes && width <= total,
+                "escape sampling needs a wide (8B+) support");
+
+    // Partial Fisher-Yates over the stored byte indices.
+    std::uint8_t slots[total];
+    for (unsigned i = 0; i < total; ++i)
+        slots[i] = static_cast<std::uint8_t>(i);
+    for (unsigned i = 0; i < width; ++i) {
+        const auto j =
+            static_cast<unsigned>(rng.uniformInt(i, total - 1));
+        std::swap(slots[i], slots[j]);
+    }
+    return std::vector<std::uint8_t>(slots, slots + width);
+}
+
+bool
+EscapeSampler::solveNullSpace(WideErrorDraw &draw, util::Rng &rng) const
+{
+    constexpr unsigned p = BambooCodec::kParityBytes;
+    const unsigned width = static_cast<unsigned>(draw.slots.size());
+    const unsigned free_count = width - p;
+
+    draw.masks.assign(width, 0);
+
+    // Free symbols: uniform over all of GF(256), zeros included - that
+    // is exactly the uniform distribution over the null space restricted
+    // to the support, which keeps the importance weight a closed form.
+    GfElem rhs[p] = {};
+    for (unsigned f = 0; f < free_count; ++f) {
+        const auto value =
+            static_cast<GfElem>(rng.uniformInt(0, 255));
+        draw.masks[f] = value;
+        if (value == 0)
+            continue;
+        const auto &col = column(draw.slots[f]);
+        for (unsigned i = 0; i < p; ++i)
+            rhs[i] = Gf256::add(rhs[i], Gf256::mul(value, col[i]));
+    }
+
+    // Solve sum_k x_k * col(solved_k) = rhs over GF(256): Gaussian
+    // elimination on the 8x8 system formed by the last 8 support slots.
+    // Any 8 parity-check columns of an MDS code are independent, so the
+    // system is always uniquely solvable.
+    GfElem a[p][p + 1];
+    for (unsigned i = 0; i < p; ++i) {
+        for (unsigned k = 0; k < p; ++k)
+            a[i][k] = column(draw.slots[free_count + k])[i];
+        a[i][p] = rhs[i];
+    }
+    for (unsigned col_i = 0; col_i < p; ++col_i) {
+        unsigned pivot = col_i;
+        while (pivot < p && a[pivot][col_i] == 0)
+            ++pivot;
+        if (pivot == p)
+            return false; // singular: cannot happen for an MDS code
+        if (pivot != col_i) {
+            for (unsigned k = 0; k <= p; ++k)
+                std::swap(a[col_i][k], a[pivot][k]);
+        }
+        const GfElem inv_pivot = Gf256::inv(a[col_i][col_i]);
+        for (unsigned k = col_i; k <= p; ++k)
+            a[col_i][k] = Gf256::mul(a[col_i][k], inv_pivot);
+        for (unsigned r = 0; r < p; ++r) {
+            if (r == col_i || a[r][col_i] == 0)
+                continue;
+            const GfElem factor = a[r][col_i];
+            for (unsigned k = col_i; k <= p; ++k) {
+                a[r][k] = Gf256::add(a[r][k],
+                                     Gf256::mul(factor, a[col_i][k]));
+            }
+        }
+    }
+    for (unsigned k = 0; k < p; ++k)
+        draw.masks[free_count + k] = a[k][p];
+    return true;
+}
+
+double
+EscapeSampler::weightFullSupport(unsigned width, bool in_null_space) const
+{
+    // p_nominal(e | support) = 255^-w for a full-support vector.
+    // q(e | support) = lambda * 256^-(w-8) * [e in null space]
+    //                + (1 - lambda) * 255^-w.
+    const double p_nom = std::pow(255.0, -static_cast<double>(width));
+    double q = (1.0 - lambda_) * p_nom;
+    if (in_null_space) {
+        q += lambda_ *
+             std::pow(256.0,
+                      -static_cast<double>(width -
+                                           ecc::BambooCodec::kParityBytes));
+    }
+    return p_nom / q;
+}
+
+WideErrorDraw
+EscapeSampler::sampleNullSpace(unsigned width, util::Rng &rng)
+{
+    WideErrorDraw draw;
+    draw.slots = pickSupport(width, rng);
+    draw.fromNullSpace = true;
+    const bool solved = solveNullSpace(draw, rng);
+    hdmr_assert(solved, "8x8 GF(256) parity-check system was singular");
+
+    bool full_support = true;
+    for (std::uint8_t mask : draw.masks)
+        full_support &= mask != 0;
+    // Vectors missing part of the chosen support have zero probability
+    // under the nominal full-support model; they stay in the sample
+    // (they still exercise the decoder) but carry no weight.
+    draw.importanceWeight =
+        full_support ? weightFullSupport(width, true) : 0.0;
+    return draw;
+}
+
+WideErrorDraw
+EscapeSampler::sample(unsigned width, util::Rng &rng)
+{
+    if (lambda_ > 0.0 && rng.bernoulli(lambda_))
+        return sampleNullSpace(width, rng);
+
+    WideErrorDraw draw;
+    draw.slots = pickSupport(width, rng);
+    draw.masks.resize(width);
+    constexpr unsigned p = BambooCodec::kParityBytes;
+    GfElem syndromes[p] = {};
+    for (unsigned i = 0; i < width; ++i) {
+        const auto mask =
+            static_cast<GfElem>(rng.uniformInt(1, 255));
+        draw.masks[i] = mask;
+        const auto &col = column(draw.slots[i]);
+        for (unsigned s = 0; s < p; ++s) {
+            syndromes[s] =
+                Gf256::add(syndromes[s], Gf256::mul(mask, col[s]));
+        }
+    }
+    // A nominal draw that happens to be a codeword (probability 2^-64)
+    // must still be weighted against the full mixture.
+    bool in_null_space = true;
+    for (unsigned s = 0; s < p; ++s)
+        in_null_space &= syndromes[s] == 0;
+    draw.fromNullSpace = in_null_space;
+    draw.importanceWeight = weightFullSupport(width, in_null_space);
+    return draw;
+}
+
+} // namespace hdmr::verify

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Importance sampling of the silent-escape tail of the Bamboo code.
+ *
+ * Detection-only decoding of the RS(80, 72) block code misses an error
+ * if and only if the error vector is itself a nonzero codeword - which
+ * a uniformly random 8B+ corruption is with probability ~2^-64.  A
+ * naive Monte-Carlo audit would therefore never observe an escape; the
+ * headline reliability claim would stay an untested formula.
+ *
+ * This sampler makes escapes observable without touching the decoder:
+ * wide (>8 stored bytes) error draws come from a *mixture* proposal -
+ * with probability `lambda` the error vector is drawn uniformly from
+ * the code's null-space restricted to the chosen support (constructed
+ * by solving an 8x8 GF(256) linear system against the real parity-check
+ * columns), otherwise from the nominal uniform-nonzero-mask model.
+ * Each draw carries the exact likelihood ratio
+ *
+ *     w(e) = p_nominal(e) / q_mixture(e)
+ *
+ * so the weighted escape indicator is an unbiased estimator of the
+ * *nominal* escape probability: escapes now occur on roughly a lambda
+ * fraction of wide draws, each contributing a weight of order 2^-64,
+ * and the audit's measured rate can be checked against
+ * BambooCodec::escapeProbability8BPlus() with real decoder traffic.
+ */
+
+#ifndef HDMR_VERIFY_ESCAPE_SAMPLER_HH
+#define HDMR_VERIFY_ESCAPE_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/bamboo.hh"
+#include "util/rng.hh"
+
+namespace hdmr::verify
+{
+
+/** One sampled wide-error realization. */
+struct WideErrorDraw
+{
+    /** Stored-byte indices (0..71: 64 data then 8 parity) touched. */
+    std::vector<std::uint8_t> slots;
+    /** Non-zero XOR mask per touched slot (zeros possible only for
+     *  null-space draws whose solved symbols came out zero). */
+    std::vector<std::uint8_t> masks;
+    /** Likelihood ratio p_nominal / q_proposal for this draw. */
+    double importanceWeight = 1.0;
+    /** True when the null-space (escape-prone) branch produced it. */
+    bool fromNullSpace = false;
+
+    /** Apply the draw to a coded block. */
+    void
+    applyTo(ecc::CodedBlock &coded) const
+    {
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            ecc::BambooCodec::xorStoredByte(coded, slots[i], masks[i]);
+    }
+
+    /** True if at least one mask is non-zero (a real corruption). */
+    bool nonZero() const;
+};
+
+/** Samples wide error vectors with importance weights. */
+class EscapeSampler
+{
+  public:
+    /**
+     * @param codec  the codec under audit (provides the RS code)
+     * @param lambda mixture weight of the null-space branch in [0, 1)
+     */
+    EscapeSampler(const ecc::BambooCodec &codec, double lambda);
+
+    /**
+     * Draw one wide error touching `width` distinct stored bytes
+     * (width must be in (parity symbols, stored bytes]).
+     */
+    WideErrorDraw sample(unsigned width, util::Rng &rng);
+
+    /**
+     * Draw an error vector that is *guaranteed* to be a codeword
+     * supported on `width` random stored bytes (up to solved symbols
+     * coming out zero).  Used directly by tests that want to confirm
+     * the detector really passes constructed escapes through.
+     */
+    WideErrorDraw sampleNullSpace(unsigned width, util::Rng &rng);
+
+    double lambda() const { return lambda_; }
+
+  private:
+    /** Syndrome column of stored byte `slot` (8 GF(256) entries). */
+    const std::vector<ecc::GfElem> &column(unsigned slot) const;
+
+    /** Pick `width` distinct stored-byte slots. */
+    std::vector<std::uint8_t> pickSupport(unsigned width,
+                                          util::Rng &rng) const;
+
+    /**
+     * Fill `draw.masks` with a uniform null-space vector on
+     * `draw.slots`: free symbols drawn uniformly over GF(256), the
+     * last 8 solved from the parity-check system.  Returns false in
+     * the (theoretically impossible for an MDS code) event the 8x8
+     * system is singular.
+     */
+    bool solveNullSpace(WideErrorDraw &draw, util::Rng &rng) const;
+
+    /** p_nominal(e)/q(e) for a full-support vector on `width` slots. */
+    double weightFullSupport(unsigned width, bool in_null_space) const;
+
+    const ecc::BambooCodec &codec_;
+    double lambda_;
+    /** columns_[slot][i]: syndrome i of the unit vector at `slot`. */
+    std::vector<std::vector<ecc::GfElem>> columns_;
+};
+
+} // namespace hdmr::verify
+
+#endif // HDMR_VERIFY_ESCAPE_SAMPLER_HH

@@ -15,6 +15,7 @@
 #include "core/replication.hh"
 #include "dram/controller.hh"
 #include "sim/event_queue.hh"
+#include "snapshot/serializer.hh"
 
 namespace
 {
@@ -91,6 +92,37 @@ TEST(EpochGuard, MultiEpochRolloverAndTripClearing)
     EXPECT_TRUE(guard.tripped(config.epochLength + 2));
     EXPECT_FALSE(guard.tripped(2 * config.epochLength + 1));
     EXPECT_EQ(guard.trips(), 1u);
+}
+
+TEST(EpochGuard, BoundaryErrorCountsTowardExactlyOneEpoch)
+{
+    // Regression pin for the boundary accounting: an error arriving at
+    // exactly tick k*epochLength belongs to epoch k (the half-open
+    // epoch [k*L, (k+1)*L)), never to epoch k-1, and never to both.
+    EpochGuardConfig config;
+    config.mttSdcYears = 4.0e14; // budget of a handful of errors/epoch
+    EpochGuard guard(config);
+    const util::Tick length = config.epochLength;
+    const std::uint64_t threshold = config.errorThreshold();
+    ASSERT_GE(threshold, 1u);
+    ASSERT_LE(threshold, 100u);
+
+    // Fill epoch 0 right up to its last tick.
+    for (std::uint64_t i = 0; i < threshold + 1; ++i)
+        guard.recordError(length - 1);
+    EXPECT_TRUE(guard.tripped(length - 1));
+    const std::uint64_t epoch0_errors = guard.errorsThisEpoch();
+
+    // The boundary tick starts epoch 1: the per-epoch count restarts
+    // at exactly 1 and the epoch-0 trip no longer applies.
+    guard.recordError(length);
+    EXPECT_EQ(guard.errorsThisEpoch(), 1u);
+    EXPECT_EQ(guard.totalErrors(), epoch0_errors + 1);
+    EXPECT_FALSE(guard.tripped(length));
+
+    // And the epoch the boundary tick opens ends one full length on.
+    EXPECT_EQ(guard.epochEnd(length), 2 * length);
+    EXPECT_EQ(guard.epochEnd(length - 1), length);
 }
 
 TEST(EpochGuard, ThresholdScalesWithEpochLength)
@@ -301,6 +333,159 @@ TEST(ModeController, EpochTripFallsBackToSpec)
     // Replication and fast operation resume at the next epoch.
     events.run(30 * util::kTicksPerMs);
     EXPECT_TRUE(mode.fastOperationEnabled());
+}
+
+// --------------------------------------------------------------------
+// Recovery ladder
+// --------------------------------------------------------------------
+
+struct LadderRig
+{
+    sim::EventQueue events;
+    ModeControllerConfig config;
+    dram::MemoryController controller;
+    ModeController mode;
+    unsigned ueDeliveries = 0;
+
+    explicit LadderRig(const ModeControllerConfig &mc_config)
+        : config(mc_config),
+          controller(events,
+                     ModeController::buildControllerConfig(mc_config, 1)),
+          mode(events, controller, nullptr,
+               [](std::uint64_t) { return true; }, mc_config)
+    {
+        mode.setUncorrectableHandler([this] { ++ueDeliveries; });
+    }
+};
+
+TEST(RecoveryLadder, DisabledLadderEscalatesImmediately)
+{
+    // retryAttempts = 0 is the seed behaviour: the first failed
+    // recovery becomes an uncorrectable error with no retry rungs.
+    LadderRig rig(hdmrConfig());
+    rig.mode.injectUncorrectable();
+    EXPECT_EQ(rig.mode.stats().uncorrectedErrors, 1u);
+    EXPECT_EQ(rig.mode.stats().ladderRetries, 0u);
+    EXPECT_EQ(rig.mode.stats().ladderRecoveries, 0u);
+    EXPECT_EQ(rig.ueDeliveries, 1u);
+}
+
+TEST(RecoveryLadder, RetryAvertsEscalation)
+{
+    auto config = hdmrConfig();
+    config.ladder.retryAttempts = 3;
+    config.ladder.retryFailureProbability = 0.0; // retries always work
+    LadderRig rig(config);
+
+    rig.mode.injectUncorrectable();
+    // The first rung recovered: no UE surfaced, one retry walked.
+    EXPECT_EQ(rig.mode.stats().uncorrectedErrors, 0u);
+    EXPECT_EQ(rig.mode.stats().ladderRetries, 1u);
+    EXPECT_EQ(rig.mode.stats().ladderRecoveries, 1u);
+    EXPECT_EQ(rig.ueDeliveries, 0u);
+
+    // The retry re-read the original at specification, so the channel
+    // is held at spec for the backoff window and resumes after it.
+    EXPECT_FALSE(rig.mode.fastOperationEnabled());
+    rig.events.run();
+    EXPECT_TRUE(rig.mode.fastOperationEnabled());
+}
+
+TEST(RecoveryLadder, ExhaustedLadderEscalatesToUe)
+{
+    auto config = hdmrConfig();
+    config.ladder.retryAttempts = 2;
+    config.ladder.retryFailureProbability = 1.0; // retries never work
+    LadderRig rig(config);
+
+    rig.mode.injectUncorrectable();
+    EXPECT_EQ(rig.mode.stats().ladderRetries, 2u);
+    EXPECT_EQ(rig.mode.stats().ladderRecoveries, 0u);
+    EXPECT_EQ(rig.mode.stats().uncorrectedErrors, 1u);
+    EXPECT_EQ(rig.ueDeliveries, 1u);
+    // Exponential backoff: rung 1 pays the base window, rung 2 twice
+    // that (default factor 2).
+    EXPECT_EQ(rig.mode.stats().ladderRetryTicks,
+              config.ladder.retryBackoff * 3);
+}
+
+TEST(RecoveryLadder, ErrorBudgetDemotesChannel)
+{
+    auto config = hdmrConfig();
+    config.ladder.errorBudgetWindow = util::kTicksPerSec;
+    config.ladder.errorBudgetLimit = 4;
+    LadderRig rig(config);
+    const unsigned fast_before = rig.mode.fastRateMts();
+
+    rig.mode.injectDetectedErrors(10);
+    EXPECT_EQ(rig.mode.stats().budgetDemotions, 1u);
+    EXPECT_EQ(rig.mode.stats().demotions, 1u);
+    EXPECT_EQ(rig.mode.fastRateMts(),
+              fast_before - config.quarantine.demoteStepMts);
+}
+
+TEST(RecoveryLadder, SlidingWindowForgetsOldErrors)
+{
+    auto config = hdmrConfig();
+    config.ladder.errorBudgetWindow = 10 * util::kTicksPerMs;
+    config.ladder.errorBudgetLimit = 4;
+    LadderRig rig(config);
+
+    // Budget-sized batch now: no demotion.
+    rig.mode.injectDetectedErrors(4);
+    EXPECT_EQ(rig.mode.stats().budgetDemotions, 0u);
+
+    // Let the window slide past those arrivals; the same batch again
+    // still fits the budget because the old errors have aged out.
+    sim::CallbackEvent advance([] {});
+    rig.events.schedule(&advance, 50 * util::kTicksPerMs);
+    rig.events.run();
+    rig.mode.injectDetectedErrors(4);
+    EXPECT_EQ(rig.mode.stats().budgetDemotions, 0u);
+
+    // One more inside the fresh window blows the budget.
+    rig.mode.injectDetectedErrors(1);
+    EXPECT_EQ(rig.mode.stats().budgetDemotions, 1u);
+}
+
+TEST(RecoveryLadder, StateRoundTripsThroughSnapshot)
+{
+    auto config = hdmrConfig();
+    config.ladder.retryAttempts = 2;
+    config.ladder.retryFailureProbability = 0.5;
+    config.ladder.errorBudgetWindow = util::kTicksPerSec;
+    config.ladder.errorBudgetLimit = 100;
+    LadderRig source(config);
+    source.mode.injectDetectedErrors(5); // while still running fast
+    for (int i = 0; i < 8; ++i)
+        source.mode.injectUncorrectable();
+
+    snapshot::Serializer out;
+    source.mode.saveState(out);
+
+    LadderRig target(config);
+    snapshot::Deserializer in(out.data());
+    ASSERT_TRUE(target.mode.restoreState(in));
+    ASSERT_TRUE(in.ok());
+    EXPECT_EQ(in.remaining(), 0u);
+
+    // Restored ladder statistics match, and the private retry stream
+    // resumes where the source left off: the next injection produces
+    // identical outcomes on both controllers.
+    EXPECT_EQ(target.mode.stats().ladderRetries,
+              source.mode.stats().ladderRetries);
+    EXPECT_EQ(target.mode.stats().ladderRecoveries,
+              source.mode.stats().ladderRecoveries);
+    EXPECT_EQ(target.mode.stats().uncorrectedErrors,
+              source.mode.stats().uncorrectedErrors);
+    for (int i = 0; i < 8; ++i) {
+        source.mode.injectUncorrectable();
+        target.mode.injectUncorrectable();
+    }
+    EXPECT_EQ(target.mode.stats().ladderRecoveries,
+              source.mode.stats().ladderRecoveries);
+    EXPECT_EQ(target.mode.stats().uncorrectedErrors,
+              source.mode.stats().uncorrectedErrors);
 }
 
 } // namespace

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the trace layer: generator statistics stay sane, the CSV
+ * loaders round-trip what the writers produce, and - the point of the
+ * hardening pass - every malformed input class (truncated lines,
+ * non-numeric text, non-finite numbers, out-of-range fields, shuffled
+ * or ragged usage series) dies with a fatal() naming the file, line
+ * and field instead of silently skewing results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "traces/csv.hh"
+#include "traces/job_trace.hh"
+#include "traces/memory_usage.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::traces;
+
+/** Writes the given text to a temp CSV, removes it on teardown. */
+class CsvFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // ctest runs each test as its own process in one working
+        // directory, so the file name must be unique per test.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = std::string("test_traces_") + info->test_suite_name() +
+                "_" + info->name() + ".csv";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    const std::string &
+    write(const std::string &text)
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << text;
+        return path_;
+    }
+
+    std::string path_;
+};
+
+using JobTraceCsv = CsvFileTest;
+using UsageTraceCsv = CsvFileTest;
+
+// --------------------------------------------------------------------
+// CSV field parsing
+// --------------------------------------------------------------------
+
+TEST(CsvFields, SplitsAndRejectsWrongArity)
+{
+    const CsvCursor at{"grid.csv", 7};
+    const auto fields = splitCsvLine(at, "a,,c", 3);
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "c");
+
+    EXPECT_EXIT(splitCsvLine(at, "a,b", 3),
+                ::testing::ExitedWithCode(1), "grid.csv:7.*expected 3");
+    EXPECT_EXIT(splitCsvLine(at, "a,b,c,d", 3),
+                ::testing::ExitedWithCode(1), "got 4");
+}
+
+TEST(CsvFields, ParsesStrictDoubles)
+{
+    const CsvCursor at{"grid.csv", 3};
+    EXPECT_DOUBLE_EQ(parseCsvDouble(at, "x", "2.5e-3", 0.0, 1.0),
+                     2.5e-3);
+    EXPECT_EXIT(parseCsvDouble(at, "x", "", 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "field 'x': empty");
+    EXPECT_EXIT(parseCsvDouble(at, "x", "1.5abc", 0.0, 10.0),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(parseCsvDouble(at, "x", "nan", 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "not finite");
+    EXPECT_EXIT(parseCsvDouble(at, "x", "inf", 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "not finite");
+    EXPECT_EXIT(parseCsvDouble(at, "x", "1.2", 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CsvFields, ParsesStrictUnsigned)
+{
+    const CsvCursor at{"grid.csv", 9};
+    EXPECT_EQ(parseCsvUnsigned(at, "n", "42", 0, 100), 42u);
+    EXPECT_EXIT(parseCsvUnsigned(at, "n", "-1", 0, 100),
+                ::testing::ExitedWithCode(1), "not an unsigned");
+    EXPECT_EXIT(parseCsvUnsigned(at, "n", "3.5", 0, 100),
+                ::testing::ExitedWithCode(1), "not an unsigned");
+    EXPECT_EXIT(parseCsvUnsigned(at, "n", "", 0, 100),
+                ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(parseCsvUnsigned(at, "n", "101", 0, 100),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(
+        parseCsvUnsigned(at, "n", "99999999999999999999999", 0, ~0ull),
+        ::testing::ExitedWithCode(1), "does not fit");
+}
+
+// --------------------------------------------------------------------
+// Job-trace CSV
+// --------------------------------------------------------------------
+
+TEST_F(JobTraceCsv, RoundTripsGeneratedTrace)
+{
+    JobTraceModel model;
+    model.numJobs = 200;
+    GrizzlyTraceGenerator generator(model, 7);
+    const std::vector<Job> jobs = generator.generate();
+
+    writeJobTraceCsv(path_, jobs);
+    const std::vector<Job> loaded = loadJobTraceCsv(path_);
+
+    ASSERT_EQ(loaded.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(loaded[i].id, jobs[i].id);
+        EXPECT_DOUBLE_EQ(loaded[i].submitSeconds, jobs[i].submitSeconds);
+        EXPECT_EQ(loaded[i].nodes, jobs[i].nodes);
+        EXPECT_DOUBLE_EQ(loaded[i].runtimeSeconds,
+                         jobs[i].runtimeSeconds);
+        EXPECT_DOUBLE_EQ(loaded[i].walltimeSeconds,
+                         jobs[i].walltimeSeconds);
+        EXPECT_EQ(loaded[i].usageClass, jobs[i].usageClass);
+    }
+}
+
+TEST_F(JobTraceCsv, SortsBySubmitTimeAndSkipsComments)
+{
+    const auto &path = write("# id,submit_s,nodes,runtime,wall,class\n"
+                             "2,500,4,100,200,1\n"
+                             "\n"
+                             "1,100,1,60,120,0\n");
+    const auto jobs = loadJobTraceCsv(path);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].id, 1u);
+    EXPECT_EQ(jobs[1].id, 2u);
+}
+
+TEST_F(JobTraceCsv, RejectsTruncatedLine)
+{
+    const auto &path = write("1,100,4,60\n");
+    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
+                "RejectsTruncatedLine.csv:1.*expected 6.*got 4");
+}
+
+TEST_F(JobTraceCsv, RejectsNonFiniteRuntime)
+{
+    const auto &path = write("1,100,4,inf,200,0\n");
+    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
+                "field 'runtime_s'.*not finite");
+}
+
+TEST_F(JobTraceCsv, RejectsZeroNodes)
+{
+    const auto &path = write("1,100,0,60,120,0\n");
+    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
+                "field 'nodes'.*out of range");
+}
+
+TEST_F(JobTraceCsv, RejectsUsageClassPastTwo)
+{
+    const auto &path = write("1,100,4,60,120,3\n");
+    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
+                "field 'usage_class'.*out of range");
+}
+
+TEST_F(JobTraceCsv, RejectsWalltimeBelowRuntime)
+{
+    const auto &path = write("1,100,4,600,120,0\n"); // wall < runtime
+    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
+                "walltime_s.*below the job's runtime");
+}
+
+TEST_F(JobTraceCsv, NamesLineOfBadRecord)
+{
+    const auto &path = write("1,100,4,60,120,0\n"
+                             "2,oops,4,60,120,0\n");
+    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
+                "NamesLineOfBadRecord.csv:2.*field 'submit_s'");
+}
+
+// --------------------------------------------------------------------
+// Usage-trace CSV
+// --------------------------------------------------------------------
+
+TEST_F(UsageTraceCsv, RoundTripsGeneratedTraces)
+{
+    MemoryUsageTraceGenerator generator(UsageModel{}, 11);
+    const auto traces = generator.generate(50);
+
+    writeUsageTraceCsv(path_, traces);
+    const auto loaded = loadUsageTraceCsv(path_);
+
+    ASSERT_EQ(loaded.size(), traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        EXPECT_EQ(loaded[i].jobId, traces[i].jobId);
+        EXPECT_EQ(loaded[i].nodes, traces[i].nodes);
+        ASSERT_EQ(loaded[i].utilization, traces[i].utilization);
+    }
+    // And the paper's analysis sees the same fractions either way.
+    const auto direct = analyzeUsage(traces);
+    const auto viaCsv = analyzeUsage(loaded);
+    EXPECT_DOUBLE_EQ(viaCsv.fractionUnder50, direct.fractionUnder50);
+    EXPECT_DOUBLE_EQ(viaCsv.fractionUnder25, direct.fractionUnder25);
+}
+
+TEST_F(UsageTraceCsv, RejectsUtilizationAboveOne)
+{
+    const auto &path = write("1,0,0,1.2\n");
+    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
+                "field 'utilization'.*out of range");
+}
+
+TEST_F(UsageTraceCsv, RejectsOutOfOrderSamples)
+{
+    const auto &path = write("1,0,0,0.5\n"
+                             "1,0,2,0.5\n"); // sample 1 missing
+    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
+                "field 'sample'.*out of order");
+}
+
+TEST_F(UsageTraceCsv, RejectsOutOfOrderNodes)
+{
+    const auto &path = write("1,0,0,0.5\n"
+                             "1,2,0,0.5\n"); // node 1 missing
+    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
+                "field 'node'.*out of order");
+}
+
+TEST_F(UsageTraceCsv, RejectsRaggedJobs)
+{
+    const auto &path = write("1,0,0,0.5\n"
+                             "1,0,1,0.5\n"
+                             "1,1,0,0.5\n" // node 1 has 1 sample
+                             "2,0,0,0.5\n");
+    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
+                "job 1 is ragged");
+}
+
+TEST_F(UsageTraceCsv, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadUsageTraceCsv("no_such_file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_EXIT(loadJobTraceCsv("no_such_file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the SDC containment audit subsystem (src/verify): the
+ * escape sampler's null-space construction and importance weights, the
+ * shadow-memory oracle's classification taxonomy, and the audit
+ * engine's estimator and snapshot/resume determinism.
+ */
+
+#include <cmath>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "ecc/bamboo.hh"
+#include "snapshot/serializer.hh"
+#include "util/rng.hh"
+#include "verify/audit.hh"
+#include "verify/escape_sampler.hh"
+#include "verify/sdc_oracle.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using verify::AccessClass;
+
+// ---------------------------------------------------------------------
+// EscapeSampler
+// ---------------------------------------------------------------------
+
+TEST(EscapeSampler, NullSpaceDrawsAreInvisibleToDetection)
+{
+    // Constructed null-space vectors are codewords: applying one to a
+    // valid coded block must leave every syndrome zero, so the
+    // detection-only decode reports a clean read even though the data
+    // is corrupt.  This is the silent-escape mechanism made concrete.
+    ecc::BambooCodec codec;
+    verify::EscapeSampler sampler(codec, 0.5);
+    util::Rng rng(7);
+
+    ecc::Block data{};
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 37 + 5);
+
+    unsigned corrupting_draws = 0;
+    for (unsigned trial = 0; trial < 50; ++trial) {
+        const unsigned width =
+            static_cast<unsigned>(rng.uniformInt(9, 40));
+        const verify::WideErrorDraw draw =
+            sampler.sampleNullSpace(width, rng);
+        ASSERT_EQ(draw.slots.size(), width);
+        ASSERT_TRUE(draw.fromNullSpace);
+
+        ecc::CodedBlock coded = codec.encode(data, 0x1000 + trial * 64);
+        const ecc::CodedBlock pristine = coded;
+        draw.applyTo(coded);
+
+        const ecc::BlockDecodeResult result =
+            codec.decodeDetectOnly(coded, 0x1000 + trial * 64);
+        EXPECT_FALSE(result.errorDetected())
+            << "null-space vector produced non-zero syndromes";
+
+        if (coded.data != pristine.data ||
+            coded.parity != pristine.parity) {
+            ++corrupting_draws;
+            EXPECT_TRUE(draw.nonZero());
+        }
+    }
+    // The all-zero codeword has probability 256^-(w-8); essentially
+    // every draw must be a real corruption.
+    EXPECT_GE(corrupting_draws, 49u);
+}
+
+TEST(EscapeSampler, NominalDrawsAreAlwaysDetected)
+{
+    // A uniform nonzero-mask wide error is a codeword with probability
+    // 2^-64: every nominal-branch draw we can ever generate must be
+    // detected.
+    ecc::BambooCodec codec;
+    verify::EscapeSampler sampler(codec, 0.0); // nominal branch only
+    util::Rng rng(11);
+
+    ecc::Block data{};
+    for (unsigned trial = 0; trial < 200; ++trial) {
+        const unsigned width =
+            static_cast<unsigned>(rng.uniformInt(9, 40));
+        const verify::WideErrorDraw draw = sampler.sample(width, rng);
+        EXPECT_FALSE(draw.fromNullSpace);
+        // Nominal full-support draws carry weight 1/(1 - lambda) = 1.
+        EXPECT_DOUBLE_EQ(draw.importanceWeight, 1.0);
+
+        ecc::CodedBlock coded = codec.encode(data, trial);
+        draw.applyTo(coded);
+        EXPECT_TRUE(
+            codec.decodeDetectOnly(coded, trial).errorDetected());
+    }
+}
+
+TEST(EscapeSampler, WeightedEscapeRateMatchesTheoreticalBound)
+{
+    // The whole point of the importance sampler: the weighted escape
+    // indicator averaged over wide draws is an unbiased estimator of
+    // the nominal escape probability 2^-64.  With a few thousand
+    // draws the estimate must land within a modest factor.
+    ecc::BambooCodec codec;
+    verify::EscapeSampler sampler(codec, 0.5);
+    util::Rng rng(13);
+    ecc::Block data{};
+
+    double escape_weight = 0.0;
+    const unsigned kDraws = 4000;
+    for (unsigned trial = 0; trial < kDraws; ++trial) {
+        const unsigned width =
+            static_cast<unsigned>(rng.uniformInt(9, 40));
+        const verify::WideErrorDraw draw = sampler.sample(width, rng);
+        ecc::CodedBlock coded = codec.encode(data, trial);
+        draw.applyTo(coded);
+        const bool escaped =
+            !codec.decodeDetectOnly(coded, trial).errorDetected() &&
+            draw.nonZero();
+        if (escaped)
+            escape_weight += draw.importanceWeight;
+    }
+    const double measured = escape_weight / kDraws;
+    const double expected = ecc::BambooCodec::escapeProbability8BPlus();
+    EXPECT_GT(measured, expected / 1.5);
+    EXPECT_LT(measured, expected * 1.5);
+}
+
+// ---------------------------------------------------------------------
+// ShadowMemoryOracle
+// ---------------------------------------------------------------------
+
+TEST(ShadowMemoryOracle, PayloadIsDeterministicInSeedAndAddress)
+{
+    ecc::BambooCodec codec;
+    verify::OracleConfig config;
+    config.payloadSeed = 0xabc;
+    verify::ShadowMemoryOracle oracle(codec, config);
+    verify::ShadowMemoryOracle again(codec, config);
+
+    EXPECT_EQ(oracle.payloadFor(0x40), again.payloadFor(0x40));
+    EXPECT_NE(oracle.payloadFor(0x40), oracle.payloadFor(0x80));
+
+    verify::OracleConfig other = config;
+    other.payloadSeed = 0xdef;
+    verify::ShadowMemoryOracle reseeded(codec, other);
+    EXPECT_NE(oracle.payloadFor(0x40), reseeded.payloadFor(0x40));
+}
+
+TEST(ShadowMemoryOracle, NarrowErrorsAreDetectedAndRecovered)
+{
+    // Any <= 8-symbol pattern is detected with certainty, and with a
+    // pristine original the first ladder rung always recovers.
+    ecc::BambooCodec codec;
+    verify::OracleConfig config;
+    config.retryAttempts = 2;
+    verify::ShadowMemoryOracle oracle(codec, config);
+    util::Rng rng(17);
+    verify::OracleCounters counters;
+
+    const ecc::ErrorPattern patterns[] = {
+        ecc::ErrorPattern::kSingleBit,
+        ecc::ErrorPattern::kSingleByte,
+        ecc::ErrorPattern::kMultiByte,
+    };
+    for (unsigned trial = 0; trial < 300; ++trial) {
+        const auto outcome = oracle.classifyPattern(
+            trial * 64, patterns[trial % 3], 1.0, counters, rng);
+        EXPECT_EQ(outcome.cls, AccessClass::kDetectedRecovered);
+        EXPECT_EQ(outcome.attemptsUsed, 0u);
+    }
+    EXPECT_EQ(counters.raw[static_cast<unsigned>(
+                  AccessClass::kDetectedRecovered)],
+              300u);
+    EXPECT_EQ(counters.unclassified, 0u);
+    EXPECT_EQ(counters.retryAttempts, 0u);
+}
+
+TEST(ShadowMemoryOracle, ConstructedEscapeIsClassifiedAsSilent)
+{
+    ecc::BambooCodec codec;
+    verify::EscapeSampler sampler(codec, 0.5);
+    verify::ShadowMemoryOracle oracle(codec, verify::OracleConfig{});
+    util::Rng rng(19);
+    verify::OracleCounters counters;
+
+    unsigned escapes = 0;
+    for (unsigned trial = 0; trial < 50; ++trial) {
+        const verify::WideErrorDraw draw =
+            sampler.sampleNullSpace(12, rng);
+        if (!draw.nonZero())
+            continue;
+        const auto outcome =
+            oracle.classifyWide(trial * 64, draw, 1.0, counters, rng);
+        EXPECT_EQ(outcome.cls, AccessClass::kSilentEscape);
+        ++escapes;
+    }
+    EXPECT_GT(escapes, 0u);
+    EXPECT_EQ(counters.raw[static_cast<unsigned>(
+                  AccessClass::kSilentEscape)],
+              escapes);
+    EXPECT_EQ(counters.nullSpaceDraws, counters.wideDraws);
+    EXPECT_EQ(counters.unclassified, 0u);
+}
+
+TEST(ShadowMemoryOracle, FlakyRecoveryConsumesLadderRetries)
+{
+    // A flaky original: 90 % of spec re-reads are hit, half of those
+    // by an uncorrectable burst.  Rungs must actually be walked, some
+    // recoveries must owe their success to a retry, and exhausting
+    // every rung must surface as a detected uncorrectable error.
+    ecc::BambooCodec codec;
+    verify::OracleConfig config;
+    config.retryAttempts = 3;
+    config.originalErrorProbability = 0.9;
+    verify::ShadowMemoryOracle oracle(codec, config);
+    util::Rng rng(23);
+    verify::OracleCounters counters;
+
+    unsigned recovered = 0, ue = 0;
+    for (unsigned trial = 0; trial < 200; ++trial) {
+        const auto outcome = oracle.classifyPattern(
+            trial * 64, ecc::ErrorPattern::kMultiByte, 1.0, counters,
+            rng);
+        ASSERT_TRUE(outcome.cls == AccessClass::kDetectedRecovered ||
+                    outcome.cls == AccessClass::kDetectedUe);
+        recovered += outcome.cls == AccessClass::kDetectedRecovered;
+        ue += outcome.cls == AccessClass::kDetectedUe;
+    }
+    // P(rung fails) = 0.45, so with 4 rungs nearly every access still
+    // recovers, a handful escalate, and retries are commonplace.
+    EXPECT_GT(recovered, 150u);
+    EXPECT_GT(ue, 0u);
+    EXPECT_GT(counters.retryAttempts, 0u);
+    EXPECT_GT(counters.retriedRecoveries, 0u);
+    EXPECT_EQ(counters.unclassified, 0u);
+    EXPECT_EQ(counters.rawTotal(), 200u);
+}
+
+TEST(OracleCounters, SerializationRoundTrips)
+{
+    verify::OracleCounters counters;
+    counters.count(AccessClass::kDetectedRecovered, 1.0);
+    counters.count(AccessClass::kSilentEscape, 5.4e-20);
+    counters.addBulkClean(123456789);
+    counters.wideDraws = 17;
+    counters.nullSpaceDraws = 9;
+    counters.wideWeight = 3.25;
+    counters.retryAttempts = 4;
+    counters.retriedRecoveries = 2;
+    counters.miscorrections = 1;
+
+    snapshot::Serializer out;
+    counters.save(out);
+    snapshot::Deserializer in(out.data());
+    verify::OracleCounters restored;
+    restored.restore(in);
+    ASSERT_TRUE(in.ok());
+    EXPECT_EQ(in.remaining(), 0u);
+
+    EXPECT_EQ(0, std::memcmp(&counters, &restored, sizeof(counters)));
+}
+
+// ---------------------------------------------------------------------
+// SdcAudit
+// ---------------------------------------------------------------------
+
+verify::SdcAuditConfig
+smallAuditConfig()
+{
+    verify::SdcAuditConfig config;
+    config.seed = 0x51;
+    config.modules = 2;
+    config.hours = 3;
+    config.accessesPerHour = 5.0e7;
+    config.overshootSteps = 2;
+    config.wideOversample = 0.3;
+    config.escapeLambda = 0.5;
+    return config;
+}
+
+TEST(SdcAudit, ClassifiesEveryModeledAccess)
+{
+    verify::SdcAudit audit(smallAuditConfig());
+    audit.run();
+    const verify::SdcAuditReport report = audit.report();
+
+    EXPECT_EQ(report.total.unclassified, 0u);
+    // Raw classified accesses must exactly cover the modeled volume.
+    const auto expected = static_cast<std::uint64_t>(5.0e7) * 2 * 3;
+    EXPECT_EQ(report.total.rawTotal(), expected);
+    // Errors occurred (the fleet runs two steps past stable).
+    EXPECT_GT(report.detectedErrors, 0u);
+    EXPECT_GT(report.total.wideDraws, 0u);
+    EXPECT_EQ(report.modeledHours, 6.0);
+}
+
+TEST(SdcAudit, SameSeedReproducesBitIdenticalCounters)
+{
+    verify::SdcAudit a(smallAuditConfig());
+    verify::SdcAudit b(smallAuditConfig());
+    a.run();
+    b.run();
+
+    snapshot::Serializer sa, sb;
+    a.saveState(sa);
+    b.saveState(sb);
+    EXPECT_EQ(sa.data(), sb.data());
+}
+
+TEST(SdcAudit, SnapshotResumeIsBitIdentical)
+{
+    // Run to completion in one go; run half, snapshot, restore into a
+    // fresh audit, finish.  Final serialized states must be identical
+    // byte for byte.
+    verify::SdcAudit straight(smallAuditConfig());
+    straight.run();
+
+    verify::SdcAudit first(smallAuditConfig());
+    for (unsigned i = 0; i < 3; ++i)
+        first.step();
+    snapshot::Serializer mid;
+    first.saveState(mid);
+
+    verify::SdcAudit resumed(smallAuditConfig());
+    snapshot::Deserializer in(mid.data());
+    ASSERT_TRUE(resumed.restoreState(in));
+    EXPECT_EQ(in.remaining(), 0u);
+    EXPECT_EQ(resumed.stepsDone(), 3u);
+    resumed.run();
+
+    snapshot::Serializer sa, sb;
+    straight.saveState(sa);
+    resumed.saveState(sb);
+    EXPECT_EQ(sa.data(), sb.data());
+}
+
+TEST(SdcAudit, SnapshotRejectsDifferentCampaign)
+{
+    verify::SdcAudit source(smallAuditConfig());
+    source.step();
+    snapshot::Serializer out;
+    source.saveState(out);
+
+    verify::SdcAuditConfig other = smallAuditConfig();
+    other.seed = 0x52;
+    verify::SdcAudit target(other);
+    snapshot::Deserializer in(out.data());
+    EXPECT_FALSE(target.restoreState(in));
+    EXPECT_FALSE(in.ok());
+}
+
+TEST(SdcAudit, EscapeEstimateConsistentWithCodecBound)
+{
+    // The flagship acceptance check in miniature: the audited
+    // per-wide-error escape probability must agree with the codec's
+    // 2^-64 within a modest tolerance.
+    verify::SdcAuditConfig config = smallAuditConfig();
+    config.hours = 8;
+    config.accessesPerHour = 1.0e8;
+    config.wideOversample = 0.5;
+    verify::SdcAudit audit(config);
+    audit.run();
+    const verify::SdcAuditReport report = audit.report();
+
+    ASSERT_GT(report.total.wideDraws, 500u);
+    EXPECT_TRUE(report.escapeConsistentWith(
+        ecc::BambooCodec::escapeProbability8BPlus(), 2.0));
+}
+
+TEST(SdcAudit, BurstOverlayAddsDetectedErrors)
+{
+    verify::SdcAuditConfig quiet = smallAuditConfig();
+    verify::SdcAuditConfig bursty = smallAuditConfig();
+    bursty.bursts.intensity = 1.0;
+    bursty.bursts.burstsPerHour = 5.0;
+    bursty.bursts.burstErrorsMean = 200.0;
+    bursty.bursts.targets = bursty.modules;
+    bursty.bursts.horizonSeconds = bursty.hours * 3600.0;
+
+    verify::SdcAudit a(quiet);
+    verify::SdcAudit b(bursty);
+    a.run();
+    b.run();
+    EXPECT_GT(b.report().detectedErrors, a.report().detectedErrors);
+    EXPECT_EQ(b.report().total.unclassified, 0u);
+}
+
+TEST(SdcAudit, PerEpochCountersCoverTheHorizon)
+{
+    verify::SdcAudit audit(smallAuditConfig());
+    audit.run();
+    // One-hour epochs over a 3-hour horizon: exactly 3 epoch slots,
+    // each with traffic from both modules.
+    const auto &epochs = audit.epochCounters();
+    ASSERT_EQ(epochs.size(), 3u);
+    for (const auto &epoch : epochs) {
+        EXPECT_GT(epoch.rawTotal(), 0u);
+        EXPECT_EQ(epoch.unclassified, 0u);
+    }
+}
+
+} // namespace
