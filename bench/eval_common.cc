@@ -1,9 +1,15 @@
 #include "eval_common.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include "node/runner.hh"
+#include "telemetry/sinks.hh"
 #include "traces/csv.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -106,7 +112,8 @@ deserialize(const traces::CsvCursor &at, const std::string &line)
 
 EvalGrid
 EvalGrid::runOrLoad(const std::string &cache_path,
-                    const std::vector<NodeConfig> &configs)
+                    const std::vector<NodeConfig> &configs,
+                    unsigned threads)
 {
     EvalGrid grid;
 
@@ -144,9 +151,10 @@ EvalGrid::runOrLoad(const std::string &cache_path,
 
     std::fprintf(stderr, "[eval] running %zu node simulations...\n",
                  configs.size());
+    const std::vector<node::NodeStats> all_stats =
+        node::runGrid(configs, threads);
     for (std::size_t i = 0; i < configs.size(); ++i) {
-        node::NodeSystem system(configs[i]);
-        const node::NodeStats stats = system.run();
+        const node::NodeStats &stats = all_stats[i];
         EvalRow row = describe(configs[i]);
         row.execSeconds = stats.execSeconds;
         row.epiNj = stats.energy.epiNj;
@@ -157,17 +165,22 @@ EvalGrid::runOrLoad(const std::string &cache_path,
         row.writeBandwidthGBs = stats.writeBandwidthGBs;
         row.commFraction = stats.commFraction;
         row.corrections = static_cast<double>(stats.corrections);
+        grid.simSeconds_ += stats.execSeconds;
+        grid.simEvents_ += stats.memOps;
         grid.index_[rowKey(row.benchmark, row.hierarchy, row.system,
                            row.marginMts, row.usageClass)] =
             grid.rows_.size();
         grid.rows_.push_back(std::move(row));
-        if ((i + 1) % 10 == 0 || i + 1 == configs.size()) {
-            std::fprintf(stderr, "[eval] %zu/%zu\r", i + 1,
-                         configs.size());
-        }
     }
-    std::fprintf(stderr, "\n");
+    std::fprintf(stderr, "[eval] %zu/%zu done\n", configs.size(),
+                 configs.size());
 
+    const std::filesystem::path parent =
+        std::filesystem::path(cache_path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
     std::ofstream out(cache_path);
     for (const EvalRow &row : grid.rows_)
         out << serialize(row) << '\n';
@@ -259,6 +272,114 @@ marginSettingsGrid(const EvalSizing &sizing)
         }
     }
     return configs;
+}
+
+EvalHarness::EvalHarness(std::string bench_name, int argc, char **argv)
+    : bench_(std::move(bench_name))
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+            telemetryDir_ = arg + 16;
+            if (telemetryDir_.empty())
+                util::fatal("--telemetry-out expects a directory name");
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            char *end = nullptr;
+            const unsigned long value = std::strtoul(arg + 10, &end, 10);
+            if (end == arg + 10 || *end != '\0' || value > 4096)
+                util::fatal("--threads expects a worker count "
+                            "(got '%s')",
+                            arg + 10);
+            threads_ = static_cast<unsigned>(value);
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf("usage: %s [options]\n"
+                        "  --telemetry-out=<dir>  export grid metrics "
+                        "and BENCH_%s.json\n"
+                        "  --threads=<n>          worker threads for "
+                        "fresh grid runs\n"
+                        "  --help                 this text\n",
+                        bench_.c_str(), bench_.c_str());
+            std::exit(0);
+        } else {
+            util::fatal("unknown argument '%s' (try --help)", arg);
+        }
+    }
+}
+
+int
+EvalHarness::finish(std::initializer_list<const EvalGrid *> grids)
+{
+    if (!telemetryEnabled())
+        return 0;
+
+    std::error_code ec;
+    std::filesystem::create_directories(telemetryDir_, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "warning: cannot create telemetry directory "
+                     "'%s': %s\n",
+                     telemetryDir_.c_str(), ec.message().c_str());
+        return 0;
+    }
+
+    telemetry::Registry registry;
+    double sim_seconds = 0.0;
+    std::uint64_t sim_events = 0;
+    for (const EvalGrid *grid : grids) {
+        sim_seconds += grid->simSeconds();
+        sim_events += grid->simEvents();
+        for (const EvalRow &row : grid->rows()) {
+            const std::string prefix =
+                "eval." +
+                telemetry::sanitizeMetricComponent(row.hierarchy) +
+                "." +
+                telemetry::sanitizeMetricComponent(row.system) +
+                ".m" + std::to_string(row.marginMts) + ".u" +
+                std::to_string(row.usageClass) + "." +
+                telemetry::sanitizeMetricComponent(row.benchmark);
+            registry.gauge(prefix + ".exec_seconds")
+                .set(row.execSeconds);
+            registry.gauge(prefix + ".epi_nj").set(row.epiNj);
+            registry.gauge(prefix + ".dram_accesses_per_instruction")
+                .set(row.dramAccessesPerInstruction);
+            registry.gauge(prefix + ".bus_utilization")
+                .set(row.busUtilization);
+            registry.gauge(prefix + ".read_bandwidth_gbs")
+                .set(row.readBandwidthGBs);
+            registry.gauge(prefix + ".write_bandwidth_gbs")
+                .set(row.writeBandwidthGBs);
+        }
+    }
+
+    std::string error;
+    const std::string csv_path = telemetryDir_ + "/metrics.csv";
+    if (!telemetry::writeMetricsCsv(registry, csv_path, &error))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+    const std::string json_path = telemetryDir_ + "/metrics.json";
+    if (!telemetry::writeMetricsJson(registry, json_path, &error))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+
+    telemetry::BenchRecord record;
+    record.bench = bench_;
+    record.gitSha = telemetry::currentGitSha();
+    record.wallSeconds = timer_.seconds();
+    record.simSeconds = sim_seconds;
+    record.simEvents = sim_events;
+    record.peakRssBytes = telemetry::currentPeakRssBytes();
+    if (threads_ > 0) {
+        record.threads = threads_;
+    } else {
+        const unsigned hw = std::thread::hardware_concurrency();
+        record.threads = hw == 0 ? 4 : hw;
+    }
+    std::string record_path;
+    if (!telemetry::writeBenchRecord(telemetryDir_, record, &error,
+                                     &record_path))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+
+    std::printf("\ntelemetry: %s, %s, %s\n", csv_path.c_str(),
+                json_path.c_str(), record_path.c_str());
+    return 0;
 }
 
 double

@@ -2,20 +2,28 @@
  * @file
  * Shared harness code for the figure/table reproductions: runs the
  * Section IV-A evaluation grid (memory systems x margins x usage
- * buckets x hierarchies x benchmarks) through the node simulator and
- * caches raw results in a CSV so related figures (12, 13, 14, 16)
- * reuse one grid run.
+ * buckets x hierarchies x benchmarks) through the parallel node
+ * runner and caches raw results in a CSV under results/ so related
+ * figures (12, 13, 14, 16) reuse one grid run.
+ *
+ * EvalHarness gives every grid-driven figure the shared CLI:
+ *   --telemetry-out=<dir>  export grid metrics (CSV + JSON) and a
+ *                          BENCH_<name>.json perf-trajectory record
+ *   --threads=<n>          worker threads for fresh grid runs
  */
 
 #ifndef HDMR_BENCH_EVAL_COMMON_HH
 #define HDMR_BENCH_EVAL_COMMON_HH
 
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "node/config.hh"
 #include "node/node_system.hh"
+#include "telemetry/bench_record.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hdmr::bench
 {
@@ -74,11 +82,14 @@ class EvalGrid
   public:
     /**
      * Load the grid from `cache_path` if present; otherwise run all
-     * `configs` and write the cache.  Progress goes to stderr.
+     * `configs` through node::runGrid on `threads` workers (0 = host
+     * default) and write the cache, creating the cache's directory.
+     * Progress goes to stderr.
      */
     static EvalGrid
     runOrLoad(const std::string &cache_path,
-              const std::vector<node::NodeConfig> &configs);
+              const std::vector<node::NodeConfig> &configs,
+              unsigned threads = 0);
 
     const EvalRow &lookup(const std::string &benchmark,
                           const std::string &hierarchy,
@@ -89,9 +100,44 @@ class EvalGrid
 
     const std::vector<EvalRow> &rows() const { return rows_; }
 
+    /** Simulated seconds covered by fresh runs (0 when cached). */
+    double simSeconds() const { return simSeconds_; }
+
+    /** Memory operations simulated by fresh runs (0 when cached). */
+    std::uint64_t simEvents() const { return simEvents_; }
+
   private:
     std::vector<EvalRow> rows_;
     std::map<std::string, std::size_t> index_;
+    double simSeconds_ = 0.0;
+    std::uint64_t simEvents_ = 0;
+};
+
+/** Shared CLI + telemetry export for the grid-driven figures. */
+class EvalHarness
+{
+  public:
+    /** Parses the shared flags; fatal on unknown arguments. */
+    EvalHarness(std::string bench_name, int argc, char **argv);
+
+    /** Worker threads requested for fresh grid runs (0 = default). */
+    unsigned threads() const { return threads_; }
+
+    bool telemetryEnabled() const { return !telemetryDir_.empty(); }
+
+    /**
+     * Final bookkeeping: with --telemetry-out, publishes every row of
+     * every grid as gauges ("eval.<hierarchy>.<system>.m<margin>.
+     * u<usage>.<benchmark>.<field>"), writes metrics.csv/metrics.json
+     * and the BENCH_<name>.json record.  Returns the exit code (0).
+     */
+    int finish(std::initializer_list<const EvalGrid *> grids);
+
+  private:
+    std::string bench_;
+    std::string telemetryDir_;
+    unsigned threads_ = 0;
+    telemetry::WallTimer timer_;
 };
 
 /** The full Section IV-A grid (Figs. 12/13/14). */

@@ -13,14 +13,17 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hdmr;
     using namespace hdmr::bench;
 
+    EvalHarness harness("fig05_margin_speedup", argc, argv);
     const EvalSizing sizing;
-    const auto grid = EvalGrid::runOrLoad("fig05_results.csv",
-                                          marginSettingsGrid(sizing));
+    const auto grid =
+        EvalGrid::runOrLoad("results/fig05_results.csv",
+                            marginSettingsGrid(sizing),
+                            harness.threads());
 
     std::printf("FIG. 5: Real-system speedup from exploiting memory "
                 "margins\n(speedup = exec@spec / exec@setting)\n\n");
@@ -79,5 +82,5 @@ main()
     std::printf("Paper: exploiting freq+lat margins averages 1.19x "
                 "(Linpack 1.24x); the frequency component dominates "
                 "the latency component.\n");
-    return 0;
+    return harness.finish({&grid});
 }

@@ -62,11 +62,13 @@ normalizedPerf(const EvalGrid &grid, const std::string &benchmark,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    EvalHarness harness("fig12_normalized_performance", argc, argv);
     const EvalSizing sizing;
     const auto grid =
-        EvalGrid::runOrLoad("eval_results.csv", evaluationGrid(sizing));
+        EvalGrid::runOrLoad("results/eval_results.csv",
+                            evaluationGrid(sizing), harness.threads());
 
     const UsageWeights usage;
     const MarginWeights margins;
@@ -142,5 +144,5 @@ main()
     std::printf("Hetero-DMR+FMR over FMR: %+0.0f%% (paper: +15%%)\n",
                 (headline["Hetero-DMR+FMR"] / headline["FMR"] - 1.0) *
                     100.0);
-    return 0;
+    return harness.finish({&grid});
 }

@@ -13,14 +13,16 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hdmr;
     using namespace hdmr::bench;
 
+    EvalHarness harness("fig13_energy_epi", argc, argv);
     const EvalSizing sizing;
     const auto grid =
-        EvalGrid::runOrLoad("eval_results.csv", evaluationGrid(sizing));
+        EvalGrid::runOrLoad("results/eval_results.csv",
+                            evaluationGrid(sizing), harness.threads());
 
     const UsageWeights usage;
     const MarginWeights margins;
@@ -76,5 +78,5 @@ main()
                 "%+.0f%% (paper: -6%%, despite doubled write "
                 "energy)\n",
                 (hdmr_weighted_sum / 2.0 - 1.0) * 100.0);
-    return 0;
+    return harness.finish({&grid});
 }

@@ -15,14 +15,16 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hdmr;
     using namespace hdmr::bench;
 
+    EvalHarness harness("fig14_dram_accesses", argc, argv);
     const EvalSizing sizing;
     const auto grid =
-        EvalGrid::runOrLoad("eval_results.csv", evaluationGrid(sizing));
+        EvalGrid::runOrLoad("results/eval_results.csv",
+                            evaluationGrid(sizing), harness.threads());
 
     std::printf("FIG. 14: Normalized DRAM accesses per instruction "
                 "(Hetero-DMR+FMR @ 0.8 GT/s, Hierarchy 1)\n\n");
@@ -49,5 +51,5 @@ main()
                 "short measured windows bill part of the one-time "
                 "cleaning transient to the run; see EXPERIMENTS.md)\n",
                 (suiteAverage(suites) - 1.0) * 100.0);
-    return 0;
+    return harness.finish({&grid});
 }

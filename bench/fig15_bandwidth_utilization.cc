@@ -14,14 +14,16 @@
 #include "util/units.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hdmr;
     using namespace hdmr::bench;
 
+    EvalHarness harness("fig15_bandwidth_utilization", argc, argv);
     const EvalSizing sizing;
-    const auto grid = EvalGrid::runOrLoad("fig05_results.csv",
-                                          marginSettingsGrid(sizing));
+    const auto grid = EvalGrid::runOrLoad(
+        "results/fig05_results.csv", marginSettingsGrid(sizing),
+        harness.threads());
 
     std::printf("FIG. 15: Average DRAM bandwidth utilization "
                 "(Commercial Baseline, Hierarchy 1)\n\n");
@@ -54,5 +56,5 @@ main()
                 "Hierarchy 1.\n",
                 peak,
                 util::formatPercent(util::mean(write_shares)).c_str());
-    return 0;
+    return harness.finish({&grid});
 }

@@ -22,16 +22,19 @@
 #include "util/units.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hdmr;
     using namespace hdmr::bench;
 
+    EvalHarness harness("fig16_silicon_corroboration", argc, argv);
     const EvalSizing sizing;
     const auto margins_grid = EvalGrid::runOrLoad(
-        "fig05_results.csv", marginSettingsGrid(sizing));
-    const auto eval_grid =
-        EvalGrid::runOrLoad("eval_results.csv", evaluationGrid(sizing));
+        "results/fig05_results.csv", marginSettingsGrid(sizing),
+        harness.threads());
+    const auto eval_grid = EvalGrid::runOrLoad(
+        "results/eval_results.csv", evaluationGrid(sizing),
+        harness.threads());
 
     std::printf("FIG. 16: Silicon corroboration under Memory "
                 "Hierarchy 1\n(speedups normalized to Commercial "
@@ -82,5 +85,5 @@ main()
                 util::formatSpeedup(mean_emu).c_str(),
                 util::formatSpeedup(mean_sim).c_str(),
                 (mean_emu / mean_sim - 1.0) * 100.0);
-    return 0;
+    return harness.finish({&margins_grid, &eval_grid});
 }

@@ -29,6 +29,9 @@
  *   --wide-oversample=<x>    minimum proposal share of wide errors
  *                            (default 0.25)
  *   --snapshot=<file>        write a resumable snapshot on completion
+ *   --telemetry-out=<dir>    export the audit's classification counts
+ *                            as metrics (CSV + JSON) plus a
+ *                            BENCH_sdc_audit.json perf record
  */
 
 #include <cinttypes>
@@ -36,10 +39,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "ecc/bamboo.hh"
 #include "snapshot/serializer.hh"
+#include "telemetry/bench_record.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "verify/audit.hh"
 
@@ -142,6 +149,47 @@ printReport(const SdcAuditConfig &config, const SdcAuditReport &report)
                 std::isinf(mtt) || mtt >= 1.0e9 ? "MET" : "MISSED");
 }
 
+/**
+ * Export the audit's fleet-wide counters under "verify.*" plus the
+ * perf-trajectory record.  Fatal on I/O failure: an explicitly
+ * requested export that silently vanished would poison the trajectory.
+ */
+void
+exportTelemetry(const std::string &dir, const SdcAudit &audit,
+                const telemetry::WallTimer &timer)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        util::fatal("sdc_audit: cannot create '%s': %s", dir.c_str(),
+                    ec.message().c_str());
+
+    telemetry::Registry registry;
+    audit.publishTelemetry(registry, "verify");
+    std::string error;
+    const std::string csv = dir + "/metrics.csv";
+    if (!telemetry::writeMetricsCsv(registry, csv, &error))
+        util::fatal("sdc_audit: %s", error.c_str());
+    const std::string json = dir + "/metrics.json";
+    if (!telemetry::writeMetricsJson(registry, json, &error))
+        util::fatal("sdc_audit: %s", error.c_str());
+
+    const SdcAuditReport report = audit.report();
+    telemetry::BenchRecord record;
+    record.bench = "sdc_audit";
+    record.gitSha = telemetry::currentGitSha();
+    record.wallSeconds = timer.seconds();
+    record.simSeconds = report.modeledHours * 3600.0;
+    record.simEvents = report.total.rawTotal();
+    record.peakRssBytes = telemetry::currentPeakRssBytes();
+    record.threads = 1;
+    std::string bench_path;
+    if (!telemetry::writeBenchRecord(dir, record, &error, &bench_path))
+        util::fatal("sdc_audit: %s", error.c_str());
+    std::printf("telemetry: %s, %s, %s\n", csv.c_str(), json.c_str(),
+                bench_path.c_str());
+}
+
 /** Serialize an audit's full mutable state to bytes. */
 std::vector<std::uint8_t>
 stateBytes(const SdcAudit &audit)
@@ -156,7 +204,9 @@ stateBytes(const SdcAudit &audit)
  * failed checks (0 = pass) and prints a verdict per check.
  */
 int
-runSmokeChecks(const SdcAuditConfig &config)
+runSmokeChecks(const SdcAuditConfig &config,
+               const std::string &telemetry_dir,
+               const telemetry::WallTimer &timer)
 {
     int failures = 0;
     const auto check = [&failures](bool ok, const char *what) {
@@ -220,6 +270,8 @@ runSmokeChecks(const SdcAuditConfig &config)
           "interrupted+resumed matches uninterrupted");
 
     printReport(config, report);
+    if (!telemetry_dir.empty())
+        exportTelemetry(telemetry_dir, reference, timer);
     return failures;
 }
 
@@ -234,6 +286,8 @@ main(int argc, char **argv)
     config.accessesPerHour = 2.0e9;
     bool smoke = false;
     std::string snapshot_path;
+    std::string telemetry_dir;
+    const telemetry::WallTimer timer;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -259,6 +313,8 @@ main(int argc, char **argv)
                 parseDouble("--wide-oversample", value);
         else if ((value = flagValue(arg, "--snapshot")))
             snapshot_path = value;
+        else if ((value = flagValue(arg, "--telemetry-out")))
+            telemetry_dir = value;
         else
             util::fatal("sdc_audit: unknown flag '%s'", arg);
     }
@@ -276,7 +332,7 @@ main(int argc, char **argv)
                     "accesses/h\n",
                     config.modules, config.hours,
                     config.accessesPerHour);
-        const int failures = runSmokeChecks(config);
+        const int failures = runSmokeChecks(config, telemetry_dir, timer);
         if (failures > 0) {
             std::fprintf(stderr, "sdc_audit: %d smoke check(s) FAILED\n",
                          failures);
@@ -316,5 +372,7 @@ main(int argc, char **argv)
             util::fatal("sdc_audit: snapshot failed: %s", error.c_str());
         std::printf("snapshot written to %s\n", snapshot_path.c_str());
     }
+    if (!telemetry_dir.empty())
+        exportTelemetry(telemetry_dir, audit, timer);
     return 0;
 }

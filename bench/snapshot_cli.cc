@@ -1,11 +1,15 @@
 #include "snapshot_cli.hh"
 
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <variant>
 
 #include "snapshot/serializer.hh"
+#include "telemetry/sinks.hh"
 #include "util/logging.hh"
 
 namespace hdmr::bench
@@ -47,6 +51,10 @@ printUsage(const char *bench)
         "sweep\n"
         "  --digest-every=<sim seconds>    state-digest cadence "
         "(default 86400)\n"
+        "  --telemetry-out=<dir>           export metrics CSV/JSON, a "
+        "Perfetto trace,\n"
+        "                                  and a BENCH_<name>.json "
+        "perf record\n"
         "  --help                          this text\n"
         "\nSIGINT/SIGTERM save a final snapshot before exiting "
         "(code 130).\n",
@@ -89,6 +97,10 @@ SweepRunner::parseArgs(int argc, char **argv)
             if (!(digestEvery_ > 0.0))
                 util::fatal("--digest-every must be positive (got %g)",
                             digestEvery_);
+        } else if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+            telemetryDir_ = arg + 16;
+            if (telemetryDir_.empty())
+                util::fatal("--telemetry-out expects a directory name");
         } else if (std::strcmp(arg, "--help") == 0) {
             printUsage(bench_.c_str());
             std::exit(0);
@@ -128,6 +140,27 @@ SweepRunner::loadResumeFile()
     }
     resumeActiveLabel_ = in.readString();
     resumeActiveState_ = in.readBlob();
+    if (!in.ok())
+        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
+                    in.error().c_str());
+
+    // Telemetry section: presence must match this run's
+    // --telemetry-out, because the registry feeds the active leg's
+    // state digests.
+    const bool saved_telemetry = in.readBool();
+    if (!in.ok())
+        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
+                    in.error().c_str());
+    if (saved_telemetry != telemetryEnabled())
+        util::fatal("cannot resume from '%s': the sweep was %s "
+                    "--telemetry-out and this run is %s; rerun with a "
+                    "matching flag",
+                    resumeFrom_.c_str(),
+                    saved_telemetry ? "saved with" : "saved without",
+                    telemetryEnabled() ? "using it" : "not");
+    if (saved_telemetry && !registry_.restore(in))
+        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
+                    in.error().c_str());
     if (!in.ok() || in.remaining() != 0)
         util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
                     in.ok() ? "trailing garbage after the sweep image"
@@ -153,6 +186,9 @@ SweepRunner::writeSweepFile() const
     }
     out.writeString(activeLabel_);
     out.writeBlob(activeState_);
+    out.writeBool(telemetryEnabled());
+    if (telemetryEnabled())
+        registry_.save(out);
 
     std::string error;
     if (!snapshot::writeSnapshotFile(snapshotPath_,
@@ -173,8 +209,11 @@ SweepRunner::leg(const std::string &label,
     if (stopped_)
         return {};
 
+    const std::uint32_t tid = ++legIndex_;
+
     // Legs already completed in the resumed sweep replay from their
-    // recorded metrics.
+    // recorded metrics (and, with telemetry, from the restored
+    // registry - reconciled like a live leg).
     if (nextCached_ < completed_.size()) {
         const CompletedLeg &cached = completed_[nextCached_];
         if (cached.label != label)
@@ -182,6 +221,8 @@ SweepRunner::leg(const std::string &label,
                         "benchmark asked for '%s'",
                         cached.label.c_str(), label.c_str());
         ++nextCached_;
+        if (telemetryEnabled())
+            reconcileLeg(label, cached.metrics);
         return cached.metrics;
     }
 
@@ -201,6 +242,13 @@ SweepRunner::leg(const std::string &label,
     sched::ClusterSimulator sim(config);
     activeLabel_ = label;
     activeState_.clear();
+
+    if (telemetryEnabled()) {
+        sim.bindTelemetry(registry_, "cluster." + label);
+        sim.bindTrace(&trace_, tid);
+        trace_.setThreadName(tid, label);
+        trace_.beginSpan(label, "leg", 0.0, tid);
+    }
 
     sched::RunOptions options;
     options.digestEverySeconds = digestEvery_;
@@ -234,20 +282,137 @@ SweepRunner::leg(const std::string &label,
         outcome = sim.run(jobs, options);
     }
 
+    if (telemetryEnabled())
+        trace_.endSpan(outcome.simSeconds * 1e6, tid, label);
+    simSecondsTotal_ += outcome.simSeconds;
+    simEventsTotal_ += outcome.eventsProcessed;
+
     if (!outcome.completed) {
         // The final snapshot already went through the sink.
         stopped_ = true;
         return outcome.metrics;
     }
+    if (telemetryEnabled())
+        reconcileLeg(label, outcome.metrics);
     completed_.push_back(CompletedLeg{label, outcome.metrics});
     nextCached_ = completed_.size();
     activeState_.clear();
     return outcome.metrics;
 }
 
-int
-SweepRunner::finish() const
+void
+SweepRunner::reconcileLeg(const std::string &label,
+                          const sched::ClusterMetrics &metrics) const
 {
+    const std::string prefix = "cluster." + label;
+    const auto counter_value =
+        [&](const char *name) -> std::uint64_t {
+        const telemetry::Metric *metric =
+            registry_.find(prefix + "." + name);
+        const auto *counter =
+            metric != nullptr ? std::get_if<telemetry::Counter>(metric)
+                              : nullptr;
+        if (counter == nullptr)
+            util::fatal("telemetry reconciliation: counter '%s.%s' "
+                        "missing from the registry",
+                        prefix.c_str(), name);
+        return counter->value();
+    };
+    const auto check = [&](const char *name, std::uint64_t expected) {
+        const std::uint64_t got = counter_value(name);
+        if (got != expected)
+            util::fatal("telemetry reconciliation: %s.%s is %llu but "
+                        "the leg's metrics say %llu",
+                        prefix.c_str(), name,
+                        static_cast<unsigned long long>(got),
+                        static_cast<unsigned long long>(expected));
+    };
+    check("jobs_completed", metrics.jobsCompleted);
+    check("ue_injected", metrics.ueInjected);
+    check("job_kills", metrics.jobKills);
+    check("requeues", metrics.requeues);
+    check("jobs_dropped", metrics.jobsDropped);
+    check("nodes_failed", metrics.nodesFailed);
+    check("nodes_demoted", metrics.nodesDemoted);
+
+    const telemetry::Metric *metric =
+        registry_.find(prefix + ".turnaround_seconds");
+    const auto *histogram =
+        metric != nullptr
+            ? std::get_if<telemetry::Log2Histogram>(metric)
+            : nullptr;
+    if (histogram == nullptr)
+        util::fatal("telemetry reconciliation: histogram "
+                    "'%s.turnaround_seconds' missing from the registry",
+                    prefix.c_str());
+    if (histogram->count() != metrics.jobsCompleted)
+        util::fatal("telemetry reconciliation: "
+                    "%s.turnaround_seconds recorded %llu samples for "
+                    "%llu completed jobs",
+                    prefix.c_str(),
+                    static_cast<unsigned long long>(histogram->count()),
+                    static_cast<unsigned long long>(
+                        metrics.jobsCompleted));
+    // Samples are recorded as whole seconds, so the histogram mean
+    // can sit at most one second below the exact mean.
+    if (metrics.jobsCompleted > 0 &&
+        std::fabs(histogram->mean() - metrics.meanTurnaroundSeconds) >
+            1.0)
+        util::fatal("telemetry reconciliation: "
+                    "%s.turnaround_seconds mean %.3f disagrees with "
+                    "the leg's mean turnaround %.3f",
+                    prefix.c_str(), histogram->mean(),
+                    metrics.meanTurnaroundSeconds);
+}
+
+void
+SweepRunner::exportTelemetry()
+{
+    std::error_code ec;
+    std::filesystem::create_directories(telemetryDir_, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "warning: cannot create telemetry directory "
+                     "'%s': %s\n",
+                     telemetryDir_.c_str(), ec.message().c_str());
+        return;
+    }
+
+    std::string error;
+    const std::string csv_path = telemetryDir_ + "/metrics.csv";
+    if (!telemetry::writeMetricsCsv(registry_, csv_path, &error))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+    const std::string json_path = telemetryDir_ + "/metrics.json";
+    if (!telemetry::writeMetricsJson(registry_, json_path, &error))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+    const std::string trace_path = telemetryDir_ + "/trace.json";
+    if (!trace_.writeChromeTrace(trace_path, &error))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+
+    telemetry::BenchRecord record;
+    record.bench = bench_;
+    record.gitSha = telemetry::currentGitSha();
+    record.wallSeconds = timer_.seconds();
+    record.simSeconds = simSecondsTotal_;
+    record.simEvents = simEventsTotal_;
+    record.peakRssBytes = telemetry::currentPeakRssBytes();
+    record.threads = 1;
+    std::string record_path;
+    if (!telemetry::writeBenchRecord(telemetryDir_, record, &error,
+                                     &record_path))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+
+    std::printf("\ntelemetry: %s, %s\n           %s (load in "
+                "ui.perfetto.dev), %s\n",
+                csv_path.c_str(), json_path.c_str(),
+                trace_path.c_str(), record_path.c_str());
+}
+
+int
+SweepRunner::finish()
+{
+    if (telemetryEnabled())
+        exportTelemetry();
     if (!stopped_)
         return 0;
     std::fprintf(stderr,

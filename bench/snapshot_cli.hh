@@ -17,6 +17,16 @@
  *   --snapshot-path=<file>          snapshot file (default <bench>.snap)
  *   --resume-from=<file>            resume a previous sweep
  *   --digest-every=<sim seconds>    digest-trail cadence (default 86400)
+ *   --telemetry-out=<dir>           export metrics (CSV + JSON), a
+ *                                   Chrome/Perfetto trace, and a
+ *                                   BENCH_<bench>.json perf record
+ *
+ * With --telemetry-out, every leg binds the shared metric registry
+ * under "cluster.<label>" and a per-leg trace track; the registry is
+ * persisted in the sweep image (and in the active leg's simulator
+ * state), so metric values survive --resume-from bit-identically.
+ * After each completed leg the registry is reconciled against the
+ * leg's ClusterMetrics - any mismatch is fatal.
  *
  * SIGINT/SIGTERM set a flag the event loop polls at its next decision
  * point; the run writes a final snapshot and the process exits 130
@@ -31,6 +41,8 @@
 #include <vector>
 
 #include "sched/cluster_sim.hh"
+#include "telemetry/bench_record.hh"
+#include "telemetry/telemetry.hh"
 #include "traces/job_trace.hh"
 
 namespace hdmr::bench
@@ -62,12 +74,19 @@ class SweepRunner
     /** True once a leg was interrupted (results are incomplete). */
     bool stoppedEarly() const { return stopped_; }
 
+    /** True when --telemetry-out was given. */
+    bool telemetryEnabled() const { return !telemetryDir_.empty(); }
+
+    /** The shared metric registry (empty unless telemetry is on). */
+    telemetry::Registry &registry() { return registry_; }
+
     /**
-     * Final bookkeeping: on an interrupted sweep, prints where the
-     * snapshot went and how to resume, and returns exit code 130;
-     * otherwise returns 0.
+     * Final bookkeeping: exports the telemetry artifacts (when
+     * enabled); on an interrupted sweep, prints where the snapshot
+     * went and how to resume, and returns exit code 130; otherwise
+     * returns 0.
      */
-    int finish() const;
+    int finish();
 
   private:
     struct CompletedLeg
@@ -79,12 +98,23 @@ class SweepRunner
     void parseArgs(int argc, char **argv);
     void loadResumeFile();
     void writeSweepFile() const;
+    void reconcileLeg(const std::string &label,
+                      const sched::ClusterMetrics &metrics) const;
+    void exportTelemetry();
 
     std::string bench_;
     double snapshotEvery_ = 0.0;
     double digestEvery_ = 86400.0;
     std::string snapshotPath_;
     std::string resumeFrom_;
+    std::string telemetryDir_;
+
+    telemetry::Registry registry_;
+    telemetry::TraceRecorder trace_;
+    telemetry::WallTimer timer_;
+    std::uint32_t legIndex_ = 0;
+    double simSecondsTotal_ = 0.0;
+    std::uint64_t simEventsTotal_ = 0;
 
     std::vector<CompletedLeg> completed_;
     std::size_t nextCached_ = 0;

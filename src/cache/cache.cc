@@ -17,6 +17,15 @@ Cache::Cache(CacheConfig config) : config_(config)
     lines_.resize(numSets_ * config_.ways);
 }
 
+void
+Cache::bindTelemetry(telemetry::Registry &registry,
+                     const std::string &prefix)
+{
+    tmHits_ = &registry.counter(prefix + ".hits");
+    tmMisses_ = &registry.counter(prefix + ".misses");
+    tmWritebacks_ = &registry.counter(prefix + ".writebacks");
+}
+
 std::uint64_t
 Cache::setIndex(std::uint64_t address) const
 {
@@ -60,6 +69,7 @@ Cache::access(std::uint64_t address, bool is_write)
                 ++dirtyLines_;
             }
             ++hits_;
+            HDMR_TM_INC(tmHits_);
             return result;
         }
         if (!line.valid) {
@@ -70,10 +80,12 @@ Cache::access(std::uint64_t address, bool is_write)
     }
 
     ++misses_;
+    HDMR_TM_INC(tmMisses_);
     if (victim->valid && victim->dirty) {
         result.evictedDirty = true;
         result.victimAddress = lineAddress(set, victim->tag);
         --dirtyLines_;
+        HDMR_TM_INC(tmWritebacks_);
     }
     victim->valid = true;
     victim->tag = tag;
@@ -117,6 +129,7 @@ Cache::fill(std::uint64_t address, bool dirty, bool prefetched)
         result.evictedDirty = true;
         result.victimAddress = lineAddress(set, victim->tag);
         --dirtyLines_;
+        HDMR_TM_INC(tmWritebacks_);
     }
     victim->valid = true;
     victim->tag = tag;
@@ -202,6 +215,7 @@ Cache::cleanLruDirtyLines(
             write_out(addr);
             line->dirty = false;
             --dirtyLines_;
+            HDMR_TM_INC(tmWritebacks_);
             ++cleaned;
         }
         if (cleaned >= max_lines) {

@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "telemetry/telemetry.hh"
 #include "util/units.hh"
 
 namespace hdmr::cache
@@ -113,6 +115,14 @@ class Cache
                                 static_cast<double>(total);
     }
 
+    /**
+     * Bind observability metrics under `prefix` (e.g. "cache.l2.c0"):
+     * hits, misses, and dirty writebacks (demand/fill evictions plus
+     * proactive cleans).  Unbound, each update is one null check.
+     */
+    void bindTelemetry(telemetry::Registry &registry,
+                       const std::string &prefix);
+
   private:
     struct Line
     {
@@ -136,6 +146,11 @@ class Cache
     std::uint64_t misses_ = 0;
     std::uint64_t prefetchUseful_ = 0;
     std::size_t cleanCursor_ = 0; ///< round-robin set scan position
+
+    /** Registry-owned metric bindings; null until bindTelemetry(). */
+    telemetry::Counter *tmHits_ = nullptr;
+    telemetry::Counter *tmMisses_ = nullptr;
+    telemetry::Counter *tmWritebacks_ = nullptr;
 };
 
 } // namespace hdmr::cache

@@ -225,14 +225,53 @@ ModeController::chargeErrorBudget(Tick now)
     // window so one burst cannot demote the channel repeatedly.
     budgetWindow_.clear();
     ++stats_.budgetDemotions;
+    HDMR_TM_INC(tm_.budgetDemotions);
     demote();
     return true;
+}
+
+void
+ModeController::bindTelemetry(telemetry::Registry &registry,
+                              const std::string &prefix)
+{
+    tm_.corrections = &registry.counter(prefix + ".corrections");
+    tm_.uncorrectedErrors =
+        &registry.counter(prefix + ".uncorrected_errors");
+    tm_.epochTrips = &registry.counter(prefix + ".epoch_trips");
+    tm_.demotions = &registry.counter(prefix + ".demotions");
+    tm_.quarantines = &registry.counter(prefix + ".quarantines");
+    tm_.ladderRetries = &registry.counter(prefix + ".ladder_retries");
+    tm_.ladderRecoveries =
+        &registry.counter(prefix + ".ladder_recoveries");
+    tm_.budgetDemotions =
+        &registry.counter(prefix + ".budget_demotions");
+    tm_.fastDisabledSeconds =
+        &registry.gauge(prefix + ".fast_disabled_seconds");
+}
+
+void
+ModeController::bindTrace(telemetry::TraceRecorder *trace,
+                          std::uint32_t tid)
+{
+    trace_ = trace;
+    traceTid_ = tid;
+}
+
+void
+ModeController::traceInstant(const char *name)
+{
+    if (trace_ != nullptr) {
+        trace_->instant(name, "mode",
+                        util::ticksToNs(events_.curTick()) / 1000.0,
+                        traceTid_);
+    }
 }
 
 void
 ModeController::onReadError()
 {
     ++stats_.corrections;
+    HDMR_TM_INC(tm_.corrections);
     if (guard_.recordError(events_.curTick()))
         disableFastOperation();
     chargeErrorBudget(events_.curTick());
@@ -247,6 +286,7 @@ ModeController::walkRetryLadder()
     for (unsigned attempt = 1; attempt <= ladder.retryAttempts;
          ++attempt) {
         ++stats_.ladderRetries;
+        HDMR_TM_INC(tm_.ladderRetries);
         stats_.ladderRetryTicks += backoff;
         // A retry re-reads the original at specification: hold the
         // channel at spec for the backoff window (extends any pending
@@ -257,6 +297,7 @@ ModeController::walkRetryLadder()
         }
         if (!ladderRng_.bernoulli(ladder.retryFailureProbability)) {
             ++stats_.ladderRecoveries;
+            HDMR_TM_INC(tm_.ladderRecoveries);
             return true;
         }
         backoff = static_cast<Tick>(static_cast<double>(backoff) *
@@ -277,6 +318,8 @@ ModeController::onUncorrectableError()
         return;
     }
     ++stats_.uncorrectedErrors;
+    HDMR_TM_INC(tm_.uncorrectedErrors);
+    traceInstant("ue_escalation");
     if (onUncorrectable_)
         onUncorrectable_();
     countRecoveryEvent();
@@ -332,6 +375,8 @@ ModeController::demote()
     if (quarantined_ || !config_.plan.fastReads)
         return;
     ++stats_.demotions;
+    HDMR_TM_INC(tm_.demotions);
+    traceInstant("demotion");
     recoveryEventsSinceDemotion_ = 0;
 
     const unsigned spec = config_.specSetting.dataRateMts;
@@ -339,6 +384,8 @@ ModeController::demote()
     if (config_.fastSetting.dataRateMts <= spec + step) {
         // Out of exploitable margin: permanent quarantine at spec.
         ++stats_.quarantines;
+        HDMR_TM_INC(tm_.quarantines);
+        traceInstant("quarantine");
         config_.fastSetting = config_.specSetting;
         config_.readErrorProbability = 0.0;
         suspendFastOperation(0, /*permanent=*/true);
@@ -396,6 +443,8 @@ ModeController::disableFastOperation()
     if (!fastEnabled_)
         return;
     ++stats_.epochTrips;
+    HDMR_TM_INC(tm_.epochTrips);
+    traceInstant("epoch_trip");
 
     // Trip-streak accounting for the quarantine policy: consecutive
     // tripped epochs mean the channel's profiled margin is wrong, not
@@ -426,6 +475,8 @@ ModeController::reenableFastOperation()
         return;
     fastEnabled_ = true;
     stats_.fastDisabledTicks += events_.curTick() - fastDisabledAt_;
+    HDMR_TM_SET(tm_.fastDisabledSeconds,
+                util::ticksToSeconds(stats_.fastDisabledTicks));
     controller_.reconfigure(buildControllerConfig(activeConfig(), 1));
     controller_.setSelfRefreshMask(config_.plan.selfRefreshMask);
 }

@@ -229,6 +229,18 @@ class ModeController
     /** Demote one step now (external policy decision). */
     void demote();
 
+    /**
+     * Bind observability metrics under `prefix` (e.g. "mode.ch0"):
+     * recovery-ladder rung counts, correction/UE counters, the
+     * demotion/quarantine policy counters, and the fast-operation
+     * residency gauge.  Unbound, each update is one null check.
+     */
+    void bindTelemetry(telemetry::Registry &registry,
+                       const std::string &prefix);
+
+    /** Emit UE-escalation/demotion/quarantine instants on `trace`. */
+    void bindTrace(telemetry::TraceRecorder *trace, std::uint32_t tid);
+
     /** The controller configuration this mode controller installs. */
     static dram::ControllerConfig
     buildControllerConfig(const ModeControllerConfig &config,
@@ -308,6 +320,26 @@ class ModeController
     sim::CallbackEvent reenableEvent_;
     EpochGuard guard_;
     ModeControllerStats stats_;
+
+    /** Registry-owned metric bindings; null until bindTelemetry(). */
+    struct Telemetry
+    {
+        telemetry::Counter *corrections = nullptr;
+        telemetry::Counter *uncorrectedErrors = nullptr;
+        telemetry::Counter *epochTrips = nullptr;
+        telemetry::Counter *demotions = nullptr;
+        telemetry::Counter *quarantines = nullptr;
+        telemetry::Counter *ladderRetries = nullptr;
+        telemetry::Counter *ladderRecoveries = nullptr;
+        telemetry::Counter *budgetDemotions = nullptr;
+        telemetry::Gauge *fastDisabledSeconds = nullptr;
+    };
+    Telemetry tm_;
+    telemetry::TraceRecorder *trace_ = nullptr;
+    std::uint32_t traceTid_ = 0;
+
+    /** Trace instant at the current simulated time. */
+    void traceInstant(const char *name);
 };
 
 } // namespace hdmr::core

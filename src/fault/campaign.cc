@@ -193,6 +193,31 @@ FaultCampaign::killTimeSeconds(std::uint64_t seed, unsigned job_id,
     return -std::log1p(-u) / rate_per_second;
 }
 
+void
+publishScheduleTelemetry(const std::vector<FaultEvent> &schedule,
+                         telemetry::Registry &registry,
+                         const std::string &prefix)
+{
+    constexpr FaultKind kAllKinds[] = {
+        FaultKind::kTransientUncorrectable,
+        FaultKind::kErrorBurst,
+        FaultKind::kMarginDrift,
+        FaultKind::kTemperatureExcursion,
+        FaultKind::kNodeFailure,
+        FaultKind::kGroupDemotion,
+    };
+    for (const FaultKind kind : kAllKinds)
+        registry.counter(prefix + ".scheduled." + toString(kind));
+    telemetry::Counter &total =
+        registry.counter(prefix + ".scheduled.total");
+    for (const FaultEvent &event : schedule) {
+        registry
+            .counter(prefix + ".scheduled." + toString(event.kind))
+            .inc();
+        total.inc();
+    }
+}
+
 // --------------------------------------------------------------------
 // ScheduleCursor
 // --------------------------------------------------------------------

@@ -419,6 +419,39 @@ NodeSystem::store(unsigned core_id, std::uint64_t address, Tick now)
     return storeCost_;
 }
 
+void
+NodeSystem::bindTelemetry(telemetry::Registry &registry,
+                          const std::string &prefix)
+{
+    for (std::size_t ch = 0; ch < controllers_.size(); ++ch) {
+        controllers_[ch]->bindTelemetry(
+            registry, prefix + ".dram.ch" + std::to_string(ch));
+    }
+    for (std::size_t ch = 0; ch < modeControllers_.size(); ++ch) {
+        modeControllers_[ch]->bindTelemetry(
+            registry, prefix + ".mode.ch" + std::to_string(ch));
+    }
+    for (std::size_t c = 0; c < l1_.size(); ++c) {
+        l1_[c]->bindTelemetry(registry,
+                              prefix + ".cache.l1.c" + std::to_string(c));
+    }
+    for (std::size_t c = 0; c < l2_.size(); ++c) {
+        l2_[c]->bindTelemetry(registry,
+                              prefix + ".cache.l2.c" + std::to_string(c));
+    }
+    if (l3_)
+        l3_->bindTelemetry(registry, prefix + ".cache.l3");
+}
+
+void
+NodeSystem::bindTrace(telemetry::TraceRecorder *trace, std::uint32_t tid)
+{
+    for (auto &controller : controllers_)
+        controller->bindTrace(trace, tid);
+    for (auto &mc : modeControllers_)
+        mc->bindTrace(trace, tid);
+}
+
 NodeStats
 NodeSystem::collectStats() const
 {

@@ -91,6 +91,19 @@ class NodeSystem : public cpu::MemoryInterface
     /** The node's event queue (fault-injection wiring). */
     sim::EventQueue &events() { return events_; }
 
+    /**
+     * Bind observability metrics for the whole node under `prefix`:
+     * fan-out to every memory controller ("<prefix>.dram.ch<i>"),
+     * mode controller ("<prefix>.mode.ch<i>"), and cache
+     * ("<prefix>.cache.l1.c<i>" / ".l2.c<i>" / ".l3").  The registry
+     * must outlive the node.
+     */
+    void bindTelemetry(telemetry::Registry &registry,
+                       const std::string &prefix);
+
+    /** Emit mode-switch/UE/quarantine instants on `trace` track `tid`. */
+    void bindTrace(telemetry::TraceRecorder *trace, std::uint32_t tid);
+
     /** Non-owning views of the per-channel mode controllers. */
     std::vector<core::ModeController *>
     modeControllers()

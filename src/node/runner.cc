@@ -1,41 +1,75 @@
 #include "node/runner.hh"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 namespace hdmr::node
 {
 
-std::vector<NodeStats>
-runGrid(const std::vector<NodeConfig> &configs, unsigned threads)
+void
+detail::parallelFor(std::size_t count, unsigned threads,
+                    const std::function<void(std::size_t)> &body)
 {
     if (threads == 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         threads = hw == 0 ? 4 : hw;
     }
-    threads = std::min<unsigned>(threads,
-                                 std::max<std::size_t>(configs.size(),
-                                                       1));
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(std::max<std::size_t>(count, 1)));
 
-    std::vector<NodeStats> results(configs.size());
     std::atomic<std::size_t> next{0};
 
+    // First exception wins; the others drain their queues and exit.
+    // Letting it escape a worker thread would std::terminate the
+    // whole process with no usable message.
+    std::exception_ptr failure;
+    std::mutex failureMutex;
+    std::atomic<bool> failed{false};
+
     auto worker = [&] {
-        while (true) {
+        while (!failed.load(std::memory_order_relaxed)) {
             const std::size_t index = next.fetch_add(1);
-            if (index >= configs.size())
+            if (index >= count)
                 return;
-            NodeSystem system(configs[index]);
-            results[index] = system.run();
+            try {
+                body(index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(failureMutex);
+                if (!failure)
+                    failure = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &thread : pool)
-        thread.join();
+    if (threads <= 1) {
+        // Single-threaded: run inline so exceptions propagate with
+        // their original stack and no thread machinery in the way.
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+}
+
+std::vector<NodeStats>
+runGrid(const std::vector<NodeConfig> &configs, unsigned threads)
+{
+    std::vector<NodeStats> results(configs.size());
+    detail::parallelFor(configs.size(), threads,
+                        [&](std::size_t index) {
+                            NodeSystem system(configs[index]);
+                            results[index] = system.run();
+                        });
     return results;
 }
 

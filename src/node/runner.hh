@@ -8,6 +8,8 @@
 #ifndef HDMR_NODE_RUNNER_HH
 #define HDMR_NODE_RUNNER_HH
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "node/config.hh"
@@ -16,9 +18,29 @@
 namespace hdmr::node
 {
 
+namespace detail
+{
+
 /**
- * Run every configuration and return stats in the same order.
- * `threads` = 0 picks a sensible default from the host.
+ * Indexed parallel-for backing runGrid: calls `body(i)` once for every
+ * i in [0, count) across `threads` workers (0 picks a host default; 1
+ * runs inline on the calling thread).  An exception thrown by any call
+ * is rethrown on the calling thread after the pool drains - first
+ * failure wins and the remaining workers stop picking up new indices.
+ * Exposed so tests can drive the exception path directly.
+ */
+void parallelFor(std::size_t count, unsigned threads,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace detail
+
+/**
+ * Run every configuration and return stats in the same order as
+ * `configs`, regardless of thread count or completion order.
+ * `threads` = 0 picks a sensible default from the host; 1 runs inline
+ * on the calling thread.  An exception thrown by any simulation is
+ * rethrown on the calling thread after the pool drains (first failure
+ * wins; remaining workers stop picking up new work).
  */
 std::vector<NodeStats> runGrid(const std::vector<NodeConfig> &configs,
                                unsigned threads = 0);

@@ -190,6 +190,44 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
 }
 
 void
+ClusterSimulator::bindTelemetry(telemetry::Registry &registry,
+                                const std::string &prefix)
+{
+    tm_.jobsCompleted = &registry.counter(prefix + ".jobs_completed");
+    tm_.ueInjected = &registry.counter(prefix + ".ue_injected");
+    tm_.jobKills = &registry.counter(prefix + ".job_kills");
+    tm_.requeues = &registry.counter(prefix + ".requeues");
+    tm_.jobsDropped = &registry.counter(prefix + ".jobs_dropped");
+    tm_.nodesFailed = &registry.counter(prefix + ".nodes_failed");
+    tm_.nodesDemoted = &registry.counter(prefix + ".nodes_demoted");
+    tm_.eventsProcessed =
+        &registry.counter(prefix + ".events_processed");
+    tm_.queueDepth = &registry.gauge(prefix + ".queue_depth");
+    tm_.busyNodeSeconds =
+        &registry.gauge(prefix + ".busy_node_seconds");
+    tm_.nodeUtilization =
+        &registry.gauge(prefix + ".node_utilization");
+    tm_.turnaroundSeconds =
+        &registry.histogram(prefix + ".turnaround_seconds");
+    registry_ = &registry;
+}
+
+void
+ClusterSimulator::bindTrace(telemetry::TraceRecorder *trace,
+                            std::uint32_t tid)
+{
+    trace_ = trace;
+    traceTid_ = tid;
+}
+
+void
+ClusterSimulator::traceInstant(const char *name, double now) const
+{
+    if (trace_ != nullptr)
+        trace_->instant(name, "sched", now * 1e6, traceTid_);
+}
+
+void
 ClusterSimulator::resetCapacity()
 {
     unsigned assigned = 0;
@@ -248,6 +286,8 @@ ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault)
     switch (fault.kind) {
       case fault::FaultKind::kNodeFailure:
         ++st_.metrics.nodesFailed;
+        HDMR_TM_INC(tm_.nodesFailed);
+        traceInstant("node_failure", fault.atSeconds);
         if (freePerGroup_[g] > 0) {
             --freePerGroup_[g];
             --totalPerGroup_[g];
@@ -270,6 +310,8 @@ ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault)
                 return;
         }
         ++st_.metrics.nodesDemoted;
+        HDMR_TM_INC(tm_.nodesDemoted);
+        traceInstant("group_demotion", fault.atSeconds);
         if (freePerGroup_[g] > 0) {
             --freePerGroup_[g];
             --totalPerGroup_[g];
@@ -462,6 +504,9 @@ ClusterSimulator::startJob(std::uint32_t job_index, double now)
         rj.endTime = now + kill_after;
         ++st_.metrics.ueInjected;
         ++st_.metrics.jobKills;
+        HDMR_TM_INC(tm_.ueInjected);
+        HDMR_TM_INC(tm_.jobKills);
+        traceInstant("job_kill", rj.endTime);
         const double useful =
             kill_after / (1.0 + ckpt_ovh) * speedup;
         double saved = 0.0;
@@ -486,6 +531,9 @@ ClusterSimulator::startJob(std::uint32_t job_index, double now)
         st_.turnaroundSum += qdelay + exec;
         st_.busyNodeSeconds += exec * job.nodes;
         ++st_.metrics.jobsCompleted;
+        HDMR_TM_INC(tm_.jobsCompleted);
+        HDMR_TM_RECORD(tm_.turnaroundSeconds,
+                       static_cast<std::uint64_t>(qdelay + exec));
         if (config_.heteroDmr && job.usageClass < 2) {
             ++st_.eligible;
             st_.accelerated += speedup > 1.0;
@@ -522,6 +570,7 @@ ClusterSimulator::trySchedule(double now)
         if (head.nodes > capacity()) {
             // Node failures shrank the machine below the job.
             ++st_.metrics.jobsDropped;
+            HDMR_TM_INC(tm_.jobsDropped);
             pending.pop_front();
             continue;
         }
@@ -630,6 +679,10 @@ ClusterSimulator::finalizeMetrics() const
             static_cast<double>(st_.accelerated) /
             static_cast<double>(st_.eligible);
     }
+    // Derived level; written post-digest, so it never perturbs the
+    // replay-divergence trail (both a straight-through and a resumed
+    // run overwrite it with the same final value).
+    HDMR_TM_SET(tm_.nodeUtilization, metrics.meanNodeUtilization);
     return metrics;
 }
 
@@ -757,6 +810,7 @@ ClusterSimulator::runLoop(const RunOptions &options)
             if (rj.killed) {
                 // Requeue with capped exponential backoff.
                 ++st_.metrics.requeues;
+                HDMR_TM_INC(tm_.requeues);
                 const double backoff = std::min(
                     config_.resilience.requeueBackoffCapSeconds,
                     config_.resilience.requeueBackoffBaseSeconds *
@@ -772,6 +826,11 @@ ClusterSimulator::runLoop(const RunOptions &options)
         }
         st_.lastEventTime = now;
         trySchedule(now);
+        ++st_.eventsProcessed;
+        HDMR_TM_INC(tm_.eventsProcessed);
+        HDMR_TM_SET(tm_.queueDepth,
+                    static_cast<double>(st_.pending.size()));
+        HDMR_TM_SET(tm_.busyNodeSeconds, st_.busyNodeSeconds);
     }
 
     RunOutcome outcome;
@@ -783,6 +842,7 @@ ClusterSimulator::runLoop(const RunOptions &options)
     outcome.metrics = finalizeMetrics();
     outcome.completed = completed;
     outcome.simSeconds = st_.lastEventTime;
+    outcome.eventsProcessed = st_.eventsProcessed;
     outcome.digests = st_.trail;
     if (completed)
         st_.active = false;
@@ -903,6 +963,7 @@ ClusterSimulator::stateDigest() const
     hash.addU64(st_.accelerated);
     hash.addDouble(st_.lastEventTime);
     hash.addDouble(st_.spanEnd);
+    hash.addU64(st_.eventsProcessed);
 
     hash.addU64(st_.metrics.jobsCompleted);
     hash.addU64(st_.metrics.ueInjected);
@@ -961,6 +1022,11 @@ ClusterSimulator::stateDigest() const
         hash.addU32(jst.attempts);
         hash.addDouble(jst.remainingSeconds);
     }
+
+    // When telemetry is bound, the registry is part of the state a
+    // resumed run must reproduce bit-identically.
+    if (registry_ != nullptr)
+        hash.addU64(registry_->digest());
     return hash.value();
 }
 
@@ -994,6 +1060,7 @@ ClusterSimulator::serializeState(snapshot::Serializer &out) const
     out.writeU64(st_.accelerated);
     out.writeDouble(st_.lastEventTime);
     out.writeDouble(st_.spanEnd);
+    out.writeU64(st_.eventsProcessed);
     saveMetrics(out, st_.metrics);
 
     // Live running jobs only: the completion heap is rebuilt
@@ -1043,6 +1110,13 @@ ClusterSimulator::serializeState(snapshot::Serializer &out) const
 
     out.writeU64(st_.digestEpoch);
     st_.trail.save(out);
+
+    // Telemetry section (must match the binding at restore time).
+    // Traces are deliberately not serialized: they are observational,
+    // carry wall-clock times, and never participate in digests.
+    out.writeBool(registry_ != nullptr);
+    if (registry_ != nullptr)
+        registry_->save(out);
 }
 
 bool
@@ -1102,6 +1176,7 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
     st_.accelerated = in.readU64();
     st_.lastEventTime = in.readDouble();
     st_.spanEnd = in.readDouble();
+    st_.eventsProcessed = in.readU64();
     if (!restoreMetrics(in, &st_.metrics))
         return reject("cluster snapshot: " + in.error());
 
@@ -1188,6 +1263,25 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
     if (!st_.trail.restore(in))
         return reject("cluster snapshot: " + in.error());
     if (!in.ok())
+        return reject("cluster snapshot: " + in.error());
+
+    // Telemetry section.  Presence must match the current binding:
+    // the registry participates in the digest trail, so resuming a
+    // telemetry snapshot without telemetry (or vice versa) could only
+    // produce divergence reports.
+    const bool saved_telemetry = in.readBool();
+    if (!in.ok())
+        return reject("cluster snapshot: " + in.error());
+    if (saved_telemetry != (registry_ != nullptr)) {
+        return reject(saved_telemetry
+                          ? "cluster snapshot carries telemetry "
+                            "state but no telemetry is bound; "
+                            "refusing to resume"
+                          : "cluster snapshot has no telemetry state "
+                            "but telemetry is bound; refusing to "
+                            "resume");
+    }
+    if (saved_telemetry && !registry_->restore(in))
         return reject("cluster snapshot: " + in.error());
     if (in.remaining() != 0)
         return reject("cluster snapshot: trailing garbage after the "

@@ -38,6 +38,7 @@
 
 #include "fault/campaign.hh"
 #include "snapshot/digest.hh"
+#include "telemetry/telemetry.hh"
 #include "traces/job_trace.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -217,6 +218,9 @@ struct RunOutcome
     bool completed = true;
     /** Simulated time reached. */
     double simSeconds = 0.0;
+    /** Scheduler events processed (arrivals, completions, faults,
+     *  resubmissions) - the numerator of events/sec bench records. */
+    std::uint64_t eventsProcessed = 0;
     /** Per-epoch state-digest trail (replay-divergence detection). */
     snapshot::DigestTrail digests;
 };
@@ -259,6 +263,22 @@ class ClusterSimulator
     bool restoreFile(const std::string &path,
                      const std::vector<traces::Job> &jobs,
                      std::string *error);
+
+    /**
+     * Bind observability metrics under `prefix` (e.g. "cluster"):
+     * event/outcome counters, queue-depth and utilization gauges, and
+     * the turnaround histogram.  The registry must outlive the
+     * simulator.  Once bound, the registry's full metric state is
+     * folded into stateDigest() and serialized after the digest trail,
+     * so snapshots taken with telemetry only resume into a simulator
+     * with telemetry bound (and vice versa) - metric state survives
+     * --resume-from bit-identically.
+     */
+    void bindTelemetry(telemetry::Registry &registry,
+                       const std::string &prefix);
+
+    /** Emit job-kill / node-fault instants on `trace` track `tid`. */
+    void bindTrace(telemetry::TraceRecorder *trace, std::uint32_t tid);
 
     /** Fingerprint of the full configuration (stored in snapshots). */
     std::uint64_t configDigest() const;
@@ -345,6 +365,7 @@ class ClusterSimulator
         std::uint64_t accelerated = 0;
         double lastEventTime = 0.0;
         double spanEnd = 0.0;
+        std::uint64_t eventsProcessed = 0;
         ClusterMetrics metrics;
 
         // Divergence-audit state.
@@ -411,7 +432,31 @@ class ClusterSimulator
     double speedupFor(const traces::Job &job,
                       const std::array<unsigned, kGroups> &allocated);
 
+    /** Bound observability metrics (all null until bindTelemetry). */
+    struct Telemetry
+    {
+        telemetry::Counter *jobsCompleted = nullptr;
+        telemetry::Counter *ueInjected = nullptr;
+        telemetry::Counter *jobKills = nullptr;
+        telemetry::Counter *requeues = nullptr;
+        telemetry::Counter *jobsDropped = nullptr;
+        telemetry::Counter *nodesFailed = nullptr;
+        telemetry::Counter *nodesDemoted = nullptr;
+        telemetry::Counter *eventsProcessed = nullptr;
+        telemetry::Gauge *queueDepth = nullptr;
+        telemetry::Gauge *busyNodeSeconds = nullptr;
+        telemetry::Gauge *nodeUtilization = nullptr;
+        telemetry::Log2Histogram *turnaroundSeconds = nullptr;
+    };
+
+    /** Record one instant event on the bound trace, if any. */
+    void traceInstant(const char *name, double now) const;
+
     ClusterConfig config_;
+    Telemetry tm_;
+    telemetry::Registry *registry_ = nullptr;
+    telemetry::TraceRecorder *trace_ = nullptr;
+    std::uint32_t traceTid_ = 0;
     std::array<unsigned, kGroups> freePerGroup_ = {0, 0, 0};
     std::array<unsigned, kGroups> totalPerGroup_ = {0, 0, 0};
     /** Node failures/demotions waiting for a node of the group to free. */

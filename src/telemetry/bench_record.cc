@@ -1,0 +1,191 @@
+#include "telemetry/bench_record.hh"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "telemetry/trace.hh"
+#include "util/logging.hh"
+
+namespace hdmr::telemetry
+{
+
+namespace
+{
+
+bool
+isHex40(const std::string &text)
+{
+    if (text.size() != 40)
+        return false;
+    for (const char c : text) {
+        const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+readTrimmedLine(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (!in.is_open() || !std::getline(in, line))
+        return std::string();
+    while (!line.empty() &&
+           (line.back() == '\n' || line.back() == '\r' ||
+            line.back() == ' '))
+        line.pop_back();
+    return line;
+}
+
+/** Resolve a "refs/heads/..." name inside `git_dir` to a SHA. */
+std::string
+resolveRef(const std::filesystem::path &git_dir, const std::string &ref)
+{
+    std::error_code ec;
+    const std::filesystem::path loose = git_dir / ref;
+    if (std::filesystem::exists(loose, ec)) {
+        const std::string sha = readTrimmedLine(loose);
+        if (isHex40(sha))
+            return sha;
+    }
+    std::ifstream packed(git_dir / "packed-refs");
+    std::string line;
+    while (std::getline(packed, line)) {
+        // "<sha> <refname>" records; '#' lines are peel annotations.
+        if (line.size() > 41 && line[40] == ' ' &&
+            line.compare(41, std::string::npos, ref) == 0) {
+            const std::string sha = line.substr(0, 40);
+            if (isHex40(sha))
+                return sha;
+        }
+    }
+    return std::string();
+}
+
+} // namespace
+
+std::string
+currentGitSha()
+{
+    std::error_code ec;
+    std::filesystem::path dir = std::filesystem::current_path(ec);
+    if (ec)
+        return "unknown";
+    for (int depth = 0; depth < 16; ++depth) {
+        const std::filesystem::path git_dir = dir / ".git";
+        if (std::filesystem::is_directory(git_dir, ec)) {
+            const std::string head = readTrimmedLine(git_dir / "HEAD");
+            if (isHex40(head))
+                return head; // detached HEAD
+            if (head.rfind("ref: ", 0) == 0) {
+                const std::string sha =
+                    resolveRef(git_dir, head.substr(5));
+                if (!sha.empty())
+                    return sha;
+            }
+            return "unknown";
+        }
+        const std::filesystem::path parent = dir.parent_path();
+        if (parent == dir)
+            break;
+        dir = parent;
+    }
+    return "unknown";
+}
+
+std::uint64_t
+currentPeakRssBytes()
+{
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+WallTimer::WallTimer()
+    : startNs_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()))
+{
+}
+
+double
+WallTimer::seconds() const
+{
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return static_cast<double>(now - startNs_) * 1.0e-9;
+}
+
+bool
+writeBenchRecord(const std::string &dir, const BenchRecord &record,
+                 std::string *error, std::string *path_out)
+{
+    if (record.bench.empty()) {
+        if (error != nullptr)
+            *error = "bench record has no bench name";
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        if (error != nullptr)
+            *error = "cannot create directory '" + dir +
+                     "': " + ec.message();
+        return false;
+    }
+
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"schema_version\": 1,\n"
+                  "  \"bench\": \"%s\",\n"
+                  "  \"git_sha\": \"%s\",\n"
+                  "  \"wall_seconds\": %.6f,\n"
+                  "  \"sim_seconds\": %.6f,\n"
+                  "  \"sim_events\": %" PRIu64 ",\n"
+                  "  \"sim_events_per_wall_second\": %.3f,\n"
+                  "  \"peak_rss_bytes\": %" PRIu64 ",\n"
+                  "  \"threads\": %u\n"
+                  "}\n",
+                  jsonEscape(record.bench).c_str(),
+                  jsonEscape(record.gitSha).c_str(),
+                  record.wallSeconds, record.simSeconds,
+                  record.simEvents, record.simEventsPerWallSecond(),
+                  record.peakRssBytes, record.threads);
+
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / ("BENCH_" + record.bench + ".json");
+    const std::string tmp = path.string() + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open '" + tmp + "' for writing";
+        return false;
+    }
+    const bool write_ok = std::fputs(buf, f) >= 0;
+    const bool close_ok = std::fclose(f) == 0;
+    if (!write_ok || !close_ok ||
+        std::rename(tmp.c_str(), path.string().c_str()) != 0) {
+        if (error != nullptr)
+            *error = "write to '" + path.string() + "' failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (path_out != nullptr)
+        *path_out = path.string();
+    return true;
+}
+
+} // namespace hdmr::telemetry

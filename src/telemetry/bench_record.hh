@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Perf-trajectory benchmark records: one small JSON file per bench run
+ * (`BENCH_<name>.json`) capturing how expensive the run was on this
+ * machine - wall seconds, simulated events per wall second, peak RSS,
+ * the git SHA built from, and the worker-thread count - so perf
+ * regressions across PRs show up as a trajectory instead of anecdotes.
+ *
+ * The schema is checked into `schemas/bench_record.schema.json` and CI
+ * validates every emitted record against it.
+ */
+
+#ifndef HDMR_TELEMETRY_BENCH_RECORD_HH
+#define HDMR_TELEMETRY_BENCH_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hdmr::telemetry
+{
+
+/** Everything a BENCH_<name>.json record carries. */
+struct BenchRecord
+{
+    /** Bench name; becomes the BENCH_<name>.json file name. */
+    std::string bench;
+    /** Commit the binary was built from ("unknown" outside a repo). */
+    std::string gitSha = "unknown";
+    double wallSeconds = 0.0;
+    /** Simulated seconds covered by the run (0 for non-DES benches). */
+    double simSeconds = 0.0;
+    /** Discrete events processed (0 for non-DES benches). */
+    std::uint64_t simEvents = 0;
+    std::uint64_t peakRssBytes = 0;
+    unsigned threads = 1;
+
+    double
+    simEventsPerWallSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(simEvents) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * HEAD commit SHA, resolved by walking `.git` upward from the current
+ * directory and reading HEAD / refs / packed-refs directly (no
+ * subprocess).  "unknown" when no repository is found.
+ */
+std::string currentGitSha();
+
+/** Peak resident set size of this process, bytes (getrusage). */
+std::uint64_t currentPeakRssBytes();
+
+/** Wall-clock stopwatch started at construction. */
+class WallTimer
+{
+  public:
+    WallTimer();
+    double seconds() const;
+
+  private:
+    std::uint64_t startNs_;
+};
+
+/**
+ * Write `dir`/BENCH_<bench>.json (creating `dir`, atomic tmp+rename).
+ * Returns false and sets *error on failure; *path_out (optional)
+ * receives the final path on success.
+ */
+bool writeBenchRecord(const std::string &dir, const BenchRecord &record,
+                      std::string *error,
+                      std::string *path_out = nullptr);
+
+} // namespace hdmr::telemetry
+
+#endif // HDMR_TELEMETRY_BENCH_RECORD_HH

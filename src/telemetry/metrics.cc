@@ -1,0 +1,319 @@
+#include "telemetry/metrics.hh"
+
+#include "snapshot/digest.hh"
+#include "snapshot/serializer.hh"
+#include "util/logging.hh"
+
+namespace hdmr::telemetry
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::kCounter:
+        return "counter";
+      case MetricKind::kGauge:
+        return "gauge";
+      case MetricKind::kHistogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+Log2Histogram::bucketLow(unsigned bucket)
+{
+    hdmr_assert(bucket < kBuckets);
+    return bucket == 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+std::uint64_t
+Log2Histogram::bucketHigh(unsigned bucket)
+{
+    hdmr_assert(bucket < kBuckets);
+    if (bucket == 0)
+        return 0;
+    if (bucket == 64)
+        return UINT64_MAX;
+    return (std::uint64_t{1} << bucket) - 1;
+}
+
+double
+Log2Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+void
+Log2Histogram::setBucketCount(unsigned bucket, std::uint64_t value)
+{
+    hdmr_assert(bucket < kBuckets);
+    counts_[bucket] = value;
+}
+
+void
+Log2Histogram::setTotals(std::uint64_t count, std::uint64_t sum)
+{
+    count_ = count;
+    sum_ = sum;
+}
+
+namespace
+{
+
+MetricKind
+kindOf(const Metric &metric)
+{
+    if (std::holds_alternative<Counter>(metric))
+        return MetricKind::kCounter;
+    if (std::holds_alternative<Gauge>(metric))
+        return MetricKind::kGauge;
+    return MetricKind::kHistogram;
+}
+
+} // namespace
+
+std::string
+sanitizeMetricComponent(const std::string &label)
+{
+    if (label.empty())
+        return "unnamed";
+    std::string component = label;
+    for (char &c : component) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return component;
+}
+
+bool
+Registry::validName(const std::string &name)
+{
+    constexpr std::size_t kMaxNameLength = 200;
+    if (name.empty() || name.size() > kMaxNameLength)
+        return false;
+    if (name.front() == '.' || name.back() == '.')
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' ||
+                        c == '.' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+template <typename T>
+T &
+Registry::getOrCreate(const std::string &name, MetricKind kind)
+{
+    if (!validName(name))
+        util::fatal("telemetry: malformed metric name '%s'",
+                    name.c_str());
+    auto it = metrics_.find(name);
+    if (it == metrics_.end())
+        it = metrics_.emplace(name, Metric{T{}}).first;
+    T *slot = std::get_if<T>(&it->second);
+    if (slot == nullptr)
+        util::fatal("telemetry: metric '%s' already registered as %s, "
+                    "requested %s",
+                    name.c_str(), metricKindName(kindOf(it->second)),
+                    metricKindName(kind));
+    return *slot;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return getOrCreate<Counter>(name, MetricKind::kCounter);
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    return getOrCreate<Gauge>(name, MetricKind::kGauge);
+}
+
+Log2Histogram &
+Registry::histogram(const std::string &name)
+{
+    return getOrCreate<Log2Histogram>(name, MetricKind::kHistogram);
+}
+
+const Metric *
+Registry::find(const std::string &name) const
+{
+    const auto it = metrics_.find(name);
+    return it == metrics_.end() ? nullptr : &it->second;
+}
+
+void
+Registry::save(snapshot::Serializer &out) const
+{
+    out.writeU64(metrics_.size());
+    for (const auto &[name, metric] : metrics_) {
+        out.writeString(name);
+        out.writeU8(static_cast<std::uint8_t>(kindOf(metric)));
+        if (const Counter *c = std::get_if<Counter>(&metric)) {
+            out.writeU64(c->value());
+        } else if (const Gauge *g = std::get_if<Gauge>(&metric)) {
+            out.writeDouble(g->value());
+        } else {
+            const auto &h = std::get<Log2Histogram>(metric);
+            out.writeU64(h.count());
+            out.writeU64(h.sum());
+            // Sparse bucket encoding: non-zero buckets only.
+            std::uint32_t nonzero = 0;
+            for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b)
+                nonzero += h.bucketCount(b) != 0 ? 1 : 0;
+            out.writeU32(nonzero);
+            for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b) {
+                if (h.bucketCount(b) == 0)
+                    continue;
+                out.writeU8(static_cast<std::uint8_t>(b));
+                out.writeU64(h.bucketCount(b));
+            }
+        }
+    }
+}
+
+bool
+Registry::restore(snapshot::Deserializer &in)
+{
+    const std::uint64_t count = in.readU64();
+    // Each saved metric is at least name length (4) + kind (1) +
+    // payload (8) bytes; anything claiming more entries than could fit
+    // in the remaining bytes is corrupt.
+    if (count * 13 > in.remaining() + 13) {
+        in.fail("telemetry registry: implausible metric count");
+        return false;
+    }
+    for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
+        const std::string name = in.readString();
+        const std::uint8_t kind = in.readU8();
+        if (!in.ok())
+            break;
+        if (!validName(name)) {
+            in.fail("telemetry registry: malformed metric name '" +
+                    name + "'");
+            return false;
+        }
+        auto it = metrics_.find(name);
+        switch (static_cast<MetricKind>(kind)) {
+          case MetricKind::kCounter: {
+            const std::uint64_t value = in.readU64();
+            if (it == metrics_.end())
+                it = metrics_.emplace(name, Metric{Counter{}}).first;
+            Counter *slot = std::get_if<Counter>(&it->second);
+            if (slot == nullptr) {
+                in.fail("telemetry registry: metric '" + name +
+                        "' is a " +
+                        metricKindName(kindOf(it->second)) +
+                        ", snapshot has a counter");
+                return false;
+            }
+            slot->set(value);
+            break;
+          }
+          case MetricKind::kGauge: {
+            const double value = in.readDouble();
+            if (it == metrics_.end())
+                it = metrics_.emplace(name, Metric{Gauge{}}).first;
+            Gauge *slot = std::get_if<Gauge>(&it->second);
+            if (slot == nullptr) {
+                in.fail("telemetry registry: metric '" + name +
+                        "' is a " +
+                        metricKindName(kindOf(it->second)) +
+                        ", snapshot has a gauge");
+                return false;
+            }
+            slot->set(value);
+            break;
+          }
+          case MetricKind::kHistogram: {
+            const std::uint64_t total = in.readU64();
+            const std::uint64_t sum = in.readU64();
+            const std::uint32_t nonzero = in.readU32();
+            if (nonzero > Log2Histogram::kBuckets) {
+                in.fail("telemetry registry: histogram '" + name +
+                        "' claims more buckets than exist");
+                return false;
+            }
+            if (it == metrics_.end())
+                it = metrics_.emplace(name, Metric{Log2Histogram{}})
+                         .first;
+            Log2Histogram *slot =
+                std::get_if<Log2Histogram>(&it->second);
+            if (slot == nullptr) {
+                in.fail("telemetry registry: metric '" + name +
+                        "' is a " +
+                        metricKindName(kindOf(it->second)) +
+                        ", snapshot has a histogram");
+                return false;
+            }
+            for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b)
+                slot->setBucketCount(b, 0);
+            std::uint64_t bucket_total = 0;
+            int last_bucket = -1;
+            for (std::uint32_t j = 0; j < nonzero && in.ok(); ++j) {
+                const std::uint8_t bucket = in.readU8();
+                const std::uint64_t value = in.readU64();
+                if (bucket >= Log2Histogram::kBuckets ||
+                    static_cast<int>(bucket) <= last_bucket ||
+                    value == 0) {
+                    in.fail("telemetry registry: histogram '" + name +
+                            "' has a corrupt bucket record");
+                    return false;
+                }
+                last_bucket = bucket;
+                slot->setBucketCount(bucket, value);
+                bucket_total += value;
+            }
+            if (in.ok() && bucket_total != total) {
+                in.fail("telemetry registry: histogram '" + name +
+                        "' bucket counts disagree with its total");
+                return false;
+            }
+            slot->setTotals(total, sum);
+            break;
+          }
+          default:
+            in.fail("telemetry registry: unknown metric kind");
+            return false;
+        }
+    }
+    return in.ok();
+}
+
+std::uint64_t
+Registry::digest() const
+{
+    snapshot::Fnv1a fnv;
+    fnv.addU64(metrics_.size());
+    for (const auto &[name, metric] : metrics_) {
+        fnv.addBytes(name.data(), name.size());
+        fnv.addU64(static_cast<std::uint64_t>(kindOf(metric)));
+        if (const Counter *c = std::get_if<Counter>(&metric)) {
+            fnv.addU64(c->value());
+        } else if (const Gauge *g = std::get_if<Gauge>(&metric)) {
+            fnv.addDouble(g->value());
+        } else {
+            const auto &h = std::get<Log2Histogram>(metric);
+            fnv.addU64(h.count());
+            fnv.addU64(h.sum());
+            for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b)
+                fnv.addU64(h.bucketCount(b));
+        }
+    }
+    return fnv.value();
+}
+
+} // namespace hdmr::telemetry

@@ -1,0 +1,264 @@
+#include "telemetry/sinks.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/trace.hh"
+#include "traces/csv.hh"
+#include "util/logging.hh"
+
+namespace hdmr::telemetry
+{
+
+namespace
+{
+
+/** Shortest round-trippable decimal for a gauge value. */
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+bool
+atomicWrite(const std::string &path, const std::string &body,
+            std::string *error)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = "cannot open '" + tmp + "' for writing";
+        return false;
+    }
+    const bool write_ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    const bool close_ok = std::fclose(f) == 0;
+    if (!write_ok || !close_ok) {
+        if (error != nullptr)
+            *error = "write to '" + tmp + "' failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error != nullptr)
+            *error = "rename '" + tmp + "' -> '" + path + "' failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+appendRow(std::string &body, const std::string &name, const char *kind,
+          const std::string &field, const std::string &value)
+{
+    body += name;
+    body += ',';
+    body += kind;
+    body += ',';
+    body += field;
+    body += ',';
+    body += value;
+    body += '\n';
+}
+
+} // namespace
+
+bool
+writeMetricsCsv(const Registry &registry, const std::string &path,
+                std::string *error)
+{
+    std::string body = "# hdmr metrics v1\nname,kind,field,value\n";
+    for (const auto &[name, metric] : registry.metrics()) {
+        if (const Counter *c = std::get_if<Counter>(&metric)) {
+            appendRow(body, name, "counter", "value",
+                      std::to_string(c->value()));
+        } else if (const Gauge *g = std::get_if<Gauge>(&metric)) {
+            appendRow(body, name, "gauge", "value",
+                      formatDouble(g->value()));
+        } else {
+            const auto &h = std::get<Log2Histogram>(metric);
+            appendRow(body, name, "histogram", "count",
+                      std::to_string(h.count()));
+            appendRow(body, name, "histogram", "sum",
+                      std::to_string(h.sum()));
+            for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b) {
+                if (h.bucketCount(b) == 0)
+                    continue;
+                appendRow(body, name, "histogram",
+                          "bucket" + std::to_string(b),
+                          std::to_string(h.bucketCount(b)));
+            }
+        }
+    }
+    return atomicWrite(path, body, error);
+}
+
+bool
+loadMetricsCsv(Registry &registry, const std::string &path,
+               std::string *error)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+
+    traces::CsvCursor at{path, 0};
+    std::string line;
+    bool header_seen = false;
+    // Histograms arrive as (count, sum, bucket*) rows; totals are
+    // applied once the count and sum rows have both been seen, and the
+    // bucket rows must reconcile by end of file.
+    struct HistogramAccumulator
+    {
+        Log2Histogram *histogram = nullptr;
+        std::uint64_t bucketTotal = 0;
+        std::uint64_t declaredCount = 0;
+        bool haveCount = false;
+        bool haveSum = false;
+    };
+    std::map<std::string, HistogramAccumulator> accumulators;
+
+    while (std::getline(in, line)) {
+        ++at.line;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line.front() == '#')
+            continue;
+        if (!header_seen) {
+            if (line != "name,kind,field,value")
+                util::fatal("%s:%zu: not a metrics CSV (bad header "
+                            "'%s')",
+                            at.file.c_str(), at.line, line.c_str());
+            header_seen = true;
+            continue;
+        }
+
+        const std::vector<std::string> fields =
+            traces::splitCsvLine(at, line, 4);
+        const std::string &name = fields[0];
+        const std::string &kind = fields[1];
+        const std::string &field = fields[2];
+        const std::string &value = fields[3];
+        if (!Registry::validName(name))
+            util::fatal("%s:%zu: field 'name': malformed metric name "
+                        "'%s'",
+                        at.file.c_str(), at.line, name.c_str());
+
+        if (kind == "counter" && field == "value") {
+            registry.counter(name).set(traces::parseCsvUnsigned(
+                at, "value", value, 0, UINT64_MAX));
+        } else if (kind == "gauge" && field == "value") {
+            registry.gauge(name).set(traces::parseCsvDouble(
+                at, "value", value, -1.0e300, 1.0e300));
+        } else if (kind == "histogram") {
+            HistogramAccumulator &acc = accumulators[name];
+            if (acc.histogram == nullptr) {
+                acc.histogram = &registry.histogram(name);
+                for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b)
+                    acc.histogram->setBucketCount(b, 0);
+                acc.histogram->setTotals(0, 0);
+            }
+            if (field == "count") {
+                acc.declaredCount = traces::parseCsvUnsigned(
+                    at, "count", value, 0, UINT64_MAX);
+                acc.haveCount = true;
+            } else if (field == "sum") {
+                acc.histogram->setTotals(acc.histogram->count(),
+                                         traces::parseCsvUnsigned(
+                                             at, "sum", value, 0,
+                                             UINT64_MAX));
+                acc.haveSum = true;
+            } else if (field.rfind("bucket", 0) == 0) {
+                const std::uint64_t bucket = traces::parseCsvUnsigned(
+                    at, "field", field.substr(6), 0,
+                    Log2Histogram::kBuckets - 1);
+                const std::uint64_t bucket_count =
+                    traces::parseCsvUnsigned(at, "value", value, 1,
+                                             UINT64_MAX);
+                acc.histogram->setBucketCount(
+                    static_cast<unsigned>(bucket), bucket_count);
+                acc.bucketTotal += bucket_count;
+            } else {
+                util::fatal("%s:%zu: field 'field': unknown histogram "
+                            "field '%s'",
+                            at.file.c_str(), at.line, field.c_str());
+            }
+            if (acc.haveCount)
+                acc.histogram->setTotals(acc.declaredCount,
+                                         acc.histogram->sum());
+        } else {
+            util::fatal("%s:%zu: field 'kind': unknown metric row "
+                        "'%s,%s'",
+                        at.file.c_str(), at.line, kind.c_str(),
+                        field.c_str());
+        }
+    }
+
+    if (!header_seen)
+        util::fatal("%s: not a metrics CSV (missing header)",
+                    at.file.c_str());
+    for (const auto &[name, acc] : accumulators) {
+        if (!acc.haveCount || !acc.haveSum ||
+            acc.bucketTotal != acc.declaredCount) {
+            util::fatal("%s: histogram '%s' is incomplete or its "
+                        "bucket counts disagree with its total",
+                        at.file.c_str(), name.c_str());
+        }
+    }
+    return true;
+}
+
+bool
+writeMetricsJson(const Registry &registry, const std::string &path,
+                 std::string *error)
+{
+    std::string body = "{\"schema\":\"hdmr-metrics-v1\",\"metrics\":[";
+    bool first = true;
+    char buf[96];
+    for (const auto &[name, metric] : registry.metrics()) {
+        if (!first)
+            body += ',';
+        first = false;
+        body += "\n{\"name\":\"" + jsonEscape(name) + "\",";
+        if (const Counter *c = std::get_if<Counter>(&metric)) {
+            std::snprintf(buf, sizeof(buf),
+                          "\"kind\":\"counter\",\"value\":%" PRIu64 "}",
+                          c->value());
+            body += buf;
+        } else if (const Gauge *g = std::get_if<Gauge>(&metric)) {
+            std::snprintf(buf, sizeof(buf),
+                          "\"kind\":\"gauge\",\"value\":%.17g}",
+                          g->value());
+            body += buf;
+        } else {
+            const auto &h = std::get<Log2Histogram>(metric);
+            std::snprintf(buf, sizeof(buf),
+                          "\"kind\":\"histogram\",\"count\":%" PRIu64
+                          ",\"sum\":%" PRIu64 ",\"buckets\":{",
+                          h.count(), h.sum());
+            body += buf;
+            bool first_bucket = true;
+            for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b) {
+                if (h.bucketCount(b) == 0)
+                    continue;
+                std::snprintf(buf, sizeof(buf), "%s\"%u\":%" PRIu64,
+                              first_bucket ? "" : ",", b,
+                              h.bucketCount(b));
+                first_bucket = false;
+                body += buf;
+            }
+            body += "}}";
+        }
+    }
+    body += "\n]}\n";
+    return atomicWrite(path, body, error);
+}
+
+} // namespace hdmr::telemetry

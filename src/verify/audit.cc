@@ -297,6 +297,36 @@ SdcAudit::report() const
     return report;
 }
 
+void
+SdcAudit::publishTelemetry(telemetry::Registry &registry,
+                           const std::string &prefix) const
+{
+    const SdcAuditReport rep = report();
+    for (unsigned cls = 0; cls < kAccessClassCount; ++cls) {
+        registry
+            .counter(prefix + ".class." +
+                     accessClassName(static_cast<AccessClass>(cls)))
+            .set(rep.total.raw[cls]);
+    }
+    registry.counter(prefix + ".unclassified")
+        .set(rep.total.unclassified);
+    registry.counter(prefix + ".wide_draws").set(rep.total.wideDraws);
+    registry.counter(prefix + ".null_space_draws")
+        .set(rep.total.nullSpaceDraws);
+    registry.counter(prefix + ".retry_attempts")
+        .set(rep.total.retryAttempts);
+    registry.counter(prefix + ".retried_recoveries")
+        .set(rep.total.retriedRecoveries);
+    registry.counter(prefix + ".miscorrections")
+        .set(rep.total.miscorrections);
+    registry.counter(prefix + ".detected_errors")
+        .set(rep.detectedErrors);
+    registry.counter(prefix + ".guard_trips").set(rep.guardTrips);
+    registry.gauge(prefix + ".modeled_hours").set(rep.modeledHours);
+    registry.gauge(prefix + ".escapes_per_wide_error")
+        .set(rep.escapesPerWideError());
+}
+
 std::uint64_t
 SdcAudit::configFingerprint() const
 {

@@ -32,6 +32,7 @@
 #include "fault/campaign.hh"
 #include "margin/error_model.hh"
 #include "margin/module.hh"
+#include "telemetry/metrics.hh"
 #include "verify/escape_sampler.hh"
 #include "verify/sdc_oracle.hh"
 
@@ -134,6 +135,15 @@ class SdcAudit
     }
 
     SdcAuditReport report() const;
+
+    /**
+     * Publish the audit's fleet-wide classification counts, sampler
+     * tallies, and epoch-guard pressure as counters/gauges under
+     * `prefix` (e.g. "verify").  Export-time enumeration, not a hot
+     * path; values overwrite on repeated calls.
+     */
+    void publishTelemetry(telemetry::Registry &registry,
+                          const std::string &prefix) const;
 
     const SdcAuditConfig &config() const { return config_; }
     const OracleCounters &moduleCounters(unsigned module) const;

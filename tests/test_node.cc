@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <stdexcept>
+#include <vector>
 
 #include "node/config.hh"
 #include "node/energy.hh"
 #include "node/node_system.hh"
+#include "node/runner.hh"
 #include "workloads/hpc_workloads.hh"
 
 namespace
@@ -249,6 +253,77 @@ TEST(NodeSystem, Hierarchy2RunsAllSystems)
         const auto stats = NodeSystem(config).run();
         EXPECT_GT(stats.execSeconds, 0.0) << toString(kind);
     }
+}
+
+// --------------------------------------------------------------------
+// Parallel grid runner
+// --------------------------------------------------------------------
+
+TEST(RunGrid, ResultsInConfigOrderRegardlessOfThreadCount)
+{
+    // A grid whose entries are distinguishable by their stats, so any
+    // ordering mixup between workers is visible.
+    std::vector<NodeConfig> configs;
+    for (const char *bench : {"hpcg", "linpack", "amg", "lulesh"}) {
+        configs.push_back(
+            smallConfig(MemorySystemKind::kCommercialBaseline, bench));
+        configs.push_back(
+            smallConfig(MemorySystemKind::kExploitFreqLat, bench));
+    }
+
+    const auto serial = runGrid(configs, 1);
+    const auto parallel = runGrid(configs, 4);
+    ASSERT_EQ(serial.size(), configs.size());
+    ASSERT_EQ(parallel.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial[i].execSeconds, parallel[i].execSeconds)
+            << "config " << i;
+        EXPECT_EQ(serial[i].instructions, parallel[i].instructions)
+            << "config " << i;
+        EXPECT_EQ(serial[i].dramReads, parallel[i].dramReads)
+            << "config " << i;
+    }
+}
+
+TEST(RunGrid, EmptyGridReturnsEmpty)
+{
+    EXPECT_TRUE(runGrid({}, 1).empty());
+    EXPECT_TRUE(runGrid({}, 4).empty());
+}
+
+TEST(RunGrid, WorkerExceptionPropagatesToCaller)
+{
+    // Inline (threads = 1) and pooled paths must both rethrow instead
+    // of std::terminate-ing the process.
+    const auto boom = [](std::size_t index) {
+        if (index == 3)
+            throw std::runtime_error("config 3 exploded");
+    };
+    EXPECT_THROW(detail::parallelFor(8, 1, boom), std::runtime_error);
+    EXPECT_THROW(detail::parallelFor(8, 4, boom), std::runtime_error);
+
+    try {
+        detail::parallelFor(8, 4, boom);
+        FAIL() << "parallelFor swallowed the exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "config 3 exploded");
+    }
+}
+
+TEST(RunGrid, FailureStopsRemainingWork)
+{
+    // After the failing index, workers should stop picking up new
+    // indices: with one thread the execution is sequential, so nothing
+    // past the throwing index may run.
+    std::atomic<std::size_t> ran{0};
+    const auto body = [&ran](std::size_t index) {
+        if (index == 2)
+            throw std::runtime_error("stop");
+        ran.fetch_add(1);
+    };
+    EXPECT_THROW(node::detail::parallelFor(100, 1, body),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 2u);
 }
 
 } // namespace

@@ -1,0 +1,670 @@
+/**
+ * @file
+ * Tests for src/telemetry: log2-histogram bucket boundaries, registry
+ * find-or-create and kind-collision/malformed-name fatals, label
+ * sanitizing, metric snapshot round-trips (save -> restore -> digest
+ * equality), span misnesting panics, Chrome-trace JSON well-formedness
+ * (checked by a mini JSON parser), the HDMR_TM_* null-guard macros,
+ * and cluster-simulator telemetry surviving a mid-run snapshot ->
+ * resume bit-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/cluster_sim.hh"
+#include "snapshot/digest.hh"
+#include "snapshot/serializer.hh"
+#include "telemetry/bench_record.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/telemetry.hh"
+#include "traces/job_trace.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Log2Histogram;
+using telemetry::Registry;
+using telemetry::TraceRecorder;
+
+// --------------------------------------------------------------------
+// Log2Histogram bucket boundaries
+// --------------------------------------------------------------------
+
+TEST(Log2Histogram, BucketOfBoundaryValues)
+{
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(UINT64_MAX), 64u);
+
+    // Every power of two starts a new bucket; its neighbours stay put.
+    for (unsigned n = 1; n < 64; ++n) {
+        const std::uint64_t pow2 = std::uint64_t{1} << n;
+        EXPECT_EQ(Log2Histogram::bucketOf(pow2), n + 1) << "2^" << n;
+        EXPECT_EQ(Log2Histogram::bucketOf(pow2 - 1), n) << "2^" << n
+                                                        << " - 1";
+        EXPECT_EQ(Log2Histogram::bucketOf(pow2 + 1), n + 1)
+            << "2^" << n << " + 1";
+    }
+}
+
+TEST(Log2Histogram, BucketRangesTileTheU64Line)
+{
+    EXPECT_EQ(Log2Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketHigh(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketHigh(64), UINT64_MAX);
+    for (unsigned b = 0; b + 1 < Log2Histogram::kBuckets; ++b) {
+        EXPECT_LE(Log2Histogram::bucketLow(b),
+                  Log2Histogram::bucketHigh(b));
+        EXPECT_EQ(Log2Histogram::bucketHigh(b) + 1,
+                  Log2Histogram::bucketLow(b + 1));
+    }
+    for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b) {
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketLow(b)),
+                  b);
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketHigh(b)),
+                  b);
+    }
+}
+
+TEST(Log2Histogram, RecordTotalsAndMean)
+{
+    Log2Histogram h;
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.record(0);
+    h.record(1);
+    h.record(7);
+    h.record(8);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 16u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(Log2Histogram, SumWrapsModulo2To64)
+{
+    Log2Histogram h;
+    h.record(UINT64_MAX);
+    h.record(UINT64_MAX);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.sum(), UINT64_MAX - 1);
+    EXPECT_EQ(h.bucketCount(64), 2u);
+}
+
+// --------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------
+
+TEST(Registry, FindOrCreateReturnsStableInstance)
+{
+    Registry registry;
+    Counter &a = registry.counter("dram.ch0.row_hits");
+    Counter &b = registry.counter("dram.ch0.row_hits");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, ValidNameRules)
+{
+    EXPECT_TRUE(Registry::validName("a"));
+    EXPECT_TRUE(Registry::validName("dram.ch0.row_hits"));
+    EXPECT_TRUE(Registry::validName("a-b_c.D9"));
+    EXPECT_FALSE(Registry::validName(""));
+    EXPECT_FALSE(Registry::validName(".leading"));
+    EXPECT_FALSE(Registry::validName("trailing."));
+    EXPECT_FALSE(Registry::validName("has space"));
+    EXPECT_FALSE(Registry::validName("plus+plus"));
+    EXPECT_FALSE(Registry::validName(std::string(300, 'x')));
+}
+
+TEST(RegistryDeathTest, KindCollisionIsFatal)
+{
+    Registry registry;
+    registry.counter("node.jobs");
+    EXPECT_EXIT(registry.gauge("node.jobs"),
+                testing::ExitedWithCode(1), "already registered");
+    EXPECT_EXIT(registry.histogram("node.jobs"),
+                testing::ExitedWithCode(1), "already registered");
+}
+
+TEST(RegistryDeathTest, MalformedNameIsFatal)
+{
+    Registry registry;
+    EXPECT_EXIT(registry.counter("has space"),
+                testing::ExitedWithCode(1), "malformed metric name");
+    EXPECT_EXIT(registry.counter(".dot"), testing::ExitedWithCode(1),
+                "malformed metric name");
+}
+
+TEST(Registry, SanitizeMetricComponent)
+{
+    EXPECT_EQ(telemetry::sanitizeMetricComponent(
+                  "Exploit Freq+Lat Margins"),
+              "Exploit_Freq_Lat_Margins");
+    EXPECT_EQ(telemetry::sanitizeMetricComponent("a.b"), "a_b");
+    EXPECT_EQ(telemetry::sanitizeMetricComponent(""), "unnamed");
+    EXPECT_EQ(telemetry::sanitizeMetricComponent("ok_as-is9"),
+              "ok_as-is9");
+}
+
+// --------------------------------------------------------------------
+// HDMR_TM_* null-guard macros
+// --------------------------------------------------------------------
+
+TEST(Macros, NullPointersAreIgnored)
+{
+    Counter *counter = nullptr;
+    Gauge *gauge = nullptr;
+    Log2Histogram *histogram = nullptr;
+    HDMR_TM_INC(counter);
+    HDMR_TM_ADD(counter, 5);
+    HDMR_TM_SET(gauge, 1.0);
+    HDMR_TM_GAUGE_ADD(gauge, 1.0);
+    HDMR_TM_RECORD(histogram, 42);
+    // Nothing to assert beyond "did not crash".
+}
+
+TEST(Macros, BoundPointersUpdate)
+{
+    Registry registry;
+    Counter *counter = &registry.counter("c");
+    Gauge *gauge = &registry.gauge("g");
+    Log2Histogram *histogram = &registry.histogram("h");
+    HDMR_TM_INC(counter);
+    HDMR_TM_ADD(counter, 4);
+    HDMR_TM_SET(gauge, 2.5);
+    HDMR_TM_GAUGE_ADD(gauge, 0.5);
+    HDMR_TM_RECORD(histogram, 9);
+    EXPECT_EQ(counter->value(), 5u);
+    EXPECT_DOUBLE_EQ(gauge->value(), 3.0);
+    EXPECT_EQ(histogram->count(), 1u);
+    EXPECT_EQ(histogram->sum(), 9u);
+}
+
+// --------------------------------------------------------------------
+// Snapshot round-trip
+// --------------------------------------------------------------------
+
+Registry
+populatedRegistry()
+{
+    Registry registry;
+    Counter &c = registry.counter("sched.jobs_completed");
+    c.inc(12345);
+    Gauge &g = registry.gauge("sched.queue_depth");
+    g.set(-3.75);
+    Log2Histogram &h = registry.histogram("sched.turnaround_seconds");
+    h.record(0);
+    h.record(1);
+    h.record(65535);
+    h.record(UINT64_MAX);
+    return registry;
+}
+
+TEST(RegistrySnapshot, RoundTripIntoFreshRegistry)
+{
+    const Registry original = populatedRegistry();
+    snapshot::Serializer out;
+    original.save(out);
+
+    Registry restored;
+    snapshot::Deserializer in(out.data());
+    ASSERT_TRUE(restored.restore(in));
+    EXPECT_TRUE(in.ok());
+    EXPECT_EQ(in.remaining(), 0u);
+    EXPECT_EQ(restored.digest(), original.digest());
+    EXPECT_EQ(restored.size(), original.size());
+
+    const auto *h = std::get_if<Log2Histogram>(
+        restored.find("sched.turnaround_seconds"));
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 4u);
+    EXPECT_EQ(h->bucketCount(0), 1u);
+    EXPECT_EQ(h->bucketCount(64), 1u);
+}
+
+TEST(RegistrySnapshot, RestoreOverwritesBoundMetricsInPlace)
+{
+    const Registry original = populatedRegistry();
+    snapshot::Serializer out;
+    original.save(out);
+
+    // A component binds its pointers *before* the restore (the resume
+    // path): the same objects must carry the restored values.
+    Registry restored;
+    Counter &bound = restored.counter("sched.jobs_completed");
+    bound.inc(7);
+    snapshot::Deserializer in(out.data());
+    ASSERT_TRUE(restored.restore(in));
+    EXPECT_EQ(bound.value(), 12345u);
+    EXPECT_EQ(restored.digest(), original.digest());
+}
+
+TEST(RegistrySnapshot, RestoreRejectsKindMismatch)
+{
+    const Registry original = populatedRegistry();
+    snapshot::Serializer out;
+    original.save(out);
+
+    Registry restored;
+    restored.gauge("sched.jobs_completed"); // counter in the image
+    snapshot::Deserializer in(out.data());
+    EXPECT_FALSE(restored.restore(in));
+    EXPECT_FALSE(in.ok());
+}
+
+TEST(RegistrySnapshot, RestoreRejectsTruncatedImage)
+{
+    const Registry original = populatedRegistry();
+    snapshot::Serializer out;
+    original.save(out);
+    std::vector<std::uint8_t> bytes = out.data();
+    bytes.resize(bytes.size() / 2);
+
+    Registry restored;
+    snapshot::Deserializer in(bytes);
+    EXPECT_FALSE(restored.restore(in));
+}
+
+// --------------------------------------------------------------------
+// Trace recorder
+// --------------------------------------------------------------------
+
+TEST(TraceDeathTest, MisnestedSpansPanic)
+{
+    {
+        TraceRecorder recorder;
+        EXPECT_DEATH(recorder.endSpan(1.0), "no open");
+    }
+    {
+        TraceRecorder recorder;
+        recorder.beginSpan("outer", "test", 0.0);
+        recorder.beginSpan("inner", "test", 1.0);
+        EXPECT_DEATH(recorder.endSpan(2.0, 0, "outer"), "innermost");
+    }
+    {
+        // Tracks nest independently: an open span on track 0 does not
+        // license an end on track 1.
+        TraceRecorder recorder;
+        recorder.beginSpan("outer", "test", 0.0, 0);
+        EXPECT_DEATH(recorder.endSpan(1.0, 1), "no open");
+    }
+}
+
+TEST(Trace, EventCapCountsDrops)
+{
+    TraceRecorder recorder(2);
+    recorder.instant("a", "test", 0.0);
+    recorder.instant("b", "test", 1.0);
+    recorder.instant("c", "test", 2.0);
+    EXPECT_EQ(recorder.events().size(), 2u);
+    EXPECT_EQ(recorder.dropped(), 1u);
+}
+
+/**
+ * Minimal recursive-descent JSON well-formedness checker - enough to
+ * prove the Chrome trace export is real JSON without a JSON library.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+                const char esc = text_[pos_];
+                if (esc == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_])))
+                            return false;
+                    }
+                } else if (std::string("\"\\/bfnrt").find(esc) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(Trace, ChromeTraceExportIsWellFormedJson)
+{
+    TraceRecorder recorder;
+    recorder.setThreadName(0, "leg \"zero\"");
+    recorder.setThreadName(1, "leg\\one\n");
+    recorder.beginSpan("outer", "sched", 0.0, 0);
+    recorder.beginSpan("inner", "sched", 10.0, 0);
+    recorder.instant("mode_switch", "core", 12.5, 1);
+    recorder.endSpan(20.0, 0, "inner");
+    recorder.endSpan(30.0, 0);
+    recorder.beginSpan("left open", "sched", 31.0, 1);
+
+    const std::string path = testing::TempDir() + "hdmr_trace.json";
+    std::string error;
+    ASSERT_TRUE(recorder.writeChromeTrace(path, &error)) << error;
+    const std::string text = slurp(path);
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(JsonChecker(text).valid());
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Sinks, MetricExportsAreWellFormed)
+{
+    const Registry registry = populatedRegistry();
+    const std::string json_path =
+        testing::TempDir() + "hdmr_metrics.json";
+    const std::string csv_path = testing::TempDir() + "hdmr_metrics.csv";
+    std::string error;
+    ASSERT_TRUE(telemetry::writeMetricsJson(registry, json_path, &error))
+        << error;
+    ASSERT_TRUE(telemetry::writeMetricsCsv(registry, csv_path, &error))
+        << error;
+
+    EXPECT_TRUE(JsonChecker(slurp(json_path)).valid());
+    const std::string csv = slurp(csv_path);
+    EXPECT_NE(csv.find("sched.jobs_completed,counter"),
+              std::string::npos);
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Cluster simulator: telemetry survives snapshot -> resume
+// --------------------------------------------------------------------
+
+std::vector<traces::Job>
+smallTrace()
+{
+    traces::JobTraceModel model;
+    model.numJobs = 800;
+    model.systemNodes = 96;
+    model.spanSeconds = 4 * 86400.0;
+    return traces::GrizzlyTraceGenerator(model, 23).generate();
+}
+
+sched::ClusterConfig
+smallConfig()
+{
+    sched::ClusterConfig config;
+    config.nodes = 96;
+    config.heteroDmr = true;
+    config.marginAware = true;
+    return config;
+}
+
+TEST(ClusterTelemetry, ResumeReproducesMetricStateBitIdentically)
+{
+    const auto jobs = smallTrace();
+    const auto config = smallConfig();
+    sched::RunOptions options;
+    options.digestEverySeconds = 6 * 3600.0;
+
+    Registry straightRegistry;
+    sched::ClusterSimulator straight(config);
+    straight.bindTelemetry(straightRegistry, "cluster.test");
+    const sched::RunOutcome full = straight.run(jobs, options);
+    ASSERT_TRUE(full.completed);
+
+    std::vector<std::uint8_t> state;
+    sched::RunOptions stopping = options;
+    stopping.stopAfterSeconds = 2 * 86400.0;
+    stopping.snapshotSink =
+        [&](const std::vector<std::uint8_t> &bytes) { state = bytes; };
+    Registry interruptedRegistry;
+    sched::ClusterSimulator interrupted(config);
+    interrupted.bindTelemetry(interruptedRegistry, "cluster.test");
+    const sched::RunOutcome partial = interrupted.run(jobs, stopping);
+    ASSERT_FALSE(partial.completed);
+    ASSERT_FALSE(state.empty());
+
+    Registry resumedRegistry;
+    sched::ClusterSimulator resumed(config);
+    resumed.bindTelemetry(resumedRegistry, "cluster.test");
+    std::string error;
+    ASSERT_TRUE(resumed.restoreState(state, jobs, &error)) << error;
+    const sched::RunOutcome rest = resumed.resume(options);
+    ASSERT_TRUE(rest.completed);
+
+    EXPECT_EQ(resumedRegistry.digest(), straightRegistry.digest());
+    EXPECT_TRUE(sched::metricsIdentical(full.metrics, rest.metrics));
+    const auto divergence = snapshot::DigestTrail::firstDivergence(
+        full.digests, rest.digests);
+    EXPECT_EQ(divergence, std::nullopt)
+        << "replay diverged at digest epoch " << *divergence;
+
+    const auto *completions = std::get_if<Counter>(
+        resumedRegistry.find("cluster.test.jobs_completed"));
+    ASSERT_NE(completions, nullptr);
+    EXPECT_EQ(completions->value(), full.metrics.jobsCompleted);
+    const auto *turnaround = std::get_if<Log2Histogram>(
+        resumedRegistry.find("cluster.test.turnaround_seconds"));
+    ASSERT_NE(turnaround, nullptr);
+    EXPECT_EQ(turnaround->count(), full.metrics.jobsCompleted);
+}
+
+TEST(ClusterTelemetry, RestoreRejectsTelemetryPresenceMismatch)
+{
+    const auto jobs = smallTrace();
+    const auto config = smallConfig();
+    sched::RunOptions stopping;
+    stopping.stopAfterSeconds = 86400.0;
+    std::vector<std::uint8_t> state;
+    stopping.snapshotSink =
+        [&](const std::vector<std::uint8_t> &bytes) { state = bytes; };
+
+    // Saved WITH telemetry -> restored without.
+    {
+        Registry registry;
+        sched::ClusterSimulator sim(config);
+        sim.bindTelemetry(registry, "cluster.test");
+        sim.run(jobs, stopping);
+        ASSERT_FALSE(state.empty());
+        sched::ClusterSimulator bare(config);
+        std::string error;
+        EXPECT_FALSE(bare.restoreState(state, jobs, &error));
+        EXPECT_NE(error.find("telemetry"), std::string::npos) << error;
+    }
+
+    // Saved WITHOUT telemetry -> restored with.
+    {
+        state.clear();
+        sched::ClusterSimulator sim(config);
+        sim.run(jobs, stopping);
+        ASSERT_FALSE(state.empty());
+        Registry registry;
+        sched::ClusterSimulator bound(config);
+        bound.bindTelemetry(registry, "cluster.test");
+        std::string error;
+        EXPECT_FALSE(bound.restoreState(state, jobs, &error));
+        EXPECT_NE(error.find("telemetry"), std::string::npos) << error;
+    }
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json records against the checked-in schema.
+
+Standard library only: instead of depending on `jsonschema`, this
+interprets the (deliberately small) subset of JSON Schema that
+schemas/bench_record.schema.json uses - type, const, required,
+additionalProperties, minimum, minLength, pattern.  CI runs it on every
+record a bench emits; a validation failure fails the job.
+
+Usage: validate_bench_record.py [--schema PATH] RECORD.json [...]
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_SCHEMA = Path(__file__).resolve().parent.parent / \
+    "schemas" / "bench_record.schema.json"
+
+
+def check_type(value, expected):
+    """JSON Schema type check; note bool is not an integer/number."""
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and \
+            not isinstance(value, bool)
+    raise ValueError(f"schema uses unsupported type '{expected}'")
+
+
+def validate_value(value, schema, path, errors):
+    if "const" in schema:
+        if value != schema["const"]:
+            errors.append(f"{path}: expected {schema['const']!r}, "
+                          f"got {value!r}")
+        return
+    expected = schema.get("type")
+    if expected is not None and not check_type(value, expected):
+        errors.append(f"{path}: expected {expected}, "
+                      f"got {type(value).__name__} ({value!r})")
+        return
+    if "minimum" in schema and value < schema["minimum"]:
+        errors.append(f"{path}: {value!r} below minimum "
+                      f"{schema['minimum']}")
+    if "minLength" in schema and len(value) < schema["minLength"]:
+        errors.append(f"{path}: shorter than {schema['minLength']}")
+    if "pattern" in schema and not re.search(schema["pattern"], value):
+        errors.append(f"{path}: {value!r} does not match "
+                      f"{schema['pattern']!r}")
+    if expected == "object":
+        validate_object(value, schema, path, errors)
+
+
+def validate_object(value, schema, path, errors):
+    for key in schema.get("required", []):
+        if key not in value:
+            errors.append(f"{path}: missing required field '{key}'")
+    properties = schema.get("properties", {})
+    if schema.get("additionalProperties", True) is False:
+        for key in value:
+            if key not in properties:
+                errors.append(f"{path}: unexpected field '{key}'")
+    for key, subschema in properties.items():
+        if key in value:
+            validate_value(value[key], subschema, f"{path}.{key}",
+                           errors)
+
+
+def validate_record(record_path, schema):
+    errors = []
+    try:
+        with open(record_path, encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{record_path}: unreadable or invalid JSON: {exc}"]
+    validate_value(record, schema, "$", errors)
+    return [f"{record_path}: {e}" for e in errors]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", type=Path, default=DEFAULT_SCHEMA)
+    parser.add_argument("records", nargs="+", type=Path,
+                        metavar="RECORD.json")
+    args = parser.parse_args()
+
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = json.load(handle)
+
+    failures = 0
+    for record_path in args.records:
+        errors = validate_record(record_path, schema)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"FAIL {error}", file=sys.stderr)
+        else:
+            print(f"OK   {record_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
