@@ -29,13 +29,22 @@
  *   --wide-oversample=<x>    minimum proposal share of wide errors
  *                            (default 0.25)
  *   --snapshot=<file>        write a resumable snapshot on completion
+ *                            (and on SIGINT/SIGTERM; default
+ *                            sdc_audit.snap when interrupted)
+ *   --resume-from=<file>     resume an interrupted audit
  *   --telemetry-out=<dir>    export the audit's classification counts
  *                            as metrics (CSV + JSON) plus a
  *                            BENCH_sdc_audit.json perf record
+ *
+ * SIGINT/SIGTERM write a final snapshot and exit 130.  The handler is
+ * strictly async-signal-safe: it sets one volatile sig_atomic_t flag
+ * and nothing else; the snapshot itself is written from the main loop,
+ * which polls the flag at each module-hour (epoch) boundary.
  */
 
 #include <cinttypes>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +68,21 @@ using verify::OracleCounters;
 using verify::SdcAudit;
 using verify::SdcAuditConfig;
 using verify::SdcAuditReport;
+
+/**
+ * SIGINT/SIGTERM request flag.  The handler must stay strictly
+ * async-signal-safe: set this flag, do nothing else (no I/O, no
+ * allocation, no snapshot work).  The campaign loop polls it at each
+ * module-hour boundary and runs the final-snapshot path in normal
+ * context.
+ */
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void
+handleStopSignal(int)
+{
+    g_interrupted = 1;
+}
 
 /** Strict numeric flag parsing: the whole value must consume. */
 double
@@ -286,6 +310,7 @@ main(int argc, char **argv)
     config.accessesPerHour = 2.0e9;
     bool smoke = false;
     std::string snapshot_path;
+    std::string resume_from;
     std::string telemetry_dir;
     const telemetry::WallTimer timer;
 
@@ -313,6 +338,8 @@ main(int argc, char **argv)
                 parseDouble("--wide-oversample", value);
         else if ((value = flagValue(arg, "--snapshot")))
             snapshot_path = value;
+        else if ((value = flagValue(arg, "--resume-from")))
+            resume_from = value;
         else if ((value = flagValue(arg, "--telemetry-out")))
             telemetry_dir = value;
         else
@@ -349,9 +376,40 @@ main(int argc, char **argv)
                 config.overshootSteps, config.wideOversample);
 
     SdcAudit audit(config);
+    if (!resume_from.empty()) {
+        std::string error;
+        if (!audit.resumeFromFile(resume_from, &error))
+            util::fatal("sdc_audit: cannot resume from '%s': %s",
+                        resume_from.c_str(), error.c_str());
+        std::printf("resuming from %s: %" PRIu64 "/%" PRIu64
+                    " module-hours done\n",
+                    resume_from.c_str(), audit.stepsDone(),
+                    audit.totalSteps());
+    }
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+
     const std::uint64_t total = audit.totalSteps();
     const std::uint64_t stride = total < 10 ? 1 : total / 10;
     while (audit.step()) {
+        // Epoch boundary: the only place the interrupt flag is acted
+        // on, so the snapshot always captures a whole module-hour.
+        if (g_interrupted != 0) {
+            const std::string path = snapshot_path.empty()
+                                         ? "sdc_audit.snap"
+                                         : snapshot_path;
+            std::string error;
+            if (!audit.saveToFile(path, &error))
+                util::fatal("sdc_audit: interrupt snapshot failed: %s",
+                            error.c_str());
+            std::fprintf(stderr,
+                         "\nsdc_audit: interrupted at %" PRIu64 "/%"
+                         PRIu64 " module-hours; state saved to %s\n"
+                         "resume with: --resume-from=%s\n",
+                         audit.stepsDone(), total, path.c_str(),
+                         path.c_str());
+            return 130;
+        }
         if (audit.stepsDone() % stride == 0) {
             std::printf("  ... %" PRIu64 "/%" PRIu64
                         " module-hours (%.3g accesses modeled)\n",

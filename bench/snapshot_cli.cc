@@ -18,6 +18,16 @@ namespace hdmr::bench
 namespace
 {
 
+/**
+ * SIGINT/SIGTERM request flag.  The handler must stay strictly
+ * async-signal-safe: it sets this one volatile sig_atomic_t and does
+ * nothing else - no I/O, no allocation, and in particular no snapshot
+ * work, which walks heap structures the interrupted code may have been
+ * mutating.  The run loop polls the flag at its scheduler decision
+ * points (the epoch boundaries of a sweep leg) via
+ * RunOptions::interrupted and performs the final-snapshot path in
+ * normal context.
+ */
 volatile std::sig_atomic_t g_interrupted = 0;
 
 extern "C" void

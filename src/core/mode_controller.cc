@@ -11,6 +11,29 @@ namespace hdmr::core
 
 using util::Tick;
 
+void
+RecalibrationPolicy::validate() const
+{
+    if (std::isnan(targetErrorsPerWindow) || targetErrorsPerWindow < 0.0)
+        util::fatal(
+            "RecalibrationPolicy.targetErrorsPerWindow must be >= 0");
+    if (std::isnan(demoteBand) || demoteBand <= 0.0)
+        util::fatal("RecalibrationPolicy.demoteBand must be > 0");
+    if (std::isnan(promoteBand) || promoteBand < 0.0)
+        util::fatal("RecalibrationPolicy.promoteBand must be >= 0");
+    if (promoteBand >= demoteBand)
+        util::fatal("RecalibrationPolicy.promoteBand must lie below "
+                    "demoteBand (the hysteresis dead band)");
+    if (hysteresisWindows == 0)
+        util::fatal(
+            "RecalibrationPolicy.hysteresisWindows must be at least 1");
+    if (std::isnan(probeFailureProbability) ||
+        probeFailureProbability < 0.0 || probeFailureProbability > 1.0) {
+        util::fatal("RecalibrationPolicy.probeFailureProbability must "
+                    "lie in [0, 1]");
+    }
+}
+
 dram::ControllerConfig
 ModeController::buildControllerConfig(const ModeControllerConfig &config,
                                       std::uint64_t seed)
@@ -46,9 +69,12 @@ ModeController::ModeController(
     : events_(events), controller_(controller), llc_(llc),
       channelFilter_(std::move(channel_filter)), config_(config),
       wbCache_(config.writebackCacheConfig),
-      ladderRng_(config.ladder.seed), guard_(config.epochConfig)
+      ladderRng_(config.ladder.seed), recalRng_(config.recalibration.seed),
+      guard_(config.epochConfig)
 {
+    config_.recalibration.validate();
     fastEnabled_ = config_.plan.fastReads;
+    qualifiedFastRateMts_ = config_.fastSetting.dataRateMts;
 
     dram::ControllerHooks hooks;
     hooks.refillWrites = [this](std::size_t space) {
@@ -67,12 +93,17 @@ ModeController::ModeController(
     controller_.setSelfRefreshMask(config_.plan.selfRefreshMask);
 
     reenableEvent_.setCallback([this] { reenableFastOperation(); });
+    recalEvent_.setCallback([this] { onRecalibrationWindow(); });
+    if (config_.recalibration.windowTicks > 0 && config_.plan.fastReads)
+        scheduleRecalWindow(events_.curTick());
 }
 
 ModeController::~ModeController()
 {
     if (reenableEvent_.scheduled())
         events_.deschedule(&reenableEvent_);
+    if (recalEvent_.scheduled())
+        events_.deschedule(&recalEvent_);
 }
 
 void
@@ -231,6 +262,132 @@ ModeController::chargeErrorBudget(Tick now)
 }
 
 void
+ModeController::scheduleRecalWindow(Tick now)
+{
+    const Tick window = config_.recalibration.windowTicks;
+    // Windows close at deterministic multiples of the window length,
+    // so a resumed controller re-derives the same boundary sequence a
+    // straight-through run walks.
+    const Tick next = (now / window + 1) * window;
+    events_.reschedule(&recalEvent_, next);
+}
+
+void
+ModeController::recordRecalAction(const char *action)
+{
+    if (driftSuspectedAt_ != kNoDriftSuspected) {
+        const Tick latency = events_.curTick() - driftSuspectedAt_;
+        HDMR_TM_RECORD(tm_.recalLatencyUs,
+                       static_cast<std::uint64_t>(
+                           util::ticksToNs(latency) / 1000.0));
+        driftSuspectedAt_ = kNoDriftSuspected;
+    }
+    if (driftSpanOpen_) {
+        trace_->endSpan(util::ticksToNs(events_.curTick()) / 1000.0,
+                        traceTid_);
+        driftSpanOpen_ = false;
+    }
+    traceInstant(action);
+}
+
+void
+ModeController::runPromotionProbe()
+{
+    const RecalibrationPolicy &recal = config_.recalibration;
+    // The probe sweeps the candidate step offline: the channel runs at
+    // specification for the probe window whatever the outcome.
+    stats_.probeTicks += recal.probeDowntime;
+    if (!quarantined_) {
+        suspendFastOperation(events_.curTick() + recal.probeDowntime,
+                             /*permanent=*/false);
+    }
+    if (recalRng_.bernoulli(recal.probeFailureProbability)) {
+        ++stats_.recalProbeFailures;
+        traceInstant("recal_probe_failed");
+        return;
+    }
+    recordRecalAction("recal_promotion");
+    promote();
+}
+
+void
+ModeController::onRecalibrationWindow()
+{
+    const RecalibrationPolicy &recal = config_.recalibration;
+    ++stats_.recalWindows;
+    const double observed = static_cast<double>(windowErrors_);
+    windowErrors_ = 0;
+    HDMR_TM_SET(tm_.marginHeadroomMts,
+                static_cast<double>(config_.fastSetting.dataRateMts -
+                                    config_.specSetting.dataRateMts));
+
+    if (quarantined_) {
+        scheduleRecalWindow(events_.curTick());
+        return;
+    }
+
+    const double budget = recal.targetErrorsPerWindow;
+    if (observed > budget * recal.demoteBand) {
+        promoteStreak_ = 0;
+        if (++demoteStreak_ == 1) {
+            driftSuspectedAt_ = events_.curTick();
+            if (trace_ != nullptr && !driftSpanOpen_) {
+                trace_->beginSpan(
+                    "margin_drift", "mode",
+                    util::ticksToNs(events_.curTick()) / 1000.0,
+                    traceTid_);
+                driftSpanOpen_ = true;
+            }
+        }
+        if (demoteStreak_ >= recal.hysteresisWindows) {
+            demoteStreak_ = 0;
+            ++stats_.recalDemotions;
+            HDMR_TM_INC(tm_.recalDemotions);
+            recordRecalAction("recal_demotion");
+            demote();
+            if (recal.escalateAfterDemotions > 0 &&
+                ++recalDemotionRun_ >= recal.escalateAfterDemotions) {
+                // Drift is outrunning recalibration: one step per
+                // hysteresis period cannot catch a margin collapsing
+                // faster than that.  Hand the channel to the
+                // quarantine ladder for good.
+                ++stats_.recalEscalations;
+                traceInstant("recal_escalation");
+                while (!quarantined_)
+                    demote();
+                recalDemotionRun_ = 0;
+            }
+        }
+    } else if (observed < budget * recal.promoteBand &&
+               config_.plan.fastReads &&
+               config_.fastSetting.dataRateMts < qualifiedFastRateMts_) {
+        demoteStreak_ = 0;
+        recalDemotionRun_ = 0;
+        if (++promoteStreak_ == 1)
+            driftSuspectedAt_ = events_.curTick();
+        if (promoteStreak_ >= recal.hysteresisWindows) {
+            promoteStreak_ = 0;
+            runPromotionProbe();
+        }
+    } else {
+        // In-band (including exactly *at* either threshold): the
+        // hysteresis state resets and any pending suspicion is
+        // withdrawn - this is what keeps a rate oscillating at a
+        // threshold from flapping the operating point.
+        demoteStreak_ = 0;
+        promoteStreak_ = 0;
+        recalDemotionRun_ = 0;
+        driftSuspectedAt_ = kNoDriftSuspected;
+        if (driftSpanOpen_) {
+            trace_->endSpan(
+                util::ticksToNs(events_.curTick()) / 1000.0, traceTid_);
+            driftSpanOpen_ = false;
+        }
+    }
+    scheduleRecalWindow(events_.curTick());
+}
+
+void
 ModeController::bindTelemetry(telemetry::Registry &registry,
                               const std::string &prefix)
 {
@@ -245,8 +402,16 @@ ModeController::bindTelemetry(telemetry::Registry &registry,
         &registry.counter(prefix + ".ladder_recoveries");
     tm_.budgetDemotions =
         &registry.counter(prefix + ".budget_demotions");
+    tm_.recalDemotions =
+        &registry.counter(prefix + ".recal_demotions");
+    tm_.recalPromotions =
+        &registry.counter(prefix + ".recal_promotions");
     tm_.fastDisabledSeconds =
         &registry.gauge(prefix + ".fast_disabled_seconds");
+    tm_.marginHeadroomMts =
+        &registry.gauge(prefix + ".margin_headroom_mts");
+    tm_.recalLatencyUs =
+        &registry.histogram(prefix + ".recal_latency_us");
 }
 
 void
@@ -271,6 +436,7 @@ void
 ModeController::onReadError()
 {
     ++stats_.corrections;
+    ++windowErrors_;
     HDMR_TM_INC(tm_.corrections);
     if (guard_.recordError(events_.curTick()))
         disableFastOperation();
@@ -403,6 +569,26 @@ ModeController::demote()
 }
 
 void
+ModeController::promote()
+{
+    if (quarantined_ || !config_.plan.fastReads ||
+        config_.fastSetting.dataRateMts >= qualifiedFastRateMts_)
+        return;
+    ++stats_.recalPromotions;
+    HDMR_TM_INC(tm_.recalPromotions);
+    const unsigned step = config_.quarantine.demoteStepMts;
+    config_.fastSetting.dataRateMts =
+        std::min(qualifiedFastRateMts_,
+                 config_.fastSetting.dataRateMts + step);
+    // One step more overshoot: the demotion error scaling reverses.
+    config_.readErrorProbability =
+        std::min(1.0, config_.readErrorProbability /
+                          config_.quarantine.demotionErrorFactor);
+    if (fastEnabled_)
+        applyReconfiguration();
+}
+
+void
 ModeController::suspendFastOperation(Tick resume_at, bool permanent)
 {
     if (permanent)
@@ -527,6 +713,26 @@ ModeController::saveState(snapshot::Serializer &out) const
     out.writeU64(stats_.ladderRecoveries);
     out.writeU64(stats_.ladderRetryTicks);
     out.writeU64(stats_.budgetDemotions);
+
+    // Recalibration state: the window observation, hysteresis streaks,
+    // the private probe stream, and the recalibration statistics.
+    out.writeU64(windowErrors_);
+    out.writeU32(demoteStreak_);
+    out.writeU32(promoteStreak_);
+    out.writeU32(recalDemotionRun_);
+    out.writeU64(driftSuspectedAt_);
+    out.writeU32(qualifiedFastRateMts_);
+    const util::RngState recal_rng = recalRng_.state();
+    for (std::uint64_t word : recal_rng.s)
+        out.writeU64(word);
+    out.writeBool(recal_rng.hasSpareNormal);
+    out.writeDouble(recal_rng.spareNormal);
+    out.writeU64(stats_.recalWindows);
+    out.writeU64(stats_.recalDemotions);
+    out.writeU64(stats_.recalPromotions);
+    out.writeU64(stats_.recalProbeFailures);
+    out.writeU64(stats_.recalEscalations);
+    out.writeU64(stats_.probeTicks);
 }
 
 bool
@@ -600,9 +806,43 @@ ModeController::restoreState(snapshot::Deserializer &in)
     stats_.ladderRecoveries = in.readU64();
     stats_.ladderRetryTicks = in.readU64();
     stats_.budgetDemotions = in.readU64();
+
+    const std::uint64_t window_errors = in.readU64();
+    const std::uint32_t demote_streak = in.readU32();
+    const std::uint32_t promote_streak = in.readU32();
+    const std::uint32_t recal_run = in.readU32();
+    const std::uint64_t drift_suspected_at = in.readU64();
+    const std::uint32_t qualified_rate = in.readU32();
+    util::RngState recal_rng;
+    for (std::uint64_t &word : recal_rng.s)
+        word = in.readU64();
+    recal_rng.hasSpareNormal = in.readBool();
+    recal_rng.spareNormal = in.readDouble();
+    if (in.ok() && qualified_rate != qualifiedFastRateMts_) {
+        in.fail("mode-controller snapshot was qualified at a different "
+                "fast rate");
+        return false;
+    }
+    windowErrors_ = window_errors;
+    demoteStreak_ = demote_streak;
+    promoteStreak_ = promote_streak;
+    recalDemotionRun_ = recal_run;
+    driftSuspectedAt_ = drift_suspected_at;
+    stats_.recalWindows = in.readU64();
+    stats_.recalDemotions = in.readU64();
+    stats_.recalPromotions = in.readU64();
+    stats_.recalProbeFailures = in.readU64();
+    stats_.recalEscalations = in.readU64();
+    stats_.probeTicks = in.readU64();
     if (!in.ok())
         return false;
     ladderRng_.setState(rng);
+    recalRng_.setState(recal_rng);
+
+    // The window boundaries are deterministic multiples of the window
+    // length, so the next boundary re-derives from the current time.
+    if (config_.recalibration.windowTicks > 0 && config_.plan.fastReads)
+        scheduleRecalWindow(events_.curTick());
 
     // Re-apply the restored operating point.
     if (quarantined_) {

@@ -102,6 +102,58 @@ struct RecoveryLadderConfig
     std::uint64_t errorBudgetLimit = 0;
 };
 
+/**
+ * Online guard-band recalibration policy (margin-drift resilience
+ * layer).
+ *
+ * A channel's profiled margin is only as good as the day it was
+ * measured; aging, temperature and voltage noise all move it.  The
+ * recalibration loop watches the channel's *observed* detected-error
+ * rate over fixed windows and walks the guard band after the evidence:
+ * a channel persistently above its error budget is demoted one step
+ * (through the existing quarantine policy), and a previously demoted
+ * channel persistently below it earns a re-qualification probe that
+ * can promote it one step back toward its qualified rate.  Hysteresis
+ * (consecutive out-of-band windows required before acting, strict
+ * threshold comparisons, and a promote band well below the demote
+ * band) keeps an error rate oscillating at a threshold from flapping
+ * the operating point.  `windowTicks = 0` disables the whole loop -
+ * no events are scheduled and behaviour is bit-identical to the seed.
+ */
+struct RecalibrationPolicy
+{
+    /** Observation-window length; 0 disables recalibration. */
+    util::Tick windowTicks = 0;
+    /** Detected errors per window the margin classification budgets. */
+    double targetErrorsPerWindow = 4.0;
+    /** Demote evidence: observed > target * demoteBand (strict). */
+    double demoteBand = 2.0;
+    /** Promote evidence: observed < target * promoteBand (strict). */
+    double promoteBand = 0.25;
+    /** Consecutive out-of-band windows required before acting. */
+    unsigned hysteresisWindows = 2;
+    /** Downtime of one re-qualification probe sweep (channel held at
+     *  specification while the candidate step is swept). */
+    util::Tick probeDowntime = 100 * util::kTicksPerUs;
+    /** Probability a probe finds the candidate step still unstable. */
+    double probeFailureProbability = 0.0;
+    /** Consecutive recalibration demotions (with no in-band window
+     *  between them) after which drift is judged to be outrunning
+     *  recalibration and the channel is escalated straight into
+     *  quarantine.  0 disables escalation. */
+    unsigned escalateAfterDemotions = 0;
+    /** Seed of the private probe-outcome stream. */
+    std::uint64_t seed = 0x2eca1u;
+
+    /**
+     * Reject impossible policies (NaN/negative budgets, inverted
+     * hysteresis bands, zero hysteresis depth, out-of-range probe
+     * probability) with a fatal() naming the offending field; one
+     * pass, first offender wins.
+     */
+    void validate() const;
+};
+
 /** Mode-controller configuration. */
 struct ModeControllerConfig
 {
@@ -131,6 +183,8 @@ struct ModeControllerConfig
     QuarantinePolicy quarantine;
     /** Hardened recovery ladder (retries + error budget). */
     RecoveryLadderConfig ladder;
+    /** Online guard-band recalibration loop. */
+    RecalibrationPolicy recalibration;
     /** Victim write-back cache geometry. */
     cache::WritebackCacheConfig writebackCacheConfig;
     /** Epoch-guard parameters. */
@@ -156,6 +210,12 @@ struct ModeControllerStats
     std::uint64_t ladderRecoveries = 0; ///< UEs averted by a retry rung
     util::Tick ladderRetryTicks = 0; ///< channel-at-spec backoff paid
     std::uint64_t budgetDemotions = 0; ///< demotions by the error budget
+    std::uint64_t recalWindows = 0;  ///< observation windows evaluated
+    std::uint64_t recalDemotions = 0; ///< demotions by recalibration
+    std::uint64_t recalPromotions = 0; ///< guard-band steps re-earned
+    std::uint64_t recalProbeFailures = 0; ///< probes finding instability
+    std::uint64_t recalEscalations = 0; ///< drift outran recalibration
+    util::Tick probeTicks = 0;       ///< re-qualification downtime paid
 };
 
 /** The per-channel mode controller / write path. */
@@ -230,6 +290,20 @@ class ModeController
     void demote();
 
     /**
+     * Promote one step back toward the qualified fast rate after a
+     * successful re-qualification probe (external policy decision; the
+     * recalibration loop calls this internally).  No-op when the
+     * channel is quarantined or already at its qualified rate.
+     */
+    void promote();
+
+    /** The fast rate the channel was originally qualified at. */
+    unsigned qualifiedFastRateMts() const { return qualifiedFastRateMts_; }
+
+    /** Detected errors observed in the current recalibration window. */
+    std::uint64_t recalWindowErrors() const { return windowErrors_; }
+
+    /**
      * Bind observability metrics under `prefix` (e.g. "mode.ch0"):
      * recovery-ladder rung counts, correction/UE counters, the
      * demotion/quarantine policy counters, and the fast-operation
@@ -277,6 +351,14 @@ class ModeController
     void countRecoveryEvent();
     /** Sliding-window error budget; true when it demoted the channel. */
     bool chargeErrorBudget(util::Tick now);
+    /** Evaluate one recalibration window and reschedule the next. */
+    void onRecalibrationWindow();
+    /** Schedule the next window boundary strictly after `now`. */
+    void scheduleRecalWindow(util::Tick now);
+    /** Pay the probe downtime and maybe promote; resets the streak. */
+    void runPromotionProbe();
+    /** Record detection-to-action latency; closes the drift span. */
+    void recordRecalAction(const char *action);
     /** Walk the retry rungs; true when a retry recovered the data. */
     bool walkRetryLadder();
     void disableFastOperation();
@@ -317,6 +399,28 @@ class ModeController
     /** Detected-error arrival ticks inside the budget window. */
     std::deque<util::Tick> budgetWindow_;
 
+    // ---- Online recalibration state (all snapshot-serialized). ----
+
+    /** Sentinel: no drift suspicion pending. */
+    static constexpr util::Tick kNoDriftSuspected = ~util::Tick(0);
+    /** Private stream deciding re-qualification probe outcomes. */
+    util::Rng recalRng_;
+    /** Detected errors observed since the current window opened. */
+    std::uint64_t windowErrors_ = 0;
+    /** Consecutive windows above the demote band. */
+    unsigned demoteStreak_ = 0;
+    /** Consecutive windows below the promote band. */
+    unsigned promoteStreak_ = 0;
+    /** Consecutive recalibration demotions with no in-band window. */
+    unsigned recalDemotionRun_ = 0;
+    /** First out-of-band window of the pending streak (latency t0). */
+    util::Tick driftSuspectedAt_ = kNoDriftSuspected;
+    /** Construction-time fast rate: the promotion ceiling. */
+    unsigned qualifiedFastRateMts_ = 0;
+    /** True while a drift trace span is open (trace-only, transient). */
+    bool driftSpanOpen_ = false;
+    sim::CallbackEvent recalEvent_;
+
     sim::CallbackEvent reenableEvent_;
     EpochGuard guard_;
     ModeControllerStats stats_;
@@ -332,7 +436,11 @@ class ModeController
         telemetry::Counter *ladderRetries = nullptr;
         telemetry::Counter *ladderRecoveries = nullptr;
         telemetry::Counter *budgetDemotions = nullptr;
+        telemetry::Counter *recalDemotions = nullptr;
+        telemetry::Counter *recalPromotions = nullptr;
         telemetry::Gauge *fastDisabledSeconds = nullptr;
+        telemetry::Gauge *marginHeadroomMts = nullptr;
+        telemetry::Log2Histogram *recalLatencyUs = nullptr;
     };
     Telemetry tm_;
     telemetry::TraceRecorder *trace_ = nullptr;

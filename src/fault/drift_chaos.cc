@@ -1,0 +1,175 @@
+#include "fault/drift_chaos.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hdmr::fault
+{
+
+namespace
+{
+
+constexpr double kPi = 3.14159265358979323846;
+
+} // namespace
+
+void
+DriftScenarioConfig::validate() const
+{
+    if (std::isnan(marginStepMts) || marginStepMts <= 0.0)
+        util::fatal("DriftScenarioConfig.marginStepMts must be > 0");
+    if (targetsPerModule == 0)
+        util::fatal(
+            "DriftScenarioConfig.targetsPerModule must be at least 1");
+    if (std::isnan(excursionThresholdC) || excursionThresholdC <= 0.0)
+        util::fatal(
+            "DriftScenarioConfig.excursionThresholdC must be > 0");
+    if (std::isnan(spikeBurstErrors) || spikeBurstErrors < 0.0)
+        util::fatal(
+            "DriftScenarioConfig.spikeBurstErrors must be >= 0");
+}
+
+DriftChaosCampaign::DriftChaosCampaign(const DriftScenarioConfig &config)
+    : config_(config), model_(config.drift)
+{
+    config_.validate();
+    appendMarginCrossings();
+    appendExcursionWindows();
+    appendSpikeBursts();
+    // Stable by time: events generated earlier (crossings, then
+    // excursions, then bursts) win ties, so the schedule is a pure
+    // function of the config.
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.atSeconds < b.atSeconds;
+                     });
+}
+
+void
+DriftChaosCampaign::appendMarginCrossings()
+{
+    const double horizon = config_.drift.horizonHours;
+    if (horizon <= 0.0)
+        return;
+    for (unsigned m = 0; m < config_.drift.modules; ++m) {
+        const double rate = model_.agingRateMtsPerKiloHour(m);
+        if (rate <= 0.0)
+            continue;
+        // erosion(h) = rate * (h/1000)^q crosses k * step at
+        // h_k = 1000 * (k * step / rate)^(1/q).
+        for (unsigned k = 1;; ++k) {
+            const double hour =
+                1000.0 * std::pow(k * config_.marginStepMts / rate,
+                                  1.0 / config_.drift.agingExponent);
+            if (hour > horizon)
+                break;
+            for (unsigned t = 0; t < config_.targetsPerModule; ++t) {
+                FaultEvent ev;
+                ev.atSeconds = hour * 3600.0;
+                ev.kind = FaultKind::kMarginDrift;
+                ev.target = m * config_.targetsPerModule + t;
+                ev.magnitude = config_.marginStepMts;
+                schedule_.push_back(ev);
+            }
+        }
+    }
+}
+
+void
+DriftChaosCampaign::appendExcursionWindows()
+{
+    const double horizon = config_.drift.horizonHours;
+    const double amplitude = config_.drift.diurnalAmplitudeC;
+    if (horizon <= 0.0 || amplitude < config_.excursionThresholdC)
+        return;
+    // delta(h) = A/2 (1 + cos(2 pi (h - peak) / 24)) >= T holds inside
+    // a window of half-width w = (24 / 2 pi) acos(2 T / A - 1) around
+    // each daily peak.
+    const double cos_edge = std::clamp(
+        2.0 * config_.excursionThresholdC / amplitude - 1.0, -1.0, 1.0);
+    const double half_width = 24.0 / (2.0 * kPi) * std::acos(cos_edge);
+    if (half_width <= 0.0)
+        return;
+    for (double peak = config_.drift.diurnalPeakHour;
+         peak - half_width < horizon; peak += 24.0) {
+        const double start = std::max(0.0, peak - half_width);
+        const double end = std::min(horizon, peak + half_width);
+        if (end <= start)
+            continue;
+        FaultEvent ev;
+        ev.atSeconds = start * 3600.0;
+        ev.kind = FaultKind::kTemperatureExcursion;
+        ev.target = 0; // machine-room ambient: fleet-wide
+        ev.magnitude = 1.0;
+        ev.durationSeconds = (end - start) * 3600.0;
+        schedule_.push_back(ev);
+    }
+}
+
+void
+DriftChaosCampaign::appendSpikeBursts()
+{
+    for (unsigned m = 0; m < config_.drift.modules; ++m) {
+        for (const margin::VoltageSpike &spike : model_.spikes(m)) {
+            for (unsigned t = 0; t < config_.targetsPerModule; ++t) {
+                FaultEvent ev;
+                ev.atSeconds = spike.startHour * 3600.0;
+                ev.kind = FaultKind::kErrorBurst;
+                ev.target = m * config_.targetsPerModule + t;
+                ev.magnitude = config_.spikeBurstErrors;
+                ev.durationSeconds = spike.durationHours * 3600.0;
+                schedule_.push_back(ev);
+            }
+        }
+    }
+}
+
+std::vector<FaultEvent>
+DriftChaosCampaign::schedule(FaultKind kind) const
+{
+    std::vector<FaultEvent> filtered;
+    for (const FaultEvent &ev : schedule_) {
+        if (ev.kind == kind)
+            filtered.push_back(ev);
+    }
+    return filtered;
+}
+
+std::vector<FaultEvent>
+DriftChaosCampaign::clusterSchedule() const
+{
+    std::vector<FaultEvent> cluster;
+    for (const FaultEvent &ev : schedule_) {
+        switch (ev.kind) {
+          case FaultKind::kMarginDrift: {
+            FaultEvent demotion = ev;
+            demotion.kind = FaultKind::kGroupDemotion;
+            demotion.magnitude = 1.0;
+            cluster.push_back(demotion);
+            break;
+          }
+          case FaultKind::kTemperatureExcursion:
+            cluster.push_back(ev);
+            break;
+          default:
+            break; // bursts have no cluster-layer consumer
+        }
+    }
+    return cluster;
+}
+
+std::vector<FaultEvent>
+DriftChaosCampaign::composeWith(const FaultCampaign &base) const
+{
+    std::vector<FaultEvent> merged = base.schedule();
+    merged.insert(merged.end(), schedule_.begin(), schedule_.end());
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.atSeconds < b.atSeconds;
+                     });
+    return merged;
+}
+
+} // namespace hdmr::fault

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Drift chaos campaign: turns the continuous margin-drift model
+ * (margin::MarginDriftModel) into discrete FaultEvents and composes
+ * them with the existing Poisson campaign engine.
+ *
+ * The drift model describes *physics* - smooth erosion curves, a
+ * diurnal ambient sinusoid, transient voltage-noise windows.  The
+ * fault-injection machinery consumes *events*.  This harness is the
+ * bridge:
+ *
+ *  - every crossing of one margin step of accumulated erosion emits a
+ *    kMarginDrift event (the channel's stable rate just lost a step);
+ *  - every interval where the diurnal ambient rise exceeds a threshold
+ *    emits a bounded kTemperatureExcursion window;
+ *  - every voltage-noise spike emits a kErrorBurst carrying the
+ *    detected-error pressure of the noisy interval.
+ *
+ * Schedules are pure functions of the scenario config - same seed,
+ * same events, bit for bit - so they ride the same ScheduleCursor
+ * digest machinery as the Poisson campaigns, and composeWith() merges
+ * a drift realization with an ordinary FaultCampaign (UEs, node
+ * failures...) into one time-sorted schedule for a fleet sweep.
+ */
+
+#ifndef HDMR_FAULT_DRIFT_CHAOS_HH
+#define HDMR_FAULT_DRIFT_CHAOS_HH
+
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "fault/fault.hh"
+#include "margin/drift.hh"
+
+namespace hdmr::fault
+{
+
+/** One drift chaos scenario. */
+struct DriftScenarioConfig
+{
+    /** The physical drift realization (seeded; see margin/drift.hh). */
+    margin::DriftConfig drift;
+    /** Accumulated erosion per kMarginDrift event (one margin step). */
+    double marginStepMts = 200.0;
+    /** Consecutive schedule targets (channels or nodes) each drift
+     *  module maps onto; module m drives targets [m*k, (m+1)*k). */
+    unsigned targetsPerModule = 1;
+    /** Diurnal ambient rise (degC) that opens an excursion window. */
+    double excursionThresholdC = 10.0;
+    /** Detected errors one voltage-noise spike delivers as a burst. */
+    double spikeBurstErrors = 50.0;
+
+    /**
+     * Reject impossible scenarios with a fatal() naming the offending
+     * field (the nested DriftConfig validates itself on model
+     * construction); one pass, first offender wins.
+     */
+    void validate() const;
+};
+
+/** Expands a DriftScenarioConfig into a deterministic fault schedule. */
+class DriftChaosCampaign
+{
+  public:
+    explicit DriftChaosCampaign(const DriftScenarioConfig &config);
+
+    const DriftScenarioConfig &config() const { return config_; }
+    const margin::MarginDriftModel &model() const { return model_; }
+
+    /** The full drift-driven schedule, time-sorted (stable). */
+    const std::vector<FaultEvent> &schedule() const { return schedule_; }
+
+    /** The events of one kind only, in schedule order (e.g. the
+     *  kErrorBurst view the SDC audit overlays). */
+    std::vector<FaultEvent> schedule(FaultKind kind) const;
+
+    /**
+     * The cluster-consumable view: kMarginDrift crossings become
+     * kGroupDemotion (a node whose margin eroded a step drops one
+     * margin group), kTemperatureExcursion windows pass through
+     * (fleet-wide hot windows raising the UE hazard), kErrorBurst
+     * events are dropped (no cluster-layer consumer).
+     */
+    std::vector<FaultEvent> clusterSchedule() const;
+
+    /**
+     * The drift schedule merged with `base`'s schedule into one
+     * time-sorted stream (stable: base events win ties).  This is the
+     * composition a fleet sweep arms - organic Poisson faults plus the
+     * drift realization.
+     */
+    std::vector<FaultEvent> composeWith(const FaultCampaign &base) const;
+
+  private:
+    void appendMarginCrossings();
+    void appendExcursionWindows();
+    void appendSpikeBursts();
+
+    DriftScenarioConfig config_;
+    margin::MarginDriftModel model_;
+    std::vector<FaultEvent> schedule_;
+};
+
+} // namespace hdmr::fault
+
+#endif // HDMR_FAULT_DRIFT_CHAOS_HH

@@ -76,6 +76,24 @@ ClusterConfig::validate() const
                     fraction_sum);
     if (backfillDepth == 0)
         util::fatal("ClusterConfig.backfillDepth must be at least 1");
+    if (!std::isfinite(excursionUeMultiplier) ||
+        excursionUeMultiplier < 1.0)
+        util::fatal("ClusterConfig.excursionUeMultiplier must be a "
+                    "finite value >= 1 (got %g)",
+                    excursionUeMultiplier);
+    for (std::size_t i = 0; i < scheduleOverlay.size(); ++i) {
+        const fault::FaultEvent &ev = scheduleOverlay[i];
+        if (!std::isfinite(ev.atSeconds) || ev.atSeconds < 0.0)
+            util::fatal("ClusterConfig.scheduleOverlay[%zu].atSeconds "
+                        "must be finite and >= 0 (got %g)",
+                        i, ev.atSeconds);
+        if (!std::isfinite(ev.durationSeconds) ||
+            ev.durationSeconds < 0.0)
+            util::fatal("ClusterConfig.scheduleOverlay[%zu]."
+                        "durationSeconds must be finite and >= 0 "
+                        "(got %g)",
+                        i, ev.durationSeconds);
+    }
     speedups.validate();
     resilience.validate();
     faults.validate();
@@ -96,6 +114,7 @@ ClusterMetrics::counters() const
     set.add("cluster.requeues", static_cast<double>(requeues));
     set.add("cluster.nodes_failed", static_cast<double>(nodesFailed));
     set.add("cluster.nodes_demoted", static_cast<double>(nodesDemoted));
+    set.add("cluster.excursions", static_cast<double>(excursions));
     set.add("cluster.jobs_dropped", static_cast<double>(jobsDropped));
     set.add("cluster.lost_node_seconds", lostNodeSeconds);
     set.add("cluster.checkpoint_overhead_seconds",
@@ -117,6 +136,7 @@ saveMetrics(snapshot::Serializer &out, const ClusterMetrics &m)
     out.writeU64(m.requeues);
     out.writeU64(m.nodesFailed);
     out.writeU64(m.nodesDemoted);
+    out.writeU64(m.excursions);
     out.writeU64(m.jobsDropped);
     out.writeDouble(m.lostNodeSeconds);
     out.writeDouble(m.checkpointOverheadSeconds);
@@ -136,6 +156,7 @@ restoreMetrics(snapshot::Deserializer &in, ClusterMetrics *m)
     m->requeues = in.readU64();
     m->nodesFailed = in.readU64();
     m->nodesDemoted = in.readU64();
+    m->excursions = in.readU64();
     m->jobsDropped = in.readU64();
     m->lostNodeSeconds = in.readDouble();
     m->checkpointOverheadSeconds = in.readDouble();
@@ -154,6 +175,7 @@ metricsIdentical(const ClusterMetrics &a, const ClusterMetrics &b)
            a.ueInjected == b.ueInjected && a.jobKills == b.jobKills &&
            a.requeues == b.requeues && a.nodesFailed == b.nodesFailed &&
            a.nodesDemoted == b.nodesDemoted &&
+           a.excursions == b.excursions &&
            a.jobsDropped == b.jobsDropped &&
            a.lostNodeSeconds == b.lostNodeSeconds &&
            a.checkpointOverheadSeconds == b.checkpointOverheadSeconds;
@@ -200,6 +222,7 @@ ClusterSimulator::bindTelemetry(telemetry::Registry &registry,
     tm_.jobsDropped = &registry.counter(prefix + ".jobs_dropped");
     tm_.nodesFailed = &registry.counter(prefix + ".nodes_failed");
     tm_.nodesDemoted = &registry.counter(prefix + ".nodes_demoted");
+    tm_.excursions = &registry.counter(prefix + ".excursions");
     tm_.eventsProcessed =
         &registry.counter(prefix + ".events_processed");
     tm_.queueDepth = &registry.gauge(prefix + ".queue_depth");
@@ -279,6 +302,17 @@ ClusterSimulator::groupOfTarget(unsigned target) const
 void
 ClusterSimulator::applyClusterFault(const fault::FaultEvent &fault)
 {
+    if (fault.kind == fault::FaultKind::kTemperatureExcursion) {
+        // Fleet-wide hot window: jobs started before hotUntil carry
+        // the elevated UE hazard.  Overlapping windows union.
+        ++st_.metrics.excursions;
+        HDMR_TM_INC(tm_.excursions);
+        traceInstant("temperature_excursion", fault.atSeconds);
+        st_.hotUntil = std::max(
+            st_.hotUntil, fault.atSeconds + fault.durationSeconds);
+        return;
+    }
+
     std::size_t g = groupOfTarget(fault.target);
     if (g >= kGroups)
         return; // no surviving nodes left to fault
@@ -439,15 +473,32 @@ ClusterSimulator::initRun(const std::vector<traces::Job> &jobs,
     // draws (FaultCampaign::killTimeSeconds) so fault realizations at
     // a higher intensity are a superset of those at a lower one.
     std::vector<fault::FaultEvent> cluster_faults;
+    const auto cluster_scoped = [](const fault::FaultEvent &ev) {
+        return ev.kind == fault::FaultKind::kNodeFailure ||
+               ev.kind == fault::FaultKind::kGroupDemotion ||
+               ev.kind == fault::FaultKind::kTemperatureExcursion;
+    };
     if (config_.faults.enabled()) {
         fault::CampaignConfig fc = config_.faults;
         fc.targets = config_.nodes; // rates are per node-hour
         for (const fault::FaultEvent &ev :
              fault::FaultCampaign(fc).schedule()) {
-            if (ev.kind == fault::FaultKind::kNodeFailure ||
-                ev.kind == fault::FaultKind::kGroupDemotion)
+            if (cluster_scoped(ev))
                 cluster_faults.push_back(ev);
         }
+    }
+    // Chaos-harness overlay (drift-driven demotions and fleet-wide
+    // hot windows), merged by time; campaign events win ties.
+    if (!config_.scheduleOverlay.empty()) {
+        for (const fault::FaultEvent &ev : config_.scheduleOverlay) {
+            if (cluster_scoped(ev))
+                cluster_faults.push_back(ev);
+        }
+        std::stable_sort(
+            cluster_faults.begin(), cluster_faults.end(),
+            [](const fault::FaultEvent &a, const fault::FaultEvent &b) {
+                return a.atSeconds < b.atSeconds;
+            });
     }
     st_.faults = fault::ScheduleCursor(std::move(cluster_faults));
     st_.active = true;
@@ -462,9 +513,15 @@ ClusterSimulator::startJob(std::uint32_t job_index, double now)
         jst.remainingSeconds = job.runtimeSeconds;
     const unsigned attempt = ++jst.attempts;
 
+    // Margin UEs strike harder while a temperature excursion holds
+    // the fleet hot (error rates ~4x at 45 degC); scaling the hazard
+    // preserves the nested-realization property (kill times only ever
+    // move earlier).
+    const double hot_factor =
+        now < st_.hotUntil ? config_.excursionUeMultiplier : 1.0;
     const double ue_node_rate = config_.faults.intensity *
-                                config_.faults.uncorrectablePerHour /
-                                3600.0;
+                                config_.faults.uncorrectablePerHour *
+                                hot_factor / 3600.0;
     const double ckpt_interval =
         config_.resilience.checkpointIntervalSeconds;
     const double ckpt_ovh =
@@ -916,6 +973,18 @@ ClusterSimulator::configDigest() const
     hash.addDouble(rp.requeueBackoffCapSeconds);
     hash.addDouble(rp.checkpointIntervalSeconds);
     hash.addDouble(rp.checkpointOverheadFraction);
+    // The chaos overlay is part of the campaign realization: a
+    // snapshot taken under one drift scenario must not resume under
+    // another.
+    hash.addDouble(config_.excursionUeMultiplier);
+    hash.addU64(config_.scheduleOverlay.size());
+    for (const fault::FaultEvent &ev : config_.scheduleOverlay) {
+        hash.addDouble(ev.atSeconds);
+        hash.addU32(static_cast<std::uint32_t>(ev.kind));
+        hash.addU32(ev.target);
+        hash.addDouble(ev.magnitude);
+        hash.addDouble(ev.durationSeconds);
+    }
     return hash.value();
 }
 
@@ -954,6 +1023,7 @@ ClusterSimulator::stateDigest() const
     hash.addU64(st_.nextArrival);
     hash.addU64(st_.resubmitSeq);
     hash.addU64(st_.startSeq);
+    hash.addDouble(st_.hotUntil);
     hash.addU64(st_.faults.index());
     hash.addDouble(st_.execSum);
     hash.addDouble(st_.queueSum);
@@ -971,6 +1041,7 @@ ClusterSimulator::stateDigest() const
     hash.addU64(st_.metrics.requeues);
     hash.addU64(st_.metrics.nodesFailed);
     hash.addU64(st_.metrics.nodesDemoted);
+    hash.addU64(st_.metrics.excursions);
     hash.addU64(st_.metrics.jobsDropped);
     hash.addDouble(st_.metrics.lostNodeSeconds);
     hash.addDouble(st_.metrics.checkpointOverheadSeconds);
@@ -1051,6 +1122,7 @@ ClusterSimulator::serializeState(snapshot::Serializer &out) const
     out.writeU64(st_.nextArrival);
     out.writeU64(st_.resubmitSeq);
     out.writeU64(st_.startSeq);
+    out.writeDouble(st_.hotUntil);
     st_.faults.save(out);
     out.writeDouble(st_.execSum);
     out.writeDouble(st_.queueSum);
@@ -1166,6 +1238,7 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
     st_.nextArrival = static_cast<std::size_t>(in.readU64());
     st_.resubmitSeq = in.readU64();
     st_.startSeq = in.readU64();
+    st_.hotUntil = in.readDouble();
     if (!st_.faults.restore(in))
         return reject("cluster snapshot: " + in.error());
     st_.execSum = in.readDouble();

@@ -132,6 +132,24 @@ struct ClusterConfig
     ResiliencePolicy resilience;
 
     /**
+     * Extra cluster-scoped fault events composed by a chaos harness
+     * (e.g. fault::DriftChaosCampaign::clusterSchedule()); merged with
+     * the campaign schedule at run start and fingerprinted into
+     * configDigest(), so a snapshot taken under one drift realization
+     * never resumes under another.  Only kNodeFailure, kGroupDemotion
+     * and kTemperatureExcursion events are consumed.  Empty by
+     * default: behaviour identical to the seed.
+     */
+    std::vector<fault::FaultEvent> scheduleOverlay;
+    /**
+     * UE-hazard multiplier applied to jobs started while a
+     * temperature-excursion window is open (Section II-C: ~4x at
+     * 45 degC).  Only takes effect when an excursion event actually
+     * arrives.
+     */
+    double excursionUeMultiplier = 4.0;
+
+    /**
      * One-pass construction-time validation: group fractions in
      * [0, 1] summing to ~1, positive node count and backfill depth,
      * plus the nested SpeedupTable, ResiliencePolicy, and
@@ -157,6 +175,7 @@ struct ClusterMetrics
     std::uint64_t requeues = 0;     ///< killed jobs resubmitted
     std::uint64_t nodesFailed = 0;  ///< nodes permanently lost
     std::uint64_t nodesDemoted = 0; ///< nodes moved one group down
+    std::uint64_t excursions = 0;   ///< temperature windows applied
     std::uint64_t jobsDropped = 0;  ///< jobs no surviving capacity fits
     double lostNodeSeconds = 0.0;   ///< work discarded by kills
     double checkpointOverheadSeconds = 0.0;
@@ -355,6 +374,9 @@ class ClusterSimulator
         std::size_t nextArrival = 0;
         std::uint64_t resubmitSeq = 0;
         std::uint64_t startSeq = 0;
+        /** Simulated time until which the fleet runs hot (the union
+         *  of delivered temperature-excursion windows). */
+        double hotUntil = 0.0;
 
         // Metric accumulators.
         double execSum = 0.0;
@@ -442,6 +464,7 @@ class ClusterSimulator
         telemetry::Counter *jobsDropped = nullptr;
         telemetry::Counter *nodesFailed = nullptr;
         telemetry::Counter *nodesDemoted = nullptr;
+        telemetry::Counter *excursions = nullptr;
         telemetry::Counter *eventsProcessed = nullptr;
         telemetry::Gauge *queueDepth = nullptr;
         telemetry::Gauge *busyNodeSeconds = nullptr;

@@ -70,6 +70,15 @@ SdcAuditConfig::validate() const
               "the run or lengthen the epoch", epochs);
     oracle.validate();
     bursts.validate();
+    for (std::size_t i = 0; i < scheduleOverlay.size(); ++i) {
+        const fault::FaultEvent &ev = scheduleOverlay[i];
+        if (!std::isfinite(ev.atSeconds) || ev.atSeconds < 0.0)
+            fatal("sdc audit config: scheduleOverlay[%zu].atSeconds %g "
+                  "must be finite and >= 0", i, ev.atSeconds);
+        if (!std::isfinite(ev.magnitude) || ev.magnitude < 0.0)
+            fatal("sdc audit config: scheduleOverlay[%zu].magnitude %g "
+                  "must be finite and >= 0", i, ev.magnitude);
+    }
 }
 
 double
@@ -136,17 +145,23 @@ SdcAudit::SdcAudit(const SdcAuditConfig &config)
     // into snapshots.
     burstErrors_.assign(config_.modules,
                         std::vector<double>(config_.hours, 0.0));
+    auto fold_burst = [this](const fault::FaultEvent &ev) {
+        if (ev.kind != fault::FaultKind::kErrorBurst)
+            return;
+        const unsigned module = ev.target % config_.modules;
+        const auto hour =
+            static_cast<std::uint64_t>(ev.atSeconds / 3600.0);
+        if (hour < config_.hours)
+            burstErrors_[module][hour] += ev.magnitude;
+    };
     if (config_.bursts.enabled()) {
         fault::FaultCampaign campaign(config_.bursts);
         for (const fault::FaultEvent &ev :
-             campaign.schedule(fault::FaultKind::kErrorBurst)) {
-            const unsigned module = ev.target % config_.modules;
-            const auto hour =
-                static_cast<std::uint64_t>(ev.atSeconds / 3600.0);
-            if (hour < config_.hours)
-                burstErrors_[module][hour] += ev.magnitude;
-        }
+             campaign.schedule(fault::FaultKind::kErrorBurst))
+            fold_burst(ev);
     }
+    for (const fault::FaultEvent &ev : config_.scheduleOverlay)
+        fold_burst(ev);
 }
 
 const OracleCounters &
@@ -357,6 +372,14 @@ SdcAudit::configFingerprint() const
     };
     for (std::uint64_t field : fields)
         fp = mix64(fp ^ field);
+    fp = mix64(fp ^ config_.scheduleOverlay.size());
+    for (const fault::FaultEvent &ev : config_.scheduleOverlay) {
+        fp = mix64(fp ^ doubleBits(ev.atSeconds));
+        fp = mix64(fp ^ static_cast<std::uint64_t>(ev.kind));
+        fp = mix64(fp ^ ev.target);
+        fp = mix64(fp ^ doubleBits(ev.magnitude));
+        fp = mix64(fp ^ doubleBits(ev.durationSeconds));
+    }
     return fp;
 }
 

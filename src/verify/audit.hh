@@ -66,6 +66,12 @@ struct SdcAuditConfig
     /** Optional burst overlay; only kErrorBurst events are consumed
      *  (targets are folded onto modules by index). */
     fault::CampaignConfig bursts;
+    /** Optional explicit event overlay (e.g. a DriftChaosCampaign's
+     *  kErrorBurst view); only kErrorBurst events are consumed, folded
+     *  onto modules exactly like the Poisson bursts.  The overlay is
+     *  part of the config fingerprint, so snapshots taken under one
+     *  drift realization refuse to resume under another. */
+    std::vector<fault::FaultEvent> scheduleOverlay;
 
     /** Reject impossible campaigns with a fatal() naming the field. */
     void validate() const;

@@ -16,6 +16,7 @@
 #include "core/replication.hh"
 #include "dram/controller.hh"
 #include "fault/campaign.hh"
+#include "fault/drift_chaos.hh"
 #include "fault/injector.hh"
 #include "sched/cluster_sim.hh"
 #include "sim/event_queue.hh"
@@ -468,6 +469,154 @@ TEST(ClusterFaults, FailuresAndDemotionsReshapeTheMachine)
     // Fewer, slower nodes can only hurt mean turnaround.
     EXPECT_GT(metrics.meanTurnaroundSeconds,
               plain.meanTurnaroundSeconds);
+}
+
+// --------------------------------------------------------------------
+// Drift chaos campaign
+// --------------------------------------------------------------------
+
+DriftScenarioConfig
+driftScenario()
+{
+    DriftScenarioConfig scenario;
+    scenario.drift.seed = 0xd21f7u;
+    scenario.drift.modules = 3;
+    scenario.drift.horizonHours = 1100.0;
+    scenario.drift.agingMtsPerKiloHour = 1000.0;
+    scenario.drift.agingSigma = 0.0; // every module at the median rate
+    scenario.drift.diurnalAmplitudeC = 12.0;
+    scenario.drift.spikesPerKiloHour = 3.0;
+    scenario.marginStepMts = 200.0;
+    scenario.targetsPerModule = 2;
+    scenario.excursionThresholdC = 10.0;
+    scenario.spikeBurstErrors = 50.0;
+    return scenario;
+}
+
+bool
+sameEvent(const FaultEvent &a, const FaultEvent &b)
+{
+    return a.atSeconds == b.atSeconds && a.kind == b.kind &&
+           a.target == b.target && a.magnitude == b.magnitude &&
+           a.durationSeconds == b.durationSeconds;
+}
+
+TEST(DriftChaos, ScheduleIsDeterministic)
+{
+    const DriftChaosCampaign a(driftScenario());
+    const DriftChaosCampaign b(driftScenario());
+    ASSERT_EQ(a.schedule().size(), b.schedule().size());
+    for (size_t i = 0; i < a.schedule().size(); ++i)
+        EXPECT_TRUE(sameEvent(a.schedule()[i], b.schedule()[i]));
+    EXPECT_EQ(a.model().digest(), b.model().digest());
+    EXPECT_TRUE(std::is_sorted(a.schedule().begin(), a.schedule().end(),
+                               [](const FaultEvent &x,
+                                  const FaultEvent &y) {
+                                   return x.atSeconds < y.atSeconds;
+                               }));
+}
+
+TEST(DriftChaos, MarginCrossingsMatchTheAnalyticCurve)
+{
+    // With agingSigma = 0 every module erodes at exactly the median
+    // rate, so erosion(h) = 1000 * (h/1000) crosses k * 200 MT/s at
+    // h = 200 k hours: five crossings inside 1100 h, fanned out to
+    // each of the module's schedule targets.
+    const auto scenario = driftScenario();
+    const DriftChaosCampaign chaos(scenario);
+    const auto crossings = chaos.schedule(FaultKind::kMarginDrift);
+    ASSERT_EQ(crossings.size(), static_cast<size_t>(
+                                    5 * scenario.drift.modules *
+                                    scenario.targetsPerModule));
+    for (const FaultEvent &ev : crossings) {
+        const double hour = ev.atSeconds / 3600.0;
+        const double steps = hour / 200.0;
+        EXPECT_NEAR(steps, std::round(steps), 1e-9);
+        EXPECT_DOUBLE_EQ(ev.magnitude, scenario.marginStepMts);
+        EXPECT_LT(ev.target, scenario.drift.modules *
+                                 scenario.targetsPerModule);
+    }
+}
+
+TEST(DriftChaos, ExcursionWindowsAreFleetWideAndBounded)
+{
+    const auto scenario = driftScenario();
+    const DriftChaosCampaign chaos(scenario);
+    const auto windows =
+        chaos.schedule(FaultKind::kTemperatureExcursion);
+    ASSERT_FALSE(windows.empty());
+    for (const FaultEvent &ev : windows) {
+        EXPECT_EQ(ev.target, 0u);
+        EXPECT_GT(ev.durationSeconds, 0.0);
+        EXPECT_LE(ev.atSeconds + ev.durationSeconds,
+                  scenario.drift.horizonHours * 3600.0 + 1e-6);
+    }
+
+    // Raising the threshold above the diurnal amplitude closes every
+    // window.
+    auto cool = scenario;
+    cool.excursionThresholdC = scenario.drift.diurnalAmplitudeC + 1.0;
+    const DriftChaosCampaign quiet(cool);
+    EXPECT_TRUE(
+        quiet.schedule(FaultKind::kTemperatureExcursion).empty());
+}
+
+TEST(DriftChaos, ClusterScheduleMapsKindsForTheClusterLayer)
+{
+    const DriftChaosCampaign chaos(driftScenario());
+    const auto cluster = chaos.clusterSchedule();
+    const auto drifts = chaos.schedule(FaultKind::kMarginDrift);
+    const auto windows =
+        chaos.schedule(FaultKind::kTemperatureExcursion);
+    EXPECT_EQ(cluster.size(), drifts.size() + windows.size());
+
+    size_t demotions = 0;
+    for (const FaultEvent &ev : cluster) {
+        // Bursts have no cluster-layer consumer and must not leak.
+        ASSERT_NE(ev.kind, FaultKind::kErrorBurst);
+        if (ev.kind == FaultKind::kGroupDemotion) {
+            EXPECT_DOUBLE_EQ(ev.magnitude, 1.0); // one margin group
+            ++demotions;
+        } else {
+            ASSERT_EQ(ev.kind, FaultKind::kTemperatureExcursion);
+        }
+    }
+    EXPECT_EQ(demotions, drifts.size());
+}
+
+TEST(DriftChaos, ComposeWithMergesTimeSorted)
+{
+    const DriftChaosCampaign chaos(driftScenario());
+    const FaultCampaign base(channelCampaign(1.0));
+    const auto merged = chaos.composeWith(base);
+    EXPECT_EQ(merged.size(),
+              base.schedule().size() + chaos.schedule().size());
+    EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end(),
+                               [](const FaultEvent &a,
+                                  const FaultEvent &b) {
+                                   return a.atSeconds < b.atSeconds;
+                               }));
+}
+
+TEST(DriftChaos, ValidateRejectsBadScenario)
+{
+    DriftScenarioConfig scenario = driftScenario();
+    scenario.marginStepMts = 0.0;
+    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
+                "marginStepMts");
+    scenario = driftScenario();
+    scenario.targetsPerModule = 0;
+    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
+                "targetsPerModule");
+    scenario = driftScenario();
+    scenario.excursionThresholdC = -1.0;
+    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
+                "excursionThresholdC");
+    scenario = driftScenario();
+    scenario.spikeBurstErrors =
+        -std::numeric_limits<double>::infinity();
+    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
+                "spikeBurstErrors");
 }
 
 } // namespace

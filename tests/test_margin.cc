@@ -11,12 +11,14 @@
 
 #include <algorithm>
 
+#include "margin/drift.hh"
 #include "margin/error_model.hh"
 #include "margin/module.hh"
 #include "margin/monte_carlo.hh"
 #include "margin/population.hh"
 #include "margin/study.hh"
 #include "margin/test_machine.hh"
+#include "snapshot/serializer.hh"
 
 namespace
 {
@@ -573,6 +575,208 @@ TEST(Profiler, ReprofilesOnlyWhenIdleAndStale)
     EXPECT_FALSE(profiler.maybeReprofile(modules, 5000, false)); // busy
     EXPECT_TRUE(profiler.maybeReprofile(modules, 5000, true));
     EXPECT_EQ(profiler.profilesTaken(), 2u);
+}
+
+// --------------------------------------------------------------------
+// Time-varying margin drift
+// --------------------------------------------------------------------
+
+DriftConfig
+referenceDrift()
+{
+    DriftConfig config;
+    config.seed = 0xd21f7u;
+    config.modules = 16;
+    config.horizonHours = 2000.0;
+    config.agingMtsPerKiloHour = 150.0;
+    config.agingSigma = 0.5;
+    config.cohortSize = 4;
+    config.cohortCorrelation = 0.5;
+    config.diurnalAmplitudeC = 12.0;
+    config.diurnalPeakHour = 14.0;
+    config.spikesPerKiloHour = 5.0;
+    config.spikeMeanHours = 0.25;
+    config.spikeErrorMultiplier = 6.0;
+    return config;
+}
+
+TEST(Drift, ValidateRejectsBadConfig)
+{
+    DriftConfig config = referenceDrift();
+    config.modules = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "modules");
+    config = referenceDrift();
+    config.agingMtsPerKiloHour = -1.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "agingMtsPerKiloHour");
+    config = referenceDrift();
+    config.agingExponent = 0.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "agingExponent");
+    config = referenceDrift();
+    config.cohortCorrelation = 1.5;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "cohortCorrelation");
+    config = referenceDrift();
+    config.diurnalPeakHour = 24.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "diurnalPeakHour");
+    config = referenceDrift();
+    config.spikeMeanHours = 0.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "spikeMeanHours");
+    config = referenceDrift();
+    config.spikeErrorMultiplier = 0.5;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "spikeErrorMultiplier");
+}
+
+TEST(Drift, RealizationIsDeterministic)
+{
+    const MarginDriftModel a(referenceDrift());
+    const MarginDriftModel b(referenceDrift());
+    ASSERT_EQ(a.config().modules, b.config().modules);
+    for (unsigned m = 0; m < a.config().modules; ++m) {
+        EXPECT_DOUBLE_EQ(a.agingRateMtsPerKiloHour(m),
+                         b.agingRateMtsPerKiloHour(m));
+        EXPECT_EQ(a.spikes(m).size(), b.spikes(m).size());
+    }
+    EXPECT_EQ(a.digest(), b.digest());
+
+    auto other = referenceDrift();
+    other.seed ^= 1;
+    const MarginDriftModel c(other);
+    EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Drift, FleetGrowthPreservesExistingCurves)
+{
+    // Per-module forked streams: enlarging the fleet must not perturb
+    // the modules that were already in it.
+    auto small = referenceDrift();
+    small.modules = 8;
+    auto large = referenceDrift();
+    large.modules = 16;
+    const MarginDriftModel a(small);
+    const MarginDriftModel b(large);
+    for (unsigned m = 0; m < small.modules; ++m) {
+        EXPECT_DOUBLE_EQ(a.agingRateMtsPerKiloHour(m),
+                         b.agingRateMtsPerKiloHour(m));
+        ASSERT_EQ(a.spikes(m).size(), b.spikes(m).size());
+        for (size_t i = 0; i < a.spikes(m).size(); ++i)
+            EXPECT_DOUBLE_EQ(a.spikes(m)[i].startHour,
+                             b.spikes(m)[i].startHour);
+    }
+}
+
+TEST(Drift, CohortCorrelationPullsCohortMatesTogether)
+{
+    // With full correlation, every module in a cohort shares one aging
+    // draw; with none, they are independent.
+    auto correlated = referenceDrift();
+    correlated.cohortCorrelation = 1.0;
+    const MarginDriftModel model(correlated);
+    for (unsigned c = 0; c < correlated.modules / correlated.cohortSize;
+         ++c) {
+        const double first =
+            model.agingRateMtsPerKiloHour(c * correlated.cohortSize);
+        for (unsigned k = 1; k < correlated.cohortSize; ++k)
+            EXPECT_DOUBLE_EQ(model.agingRateMtsPerKiloHour(
+                                 c * correlated.cohortSize + k),
+                             first);
+    }
+
+    auto independent = referenceDrift();
+    independent.cohortCorrelation = 0.0;
+    const MarginDriftModel loose(independent);
+    bool varies = false;
+    for (unsigned k = 1; k < independent.cohortSize && !varies; ++k)
+        varies = loose.agingRateMtsPerKiloHour(k) !=
+                 loose.agingRateMtsPerKiloHour(0);
+    EXPECT_TRUE(varies);
+}
+
+TEST(Drift, ErosionIsMonotoneAndDiurnalPeaksOnSchedule)
+{
+    const MarginDriftModel model(referenceDrift());
+    double last = -1.0;
+    for (double hour : {0.0, 100.0, 500.0, 1000.0, 2000.0}) {
+        const double erosion = model.erosionMtsAt(0, hour);
+        EXPECT_GT(erosion, last);
+        last = erosion;
+    }
+    EXPECT_DOUBLE_EQ(model.erosionMtsAt(0, 0.0), 0.0);
+
+    // Diurnal rise: full amplitude at the peak hour, zero twelve hours
+    // opposite, same value every 24 h.
+    const double peak = referenceDrift().diurnalPeakHour;
+    EXPECT_DOUBLE_EQ(model.ambientDeltaAt(peak),
+                     referenceDrift().diurnalAmplitudeC);
+    EXPECT_NEAR(model.ambientDeltaAt(peak + 12.0), 0.0, 1e-12);
+    EXPECT_NEAR(model.ambientDeltaAt(peak + 48.0),
+                model.ambientDeltaAt(peak), 1e-9);
+}
+
+TEST(Drift, DriftedOracleDegradesStableRateOverTime)
+{
+    const auto fleet = studyFleet();
+    const ErrorRateModel error_model;
+    const MarginDriftModel model(referenceDrift());
+    const auto &module = fleet.front();
+    OperatingPoint op;
+    op.dataRateMts = module.maxStableRateMts;
+
+    const unsigned fresh =
+        model.stableRateAt(error_model, module, op, 0, 0.0);
+    const unsigned worn =
+        model.stableRateAt(error_model, module, op, 0, 2000.0);
+    EXPECT_EQ(fresh, error_model.stableRateAt(module, op));
+    EXPECT_LT(worn, fresh);
+
+    // Worn module + diurnal peak: errors/hour can only go up relative
+    // to the fresh module at the base operating point.
+    const double quiet =
+        model.errorsPerHourAt(error_model, module, op, 0, 0.0);
+    const double strained = model.errorsPerHourAt(
+        error_model, module, op, 0, 2000.0 + referenceDrift().diurnalPeakHour);
+    EXPECT_GE(strained, quiet);
+}
+
+TEST(Drift, SpikeMultiplierOnlyInsideWindows)
+{
+    const MarginDriftModel model(referenceDrift());
+    for (unsigned m = 0; m < model.config().modules; ++m) {
+        for (const VoltageSpike &spike : model.spikes(m)) {
+            const double inside =
+                spike.startHour + spike.durationHours / 2.0;
+            EXPECT_GE(model.errorMultiplierAt(m, inside),
+                      model.config().spikeErrorMultiplier);
+        }
+        EXPECT_DOUBLE_EQ(
+            model.errorMultiplierAt(m, model.config().horizonHours + 1.0),
+            1.0);
+    }
+}
+
+TEST(Drift, SnapshotFingerprintRoundTripsAndRejectsOtherRealization)
+{
+    const MarginDriftModel model(referenceDrift());
+    hdmr::snapshot::Serializer out;
+    model.save(out);
+
+    MarginDriftModel same(referenceDrift());
+    hdmr::snapshot::Deserializer in(out.data());
+    EXPECT_TRUE(same.restore(in));
+    EXPECT_TRUE(in.ok());
+    EXPECT_EQ(in.remaining(), 0u);
+
+    auto tweaked = referenceDrift();
+    tweaked.seed ^= 1;
+    MarginDriftModel other(tweaked);
+    hdmr::snapshot::Deserializer reject(out.data());
+    EXPECT_FALSE(other.restore(reject));
+    EXPECT_FALSE(reject.ok());
 }
 
 } // namespace

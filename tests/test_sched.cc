@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 
+#include "fault/fault.hh"
 #include "sched/cluster_sim.hh"
 #include "traces/job_trace.hh"
 #include "traces/memory_usage.hh"
@@ -185,6 +187,128 @@ TEST(ClusterSim, OversizedJobsAreSkippedNotHung)
     ClusterSimulator sim(smallCluster(false, false));
     const auto metrics = sim.run(trace);
     EXPECT_EQ(metrics.jobsCompleted, trace.size() - 1);
+}
+
+// --------------------------------------------------------------------
+// Chaos-overlay schedule (drift campaigns feeding the cluster layer)
+// --------------------------------------------------------------------
+
+TEST(ClusterOverlay, ExcursionWindowRaisesUeHazard)
+{
+    const auto trace = smallTrace();
+    auto config = smallCluster(true, true);
+    config.faults.intensity = 1.0;
+    config.faults.uncorrectablePerHour = 2.0e-4;
+    config.faults.horizonSeconds = 14.0 * 86400;
+
+    const auto cool = ClusterSimulator(config).run(trace);
+
+    // One fleet-wide hot window covering the whole trace: every job
+    // start sees the multiplied hazard.
+    fault::FaultEvent window;
+    window.kind = fault::FaultKind::kTemperatureExcursion;
+    window.atSeconds = 0.0;
+    window.durationSeconds = 30.0 * 86400;
+    config.scheduleOverlay.push_back(window);
+    config.excursionUeMultiplier = 8.0;
+    const auto hot = ClusterSimulator(config).run(trace);
+
+    EXPECT_EQ(hot.excursions, 1u);
+    EXPECT_EQ(cool.excursions, 0u);
+    EXPECT_GT(hot.jobKills, cool.jobKills);
+    // Kills are recoverable: the machine still finishes the trace.
+    EXPECT_EQ(hot.jobsCompleted + hot.jobsDropped, trace.size());
+}
+
+TEST(ClusterOverlay, DemotionsAreCountedAndSlowTheMachine)
+{
+    const auto trace = smallTrace();
+    auto config = smallCluster(true, true);
+    const auto plain = ClusterSimulator(config).run(trace);
+
+    for (unsigned i = 0; i < 120; ++i) {
+        fault::FaultEvent demotion;
+        demotion.kind = fault::FaultKind::kGroupDemotion;
+        demotion.atSeconds = 3600.0 * (i + 1);
+        demotion.target = i * 2;
+        config.scheduleOverlay.push_back(demotion);
+    }
+    const auto demoted = ClusterSimulator(config).run(trace);
+
+    EXPECT_EQ(demoted.nodesDemoted, 120u);
+    EXPECT_EQ(demoted.jobsCompleted + demoted.jobsDropped,
+              trace.size());
+    // Nodes pushed into slower margin groups can only hurt.
+    EXPECT_GT(demoted.meanTurnaroundSeconds,
+              plain.meanTurnaroundSeconds);
+}
+
+TEST(ClusterOverlay, OverlayIsFingerprintedIntoTheConfigDigest)
+{
+    auto config = smallCluster(true, true);
+    const std::uint64_t bare = ClusterSimulator(config).configDigest();
+
+    fault::FaultEvent window;
+    window.kind = fault::FaultKind::kTemperatureExcursion;
+    window.atSeconds = 7200.0;
+    window.durationSeconds = 3600.0;
+    config.scheduleOverlay.push_back(window);
+    const std::uint64_t overlaid =
+        ClusterSimulator(config).configDigest();
+    EXPECT_NE(bare, overlaid);
+
+    // ... and so is the excursion multiplier the overlay arms.
+    auto hotter = config;
+    hotter.excursionUeMultiplier = 8.0;
+    EXPECT_NE(overlaid, ClusterSimulator(hotter).configDigest());
+}
+
+TEST(ClusterOverlay, SnapshotNeverResumesUnderForeignOverlay)
+{
+    const auto trace = smallTrace();
+    auto config = smallCluster(true, true);
+    fault::FaultEvent window;
+    window.kind = fault::FaultKind::kTemperatureExcursion;
+    window.atSeconds = 86400.0;
+    window.durationSeconds = 6.0 * 3600;
+    config.scheduleOverlay.push_back(window);
+
+    // Interrupt mid-run and capture the state image.
+    std::vector<std::uint8_t> image;
+    RunOptions options;
+    options.digestEverySeconds = 43200.0;
+    options.stopAfterSeconds = 3.0 * 86400;
+    options.snapshotSink =
+        [&](const std::vector<std::uint8_t> &state) { image = state; };
+    ClusterSimulator stopped(config);
+    const auto partial = stopped.run(trace, options);
+    ASSERT_FALSE(partial.completed);
+    ASSERT_FALSE(image.empty());
+
+    // A simulator armed with a different drift realization must
+    // reject the image outright.
+    auto other = config;
+    other.scheduleOverlay[0].atSeconds = 2.0 * 86400;
+    ClusterSimulator foreign(other);
+    std::string error;
+    EXPECT_FALSE(foreign.restoreState(image, trace, &error));
+    EXPECT_FALSE(error.empty());
+
+    // The matching configuration restores and finishes with exactly
+    // the metrics and digest trail of an uninterrupted run.
+    RunOptions straight_options;
+    straight_options.digestEverySeconds = 43200.0;
+    const auto straight =
+        ClusterSimulator(config).run(trace, straight_options);
+    ClusterSimulator resumed_sim(config);
+    ASSERT_TRUE(resumed_sim.restoreState(image, trace, &error))
+        << error;
+    const auto resumed = resumed_sim.resume(straight_options);
+    ASSERT_TRUE(resumed.completed);
+    EXPECT_TRUE(metricsIdentical(straight.metrics, resumed.metrics));
+    EXPECT_EQ(snapshot::DigestTrail::firstDivergence(straight.digests,
+                                                     resumed.digests),
+              std::nullopt);
 }
 
 } // namespace

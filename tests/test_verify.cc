@@ -8,10 +8,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "ecc/bamboo.hh"
+#include "fault/fault.hh"
 #include "snapshot/serializer.hh"
 #include "util/rng.hh"
 #include "verify/audit.hh"
@@ -385,6 +387,56 @@ TEST(SdcAudit, BurstOverlayAddsDetectedErrors)
     b.run();
     EXPECT_GT(b.report().detectedErrors, a.report().detectedErrors);
     EXPECT_EQ(b.report().total.unclassified, 0u);
+}
+
+TEST(SdcAudit, DriftOverlayAddsErrorsAndRefingerprints)
+{
+    // The drift-chaos harness hands its voltage-noise spikes to the
+    // audit as a kErrorBurst overlay: extra detected-error pressure,
+    // and a different campaign identity for snapshot purposes.
+    verify::SdcAuditConfig quiet = smallAuditConfig();
+    verify::SdcAuditConfig drifted = smallAuditConfig();
+    fault::FaultEvent burst;
+    burst.kind = fault::FaultKind::kErrorBurst;
+    burst.atSeconds = 3600.0; // hour 1 of the 3-hour horizon
+    burst.target = 1;
+    burst.magnitude = 500.0;
+    drifted.scheduleOverlay.push_back(burst);
+    // Non-burst kinds in the overlay are ignored by the audit.
+    fault::FaultEvent window;
+    window.kind = fault::FaultKind::kTemperatureExcursion;
+    window.atSeconds = 0.0;
+    window.durationSeconds = 3600.0;
+    drifted.scheduleOverlay.push_back(window);
+
+    verify::SdcAudit a(quiet);
+    verify::SdcAudit b(drifted);
+    a.run();
+    b.run();
+    EXPECT_GT(b.report().detectedErrors, a.report().detectedErrors);
+    EXPECT_EQ(b.report().total.unclassified, 0u);
+
+    // Overlay differences must block cross-realization resume.
+    snapshot::Serializer out;
+    a.saveState(out);
+    verify::SdcAudit target(drifted);
+    snapshot::Deserializer in(out.data());
+    EXPECT_FALSE(target.restoreState(in));
+    EXPECT_FALSE(in.ok());
+}
+
+TEST(SdcAudit, OverlayValidateRejectsBadEvents)
+{
+    verify::SdcAuditConfig config = smallAuditConfig();
+    config.scheduleOverlay.emplace_back();
+    config.scheduleOverlay[0].atSeconds = -1.0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "scheduleOverlay");
+    config.scheduleOverlay[0].atSeconds = 0.0;
+    config.scheduleOverlay[0].magnitude =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "scheduleOverlay");
 }
 
 TEST(SdcAudit, PerEpochCountersCoverTheHorizon)
