@@ -6,19 +6,106 @@
  * batches are needed once a read<->write switch costs ~1 us, and how
  * sensitive the design is if the JEDEC-compliant transition were
  * slower or faster.
+ *
+ * Flags (unknown flags are fatal):
+ *   --telemetry-out=<dir>  export every ablation point as a metric
+ *                          (CSV + JSON) plus a
+ *                          BENCH_ablation_heterodmr.json perf record
  */
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "node/config.hh"
 #include "node/node_system.hh"
+#include "telemetry/bench_record.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/telemetry.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
-int
-main()
+namespace
 {
-    using namespace hdmr;
+
+using namespace hdmr;
+
+/** Publishes ablation points and totals for the perf record. */
+struct Recorder
+{
+    telemetry::Registry registry;
+    std::uint64_t simEvents = 0;
+    double simSeconds = 0.0;
+
+    node::NodeStats
+    run(const node::NodeConfig &config, const std::string &metric)
+    {
+        const node::NodeStats stats = node::NodeSystem(config).run();
+        simEvents += stats.memOps;
+        simSeconds += stats.execSeconds;
+        registry.gauge("ablation." + metric + ".exec_seconds")
+            .set(stats.execSeconds);
+        return stats;
+    }
+};
+
+/**
+ * Export the registry and the perf-trajectory record.  Fatal on I/O
+ * failure: an explicitly requested export that silently vanished
+ * would poison the trajectory.
+ */
+void
+exportTelemetry(const std::string &dir, Recorder &recorder,
+                const telemetry::WallTimer &timer)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        util::fatal("ablation_heterodmr: cannot create '%s': %s",
+                    dir.c_str(), ec.message().c_str());
+
+    std::string error;
+    const std::string csv = dir + "/metrics.csv";
+    if (!telemetry::writeMetricsCsv(recorder.registry, csv, &error))
+        util::fatal("ablation_heterodmr: %s", error.c_str());
+    const std::string json = dir + "/metrics.json";
+    if (!telemetry::writeMetricsJson(recorder.registry, json, &error))
+        util::fatal("ablation_heterodmr: %s", error.c_str());
+
+    telemetry::BenchRecord record;
+    record.bench = "ablation_heterodmr";
+    record.gitSha = telemetry::currentGitSha();
+    record.wallSeconds = timer.seconds();
+    record.simSeconds = recorder.simSeconds;
+    record.simEvents = recorder.simEvents;
+    record.peakRssBytes = telemetry::currentPeakRssBytes();
+    record.threads = 1;
+    std::string bench_path;
+    if (!telemetry::writeBenchRecord(dir, record, &error, &bench_path))
+        util::fatal("ablation_heterodmr: %s", error.c_str());
+    std::printf("\ntelemetry: %s, %s, %s\n", csv.c_str(), json.c_str(),
+                bench_path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
     using namespace hdmr::node;
+
+    const telemetry::WallTimer timer;
+    std::string telemetry_dir;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--telemetry-out=", 16) == 0)
+            telemetry_dir = arg + 16;
+        else
+            util::fatal("ablation_heterodmr: unknown flag '%s'", arg);
+    }
+
+    Recorder recorder;
 
     NodeConfig base;
     base.hierarchy = HierarchyConfig::hierarchy1();
@@ -26,7 +113,8 @@ main()
     base.memOpsPerCore = 40000;
     base.warmupOpsPerCore = 20000;
     base.memorySystem = MemorySystemKind::kCommercialBaseline;
-    const double baseline = NodeSystem(base).run().execSeconds;
+    const double baseline =
+        recorder.run(base, "baseline").execSeconds;
 
     base.memorySystem = MemorySystemKind::kHeteroDmr;
 
@@ -40,7 +128,12 @@ main()
     for (const std::size_t lines : {0ul, 1600ul, 12800ul, 51200ul}) {
         auto config = base;
         config.cleanLinesPerWriteMode = lines;
-        const auto stats = NodeSystem(config).run();
+        const auto stats = recorder.run(
+            config, "batch_lines_" + std::to_string(lines));
+        recorder.registry
+            .gauge("ablation.batch_lines_" + std::to_string(lines) +
+                   ".speedup")
+            .set(baseline / stats.execSeconds);
         batch.row()
             .cell(static_cast<long long>(lines))
             .cell(util::formatSpeedup(baseline / stats.execSeconds))
@@ -56,7 +149,12 @@ main()
     for (const double us : {0.1, 0.5, 1.0, 2.0, 5.0}) {
         auto config = base;
         config.frequencyTransitionUs = us;
-        const auto stats = NodeSystem(config).run();
+        const auto stats = recorder.run(
+            config, "transition_us_" + util::formatDouble(us, 1));
+        recorder.registry
+            .gauge("ablation.transition_us_" +
+                   util::formatDouble(us, 1) + ".speedup")
+            .set(baseline / stats.execSeconds);
         transition.row()
             .cell(util::formatDouble(us, 1) + " us")
             .cell(util::formatSpeedup(baseline / stats.execSeconds));
@@ -68,11 +166,19 @@ main()
     for (const unsigned mts : {200u, 400u, 600u, 800u}) {
         auto config = base;
         config.nodeMarginMts = mts;
-        const auto stats = NodeSystem(config).run();
+        const auto stats = recorder.run(
+            config, "margin_mts_" + std::to_string(mts));
+        recorder.registry
+            .gauge("ablation.margin_mts_" + std::to_string(mts) +
+                   ".speedup")
+            .set(baseline / stats.execSeconds);
         margin.row()
             .cell(std::to_string(mts) + " MT/s")
             .cell(util::formatSpeedup(baseline / stats.execSeconds));
     }
     margin.print();
+
+    if (!telemetry_dir.empty())
+        exportTelemetry(telemetry_dir, recorder, timer);
     return 0;
 }

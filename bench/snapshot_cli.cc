@@ -344,6 +344,10 @@ SweepRunner::reconcileLeg(const std::string &label,
     check("jobs_dropped", metrics.jobsDropped);
     check("nodes_failed", metrics.nodesFailed);
     check("nodes_demoted", metrics.nodesDemoted);
+    check("tolerant_ues", metrics.tolerantUes);
+    check("critical_ues", metrics.criticalUes);
+    check("jobs_degraded", metrics.jobsDegraded);
+    check("pages_degraded", metrics.pagesDegraded);
 
     const telemetry::Metric *metric =
         registry_.find(prefix + ".turnaround_seconds");

@@ -97,6 +97,8 @@ ClusterConfig::validate() const
     speedups.validate();
     resilience.validate();
     faults.validate();
+    placement.validate();
+    criticality.validate();
 }
 
 // --------------------------------------------------------------------
@@ -119,6 +121,15 @@ ClusterMetrics::counters() const
     set.add("cluster.lost_node_seconds", lostNodeSeconds);
     set.add("cluster.checkpoint_overhead_seconds",
             checkpointOverheadSeconds);
+    set.add("cluster.tolerant_ues", static_cast<double>(tolerantUes));
+    set.add("cluster.critical_ues", static_cast<double>(criticalUes));
+    set.add("cluster.jobs_degraded",
+            static_cast<double>(jobsDegraded));
+    set.add("cluster.pages_degraded",
+            static_cast<double>(pagesDegraded));
+    set.add("cluster.data_quality_penalty", dataQualityPenalty);
+    set.add("cluster.copy_node_seconds", copyNodeSeconds);
+    set.add("cluster.dmr_copy_node_seconds", dmrCopyNodeSeconds);
     return set;
 }
 
@@ -140,6 +151,13 @@ saveMetrics(snapshot::Serializer &out, const ClusterMetrics &m)
     out.writeU64(m.jobsDropped);
     out.writeDouble(m.lostNodeSeconds);
     out.writeDouble(m.checkpointOverheadSeconds);
+    out.writeU64(m.tolerantUes);
+    out.writeU64(m.criticalUes);
+    out.writeU64(m.jobsDegraded);
+    out.writeU64(m.pagesDegraded);
+    out.writeDouble(m.dataQualityPenalty);
+    out.writeDouble(m.copyNodeSeconds);
+    out.writeDouble(m.dmrCopyNodeSeconds);
 }
 
 bool
@@ -160,6 +178,13 @@ restoreMetrics(snapshot::Deserializer &in, ClusterMetrics *m)
     m->jobsDropped = in.readU64();
     m->lostNodeSeconds = in.readDouble();
     m->checkpointOverheadSeconds = in.readDouble();
+    m->tolerantUes = in.readU64();
+    m->criticalUes = in.readU64();
+    m->jobsDegraded = in.readU64();
+    m->pagesDegraded = in.readU64();
+    m->dataQualityPenalty = in.readDouble();
+    m->copyNodeSeconds = in.readDouble();
+    m->dmrCopyNodeSeconds = in.readDouble();
     return in.ok();
 }
 
@@ -178,7 +203,15 @@ metricsIdentical(const ClusterMetrics &a, const ClusterMetrics &b)
            a.excursions == b.excursions &&
            a.jobsDropped == b.jobsDropped &&
            a.lostNodeSeconds == b.lostNodeSeconds &&
-           a.checkpointOverheadSeconds == b.checkpointOverheadSeconds;
+           a.checkpointOverheadSeconds ==
+               b.checkpointOverheadSeconds &&
+           a.tolerantUes == b.tolerantUes &&
+           a.criticalUes == b.criticalUes &&
+           a.jobsDegraded == b.jobsDegraded &&
+           a.pagesDegraded == b.pagesDegraded &&
+           a.dataQualityPenalty == b.dataQualityPenalty &&
+           a.copyNodeSeconds == b.copyNodeSeconds &&
+           a.dmrCopyNodeSeconds == b.dmrCopyNodeSeconds;
 }
 
 // --------------------------------------------------------------------
@@ -205,7 +238,8 @@ laterCompletion(const double a_time, const std::uint64_t a_seq,
 // --------------------------------------------------------------------
 
 ClusterSimulator::ClusterSimulator(ClusterConfig config)
-    : config_(config), rng_(config.seed)
+    : config_(config), criticality_(config.criticality),
+      rng_(config.seed)
 {
     config_.validate();
     resetCapacity();
@@ -220,6 +254,15 @@ ClusterSimulator::bindTelemetry(telemetry::Registry &registry,
     tm_.jobKills = &registry.counter(prefix + ".job_kills");
     tm_.requeues = &registry.counter(prefix + ".requeues");
     tm_.jobsDropped = &registry.counter(prefix + ".jobs_dropped");
+    tm_.tolerantUes = &registry.counter(prefix + ".tolerant_ues");
+    tm_.criticalUes = &registry.counter(prefix + ".critical_ues");
+    tm_.jobsDegraded = &registry.counter(prefix + ".jobs_degraded");
+    tm_.pagesDegraded =
+        &registry.counter(prefix + ".pages_degraded");
+    tm_.dataQualityPenalty =
+        &registry.gauge(prefix + ".data_quality_penalty");
+    tm_.copyNodeSeconds =
+        &registry.gauge(prefix + ".copy_node_seconds");
     tm_.nodesFailed = &registry.counter(prefix + ".nodes_failed");
     tm_.nodesDemoted = &registry.counter(prefix + ".nodes_demoted");
     tm_.excursions = &registry.counter(prefix + ".excursions");
@@ -437,12 +480,16 @@ ClusterSimulator::allocate(unsigned count,
 double
 ClusterSimulator::speedupFor(
     const traces::Job &job,
-    const std::array<unsigned, kGroups> &allocated)
+    const std::array<unsigned, kGroups> &allocated,
+    double tolerant_fraction)
 {
     if (!config_.heteroDmr)
         return 1.0;
-    // Jobs using >= 50 % memory cannot replicate: no speedup.
-    if (job.usageClass >= 2)
+    // Under Hetero-DMR a job using >= 50 % memory cannot replicate
+    // (no speedup); Het-Reliability only needs the *critical* share
+    // to fit beside its copy, so tolerant high-usage jobs qualify.
+    if (!config_.placement.marginEligible(job.usageClass,
+                                          tolerant_fraction))
         return 1.0;
     // MPI couples the job to its slowest node.
     std::size_t slowest = 0;
@@ -532,19 +579,88 @@ ClusterSimulator::startJob(std::uint32_t job_index, double now)
     std::array<unsigned, kGroups> allocated;
     const bool ok = allocate(job.nodes, allocated);
     hdmr_assert(ok, "startJob called without room");
-    const double speedup = speedupFor(job, allocated);
+    const wl::JobCriticality crit =
+        criticality_.jobCriticality(job.id);
+    const double speedup =
+        speedupFor(job, allocated, crit.tolerantFraction);
     const double exec =
         jst.remainingSeconds / speedup * (1.0 + ckpt_ovh);
     const double est = job.walltimeSeconds / speedup;
 
     // Will a UE kill this attempt?  Margin UEs only strike jobs
     // actually running fast; the hazard scales with the job's node
-    // count.
+    // count.  Under Het-Reliability semantics a strike landing on a
+    // tolerant (unreplicated) page is *absorbed*: the page degrades
+    // and the attempt keeps running, so we walk the (job, attempt)
+    // hazard sequence until a critical page is hit or the attempt
+    // outlives the horizon.  Page-class draws are pure hashes of the
+    // criticality seed - no run-RNG stream is consumed - so a resumed
+    // snapshot replays the identical strike sequence, and the default
+    // Hetero-DMR placement (strike probability 0) reproduces the
+    // single-draw seed behaviour bit for bit.
+    constexpr unsigned kMaxAbsorbedStrikes = 64;
     double kill_after = std::numeric_limits<double>::infinity();
+    unsigned tolerant_hits = 0;
     if (ue_node_rate > 0.0 && speedup > 1.0) {
-        kill_after = fault::FaultCampaign::killTimeSeconds(
-            config_.faults.seed, job.id, attempt,
-            ue_node_rate * static_cast<double>(job.nodes));
+        const double job_rate =
+            ue_node_rate * static_cast<double>(job.nodes);
+        const double strike_tolerant_p =
+            config_.placement.tolerantStrikeProbability(
+                crit.tolerantFraction);
+        const std::uint64_t strike_scope =
+            (static_cast<std::uint64_t>(job.id) << 20) + attempt;
+        double strike_at = fault::FaultCampaign::killTimeSeconds(
+            config_.faults.seed, job.id, attempt, job_rate);
+        while (strike_at < exec && strike_tolerant_p > 0.0 &&
+               tolerant_hits < kMaxAbsorbedStrikes &&
+               wl::pageIsTolerant(config_.criticality.seed,
+                                  strike_scope, tolerant_hits,
+                                  strike_tolerant_p)) {
+            ++tolerant_hits;
+            strike_at += fault::FaultCampaign::killTimeSeconds(
+                config_.faults.seed, job.id,
+                attempt + (tolerant_hits << 16), job_rate);
+        }
+        kill_after = strike_at;
+    }
+
+    // Degradation bookkeeping: every absorbed strike is a delivered
+    // UE that downgraded one tolerant page instead of killing the
+    // attempt, each carrying the configured data-quality penalty.
+    if (tolerant_hits > 0) {
+        st_.metrics.ueInjected += tolerant_hits;
+        st_.metrics.tolerantUes += tolerant_hits;
+        st_.metrics.pagesDegraded += tolerant_hits;
+        st_.metrics.dataQualityPenalty +=
+            static_cast<double>(tolerant_hits) *
+            config_.placement.degradePenalty;
+        HDMR_TM_ADD(tm_.ueInjected, tolerant_hits);
+        HDMR_TM_ADD(tm_.tolerantUes, tolerant_hits);
+        HDMR_TM_ADD(tm_.pagesDegraded, tolerant_hits);
+        HDMR_TM_GAUGE_ADD(tm_.dataQualityPenalty,
+                          static_cast<double>(tolerant_hits) *
+                              config_.placement.degradePenalty);
+        traceInstant("page_degrade", now);
+    }
+
+    // Copy-capacity accounting: while the attempt runs fast, its
+    // replicated share occupies copy capacity.  The full-replication
+    // cost of the same placement is tracked alongside, so
+    // 1 - copy/dmrCopy is the capacity this placement reclaims from
+    // Hetero-DMR's tax (identically 0 under the default policy).
+    if (speedup > 1.0) {
+        const double fast_seconds = std::min(kill_after, exec);
+        const unsigned usage_class =
+            job.usageClass < 3 ? job.usageClass : 2;
+        const double footprint =
+            fast_seconds * static_cast<double>(job.nodes) *
+            config_.placement.usageRepresentative[usage_class];
+        const double copy =
+            footprint *
+            config_.placement.replicatedShare(crit.tolerantFraction);
+        st_.metrics.copyNodeSeconds += copy;
+        st_.metrics.dmrCopyNodeSeconds += footprint;
+        HDMR_TM_GAUGE_ADD(tm_.copyNodeSeconds, copy);
     }
 
     RunningJob rj;
@@ -560,8 +676,10 @@ ClusterSimulator::startJob(std::uint32_t job_index, double now)
         rj.killed = true;
         rj.endTime = now + kill_after;
         ++st_.metrics.ueInjected;
+        ++st_.metrics.criticalUes;
         ++st_.metrics.jobKills;
         HDMR_TM_INC(tm_.ueInjected);
+        HDMR_TM_INC(tm_.criticalUes);
         HDMR_TM_INC(tm_.jobKills);
         traceInstant("job_kill", rj.endTime);
         const double useful =
@@ -591,9 +709,15 @@ ClusterSimulator::startJob(std::uint32_t job_index, double now)
         HDMR_TM_INC(tm_.jobsCompleted);
         HDMR_TM_RECORD(tm_.turnaroundSeconds,
                        static_cast<std::uint64_t>(qdelay + exec));
-        if (config_.heteroDmr && job.usageClass < 2) {
+        if (config_.heteroDmr &&
+            config_.placement.marginEligible(job.usageClass,
+                                             crit.tolerantFraction)) {
             ++st_.eligible;
             st_.accelerated += speedup > 1.0;
+        }
+        if (tolerant_hits > 0) {
+            ++st_.metrics.jobsDegraded;
+            HDMR_TM_INC(tm_.jobsDegraded);
         }
         st_.metrics.checkpointOverheadSeconds +=
             exec * ckpt_ovh / (1.0 + ckpt_ovh);
@@ -973,6 +1097,10 @@ ClusterSimulator::configDigest() const
     hash.addDouble(rp.requeueBackoffCapSeconds);
     hash.addDouble(rp.checkpointIntervalSeconds);
     hash.addDouble(rp.checkpointOverheadFraction);
+    // Placement + criticality decide which jobs run fast and which
+    // UEs degrade instead of kill: part of the campaign identity.
+    hash.addU64(config_.placement.digest());
+    hash.addU64(config_.criticality.digest());
     // The chaos overlay is part of the campaign realization: a
     // snapshot taken under one drift scenario must not resume under
     // another.
@@ -1045,6 +1173,13 @@ ClusterSimulator::stateDigest() const
     hash.addU64(st_.metrics.jobsDropped);
     hash.addDouble(st_.metrics.lostNodeSeconds);
     hash.addDouble(st_.metrics.checkpointOverheadSeconds);
+    hash.addU64(st_.metrics.tolerantUes);
+    hash.addU64(st_.metrics.criticalUes);
+    hash.addU64(st_.metrics.jobsDegraded);
+    hash.addU64(st_.metrics.pagesDegraded);
+    hash.addDouble(st_.metrics.dataQualityPenalty);
+    hash.addDouble(st_.metrics.copyNodeSeconds);
+    hash.addDouble(st_.metrics.dmrCopyNodeSeconds);
 
     // Live running jobs in start order (dead slots are not state: a
     // resumed run compacts them away and must hash identically).

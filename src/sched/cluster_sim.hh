@@ -36,12 +36,14 @@
 #include <string>
 #include <vector>
 
+#include "core/placement.hh"
 #include "fault/campaign.hh"
 #include "snapshot/digest.hh"
 #include "telemetry/telemetry.hh"
 #include "traces/job_trace.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "workloads/criticality.hh"
 
 namespace hdmr::snapshot
 {
@@ -132,6 +134,21 @@ struct ClusterConfig
     ResiliencePolicy resilience;
 
     /**
+     * Heterogeneous-reliability placement.  The default (Hetero-DMR)
+     * replicates every fast page and kills on any UE - bit-identical
+     * to the seed behaviour.  Het-Reliability/Hybrid place tolerant
+     * pages unreplicated on the fast modules: high-usage jobs with
+     * enough tolerant pages become margin-eligible, and a margin UE
+     * striking a tolerant page downgrades the page and continues the
+     * job with a recorded data-quality penalty instead of the
+     * kill/requeue path.  Both structs fold into configDigest().
+     */
+    core::PlacementPolicy placement;
+    /** Deterministic per-job criticality assignment (page classes
+     *  are pure hashes of this config's seed, never the run RNG). */
+    wl::CriticalityConfig criticality;
+
+    /**
      * Extra cluster-scoped fault events composed by a chaos harness
      * (e.g. fault::DriftChaosCampaign::clusterSchedule()); merged with
      * the campaign schedule at run start and fingerprinted into
@@ -179,6 +196,20 @@ struct ClusterMetrics
     std::uint64_t jobsDropped = 0;  ///< jobs no surviving capacity fits
     double lostNodeSeconds = 0.0;   ///< work discarded by kills
     double checkpointOverheadSeconds = 0.0;
+
+    // ---- Heterogeneous-reliability placement accounting. ----
+    std::uint64_t tolerantUes = 0;  ///< UEs absorbed by tolerant pages
+    std::uint64_t criticalUes = 0;  ///< UEs on critical pages (kills)
+    std::uint64_t jobsDegraded = 0; ///< completions carrying degraded pages
+    std::uint64_t pagesDegraded = 0; ///< tolerant pages downgraded
+    double dataQualityPenalty = 0.0; ///< summed degrade penalties
+    /** Node-memory-seconds actually spent holding copies while jobs
+     *  ran fast (Hetero-DMR's capacity tax under this placement). */
+    double copyNodeSeconds = 0.0;
+    /** What full Hetero-DMR would have spent on the same fast
+     *  placements; 1 - copyNodeSeconds / dmrCopyNodeSeconds is the
+     *  capacity the placement reclaimed from the copy tax. */
+    double dmrCopyNodeSeconds = 0.0;
 
     /** Export into the shared counter vocabulary. */
     util::CounterSet counters() const;
@@ -450,9 +481,11 @@ class ClusterSimulator
     bool allocate(unsigned count,
                   std::array<unsigned, kGroups> &allocated);
 
-    /** Effective speedup for a job given its allocation. */
+    /** Effective speedup for a job given its allocation and its
+     *  criticality assignment (placement-aware eligibility). */
     double speedupFor(const traces::Job &job,
-                      const std::array<unsigned, kGroups> &allocated);
+                      const std::array<unsigned, kGroups> &allocated,
+                      double tolerant_fraction);
 
     /** Bound observability metrics (all null until bindTelemetry). */
     struct Telemetry
@@ -462,6 +495,12 @@ class ClusterSimulator
         telemetry::Counter *jobKills = nullptr;
         telemetry::Counter *requeues = nullptr;
         telemetry::Counter *jobsDropped = nullptr;
+        telemetry::Counter *tolerantUes = nullptr;
+        telemetry::Counter *criticalUes = nullptr;
+        telemetry::Counter *jobsDegraded = nullptr;
+        telemetry::Counter *pagesDegraded = nullptr;
+        telemetry::Gauge *dataQualityPenalty = nullptr;
+        telemetry::Gauge *copyNodeSeconds = nullptr;
         telemetry::Counter *nodesFailed = nullptr;
         telemetry::Counter *nodesDemoted = nullptr;
         telemetry::Counter *excursions = nullptr;
@@ -476,6 +515,7 @@ class ClusterSimulator
     void traceInstant(const char *name, double now) const;
 
     ClusterConfig config_;
+    wl::CriticalityModel criticality_;
     Telemetry tm_;
     telemetry::Registry *registry_ = nullptr;
     telemetry::TraceRecorder *trace_ = nullptr;

@@ -334,6 +334,10 @@ SdcAudit::publishTelemetry(telemetry::Registry &registry,
         .set(rep.total.retriedRecoveries);
     registry.counter(prefix + ".miscorrections")
         .set(rep.total.miscorrections);
+    registry.counter(prefix + ".escapes.critical_page")
+        .set(rep.total.escapesByPageClass[0]);
+    registry.counter(prefix + ".escapes.tolerant_page")
+        .set(rep.total.escapesByPageClass[1]);
     registry.counter(prefix + ".detected_errors")
         .set(rep.detectedErrors);
     registry.counter(prefix + ".guard_trips").set(rep.guardTrips);
@@ -361,6 +365,8 @@ SdcAudit::configFingerprint() const
         config_.oracle.payloadSeed,
         config_.oracle.retryAttempts,
         doubleBits(config_.oracle.originalErrorProbability),
+        doubleBits(config_.oracle.tolerantPageFraction),
+        config_.oracle.criticalitySeed,
         config_.epoch.epochLength,
         doubleBits(config_.epoch.mttSdcYears),
         doubleBits(config_.bursts.intensity),

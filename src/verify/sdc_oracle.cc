@@ -4,6 +4,7 @@
 
 #include "snapshot/serializer.hh"
 #include "util/logging.hh"
+#include "workloads/criticality.hh"
 
 namespace hdmr::verify
 {
@@ -34,6 +35,14 @@ OracleCounters::count(AccessClass cls, double weight)
 }
 
 void
+OracleCounters::countEscapePageClass(bool tolerant_page, double weight)
+{
+    const unsigned idx = tolerant_page ? 1 : 0;
+    escapesByPageClass[idx] += 1;
+    escapeWeightByPageClass[idx] += weight;
+}
+
+void
 OracleCounters::addBulkClean(std::uint64_t count)
 {
     raw[static_cast<unsigned>(AccessClass::kClean)] += count;
@@ -56,6 +65,10 @@ OracleCounters::merge(const OracleCounters &other)
     retriedRecoveries += other.retriedRecoveries;
     miscorrections += other.miscorrections;
     miscorrectionWeight += other.miscorrectionWeight;
+    for (unsigned i = 0; i < 2; ++i) {
+        escapesByPageClass[i] += other.escapesByPageClass[i];
+        escapeWeightByPageClass[i] += other.escapeWeightByPageClass[i];
+    }
 }
 
 std::uint64_t
@@ -91,6 +104,10 @@ OracleCounters::save(snapshot::Serializer &out) const
     out.writeU64(retriedRecoveries);
     out.writeU64(miscorrections);
     out.writeDouble(miscorrectionWeight);
+    for (unsigned i = 0; i < 2; ++i)
+        out.writeU64(escapesByPageClass[i]);
+    for (unsigned i = 0; i < 2; ++i)
+        out.writeDouble(escapeWeightByPageClass[i]);
 }
 
 void
@@ -108,6 +125,14 @@ OracleCounters::restore(snapshot::Deserializer &in)
     retriedRecoveries = in.readU64();
     miscorrections = in.readU64();
     miscorrectionWeight = in.readDouble();
+    for (unsigned i = 0; i < 2; ++i)
+        escapesByPageClass[i] = in.readU64();
+    for (unsigned i = 0; i < 2; ++i) {
+        escapeWeightByPageClass[i] = in.readDouble();
+        if (std::isnan(escapeWeightByPageClass[i]))
+            in.fail("oracle counters: non-finite page-class escape "
+                    "weight");
+    }
     for (unsigned i = 0; i < kAccessClassCount; ++i) {
         if (std::isnan(weighted[i]))
             in.fail("oracle counters: non-finite weighted count");
@@ -128,6 +153,12 @@ OracleConfig::validate() const
         fatal("oracle config: originalErrorProbability %f must be in "
               "[0, 1)",
               originalErrorProbability);
+    }
+    if (!(tolerantPageFraction >= 0.0) ||
+        !(tolerantPageFraction <= 1.0)) {
+        fatal("oracle config: tolerantPageFraction %f must be in "
+              "[0, 1]",
+              tolerantPageFraction);
     }
 }
 
@@ -152,6 +183,17 @@ mix64(std::uint64_t x)
 }
 
 } // namespace
+
+bool
+ShadowMemoryOracle::pageTolerant(std::uint64_t address) const
+{
+    // Page-granular (4 KiB) criticality: the same deterministic draw
+    // the placement layer uses, keyed by the page frame so all blocks
+    // of a page share a class.
+    return wl::pageIsTolerant(config_.criticalitySeed,
+                              /*scope=*/0x5dc0ULL, address >> 12,
+                              config_.tolerantPageFraction);
+}
 
 ecc::Block
 ShadowMemoryOracle::payloadFor(std::uint64_t address) const
@@ -234,6 +276,9 @@ ShadowMemoryOracle::classify(std::uint64_t address,
         outcome.cls =
             differs ? AccessClass::kSilentEscape : AccessClass::kClean;
         counters.count(outcome.cls, weight);
+        if (outcome.cls == AccessClass::kSilentEscape)
+            counters.countEscapePageClass(pageTolerant(address),
+                                          weight);
         return outcome;
     }
 
@@ -260,6 +305,8 @@ ShadowMemoryOracle::classify(std::uint64_t address,
             // detection.  Weighted like any other escape.
             outcome.cls = AccessClass::kSilentEscape;
             counters.count(outcome.cls, weight);
+            counters.countEscapePageClass(pageTolerant(address),
+                                          weight);
             ++counters.miscorrections;
             counters.miscorrectionWeight += weight;
             return outcome;

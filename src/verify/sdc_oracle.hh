@@ -97,8 +97,19 @@ struct OracleCounters
      *  weighted[kSilentEscape] isolates pure *detection* escapes (the
      *  quantity the 2^-64 codec bound is about). */
     double miscorrectionWeight = 0.0;
+    /** Silent escapes split by the criticality of the struck page
+     *  (index 0: critical, 1: tolerant).  Heterogeneous-reliability
+     *  placement only leaves *tolerant* pages exposed to unsafe-fast
+     *  errors, so an audit of it must show the critical bucket empty:
+     *  a critical-page escape is corrupted state the application
+     *  cannot absorb. */
+    std::uint64_t escapesByPageClass[2] = {};
+    double escapeWeightByPageClass[2] = {};
 
     void count(AccessClass cls, double weight);
+
+    /** Record the page-class split of one silent escape. */
+    void countEscapePageClass(bool tolerant_page, double weight);
 
     /** Fold `count` analytically-clean accesses in (weight 1 each). */
     void addBulkClean(std::uint64_t count);
@@ -125,6 +136,13 @@ struct OracleConfig
     /** Probability a spec re-read of the original is itself hit by a
      *  (correctable-or-worse) error pattern during recovery. */
     double originalErrorProbability = 0.0;
+    /** Fraction of audited pages treated as error-tolerant for the
+     *  per-page-class escape split; 0 (the default, matching the
+     *  seed) classifies every page critical. */
+    double tolerantPageFraction = 0.0;
+    /** Seed of the deterministic page-class draw (align with
+     *  wl::CriticalityConfig.seed in placement-aware campaigns). */
+    std::uint64_t criticalitySeed = 0xc2171ca1u;
 
     void validate() const;
 };
@@ -168,6 +186,9 @@ class ShadowMemoryOracle
                          OracleCounters &counters, util::Rng &rng);
 
     const OracleConfig &config() const { return config_; }
+
+    /** Deterministic page-class draw for an access address. */
+    bool pageTolerant(std::uint64_t address) const;
 
   private:
     Outcome classify(std::uint64_t address, ecc::CodedBlock corrupted,

@@ -1,0 +1,149 @@
+#include "workloads/criticality.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace hdmr::wl
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: cheap, well-mixed 64 -> 64 hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Map a hash to a uniform double in [0, 1). */
+double
+unitUniform(std::uint64_t hash)
+{
+    return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+const char *
+appClassName(unsigned app_class)
+{
+    switch (app_class) {
+      case 0:
+        return "solver";
+      case 1:
+        return "analytics";
+      case 2:
+        return "control";
+      default:
+        return "unknown";
+    }
+}
+
+void
+CriticalityConfig::validate() const
+{
+    using util::fatal;
+    double weight_sum = 0.0;
+    for (unsigned c = 0; c < kAppClassCount; ++c) {
+        const double w = classWeights[c];
+        if (!std::isfinite(w) || !(w >= 0.0) || w > 1.0)
+            fatal("CriticalityConfig.classWeights[%u] must be a "
+                  "finite fraction in [0, 1] (got %g)",
+                  c, w);
+        weight_sum += w;
+        const double mean = tolerantMean[c];
+        if (!std::isfinite(mean) || !(mean >= 0.0) || mean > 1.0)
+            fatal("CriticalityConfig.tolerantMean[%u] must be a "
+                  "finite fraction in [0, 1] (got %g)",
+                  c, mean);
+    }
+    if (std::abs(weight_sum - 1.0) > 1e-6)
+        fatal("CriticalityConfig.classWeights must sum to 1 (got %g)",
+              weight_sum);
+    if (!std::isfinite(tolerantJitter) || !(tolerantJitter >= 0.0) ||
+        tolerantJitter > 0.5)
+        fatal("CriticalityConfig.tolerantJitter must be a finite "
+              "half-width in [0, 0.5] (got %g)",
+              tolerantJitter);
+}
+
+std::uint64_t
+CriticalityConfig::digest() const
+{
+    const auto double_bits = [](double value) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(value));
+        __builtin_memcpy(&bits, &value, sizeof(bits));
+        return bits;
+    };
+    std::uint64_t fp = mix64(0xc217u ^ seed);
+    for (unsigned c = 0; c < kAppClassCount; ++c) {
+        fp = mix64(fp ^ double_bits(classWeights[c]));
+        fp = mix64(fp ^ double_bits(tolerantMean[c]));
+    }
+    return mix64(fp ^ double_bits(tolerantJitter));
+}
+
+bool
+pageIsTolerant(std::uint64_t seed, std::uint64_t scope,
+               std::uint64_t page, double tolerant_fraction)
+{
+    if (!(tolerant_fraction > 0.0))
+        return false;
+    if (tolerant_fraction >= 1.0)
+        return true;
+    const std::uint64_t draw =
+        mix64(seed ^ mix64(scope ^ 0x7a9eULL) ^ mix64(page));
+    return unitUniform(draw) < tolerant_fraction;
+}
+
+CriticalityModel::CriticalityModel(const CriticalityConfig &config)
+    : config_(config)
+{
+    config_.validate();
+}
+
+JobCriticality
+CriticalityModel::jobCriticality(std::uint32_t job_id) const
+{
+    JobCriticality crit;
+
+    // Class draw: invert the cumulative class-weight distribution.
+    const double class_u = unitUniform(
+        mix64(config_.seed ^ mix64(job_id ^ 0xc1a55ULL)));
+    double cumulative = 0.0;
+    crit.appClass = kAppClassCount - 1;
+    for (unsigned c = 0; c < kAppClassCount; ++c) {
+        cumulative += config_.classWeights[c];
+        if (class_u < cumulative) {
+            crit.appClass = c;
+            break;
+        }
+    }
+
+    // Fraction draw: the class mean jittered per job, clamped to a
+    // valid fraction.
+    const double jitter_u = unitUniform(
+        mix64(config_.seed ^ mix64(job_id ^ 0xf2acULL)));
+    const double fraction =
+        config_.tolerantMean[crit.appClass] +
+        (jitter_u * 2.0 - 1.0) * config_.tolerantJitter;
+    crit.tolerantFraction = std::min(1.0, std::max(0.0, fraction));
+    return crit;
+}
+
+bool
+CriticalityModel::pageTolerant(std::uint32_t job_id,
+                               std::uint64_t page,
+                               double tolerant_fraction) const
+{
+    return pageIsTolerant(config_.seed, job_id, page,
+                          tolerant_fraction);
+}
+
+} // namespace hdmr::wl

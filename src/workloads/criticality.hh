@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-job memory-criticality model for heterogeneous-reliability
+ * placement (Luo et al., "Heterogeneous-Reliability Memory").
+ *
+ * The paper's Hetero-DMR buys safety for *every* page with a full
+ * copy; HRM's observation is that large application footprints are
+ * error-tolerant at the application level (iterative solvers absorb
+ * perturbations, Monte-Carlo estimates average them out), so only the
+ * *critical* pages (control structures, indices, communication
+ * buffers) actually need the copy.  This model assigns every trace
+ * job an application class and a tolerant-page fraction - both pure
+ * seeded hashes of the job id, so the assignment is a deterministic
+ * function of (config, job) with no RNG stream consumed: the same
+ * seed always produces the identical page-class map, which is what
+ * lets the cluster simulator, the SDC audit, and a resumed snapshot
+ * all agree on which page a UE struck.
+ */
+
+#ifndef HDMR_WORKLOADS_CRITICALITY_HH
+#define HDMR_WORKLOADS_CRITICALITY_HH
+
+#include <array>
+#include <cstdint>
+
+namespace hdmr::wl
+{
+
+/** Application classes by memory-error tolerance. */
+inline constexpr unsigned kAppClassCount = 3;
+
+/** Printable name of an application class. */
+const char *appClassName(unsigned app_class);
+
+/** Tuning of the deterministic criticality assignment. */
+struct CriticalityConfig
+{
+    /** Seed of every per-job and per-page hash draw. */
+    std::uint64_t seed = 0xc2171ca1u;
+    /**
+     * Job-population mix across the application classes
+     * (0: iterative solvers - HPCG/AMG-like, most pages tolerant;
+     *  1: sampling/analytics - Graph500/Quicksilver-like;
+     *  2: control-heavy - Linpack/LULESH-like, mostly critical).
+     * Must be finite, non-negative, and sum to ~1.
+     */
+    std::array<double, kAppClassCount> classWeights = {0.40, 0.35,
+                                                       0.25};
+    /** Mean tolerant-page fraction per application class. */
+    std::array<double, kAppClassCount> tolerantMean = {0.75, 0.55,
+                                                       0.20};
+    /** Uniform half-width jitter around the class mean (per job). */
+    double tolerantJitter = 0.10;
+
+    /**
+     * One-pass construction-time validation; fatal()s name the
+     * offending field (PR 2/6 pattern).
+     */
+    void validate() const;
+
+    /** SplitMix64-chained fingerprint of every field. */
+    std::uint64_t digest() const;
+};
+
+/** The criticality assignment of one job. */
+struct JobCriticality
+{
+    unsigned appClass = 0;
+    /** Fraction of the job's pages that are error-tolerant. */
+    double tolerantFraction = 0.0;
+};
+
+/**
+ * Deterministic page-class draw shared by the placement layer and the
+ * SDC audit: true when page `page` of the scope identified by
+ * (seed, scope) is error-tolerant at `tolerant_fraction`.  A pure
+ * function - no RNG stream is consumed - so every consumer (and every
+ * resumed snapshot) sees the identical page-class map.
+ */
+bool pageIsTolerant(std::uint64_t seed, std::uint64_t scope,
+                    std::uint64_t page, double tolerant_fraction);
+
+/** Assigns application classes and page-class maps to jobs. */
+class CriticalityModel
+{
+  public:
+    /** Validates `config` (fatal on rejection). */
+    explicit CriticalityModel(const CriticalityConfig &config);
+
+    /** The (pure-hash) criticality assignment of job `job_id`. */
+    JobCriticality jobCriticality(std::uint32_t job_id) const;
+
+    /** Page-class draw under job `job_id`'s own scope. */
+    bool pageTolerant(std::uint32_t job_id, std::uint64_t page,
+                      double tolerant_fraction) const;
+
+    const CriticalityConfig &config() const { return config_; }
+
+  private:
+    CriticalityConfig config_;
+};
+
+} // namespace hdmr::wl
+
+#endif // HDMR_WORKLOADS_CRITICALITY_HH

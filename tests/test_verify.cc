@@ -252,6 +252,8 @@ TEST(OracleCounters, SerializationRoundTrips)
     counters.retryAttempts = 4;
     counters.retriedRecoveries = 2;
     counters.miscorrections = 1;
+    counters.countEscapePageClass(false, 1.0);
+    counters.countEscapePageClass(true, 5.4e-20);
 
     snapshot::Serializer out;
     counters.save(out);
@@ -437,6 +439,81 @@ TEST(SdcAudit, OverlayValidateRejectsBadEvents)
         std::numeric_limits<double>::quiet_NaN();
     EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
                 "scheduleOverlay");
+}
+
+TEST(OracleCounters, PageClassSplitMerges)
+{
+    verify::OracleCounters a, b;
+    a.countEscapePageClass(false, 2.0);
+    a.countEscapePageClass(true, 0.5);
+    b.countEscapePageClass(true, 1.5);
+    a.merge(b);
+    EXPECT_EQ(a.escapesByPageClass[0], 1u);
+    EXPECT_EQ(a.escapesByPageClass[1], 2u);
+    EXPECT_DOUBLE_EQ(a.escapeWeightByPageClass[0], 2.0);
+    EXPECT_DOUBLE_EQ(a.escapeWeightByPageClass[1], 2.0);
+}
+
+TEST(ShadowMemoryOracle, PageClassDrawIsDeterministic)
+{
+    const ecc::BambooCodec codec;
+    verify::OracleConfig config;
+    config.tolerantPageFraction = 0.75;
+    const verify::ShadowMemoryOracle a(codec, config);
+    const verify::ShadowMemoryOracle b(codec, config);
+
+    unsigned tolerant = 0;
+    for (std::uint64_t page = 0; page < 2000; ++page) {
+        // 4 KiB page granularity: every block of a page shares its
+        // class, and the draw is a pure function of the config.
+        const std::uint64_t address = page << 12;
+        ASSERT_EQ(a.pageTolerant(address), b.pageTolerant(address));
+        ASSERT_EQ(a.pageTolerant(address),
+                  a.pageTolerant(address + 4095));
+        tolerant += a.pageTolerant(address) ? 1 : 0;
+    }
+    EXPECT_NEAR(tolerant / 2000.0, 0.75, 0.05);
+
+    verify::OracleConfig critical = config;
+    critical.tolerantPageFraction = 0.0;
+    const verify::ShadowMemoryOracle all_critical(codec, critical);
+    for (std::uint64_t page = 0; page < 64; ++page)
+        EXPECT_FALSE(all_critical.pageTolerant(page << 12));
+}
+
+TEST(SdcAudit, EscapePageClassSplitCoversEveryEscape)
+{
+    verify::SdcAuditConfig config = smallAuditConfig();
+    config.oracle.tolerantPageFraction = 0.75;
+    verify::SdcAudit audit(config);
+    audit.run();
+    const verify::OracleCounters &total = audit.report().total;
+    const auto escape =
+        static_cast<unsigned>(AccessClass::kSilentEscape);
+    EXPECT_GT(total.raw[escape], 0u);
+    EXPECT_EQ(total.escapesByPageClass[0] + total.escapesByPageClass[1],
+              total.raw[escape]);
+
+    // All-critical audit: the tolerant bucket must stay empty.
+    verify::SdcAudit critical(smallAuditConfig());
+    critical.run();
+    const verify::OracleCounters &ctotal = critical.report().total;
+    EXPECT_EQ(ctotal.escapesByPageClass[1], 0u);
+    EXPECT_EQ(ctotal.escapesByPageClass[0], ctotal.raw[escape]);
+}
+
+TEST(SdcAudit, TolerantFractionRefingerprints)
+{
+    verify::SdcAudit source(smallAuditConfig());
+    source.step();
+    snapshot::Serializer out;
+    source.saveState(out);
+
+    verify::SdcAuditConfig other = smallAuditConfig();
+    other.oracle.tolerantPageFraction = 0.75;
+    verify::SdcAudit target(other);
+    snapshot::Deserializer in(out.data());
+    EXPECT_FALSE(target.restoreState(in));
 }
 
 TEST(SdcAudit, PerEpochCountersCoverTheHorizon)
