@@ -59,6 +59,7 @@
 #include "snapshot_cli.hh"
 #include "traces/job_trace.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 #include "verify/audit.hh"
 #include "workloads/criticality.hh"
@@ -462,11 +463,12 @@ runInterruptResumeCheck(const sched::ClusterConfig &config,
           "mid-campaign interrupt emits a snapshot");
 
     sched::ClusterSimulator resumed_sim(config);
-    std::string error;
-    if (!resumed_sim.restoreState(image, jobs, &error)) {
+    const util::Status restored =
+        resumed_sim.restoreState(image, jobs);
+    if (!restored.ok()) {
         std::fprintf(stderr,
                      "ablation_hetreliability: restore failed: %s\n",
-                     error.c_str());
+                     restored.message().c_str());
         check(false, "mid-campaign snapshot restores");
         return;
     }

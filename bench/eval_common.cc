@@ -45,71 +45,6 @@ describe(const NodeConfig &config)
     return row;
 }
 
-namespace
-{
-
-std::string
-serialize(const EvalRow &row)
-{
-    std::ostringstream out;
-    out << row.benchmark << ',' << row.suite << ',' << row.hierarchy
-        << ',' << row.system << ',' << row.marginMts << ','
-        << row.usageClass << ',' << row.execSeconds << ',' << row.epiNj
-        << ',' << row.dramAccessesPerInstruction << ','
-        << row.busUtilization << ',' << row.readBandwidthGBs << ','
-        << row.writeBandwidthGBs << ',' << row.commFraction << ','
-        << row.corrections;
-    return out.str();
-}
-
-/**
- * Strict cache-row parsing: a result cache is machine-written, so any
- * malformed line means the file is corrupt (truncated write, disk
- * fault, manual edit) and silently skipping it would quietly re-run -
- * or worse, mis-plot - that configuration.  Reject loudly, naming the
- * file, line and field.
- */
-EvalRow
-deserialize(const traces::CsvCursor &at, const std::string &line)
-{
-    const auto fields = traces::splitCsvLine(at, line, 14);
-    constexpr double kHuge = 1.0e18;
-    for (unsigned i = 0; i < 4; ++i) {
-        if (fields[i].empty()) {
-            util::fatal("%s:%zu: field %u: empty name",
-                        at.file.c_str(), at.line, i + 1);
-        }
-    }
-    EvalRow row;
-    row.benchmark = fields[0];
-    row.suite = fields[1];
-    row.hierarchy = fields[2];
-    row.system = fields[3];
-    row.marginMts = static_cast<unsigned>(
-        traces::parseCsvUnsigned(at, "marginMts", fields[4], 0, 100000));
-    row.usageClass = static_cast<unsigned>(
-        traces::parseCsvUnsigned(at, "usageClass", fields[5], 0, 2));
-    row.execSeconds = traces::parseCsvDouble(at, "execSeconds",
-                                             fields[6], 0.0, kHuge);
-    row.epiNj =
-        traces::parseCsvDouble(at, "epiNj", fields[7], 0.0, kHuge);
-    row.dramAccessesPerInstruction = traces::parseCsvDouble(
-        at, "dramAccessesPerInstruction", fields[8], 0.0, kHuge);
-    row.busUtilization = traces::parseCsvDouble(
-        at, "busUtilization", fields[9], 0.0, 1.0);
-    row.readBandwidthGBs = traces::parseCsvDouble(
-        at, "readBandwidthGBs", fields[10], 0.0, kHuge);
-    row.writeBandwidthGBs = traces::parseCsvDouble(
-        at, "writeBandwidthGBs", fields[11], 0.0, kHuge);
-    row.commFraction = traces::parseCsvDouble(at, "commFraction",
-                                              fields[12], 0.0, 1.0);
-    row.corrections = traces::parseCsvDouble(at, "corrections",
-                                             fields[13], 0.0, kHuge);
-    return row;
-}
-
-} // anonymous namespace
-
 EvalGrid
 EvalGrid::runOrLoad(const std::string &cache_path,
                     const std::vector<NodeConfig> &configs,
@@ -119,13 +54,11 @@ EvalGrid::runOrLoad(const std::string &cache_path,
 
     std::ifstream cache(cache_path);
     if (cache) {
-        traces::CsvCursor at{cache_path, 0};
-        std::string line;
-        while (std::getline(cache, line)) {
-            ++at.line;
-            if (line.empty() || line[0] == '#')
-                continue;
-            EvalRow row = deserialize(at, line);
+        // Strict cache parsing (see eval_cache.hh): a corrupt cache is
+        // a fatal condition for the figure CLIs, not a silent re-run.
+        std::vector<EvalRow> rows;
+        util::checkOk(loadEvalCache(cache, cache_path, &rows));
+        for (EvalRow &row : rows) {
             grid.index_[rowKey(row.benchmark, row.hierarchy,
                                row.system, row.marginMts,
                                row.usageClass)] = grid.rows_.size();
@@ -183,7 +116,7 @@ EvalGrid::runOrLoad(const std::string &cache_path,
     }
     std::ofstream out(cache_path);
     for (const EvalRow &row : grid.rows_)
-        out << serialize(row) << '\n';
+        out << serializeEvalRow(row) << '\n';
     return grid;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "eval_cache.hh"
 #include "node/config.hh"
 #include "node/node_system.hh"
 #include "telemetry/bench_record.hh"
@@ -27,25 +28,6 @@
 
 namespace hdmr::bench
 {
-
-/** One evaluated configuration with the stats the figures consume. */
-struct EvalRow
-{
-    std::string benchmark;
-    std::string suite;
-    std::string hierarchy;    ///< "Hierarchy1" / "Hierarchy2"
-    std::string system;       ///< toString(MemorySystemKind)
-    unsigned marginMts = 0;
-    unsigned usageClass = 0;  ///< 0: <25 %, 1: <50 %, 2: >=50 %
-    double execSeconds = 0.0;
-    double epiNj = 0.0;
-    double dramAccessesPerInstruction = 0.0;
-    double busUtilization = 0.0;
-    double readBandwidthGBs = 0.0;
-    double writeBandwidthGBs = 0.0;
-    double commFraction = 0.0;
-    double corrections = 0.0;
-};
 
 /** Fig. 1 memory-usage bucket weights used for weighted averages. */
 struct UsageWeights

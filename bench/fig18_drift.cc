@@ -52,6 +52,7 @@
 #include "snapshot_cli.hh"
 #include "traces/job_trace.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 #include "verify/audit.hh"
 
@@ -265,10 +266,11 @@ runInterruptResumeCheck(const sched::ClusterConfig &config,
           "mid-campaign interrupt emits a snapshot");
 
     sched::ClusterSimulator resumed_sim(config);
-    std::string error;
-    if (!resumed_sim.restoreState(image, jobs, &error)) {
+    const util::Status restored =
+        resumed_sim.restoreState(image, jobs);
+    if (!restored.ok()) {
         std::fprintf(stderr, "fig18_drift: restore failed: %s\n",
-                     error.c_str());
+                     restored.message().c_str());
         check(false, "mid-campaign snapshot restores");
         return;
     }

@@ -31,7 +31,10 @@
  *   --snapshot=<file>        write a resumable snapshot on completion
  *                            (and on SIGINT/SIGTERM; default
  *                            sdc_audit.snap when interrupted)
- *   --resume-from=<file>     resume an interrupted audit
+ *   --resume-from=<file>     resume an interrupted audit; if the
+ *                            newest snapshot generation is corrupt,
+ *                            older last-good generations (<file>.1,
+ *                            <file>.2) are tried before giving up
  *   --telemetry-out=<dir>    export the audit's classification counts
  *                            as metrics (CSV + JSON) plus a
  *                            BENCH_sdc_audit.json perf record
@@ -52,6 +55,7 @@
 #include <string>
 
 #include "ecc/bamboo.hh"
+#include "snapshot/keeper.hh"
 #include "snapshot/serializer.hh"
 #include "telemetry/bench_record.hh"
 #include "telemetry/sinks.hh"
@@ -369,7 +373,7 @@ main(int argc, char **argv)
         return 0;
     }
 
-    config.validate();
+    util::checkOk(config.validate());
     std::printf("SDC AUDIT: %u modules x %u h x %.3g accesses/h "
                 "(overshoot %u steps, wide oversample %.2f)\n",
                 config.modules, config.hours, config.accessesPerHour,
@@ -377,14 +381,52 @@ main(int argc, char **argv)
 
     SdcAudit audit(config);
     if (!resume_from.empty()) {
-        std::string error;
-        if (!audit.resumeFromFile(resume_from, &error))
-            util::fatal("sdc_audit: cannot resume from '%s': %s",
-                        resume_from.c_str(), error.c_str());
-        std::printf("resuming from %s: %" PRIu64 "/%" PRIu64
-                    " module-hours done\n",
-                    resume_from.c_str(), audit.stepsDone(),
-                    audit.totalSteps());
+        // Walk the last-good generations newest-first; a corrupt or
+        // truncated generation is logged and skipped, a well-formed
+        // snapshot from a different campaign is fatal (older
+        // generations of the same campaign would mismatch the same
+        // way).
+        const snapshot::Keeper keeper(resume_from);
+        bool resumed = false;
+        util::Status last = util::notFound(
+            "no snapshot generation exists under '%s'",
+            resume_from.c_str());
+        for (unsigned g = 0; g < keeper.keep(); ++g) {
+            const std::string path = keeper.generationPath(g);
+            const util::Status status = audit.resumeFromFile(path);
+            if (status.ok()) {
+                if (g > 0)
+                    std::fprintf(stderr,
+                                 "sdc_audit: recovered: generation %u "
+                                 "(%s) is the newest valid snapshot\n",
+                                 g, path.c_str());
+                std::printf("resuming from %s: %" PRIu64 "/%" PRIu64
+                            " module-hours done\n",
+                            path.c_str(), audit.stepsDone(),
+                            audit.totalSteps());
+                resumed = true;
+                break;
+            }
+            if (status.code() ==
+                util::StatusCode::kFailedPrecondition)
+                util::fatal("sdc_audit: cannot resume from '%s': %s",
+                            path.c_str(), status.message().c_str());
+            if (status.code() != util::StatusCode::kNotFound) {
+                std::fprintf(stderr,
+                             "sdc_audit: warning: snapshot generation "
+                             "%u unusable [%s]: %s; trying an older "
+                             "generation\n",
+                             g, util::statusCodeName(status.code()),
+                             status.message().c_str());
+                last = status;
+            } else if (g == 0) {
+                last = status;
+            }
+        }
+        if (!resumed)
+            util::fatal("sdc_audit: cannot resume from '%s': %s (no "
+                        "older generation was valid either)",
+                        resume_from.c_str(), last.message().c_str());
     }
     std::signal(SIGINT, handleStopSignal);
     std::signal(SIGTERM, handleStopSignal);
@@ -398,10 +440,13 @@ main(int argc, char **argv)
             const std::string path = snapshot_path.empty()
                                          ? "sdc_audit.snap"
                                          : snapshot_path;
-            std::string error;
-            if (!audit.saveToFile(path, &error))
+            snapshot::Serializer out;
+            audit.saveState(out);
+            const util::Status status = snapshot::Keeper(path).save(
+                snapshot::kSdcAuditStateKind, out.data());
+            if (!status.ok())
                 util::fatal("sdc_audit: interrupt snapshot failed: %s",
-                            error.c_str());
+                            status.message().c_str());
             std::fprintf(stderr,
                          "\nsdc_audit: interrupted at %" PRIu64 "/%"
                          PRIu64 " module-hours; state saved to %s\n"
@@ -425,9 +470,14 @@ main(int argc, char **argv)
     printReport(config, report);
 
     if (!snapshot_path.empty()) {
-        std::string error;
-        if (!audit.saveToFile(snapshot_path, &error))
-            util::fatal("sdc_audit: snapshot failed: %s", error.c_str());
+        snapshot::Serializer out;
+        audit.saveState(out);
+        const util::Status status = snapshot::Keeper(snapshot_path)
+                                        .save(snapshot::kSdcAuditStateKind,
+                                              out.data());
+        if (!status.ok())
+            util::fatal("sdc_audit: snapshot failed: %s",
+                        status.message().c_str());
         std::printf("snapshot written to %s\n", snapshot_path.c_str());
     }
     if (!telemetry_dir.empty())

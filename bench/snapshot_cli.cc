@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <variant>
 
+#include "snapshot/keeper.hh"
 #include "snapshot/serializer.hh"
 #include "telemetry/sinks.hh"
 #include "util/logging.hh"
@@ -57,8 +58,12 @@ printUsage(const char *bench)
         "snapshots (0 = off)\n"
         "  --snapshot-path=<file>          snapshot file "
         "(default %s.snap)\n"
+        "  --snapshot-keep=<n>             last-good generations to "
+        "keep (default 3)\n"
         "  --resume-from=<file>            resume an interrupted "
-        "sweep\n"
+        "sweep (falls back to\n"
+        "                                  older generations if the "
+        "newest is corrupt)\n"
         "  --digest-every=<sim seconds>    state-digest cadence "
         "(default 86400)\n"
         "  --telemetry-out=<dir>           export metrics CSV/JSON, a "
@@ -98,6 +103,15 @@ SweepRunner::parseArgs(int argc, char **argv)
             snapshotPath_ = arg + 16;
             if (snapshotPath_.empty())
                 util::fatal("--snapshot-path expects a file name");
+        } else if (std::strncmp(arg, "--snapshot-keep=", 16) == 0) {
+            char *end = nullptr;
+            const unsigned long keep = std::strtoul(arg + 16, &end, 10);
+            if (end == arg + 16 || *end != '\0' || keep < 1 ||
+                keep > 64)
+                util::fatal("--snapshot-keep expects an integer in "
+                            "[1, 64] (got '%s')",
+                            arg + 16);
+            snapshotKeep_ = static_cast<unsigned>(keep);
         } else if (std::strncmp(arg, "--resume-from=", 14) == 0) {
             resumeFrom_ = arg + 14;
             if (resumeFrom_.empty())
@@ -123,25 +137,77 @@ SweepRunner::parseArgs(int argc, char **argv)
 void
 SweepRunner::loadResumeFile()
 {
-    std::vector<std::uint8_t> payload;
-    std::string error;
-    if (!snapshot::readSnapshotFile(
-            resumeFrom_, snapshot::kSweepStateKind, &payload, &error))
-        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
-                    error.c_str());
+    // Walk the last-good generations newest-first.  A generation that
+    // fails the file envelope (magic/version/CRC) *or* the sweep-level
+    // decode is logged with its structured code and skipped; the first
+    // one that decodes end to end wins.  Only a well-formed image that
+    // belongs to a different campaign aborts - its older siblings
+    // would mismatch the same way.
+    const snapshot::Keeper keeper(resumeFrom_, snapshotKeep_);
+    util::Status last = util::notFound(
+        "no snapshot generation exists under '%s'", resumeFrom_.c_str());
+    for (unsigned g = 0; g < keeper.keep(); ++g) {
+        const std::string path = keeper.generationPath(g);
+        std::vector<std::uint8_t> payload;
+        util::Status status = snapshot::readSnapshotFile(
+            path, snapshot::kSweepStateKind, &payload);
+        if (status.ok())
+            status = decodeSweepPayload(payload);
+        if (status.ok()) {
+            resumeActive_ = !resumeActiveLabel_.empty();
+            if (g > 0)
+                std::fprintf(stderr,
+                             "recovered: generation %u (%s) is the "
+                             "newest valid snapshot\n",
+                             g, path.c_str());
+            std::printf("resuming sweep from %s: %zu completed "
+                        "leg(s), active leg '%s'%s\n\n",
+                        path.c_str(), completed_.size(),
+                        resumeActive_ ? resumeActiveLabel_.c_str()
+                                      : "(none)",
+                        resumeActiveState_.empty()
+                            ? " (not yet started)"
+                            : "");
+            return;
+        }
+        if (status.code() == util::StatusCode::kFailedPrecondition)
+            util::fatal("cannot resume from '%s': %s", path.c_str(),
+                        status.message().c_str());
+        if (status.code() != util::StatusCode::kNotFound) {
+            std::fprintf(stderr,
+                         "warning: snapshot generation %u unusable "
+                         "[%s]: %s; trying an older generation\n",
+                         g, util::statusCodeName(status.code()),
+                         status.message().c_str());
+            last = status;
+        } else if (g == 0) {
+            last = status;
+        }
+    }
+    util::fatal("cannot resume from '%s': %s (no older generation "
+                "was valid either)",
+                resumeFrom_.c_str(), last.message().c_str());
+}
+
+util::Status
+SweepRunner::decodeSweepPayload(const std::vector<std::uint8_t> &payload)
+{
+    // A previous generation's failed decode may have half-filled the
+    // resume state; start every attempt from scratch.
+    completed_.clear();
+    resumeActiveLabel_.clear();
+    resumeActiveState_.clear();
+    registry_ = telemetry::Registry{};
 
     snapshot::Deserializer in(payload);
     const std::string bench = in.readString();
     if (in.ok() && bench != bench_)
-        util::fatal("cannot resume from '%s': snapshot belongs to "
-                    "benchmark '%s', not '%s'",
-                    resumeFrom_.c_str(), bench.c_str(),
-                    bench_.c_str());
-    const std::uint64_t count = in.readU64();
-    if (count * 8 > in.remaining())
-        util::fatal("cannot resume from '%s': completed-leg list "
-                    "longer than the payload",
-                    resumeFrom_.c_str());
+        return util::failedPrecondition(
+            "snapshot belongs to benchmark '%s', not '%s'",
+            bench.c_str(), bench_.c_str());
+    // Each completed leg is at least a label length (4) plus the
+    // metrics record; 8 is a safe floor for the count check.
+    const std::uint64_t count = in.readCount("completed-leg list", 8);
     for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
         CompletedLeg leg;
         leg.label = in.readString();
@@ -150,38 +216,27 @@ SweepRunner::loadResumeFile()
     }
     resumeActiveLabel_ = in.readString();
     resumeActiveState_ = in.readBlob();
-    if (!in.ok())
-        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
-                    in.error().c_str());
+    HDMR_RETURN_IF_ERROR(in.status());
 
     // Telemetry section: presence must match this run's
     // --telemetry-out, because the registry feeds the active leg's
     // state digests.
     const bool saved_telemetry = in.readBool();
-    if (!in.ok())
-        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
-                    in.error().c_str());
+    HDMR_RETURN_IF_ERROR(in.status());
     if (saved_telemetry != telemetryEnabled())
-        util::fatal("cannot resume from '%s': the sweep was %s "
-                    "--telemetry-out and this run is %s; rerun with a "
-                    "matching flag",
-                    resumeFrom_.c_str(),
-                    saved_telemetry ? "saved with" : "saved without",
-                    telemetryEnabled() ? "using it" : "not");
+        return util::failedPrecondition(
+            "the sweep was %s --telemetry-out and this run is %s; "
+            "rerun with a matching flag",
+            saved_telemetry ? "saved with" : "saved without",
+            telemetryEnabled() ? "using it" : "not");
     if (saved_telemetry && !registry_.restore(in))
-        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
-                    in.error().c_str());
-    if (!in.ok() || in.remaining() != 0)
-        util::fatal("cannot resume from '%s': %s", resumeFrom_.c_str(),
-                    in.ok() ? "trailing garbage after the sweep image"
-                            : in.error().c_str());
-    resumeActive_ = !resumeActiveLabel_.empty();
-
-    std::printf("resuming sweep from %s: %zu completed leg(s), "
-                "active leg '%s'%s\n\n",
-                resumeFrom_.c_str(), completed_.size(),
-                resumeActive_ ? resumeActiveLabel_.c_str() : "(none)",
-                resumeActiveState_.empty() ? " (not yet started)" : "");
+        return in.ok() ? util::dataLoss(
+                             "telemetry registry restore failed")
+                       : in.status();
+    HDMR_RETURN_IF_ERROR(in.status());
+    if (in.remaining() != 0)
+        return util::dataLoss("trailing garbage after the sweep image");
+    return util::Status{};
 }
 
 void
@@ -200,14 +255,15 @@ SweepRunner::writeSweepFile() const
     if (telemetryEnabled())
         registry_.save(out);
 
-    std::string error;
-    if (!snapshot::writeSnapshotFile(snapshotPath_,
-                                     snapshot::kSweepStateKind,
-                                     out.data(), &error)) {
+    const snapshot::Keeper keeper(snapshotPath_, snapshotKeep_);
+    const util::Status status =
+        keeper.save(snapshot::kSweepStateKind, out.data());
+    if (!status.ok()) {
         // A failed periodic snapshot should not kill a long run; the
         // simulation itself is unaffected.
-        std::fprintf(stderr, "warning: snapshot write failed: %s\n",
-                     error.c_str());
+        std::fprintf(stderr, "warning: snapshot write failed [%s]: %s\n",
+                     util::statusCodeName(status.code()),
+                     status.message().c_str());
     }
 }
 
@@ -281,11 +337,12 @@ SweepRunner::leg(const std::string &label,
             // Interrupted before the leg started; run it fresh.
             outcome = sim.run(jobs, options);
         } else {
-            std::string error;
-            if (!sim.restoreState(resumeActiveState_, jobs, &error))
+            const util::Status status =
+                sim.restoreState(resumeActiveState_, jobs);
+            if (!status.ok())
                 util::fatal("cannot resume leg '%s' from '%s': %s",
                             label.c_str(), resumeFrom_.c_str(),
-                            error.c_str());
+                            status.message().c_str());
             outcome = sim.resume(options);
         }
     } else {

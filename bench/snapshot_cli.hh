@@ -12,9 +12,22 @@
  * replay from their recorded metrics, the active leg restores its
  * simulator state and continues bit-identically.
  *
+ * Snapshots are kept as rotating last-good generations
+ * (snapshot::Keeper): `<path>` is the newest image, `<path>.1` the
+ * previous one, and so on up to --snapshot-keep generations.  On
+ * --resume-from, generations are tried newest-first: a corrupt,
+ * truncated, or otherwise undecodable image is *logged* (with its
+ * structured status code) and the next older generation is tried, so a
+ * damaged newest snapshot costs one checkpoint interval, not the run.
+ * Only a well-formed image that belongs to a different campaign (wrong
+ * benchmark, mismatched --telemetry-out) is still fatal - older
+ * generations of the same file would mismatch identically.
+ *
  * Flags (parsed from argv; anything unrecognised is fatal):
  *   --snapshot-every=<sim seconds>  periodic snapshots (0 = off)
  *   --snapshot-path=<file>          snapshot file (default <bench>.snap)
+ *   --snapshot-keep=<n>             last-good generations to keep
+ *                                   (default 3)
  *   --resume-from=<file>            resume a previous sweep
  *   --digest-every=<sim seconds>    digest-trail cadence (default 86400)
  *   --telemetry-out=<dir>           export metrics (CSV + JSON), a
@@ -41,7 +54,9 @@
 #include <vector>
 
 #include "sched/cluster_sim.hh"
+#include "snapshot/keeper.hh"
 #include "telemetry/bench_record.hh"
+#include "util/status.hh"
 #include "telemetry/telemetry.hh"
 #include "traces/job_trace.hh"
 
@@ -97,6 +112,15 @@ class SweepRunner
 
     void parseArgs(int argc, char **argv);
     void loadResumeFile();
+    /**
+     * Decode one verified sweep payload into the resume members.
+     * Clears any state a previous (failed) attempt left behind first.
+     * kDataLoss/kResourceExhausted mean "try an older generation";
+     * kFailedPrecondition means the image belongs to a different
+     * campaign and no generation can help.
+     */
+    util::Status decodeSweepPayload(
+        const std::vector<std::uint8_t> &payload);
     void writeSweepFile() const;
     void reconcileLeg(const std::string &label,
                       const sched::ClusterMetrics &metrics) const;
@@ -105,6 +129,7 @@ class SweepRunner
     std::string bench_;
     double snapshotEvery_ = 0.0;
     double digestEvery_ = 86400.0;
+    unsigned snapshotKeep_ = snapshot::Keeper::kDefaultKeep;
     std::string snapshotPath_;
     std::string resumeFrom_;
     std::string telemetryDir_;

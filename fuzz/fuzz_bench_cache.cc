@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fuzz harness for the bench result-cache input boundary.
+ *
+ * Runs the eval-cache stream loader (and, on the first line, the
+ * single-record parser) over arbitrary bytes.  A result cache is
+ * machine-written, so any malformed line is treated as corruption;
+ * the loader must reject it with a structured util::Status naming
+ * the file, line and field - never crash, never fatal(), and never
+ * allocate past its documented caps (kMaxCsvLineBytes per line,
+ * kMaxEvalCacheRows per file, kMaxEvalNameBytes per name field).
+ *
+ * Built two ways (see fuzz/CMakeLists.txt): as a libFuzzer binary
+ * under -DHDMR_FUZZ=ON (Clang only), and as a plain replay binary
+ * that runs the checked-in corpus under ctest with any compiler.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval_cache.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace hdmr;
+
+    const std::string text(reinterpret_cast<const char *>(data), size);
+
+    {
+        std::istringstream in(text);
+        std::vector<bench::EvalRow> rows;
+        const util::Status status =
+            bench::loadEvalCache(in, "<fuzz>", &rows);
+        // The "never half-filled" contract: an error leaves no rows.
+        if (!status.ok() && !rows.empty())
+            __builtin_trap();
+    }
+
+    {
+        const std::string first_line =
+            text.substr(0, text.find('\n'));
+        const traces::CsvCursor at{"<fuzz>", 1};
+        bench::EvalRow row;
+        (void)bench::parseEvalRow(at, first_line, &row);
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fuzz harness for the CSV trace input boundary.
+ *
+ * Runs the job-trace and usage-trace loaders over arbitrary bytes via
+ * their stream entry points.  Both loaders must return a structured
+ * util::Status for any malformed input - truncated records,
+ * non-numeric cells, out-of-range values, over-long lines past
+ * traces::kMaxCsvLineBytes - without crashing, fatal()ing, or leaving
+ * the output vector half-filled.
+ *
+ * Built two ways (see fuzz/CMakeLists.txt): as a libFuzzer binary
+ * under -DHDMR_FUZZ=ON (Clang only), and as a plain replay binary
+ * that runs the checked-in corpus under ctest with any compiler.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "traces/job_trace.hh"
+#include "traces/memory_usage.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace hdmr;
+
+    const std::string text(reinterpret_cast<const char *>(data), size);
+
+    {
+        std::istringstream in(text);
+        std::vector<traces::Job> jobs;
+        const util::Status status =
+            traces::loadJobTraceCsv(in, "<fuzz>", &jobs);
+        // The "never half-filled" contract: an error leaves no rows.
+        if (!status.ok() && !jobs.empty())
+            __builtin_trap();
+    }
+
+    {
+        std::istringstream in(text);
+        std::vector<traces::JobUsageTrace> usage;
+        const util::Status status =
+            traces::loadUsageTraceCsv(in, "<fuzz>", &usage);
+        if (!status.ok() && !usage.empty())
+            __builtin_trap();
+    }
+    return 0;
+}

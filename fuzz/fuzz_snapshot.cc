@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fuzz harness for the snapshot input boundary.
+ *
+ * Drives the three decoders that consume snapshot bytes straight off
+ * disk: the file-image validator (magic / version / kind / CRC /
+ * size-cap checks) for every payload kind the repository writes, the
+ * digest-trail decoder, and the telemetry-registry decoder.  The
+ * contract under test is "reject, never crash, never allocate
+ * unboundedly": any abort, sanitizer report, or OOM on arbitrary
+ * bytes is a bug in the boundary, not in the fuzzer.
+ *
+ * Built two ways (see fuzz/CMakeLists.txt): as a libFuzzer binary
+ * under -DHDMR_FUZZ=ON (Clang only), and as a plain replay binary
+ * that runs the checked-in corpus under ctest with any compiler.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/digest.hh"
+#include "snapshot/serializer.hh"
+#include "telemetry/metrics.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace hdmr;
+
+    static constexpr std::uint32_t kKinds[] = {
+        snapshot::kClusterStateKind,
+        snapshot::kSweepStateKind,
+        snapshot::kSdcAuditStateKind,
+    };
+    for (const std::uint32_t kind : kKinds) {
+        std::vector<std::uint8_t> payload;
+        (void)snapshot::parseSnapshotImage(data, size, kind, &payload,
+                                           "<fuzz>");
+    }
+
+    {
+        snapshot::Deserializer in(data, size);
+        snapshot::DigestTrail trail;
+        (void)trail.restore(in);
+    }
+
+    {
+        snapshot::Deserializer in(data, size);
+        telemetry::Registry registry;
+        (void)registry.restore(in);
+    }
+    return 0;
+}

@@ -11,27 +11,32 @@ namespace hdmr::core
 
 using util::Tick;
 
-void
+util::Status
 RecalibrationPolicy::validate() const
 {
     if (std::isnan(targetErrorsPerWindow) || targetErrorsPerWindow < 0.0)
-        util::fatal(
+        return util::invalidArgument(
             "RecalibrationPolicy.targetErrorsPerWindow must be >= 0");
     if (std::isnan(demoteBand) || demoteBand <= 0.0)
-        util::fatal("RecalibrationPolicy.demoteBand must be > 0");
+        return util::invalidArgument(
+            "RecalibrationPolicy.demoteBand must be > 0");
     if (std::isnan(promoteBand) || promoteBand < 0.0)
-        util::fatal("RecalibrationPolicy.promoteBand must be >= 0");
+        return util::invalidArgument(
+            "RecalibrationPolicy.promoteBand must be >= 0");
     if (promoteBand >= demoteBand)
-        util::fatal("RecalibrationPolicy.promoteBand must lie below "
-                    "demoteBand (the hysteresis dead band)");
+        return util::invalidArgument(
+            "RecalibrationPolicy.promoteBand must lie below "
+            "demoteBand (the hysteresis dead band)");
     if (hysteresisWindows == 0)
-        util::fatal(
+        return util::invalidArgument(
             "RecalibrationPolicy.hysteresisWindows must be at least 1");
     if (std::isnan(probeFailureProbability) ||
         probeFailureProbability < 0.0 || probeFailureProbability > 1.0) {
-        util::fatal("RecalibrationPolicy.probeFailureProbability must "
-                    "lie in [0, 1]");
+        return util::invalidArgument(
+            "RecalibrationPolicy.probeFailureProbability must lie in "
+            "[0, 1]");
     }
+    return util::Status{};
 }
 
 dram::ControllerConfig
@@ -72,7 +77,7 @@ ModeController::ModeController(
       ladderRng_(config.ladder.seed), recalRng_(config.recalibration.seed),
       guard_(config.epochConfig)
 {
-    config_.recalibration.validate();
+    util::checkOk(config_.recalibration.validate());
     fastEnabled_ = config_.plan.fastReads;
     qualifiedFastRateMts_ = config_.fastSetting.dataRateMts;
 

@@ -30,6 +30,7 @@
 #include "dram/controller.hh"
 #include "sim/event_queue.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace hdmr::core
 {
@@ -148,10 +149,11 @@ struct RecalibrationPolicy
     /**
      * Reject impossible policies (NaN/negative budgets, inverted
      * hysteresis bands, zero hysteresis depth, out-of-range probe
-     * probability) with a fatal() naming the offending field; one
-     * pass, first offender wins.
+     * probability) with kInvalidArgument naming the offending field;
+     * one pass, first offender wins.  ModeController's constructor
+     * checkOk()s it.
      */
-    void validate() const;
+    util::Status validate() const;
 };
 
 /** Mode-controller configuration. */

@@ -46,38 +46,43 @@ toString(PlacementMode mode)
     return "unknown";
 }
 
-void
+util::Status
 PlacementPolicy::validate() const
 {
-    using util::fatal;
     if (mode != PlacementMode::kHeteroDmr &&
         mode != PlacementMode::kHetReliability &&
         mode != PlacementMode::kHybrid)
-        fatal("PlacementPolicy.mode %u is not a known placement mode",
-              static_cast<unsigned>(mode));
+        return util::invalidArgument(
+            "PlacementPolicy.mode %u is not a known placement mode",
+            static_cast<unsigned>(mode));
     if (!std::isfinite(hybridTolerantThreshold) ||
         !(hybridTolerantThreshold >= 0.0) ||
         hybridTolerantThreshold > 1.0)
-        fatal("PlacementPolicy.hybridTolerantThreshold must be a "
-              "finite fraction in [0, 1] (got %g)",
-              hybridTolerantThreshold);
+        return util::invalidArgument(
+            "PlacementPolicy.hybridTolerantThreshold must be a "
+            "finite fraction in [0, 1] (got %g)",
+            hybridTolerantThreshold);
     if (!std::isfinite(degradePenalty) || !(degradePenalty >= 0.0))
-        fatal("PlacementPolicy.degradePenalty must be finite and "
-              ">= 0 (got %g)",
-              degradePenalty);
+        return util::invalidArgument(
+            "PlacementPolicy.degradePenalty must be finite and >= 0 "
+            "(got %g)",
+            degradePenalty);
     double previous = 0.0;
     for (std::size_t u = 0; u < usageRepresentative.size(); ++u) {
         const double rep = usageRepresentative[u];
         if (!std::isfinite(rep) || !(rep > 0.0) || rep > 1.0)
-            fatal("PlacementPolicy.usageRepresentative[%zu] must be "
-                  "a finite utilization in (0, 1] (got %g)",
-                  u, rep);
+            return util::invalidArgument(
+                "PlacementPolicy.usageRepresentative[%zu] must be a "
+                "finite utilization in (0, 1] (got %g)",
+                u, rep);
         if (rep < previous)
-            fatal("PlacementPolicy.usageRepresentative[%zu] (%g) must "
-                  "not decrease: usage classes are ordered",
-                  u, rep);
+            return util::invalidArgument(
+                "PlacementPolicy.usageRepresentative[%zu] (%g) must "
+                "not decrease: usage classes are ordered",
+                u, rep);
         previous = rep;
     }
+    return util::Status{};
 }
 
 bool

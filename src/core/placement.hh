@@ -31,6 +31,8 @@
 #include <array>
 #include <cstdint>
 
+#include "util/status.hh"
+
 namespace hdmr::core
 {
 
@@ -66,10 +68,10 @@ struct PlacementPolicy
     std::array<double, 3> usageRepresentative = {0.15, 0.375, 0.75};
 
     /**
-     * One-pass construction-time validation; fatal()s name the
-     * offending field (PR 2/6 pattern).
+     * One-pass validation; returns kInvalidArgument naming the
+     * offending field.  Construction sites checkOk() it.
      */
-    void validate() const;
+    util::Status validate() const;
 
     /**
      * True when a job with this tolerant fraction runs its tolerant

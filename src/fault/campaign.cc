@@ -32,46 +32,60 @@ toString(FaultKind kind)
     return "unknown";
 }
 
-void
+util::Status
 CampaignConfig::validate() const
 {
-    const auto check_rate = [](const char *field, double value) {
+    const auto check_rate = [](const char *field,
+                               double value) -> util::Status {
         if (!(value >= 0.0) || !std::isfinite(value))
-            util::fatal("CampaignConfig.%s must be a finite "
-                        "non-negative rate (got %g)",
-                        field, value);
+            return util::invalidArgument(
+                "CampaignConfig.%s must be a finite non-negative "
+                "rate (got %g)",
+                field, value);
+        return util::Status{};
     };
-    check_rate("intensity", intensity);
-    check_rate("uncorrectablePerHour", uncorrectablePerHour);
-    check_rate("burstsPerHour", burstsPerHour);
-    check_rate("driftEventsPerHour", driftEventsPerHour);
-    check_rate("excursionsPerHour", excursionsPerHour);
-    check_rate("nodeFailuresPerHour", nodeFailuresPerHour);
-    check_rate("demotionsPerHour", demotionsPerHour);
+    HDMR_RETURN_IF_ERROR(check_rate("intensity", intensity));
+    HDMR_RETURN_IF_ERROR(
+        check_rate("uncorrectablePerHour", uncorrectablePerHour));
+    HDMR_RETURN_IF_ERROR(check_rate("burstsPerHour", burstsPerHour));
+    HDMR_RETURN_IF_ERROR(
+        check_rate("driftEventsPerHour", driftEventsPerHour));
+    HDMR_RETURN_IF_ERROR(
+        check_rate("excursionsPerHour", excursionsPerHour));
+    HDMR_RETURN_IF_ERROR(
+        check_rate("nodeFailuresPerHour", nodeFailuresPerHour));
+    HDMR_RETURN_IF_ERROR(
+        check_rate("demotionsPerHour", demotionsPerHour));
     if (!(horizonSeconds >= 0.0) || !std::isfinite(horizonSeconds))
-        util::fatal("CampaignConfig.horizonSeconds must be a finite "
-                    "non-negative duration (got %g)",
-                    horizonSeconds);
+        return util::invalidArgument(
+            "CampaignConfig.horizonSeconds must be a finite "
+            "non-negative duration (got %g)",
+            horizonSeconds);
     if (targets == 0)
-        util::fatal("CampaignConfig.targets must be at least 1");
+        return util::invalidArgument(
+            "CampaignConfig.targets must be at least 1");
     if (!(burstErrorsMean >= 0.0) || !std::isfinite(burstErrorsMean))
-        util::fatal("CampaignConfig.burstErrorsMean must be finite and "
-                    "non-negative (got %g)",
-                    burstErrorsMean);
+        return util::invalidArgument(
+            "CampaignConfig.burstErrorsMean must be finite and "
+            "non-negative (got %g)",
+            burstErrorsMean);
     if (!(driftStepMts >= 0.0) || !std::isfinite(driftStepMts))
-        util::fatal("CampaignConfig.driftStepMts must be finite and "
-                    "non-negative (got %g)",
-                    driftStepMts);
+        return util::invalidArgument(
+            "CampaignConfig.driftStepMts must be finite and "
+            "non-negative (got %g)",
+            driftStepMts);
     if (!(excursionMeanSeconds > 0.0) ||
         !std::isfinite(excursionMeanSeconds))
-        util::fatal("CampaignConfig.excursionMeanSeconds must be a "
-                    "finite positive duration (got %g)",
-                    excursionMeanSeconds);
+        return util::invalidArgument(
+            "CampaignConfig.excursionMeanSeconds must be a finite "
+            "positive duration (got %g)",
+            excursionMeanSeconds);
+    return util::Status{};
 }
 
 FaultCampaign::FaultCampaign(CampaignConfig config) : config_(config)
 {
-    config_.validate();
+    util::checkOk(config_.validate());
 }
 
 namespace

@@ -29,6 +29,7 @@
 
 #include "fault/fault.hh"
 #include "telemetry/metrics.hh"
+#include "util/status.hh"
 
 namespace hdmr::snapshot
 {
@@ -65,11 +66,12 @@ struct CampaignConfig
 
     /**
      * Reject impossible campaigns (NaN/negative rates or magnitudes,
-     * zero targets, negative horizon) with a fatal() naming the
-     * offending field.  Called once at FaultCampaign construction so
-     * bad configs fail loudly up front instead of deep inside a run.
+     * zero targets, negative horizon) with kInvalidArgument naming
+     * the offending field.  FaultCampaign's constructor checkOk()s it
+     * so bad configs fail loudly up front instead of deep inside a
+     * run.
      */
-    void validate() const;
+    util::Status validate() const;
 
     bool
     enabled() const

@@ -15,26 +15,28 @@ constexpr double kPi = 3.14159265358979323846;
 
 } // namespace
 
-void
+util::Status
 DriftScenarioConfig::validate() const
 {
     if (std::isnan(marginStepMts) || marginStepMts <= 0.0)
-        util::fatal("DriftScenarioConfig.marginStepMts must be > 0");
+        return util::invalidArgument(
+            "DriftScenarioConfig.marginStepMts must be > 0");
     if (targetsPerModule == 0)
-        util::fatal(
+        return util::invalidArgument(
             "DriftScenarioConfig.targetsPerModule must be at least 1");
     if (std::isnan(excursionThresholdC) || excursionThresholdC <= 0.0)
-        util::fatal(
+        return util::invalidArgument(
             "DriftScenarioConfig.excursionThresholdC must be > 0");
     if (std::isnan(spikeBurstErrors) || spikeBurstErrors < 0.0)
-        util::fatal(
+        return util::invalidArgument(
             "DriftScenarioConfig.spikeBurstErrors must be >= 0");
+    return util::Status{};
 }
 
 DriftChaosCampaign::DriftChaosCampaign(const DriftScenarioConfig &config)
     : config_(config), model_(config.drift)
 {
-    config_.validate();
+    util::checkOk(config_.validate());
     appendMarginCrossings();
     appendExcursionWindows();
     appendSpikeBursts();

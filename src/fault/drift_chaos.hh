@@ -51,11 +51,12 @@ struct DriftScenarioConfig
     double spikeBurstErrors = 50.0;
 
     /**
-     * Reject impossible scenarios with a fatal() naming the offending
-     * field (the nested DriftConfig validates itself on model
-     * construction); one pass, first offender wins.
+     * Reject impossible scenarios with kInvalidArgument naming the
+     * offending field (the nested DriftConfig validates itself on
+     * model construction); one pass, first offender wins.
+     * DriftChaosCampaign's constructor checkOk()s it.
      */
-    void validate() const;
+    util::Status validate() const;
 };
 
 /** Expands a DriftScenarioConfig into a deterministic fault schedule. */

@@ -28,45 +28,58 @@ constexpr double kPi = 3.14159265358979323846;
 
 } // namespace
 
-void
+util::Status
 DriftConfig::validate() const
 {
     const auto bad = [](double v) { return std::isnan(v) || v < 0.0; };
 
     if (modules == 0)
-        util::fatal("DriftConfig.modules must be at least 1");
+        return util::invalidArgument(
+            "DriftConfig.modules must be at least 1");
     if (bad(horizonHours))
-        util::fatal("DriftConfig.horizonHours must be >= 0");
+        return util::invalidArgument(
+            "DriftConfig.horizonHours must be >= 0");
     if (bad(agingMtsPerKiloHour))
-        util::fatal("DriftConfig.agingMtsPerKiloHour must be >= 0");
+        return util::invalidArgument(
+            "DriftConfig.agingMtsPerKiloHour must be >= 0");
     if (bad(agingSigma))
-        util::fatal("DriftConfig.agingSigma must be >= 0");
+        return util::invalidArgument(
+            "DriftConfig.agingSigma must be >= 0");
     if (std::isnan(agingExponent) || agingExponent <= 0.0)
-        util::fatal("DriftConfig.agingExponent must be > 0");
+        return util::invalidArgument(
+            "DriftConfig.agingExponent must be > 0");
     if (cohortSize == 0)
-        util::fatal("DriftConfig.cohortSize must be at least 1");
+        return util::invalidArgument(
+            "DriftConfig.cohortSize must be at least 1");
     if (std::isnan(cohortCorrelation) || cohortCorrelation < 0.0 ||
         cohortCorrelation > 1.0) {
-        util::fatal("DriftConfig.cohortCorrelation must lie in [0, 1]");
+        return util::invalidArgument(
+            "DriftConfig.cohortCorrelation must lie in [0, 1]");
     }
     if (bad(diurnalAmplitudeC))
-        util::fatal("DriftConfig.diurnalAmplitudeC must be >= 0");
+        return util::invalidArgument(
+            "DriftConfig.diurnalAmplitudeC must be >= 0");
     if (std::isnan(diurnalPeakHour) || diurnalPeakHour < 0.0 ||
         diurnalPeakHour >= 24.0) {
-        util::fatal("DriftConfig.diurnalPeakHour must lie in [0, 24)");
+        return util::invalidArgument(
+            "DriftConfig.diurnalPeakHour must lie in [0, 24)");
     }
     if (bad(spikesPerKiloHour))
-        util::fatal("DriftConfig.spikesPerKiloHour must be >= 0");
+        return util::invalidArgument(
+            "DriftConfig.spikesPerKiloHour must be >= 0");
     if (std::isnan(spikeMeanHours) || spikeMeanHours <= 0.0)
-        util::fatal("DriftConfig.spikeMeanHours must be > 0");
+        return util::invalidArgument(
+            "DriftConfig.spikeMeanHours must be > 0");
     if (std::isnan(spikeErrorMultiplier) || spikeErrorMultiplier < 1.0)
-        util::fatal("DriftConfig.spikeErrorMultiplier must be >= 1");
+        return util::invalidArgument(
+            "DriftConfig.spikeErrorMultiplier must be >= 1");
+    return util::Status{};
 }
 
 MarginDriftModel::MarginDriftModel(DriftConfig config)
     : config_(config)
 {
-    config_.validate();
+    util::checkOk(config_.validate());
 
     agingRates_.assign(config_.modules, 0.0);
     spikes_.assign(config_.modules, {});

@@ -34,6 +34,7 @@
 
 #include "margin/error_model.hh"
 #include "margin/module.hh"
+#include "util/status.hh"
 
 namespace hdmr::snapshot
 {
@@ -82,10 +83,11 @@ struct DriftConfig
 
     /**
      * Reject impossible drift realizations (NaN/negative rates,
-     * zero modules, correlation outside [0,1], ...) with a fatal()
-     * naming the offending field; one pass, first offender wins.
+     * zero modules, correlation outside [0,1], ...) with
+     * kInvalidArgument naming the offending field; one pass, first
+     * offender wins.  MarginDriftModel's constructor checkOk()s it.
      */
-    void validate() const;
+    util::Status validate() const;
 
     bool
     enabled() const

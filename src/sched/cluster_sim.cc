@@ -13,92 +13,107 @@ namespace hdmr::sched
 // Configuration validation
 // --------------------------------------------------------------------
 
-void
+util::Status
 SpeedupTable::validate() const
 {
     if (!std::isfinite(at800) || !(at800 >= 1.0))
-        util::fatal("SpeedupTable.at800 must be a finite speedup >= 1 "
-                    "(got %g)",
-                    at800);
+        return util::invalidArgument(
+            "SpeedupTable.at800 must be a finite speedup >= 1 "
+            "(got %g)",
+            at800);
     if (!std::isfinite(at600) || !(at600 >= 1.0))
-        util::fatal("SpeedupTable.at600 must be a finite speedup >= 1 "
-                    "(got %g)",
-                    at600);
+        return util::invalidArgument(
+            "SpeedupTable.at600 must be a finite speedup >= 1 "
+            "(got %g)",
+            at600);
     if (at600 > at800)
-        util::fatal("SpeedupTable.at600 (%g) must not exceed at800 "
-                    "(%g): group 0 is the faster margin group",
-                    at600, at800);
+        return util::invalidArgument(
+            "SpeedupTable.at600 (%g) must not exceed at800 (%g): "
+            "group 0 is the faster margin group",
+            at600, at800);
+    return util::Status{};
 }
 
-void
+util::Status
 ResiliencePolicy::validate() const
 {
     if (!std::isfinite(requeueBackoffBaseSeconds) ||
         !(requeueBackoffBaseSeconds >= 0.0))
-        util::fatal("ResiliencePolicy.requeueBackoffBaseSeconds must "
-                    "be a finite non-negative duration (got %g)",
-                    requeueBackoffBaseSeconds);
+        return util::invalidArgument(
+            "ResiliencePolicy.requeueBackoffBaseSeconds must be a "
+            "finite non-negative duration (got %g)",
+            requeueBackoffBaseSeconds);
     if (!std::isfinite(requeueBackoffCapSeconds) ||
         !(requeueBackoffCapSeconds >= requeueBackoffBaseSeconds))
-        util::fatal("ResiliencePolicy.requeueBackoffCapSeconds (%g) "
-                    "must be finite and at least the base backoff (%g)",
-                    requeueBackoffCapSeconds, requeueBackoffBaseSeconds);
+        return util::invalidArgument(
+            "ResiliencePolicy.requeueBackoffCapSeconds (%g) must be "
+            "finite and at least the base backoff (%g)",
+            requeueBackoffCapSeconds, requeueBackoffBaseSeconds);
     if (!std::isfinite(checkpointIntervalSeconds) ||
         !(checkpointIntervalSeconds >= 0.0))
-        util::fatal("ResiliencePolicy.checkpointIntervalSeconds must "
-                    "be a finite non-negative duration (got %g)",
-                    checkpointIntervalSeconds);
+        return util::invalidArgument(
+            "ResiliencePolicy.checkpointIntervalSeconds must be a "
+            "finite non-negative duration (got %g)",
+            checkpointIntervalSeconds);
     if (!std::isfinite(checkpointOverheadFraction) ||
         !(checkpointOverheadFraction >= 0.0) ||
         checkpointOverheadFraction >= 1.0)
-        util::fatal("ResiliencePolicy.checkpointOverheadFraction must "
-                    "be a finite fraction in [0, 1) (got %g)",
-                    checkpointOverheadFraction);
+        return util::invalidArgument(
+            "ResiliencePolicy.checkpointOverheadFraction must be a "
+            "finite fraction in [0, 1) (got %g)",
+            checkpointOverheadFraction);
+    return util::Status{};
 }
 
-void
+util::Status
 ClusterConfig::validate() const
 {
     if (nodes == 0)
-        util::fatal("ClusterConfig.nodes must be at least 1");
+        return util::invalidArgument(
+            "ClusterConfig.nodes must be at least 1");
     double fraction_sum = 0.0;
     for (std::size_t g = 0; g < kGroups; ++g) {
         const double f = groupFractions[g];
         if (!std::isfinite(f) || !(f >= 0.0) || f > 1.0)
-            util::fatal("ClusterConfig.groupFractions[%zu] must be a "
-                        "finite fraction in [0, 1] (got %g)",
-                        g, f);
+            return util::invalidArgument(
+                "ClusterConfig.groupFractions[%zu] must be a finite "
+                "fraction in [0, 1] (got %g)",
+                g, f);
         fraction_sum += f;
     }
     if (std::abs(fraction_sum - 1.0) > 1e-6)
-        util::fatal("ClusterConfig.groupFractions must sum to 1 "
-                    "(got %g)",
-                    fraction_sum);
+        return util::invalidArgument(
+            "ClusterConfig.groupFractions must sum to 1 (got %g)",
+            fraction_sum);
     if (backfillDepth == 0)
-        util::fatal("ClusterConfig.backfillDepth must be at least 1");
+        return util::invalidArgument(
+            "ClusterConfig.backfillDepth must be at least 1");
     if (!std::isfinite(excursionUeMultiplier) ||
         excursionUeMultiplier < 1.0)
-        util::fatal("ClusterConfig.excursionUeMultiplier must be a "
-                    "finite value >= 1 (got %g)",
-                    excursionUeMultiplier);
+        return util::invalidArgument(
+            "ClusterConfig.excursionUeMultiplier must be a finite "
+            "value >= 1 (got %g)",
+            excursionUeMultiplier);
     for (std::size_t i = 0; i < scheduleOverlay.size(); ++i) {
         const fault::FaultEvent &ev = scheduleOverlay[i];
         if (!std::isfinite(ev.atSeconds) || ev.atSeconds < 0.0)
-            util::fatal("ClusterConfig.scheduleOverlay[%zu].atSeconds "
-                        "must be finite and >= 0 (got %g)",
-                        i, ev.atSeconds);
+            return util::invalidArgument(
+                "ClusterConfig.scheduleOverlay[%zu].atSeconds must "
+                "be finite and >= 0 (got %g)",
+                i, ev.atSeconds);
         if (!std::isfinite(ev.durationSeconds) ||
             ev.durationSeconds < 0.0)
-            util::fatal("ClusterConfig.scheduleOverlay[%zu]."
-                        "durationSeconds must be finite and >= 0 "
-                        "(got %g)",
-                        i, ev.durationSeconds);
+            return util::invalidArgument(
+                "ClusterConfig.scheduleOverlay[%zu].durationSeconds "
+                "must be finite and >= 0 (got %g)",
+                i, ev.durationSeconds);
     }
-    speedups.validate();
-    resilience.validate();
-    faults.validate();
-    placement.validate();
-    criticality.validate();
+    HDMR_RETURN_IF_ERROR(speedups.validate());
+    HDMR_RETURN_IF_ERROR(resilience.validate());
+    HDMR_RETURN_IF_ERROR(faults.validate());
+    HDMR_RETURN_IF_ERROR(placement.validate());
+    HDMR_RETURN_IF_ERROR(criticality.validate());
+    return util::Status{};
 }
 
 // --------------------------------------------------------------------
@@ -241,7 +256,7 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
     : config_(config), criticality_(config.criticality),
       rng_(config.seed)
 {
-    config_.validate();
+    util::checkOk(config_.validate());
     resetCapacity();
 }
 
@@ -1326,19 +1341,16 @@ ClusterSimulator::serializeState(snapshot::Serializer &out) const
         registry_->save(out);
 }
 
-bool
+util::Status
 ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
-                               const std::vector<traces::Job> &jobs,
-                               std::string *error)
+                               const std::vector<traces::Job> &jobs)
 {
-    const auto reject = [&](const std::string &message) {
+    const auto reject = [&](util::Status status) {
         // Never leave a half-restored simulator behind.
         st_ = RunState{};
         resetCapacity();
         rng_.seed(config_.seed);
-        if (error != nullptr)
-            *error = message;
-        return false;
+        return status;
     };
 
     // Re-derive the fresh-run baseline (notably the fault schedule the
@@ -1349,13 +1361,16 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
     const std::uint64_t config_digest = in.readU64();
     const std::uint64_t trace_digest = in.readU64();
     if (!in.ok())
-        return reject("cluster snapshot: " + in.error());
+        return reject(util::dataLoss("cluster snapshot: %s",
+                                     in.error().c_str()));
     if (config_digest != configDigest())
-        return reject("cluster snapshot was taken with a different "
-                      "cluster configuration; refusing to resume");
+        return reject(util::failedPrecondition(
+            "cluster snapshot was taken with a different cluster "
+            "configuration; refusing to resume"));
     if (trace_digest != traceDigest(jobs))
-        return reject("cluster snapshot was taken against a different "
-                      "job trace; refusing to resume");
+        return reject(util::failedPrecondition(
+            "cluster snapshot was taken against a different job "
+            "trace; refusing to resume"));
 
     for (std::size_t g = 0; g < kGroups; ++g) {
         freePerGroup_[g] = in.readU32();
@@ -1375,7 +1390,8 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
     st_.startSeq = in.readU64();
     st_.hotUntil = in.readDouble();
     if (!st_.faults.restore(in))
-        return reject("cluster snapshot: " + in.error());
+        return reject(util::dataLoss("cluster snapshot: %s",
+                                     in.error().c_str()));
     st_.execSum = in.readDouble();
     st_.queueSum = in.readDouble();
     st_.turnaroundSum = in.readDouble();
@@ -1386,12 +1402,14 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
     st_.spanEnd = in.readDouble();
     st_.eventsProcessed = in.readU64();
     if (!restoreMetrics(in, &st_.metrics))
-        return reject("cluster snapshot: " + in.error());
+        return reject(util::dataLoss("cluster snapshot: %s",
+                                     in.error().c_str()));
 
-    const std::uint64_t live = in.readU64();
-    if (live * 46 > in.remaining())
-        return reject("cluster snapshot: running-job list longer than "
-                      "the payload");
+    // Each live running job occupies at least 46 payload bytes; the
+    // division-based readCount check cannot be wrapped by a hostile
+    // count the way `live * 46 > remaining()` could.
+    const std::uint64_t live =
+        in.readCount("cluster snapshot running-job list", 46);
     st_.running.clear();
     st_.running.reserve(static_cast<std::size_t>(live));
     st_.completions.clear();
@@ -1407,8 +1425,9 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
         rj.killed = in.readBool();
         rj.live = true;
         if (in.ok() && rj.jobIndex >= jobs.size())
-            return reject("cluster snapshot: running job references a "
-                          "job outside the trace");
+            return reject(util::dataLoss(
+                "cluster snapshot: running job references a job "
+                "outside the trace"));
         st_.running.push_back(rj);
         st_.completions.push_back(
             Completion{rj.endTime, rj.seq, st_.running.size() - 1});
@@ -1419,10 +1438,8 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
                                               b.seq);
                    });
 
-    const std::uint64_t pending_count = in.readU64();
-    if (pending_count * 16 > in.remaining())
-        return reject("cluster snapshot: pending queue longer than "
-                      "the payload");
+    const std::uint64_t pending_count =
+        in.readCount("cluster snapshot pending queue", 16);
     st_.pending.clear();
     for (std::uint64_t i = 0; i < pending_count; ++i) {
         PendingJob pj;
@@ -1431,15 +1448,14 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
         if (in.ok() &&
             (pj.jobIndex < -1 ||
              pj.jobIndex >= static_cast<std::int64_t>(jobs.size())))
-            return reject("cluster snapshot: pending job references a "
-                          "job outside the trace");
+            return reject(util::dataLoss(
+                "cluster snapshot: pending job references a job "
+                "outside the trace"));
         st_.pending.push_back(pj);
     }
 
-    const std::uint64_t resubmit_count = in.readU64();
-    if (resubmit_count * 20 > in.remaining())
-        return reject("cluster snapshot: resubmit queue longer than "
-                      "the payload");
+    const std::uint64_t resubmit_count =
+        in.readCount("cluster snapshot resubmit queue", 20);
     st_.resubmits.clear();
     st_.resubmits.reserve(static_cast<std::size_t>(resubmit_count));
     for (std::uint64_t i = 0; i < resubmit_count; ++i) {
@@ -1448,8 +1464,9 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
         rs.jobIndex = in.readU32();
         rs.seq = in.readU64();
         if (in.ok() && rs.jobIndex >= jobs.size())
-            return reject("cluster snapshot: resubmit references a job "
-                          "outside the trace");
+            return reject(util::dataLoss(
+                "cluster snapshot: resubmit references a job outside "
+                "the trace"));
         st_.resubmits.push_back(rs);
     }
     std::make_heap(st_.resubmits.begin(), st_.resubmits.end(),
@@ -1460,8 +1477,9 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
 
     const std::uint64_t job_state_count = in.readU64();
     if (job_state_count != jobs.size())
-        return reject("cluster snapshot: per-job state table does not "
-                      "match the trace size");
+        return reject(util::dataLoss(
+            "cluster snapshot: per-job state table does not match "
+            "the trace size"));
     for (JobState &jst : st_.jobState) {
         jst.attempts = in.readU32();
         jst.remainingSeconds = in.readDouble();
@@ -1469,9 +1487,11 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
 
     st_.digestEpoch = in.readU64();
     if (!st_.trail.restore(in))
-        return reject("cluster snapshot: " + in.error());
+        return reject(util::dataLoss("cluster snapshot: %s",
+                                     in.error().c_str()));
     if (!in.ok())
-        return reject("cluster snapshot: " + in.error());
+        return reject(util::dataLoss("cluster snapshot: %s",
+                                     in.error().c_str()));
 
     // Telemetry section.  Presence must match the current binding:
     // the registry participates in the digest trail, so resuming a
@@ -1479,45 +1499,44 @@ ClusterSimulator::restoreState(const std::vector<std::uint8_t> &state,
     // produce divergence reports.
     const bool saved_telemetry = in.readBool();
     if (!in.ok())
-        return reject("cluster snapshot: " + in.error());
+        return reject(util::dataLoss("cluster snapshot: %s",
+                                     in.error().c_str()));
     if (saved_telemetry != (registry_ != nullptr)) {
-        return reject(saved_telemetry
-                          ? "cluster snapshot carries telemetry "
-                            "state but no telemetry is bound; "
-                            "refusing to resume"
-                          : "cluster snapshot has no telemetry state "
-                            "but telemetry is bound; refusing to "
-                            "resume");
+        return reject(util::failedPrecondition(
+            saved_telemetry
+                ? "cluster snapshot carries telemetry state but no "
+                  "telemetry is bound; refusing to resume"
+                : "cluster snapshot has no telemetry state but "
+                  "telemetry is bound; refusing to resume"));
     }
     if (saved_telemetry && !registry_->restore(in))
-        return reject("cluster snapshot: " + in.error());
+        return reject(util::dataLoss("cluster snapshot: %s",
+                                     in.error().c_str()));
     if (in.remaining() != 0)
-        return reject("cluster snapshot: trailing garbage after the "
-                      "state image");
+        return reject(util::dataLoss(
+            "cluster snapshot: trailing garbage after the state "
+            "image"));
 
     st_.active = true;
-    return true;
+    return util::Status{};
 }
 
-bool
+util::Status
 ClusterSimulator::writeStateFile(const std::string &path,
-                                 const std::vector<std::uint8_t> &state,
-                                 std::string *error)
+                                 const std::vector<std::uint8_t> &state)
 {
     return snapshot::writeSnapshotFile(
-        path, snapshot::kClusterStateKind, state, error);
+        path, snapshot::kClusterStateKind, state);
 }
 
-bool
+util::Status
 ClusterSimulator::restoreFile(const std::string &path,
-                              const std::vector<traces::Job> &jobs,
-                              std::string *error)
+                              const std::vector<traces::Job> &jobs)
 {
     std::vector<std::uint8_t> state;
-    if (!snapshot::readSnapshotFile(path, snapshot::kClusterStateKind,
-                                    &state, error))
-        return false;
-    return restoreState(state, jobs, error);
+    HDMR_RETURN_IF_ERROR(snapshot::readSnapshotFile(
+        path, snapshot::kClusterStateKind, &state));
+    return restoreState(state, jobs);
 }
 
 } // namespace hdmr::sched

@@ -43,6 +43,7 @@
 #include "traces/job_trace.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "util/status.hh"
 #include "workloads/criticality.hh"
 
 namespace hdmr::snapshot
@@ -73,9 +74,9 @@ struct SpeedupTable
 
     /**
      * Reject NaN, non-positive, or inverted (at600 > at800) speedups
-     * with a fatal() naming the offending field.
+     * with kInvalidArgument naming the offending field.
      */
-    void validate() const;
+    util::Status validate() const;
 };
 
 /**
@@ -101,9 +102,9 @@ struct ResiliencePolicy
     /**
      * Reject NaN, negative durations/fractions, and inconsistent
      * bounds (base backoff above the cap, overhead fraction >= 1)
-     * with a fatal() naming the offending field.
+     * with kInvalidArgument naming the offending field.
      */
-    void validate() const;
+    util::Status validate() const;
 };
 
 /** Simulation configuration. */
@@ -167,12 +168,14 @@ struct ClusterConfig
     double excursionUeMultiplier = 4.0;
 
     /**
-     * One-pass construction-time validation: group fractions in
-     * [0, 1] summing to ~1, positive node count and backfill depth,
-     * plus the nested SpeedupTable, ResiliencePolicy, and
-     * CampaignConfig checks.  fatal()s name the offending field.
+     * One-pass validation: group fractions in [0, 1] summing to ~1,
+     * positive node count and backfill depth, plus the nested
+     * SpeedupTable, ResiliencePolicy, and CampaignConfig checks.
+     * Returns kInvalidArgument naming the offending field; the
+     * simulator's constructor checkOk()s it (a bad config is a caller
+     * bug, not runtime input).
      */
-    void validate() const;
+    util::Status validate() const;
 };
 
 /** Per-run aggregate metrics (Fig. 17). */
@@ -291,28 +294,27 @@ class ClusterSimulator
     /**
      * Load a state image produced by a snapshotSink.  The simulator
      * must have been constructed with the *same* configuration and be
-     * given the *same* trace; both are fingerprinted into the image
-     * and any mismatch - as well as truncation or corruption - is
-     * rejected (returns false, sets *error) with the simulator reset
-     * to its freshly constructed state, never left half-restored.  On
-     * success, call resume() to continue the run.
+     * given the *same* trace; both are fingerprinted into the image.
+     * A digest or telemetry-binding mismatch is rejected with
+     * kFailedPrecondition; truncation or corruption with kDataLoss.
+     * On any error the simulator is reset to its freshly constructed
+     * state, never left half-restored.  On success (kOk), call
+     * resume() to continue the run.
      */
-    bool restoreState(const std::vector<std::uint8_t> &state,
-                      const std::vector<traces::Job> &jobs,
-                      std::string *error);
+    util::Status restoreState(const std::vector<std::uint8_t> &state,
+                              const std::vector<traces::Job> &jobs);
 
     /** Continue a restored run to completion (or the next stop). */
     RunOutcome resume(const RunOptions &options);
 
     /** Convenience: wrap a state image in a snapshot file. */
-    static bool writeStateFile(const std::string &path,
-                               const std::vector<std::uint8_t> &state,
-                               std::string *error);
+    static util::Status
+    writeStateFile(const std::string &path,
+                   const std::vector<std::uint8_t> &state);
 
     /** Convenience: restoreState() from a snapshot file. */
-    bool restoreFile(const std::string &path,
-                     const std::vector<traces::Job> &jobs,
-                     std::string *error);
+    util::Status restoreFile(const std::string &path,
+                             const std::vector<traces::Job> &jobs);
 
     /**
      * Bind observability metrics under `prefix` (e.g. "cluster"):

@@ -56,11 +56,9 @@ bool
 DigestTrail::restore(Deserializer &in)
 {
     epochSeconds = in.readDouble();
-    const std::uint64_t count = in.readU64();
-    if (count * 8 > in.remaining()) {
-        in.fail("digest trail longer than the payload");
+    const std::uint64_t count = in.readCount("digest trail", 8);
+    if (!in.ok())
         return false;
-    }
     digests.resize(static_cast<std::size_t>(count));
     for (std::uint64_t &digest : digests)
         digest = in.readU64();

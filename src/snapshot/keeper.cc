@@ -1,0 +1,89 @@
+#include "snapshot/keeper.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "snapshot/serializer.hh"
+#include "util/logging.hh"
+
+namespace hdmr::snapshot
+{
+
+Keeper::Keeper(std::string path, unsigned keep)
+    : path_(std::move(path)), keep_(keep)
+{
+    hdmr_assert(keep_ >= 1, "Keeper must keep at least one generation");
+}
+
+std::string
+Keeper::generationPath(unsigned g) const
+{
+    if (g == 0)
+        return path_;
+    return path_ + "." + std::to_string(g);
+}
+
+util::Status
+Keeper::save(std::uint32_t kind,
+             const std::vector<std::uint8_t> &payload) const
+{
+    // Shift the survivors up one slot, oldest first, so no rename
+    // overwrites a generation that has not been copied onward yet.
+    // Renames of missing generations are skipped quietly - early in a
+    // run the older slots simply do not exist.
+    for (unsigned g = keep_ - 1; g >= 1; --g) {
+        const std::string from = generationPath(g - 1);
+        const std::string to = generationPath(g);
+        std::error_code ec;
+        if (!std::filesystem::exists(from, ec) || ec)
+            continue;
+        if (std::rename(from.c_str(), to.c_str()) != 0)
+            return util::ioError(
+                "snapshot %s: cannot rotate generation %u -> %u",
+                path_.c_str(), g - 1, g);
+    }
+    return writeSnapshotFile(path_, kind, payload);
+}
+
+util::Result<Keeper::Loaded>
+Keeper::loadLatestValid(std::uint32_t kind) const
+{
+    Loaded loaded;
+    bool any_exists = false;
+    for (unsigned g = 0; g < keep_; ++g) {
+        const std::string path = generationPath(g);
+        util::Status status =
+            readSnapshotFile(path, kind, &loaded.payload);
+        if (status.ok()) {
+            loaded.generation = g;
+            loaded.path = path;
+            return loaded;
+        }
+        std::error_code ec;
+        const bool exists = std::filesystem::exists(path, ec) && !ec;
+        any_exists |= exists;
+        // A missing older slot is normal (short runs never fill the
+        // rotation); only real files that fail verification belong in
+        // the skip trail the caller logs.
+        if (exists || g == 0)
+            loaded.skipped.push_back(std::move(status));
+    }
+
+    if (!any_exists)
+        return util::Status(util::notFound(
+            "snapshot %s: no generation exists (tried %u)",
+            path_.c_str(), keep_));
+
+    std::string detail;
+    for (const util::Status &status : loaded.skipped) {
+        if (!detail.empty())
+            detail += "; ";
+        detail += status.toString();
+    }
+    return util::Status(util::dataLoss(
+        "snapshot %s: no valid generation among %u (%s)", path_.c_str(),
+        keep_, detail.c_str()));
+}
+
+} // namespace hdmr::snapshot

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Last-good snapshot rotation.
+ *
+ * A single snapshot file has a single point of failure: if the newest
+ * image is corrupted after the fact (disk fault, operator truncation,
+ * a crash on a filesystem that reordered the rename), the whole run's
+ * restartability is gone.  Keeper keeps the N most recent *verified*
+ * generations side by side:
+ *
+ *     run.snap        newest (generation 0)
+ *     run.snap.1      previous
+ *     run.snap.2      ...
+ *
+ * save() rotates older generations up by one rename each (atomic;
+ * every generation is always a complete image written by
+ * writeSnapshotFile's fsync'd tmp-rename protocol) and installs the
+ * new image as generation 0.  loadLatestValid() walks generations
+ * newest-first, CRC-verifying each, and returns the first image that
+ * checks out together with a structured trail of what was wrong with
+ * every generation it had to skip - the hook the resume paths use to
+ * log the corruption and continue instead of dying.
+ */
+
+#ifndef HDMR_SNAPSHOT_KEEPER_HH
+#define HDMR_SNAPSHOT_KEEPER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace hdmr::snapshot
+{
+
+/** Rotates N last-good snapshot generations under one base path. */
+class Keeper
+{
+  public:
+    /** Default number of generations kept by the bench drivers. */
+    static constexpr unsigned kDefaultKeep = 3;
+
+    /**
+     * `path` is generation 0; older generations live at
+     * `path.1` ... `path.(keep-1)`.  keep == 1 degenerates to the
+     * plain single-file behaviour.  keep must be >= 1.
+     */
+    explicit Keeper(std::string path, unsigned keep = kDefaultKeep);
+
+    const std::string &path() const { return path_; }
+    unsigned keep() const { return keep_; }
+
+    /** File name of generation `g` (0 = newest). */
+    std::string generationPath(unsigned g) const;
+
+    /**
+     * Rotate and write `payload` as the new generation 0.  The
+     * rotation renames oldest-first, so a crash at any point leaves
+     * every surviving file a complete, verifiable image (at worst a
+     * generation is duplicated or missing, never torn).  Returns the
+     * first write/rename error; the simulation can continue either
+     * way, it just has one fewer safety net.
+     */
+    util::Status save(std::uint32_t kind,
+                      const std::vector<std::uint8_t> &payload) const;
+
+    /** A verified payload plus where it came from. */
+    struct Loaded
+    {
+        std::vector<std::uint8_t> payload;
+        /** Generation the payload came from (0 = newest). */
+        unsigned generation = 0;
+        std::string path;
+        /**
+         * Structured skip trail: one Status per newer generation that
+         * failed verification, in the order tried.  Empty when
+         * generation 0 loaded cleanly.
+         */
+        std::vector<util::Status> skipped;
+    };
+
+    /**
+     * Walk generations newest-first and return the first whose image
+     * verifies (magic, version, kind, CRC).  kNotFound when no
+     * generation exists at all; kDataLoss summarizing every attempt
+     * when files exist but none verifies.
+     */
+    util::Result<Loaded> loadLatestValid(std::uint32_t kind) const;
+
+  private:
+    std::string path_;
+    unsigned keep_;
+};
+
+} // namespace hdmr::snapshot
+
+#endif // HDMR_SNAPSHOT_KEEPER_HH

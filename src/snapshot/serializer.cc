@@ -3,6 +3,10 @@
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace hdmr::snapshot
 {
@@ -148,6 +152,14 @@ Deserializer::fail(const std::string &message)
         error_ = message;
 }
 
+util::Status
+Deserializer::status() const
+{
+    if (ok())
+        return util::Status{};
+    return util::Status(util::StatusCode::kDataLoss, error_);
+}
+
 std::uint8_t
 Deserializer::readU8()
 {
@@ -218,6 +230,12 @@ std::string
 Deserializer::readString()
 {
     const std::uint32_t size = readU32();
+    if (size > kMaxStringBytes) {
+        fail("string length " + std::to_string(size) +
+             " exceeds the " + std::to_string(kMaxStringBytes) +
+             "-byte cap");
+        return {};
+    }
     if (size > remaining()) {
         fail("truncated string (length " + std::to_string(size) + ", " +
              std::to_string(remaining()) + " bytes left)");
@@ -244,6 +262,24 @@ Deserializer::readBlob()
     return value;
 }
 
+std::uint64_t
+Deserializer::readCount(const char *what, std::uint64_t min_bytes_each)
+{
+    const std::uint64_t count = readU64();
+    if (!ok())
+        return 0;
+    if (min_bytes_each == 0)
+        min_bytes_each = 1;
+    if (count > remaining() / min_bytes_each) {
+        fail(std::string(what) + " count " + std::to_string(count) +
+             " longer than the payload (" +
+             std::to_string(remaining()) + " bytes left, >= " +
+             std::to_string(min_bytes_each) + " each)");
+        return 0;
+    }
+    return count;
+}
+
 // --------------------------------------------------------------------
 // File container
 // --------------------------------------------------------------------
@@ -254,20 +290,24 @@ namespace
 constexpr std::size_t kHeaderSize = 24; // magic + version + kind + size
 constexpr std::size_t kTrailerSize = 4; // CRC-32
 
+/** fsync a directory so a rename inside it is durable. */
 bool
-setError(std::string *error, const std::string &message)
+syncDirectory(const std::string &dir)
 {
-    if (error != nullptr)
-        *error = message;
-    return false;
+    const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    return synced;
 }
 
 } // namespace
 
-bool
+util::Status
 writeSnapshotFile(const std::string &path, std::uint32_t kind,
-                  const std::vector<std::uint8_t> &payload,
-                  std::string *error)
+                  const std::vector<std::uint8_t> &payload)
 {
     Serializer image;
     image.writeBytes(kMagic, sizeof(kMagic));
@@ -280,86 +320,116 @@ writeSnapshotFile(const std::string &path, std::uint32_t kind,
     image.writeU32(crc);
 
     // Write to a temporary and rename so an interrupted write can
-    // never be mistaken for a snapshot.
+    // never be mistaken for a snapshot; fsync the data before the
+    // rename and the directory after it so neither the bytes nor the
+    // rename itself can be lost to a crash.
     const std::string tmp = path + ".tmp";
     std::FILE *file = std::fopen(tmp.c_str(), "wb");
     if (file == nullptr)
-        return setError(error, "snapshot " + path + ": cannot open " +
-                                   tmp + " for writing");
+        return util::ioError("snapshot %s: cannot open %s for writing",
+                             path.c_str(), tmp.c_str());
     const std::size_t written = std::fwrite(
         image.data().data(), 1, image.data().size(), file);
     const bool flushed = std::fflush(file) == 0;
+    const bool synced = flushed && ::fsync(fileno(file)) == 0;
     std::fclose(file);
-    if (written != image.data().size() || !flushed) {
+    if (written != image.data().size() || !synced) {
         std::remove(tmp.c_str());
-        return setError(error,
-                        "snapshot " + path + ": short write to " + tmp);
+        return util::ioError("snapshot %s: short write to %s",
+                             path.c_str(), tmp.c_str());
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
-        return setError(error, "snapshot " + path +
-                                   ": cannot rename temporary into place");
+        return util::ioError(
+            "snapshot %s: cannot rename temporary into place",
+            path.c_str());
     }
-    return true;
+    const std::string parent =
+        std::filesystem::path(path).parent_path().string();
+    if (!syncDirectory(parent))
+        return util::ioError("snapshot %s: cannot sync directory '%s' "
+                             "after rename",
+                             path.c_str(),
+                             parent.empty() ? "." : parent.c_str());
+    return util::Status{};
 }
 
-bool
-readSnapshotFile(const std::string &path, std::uint32_t kind,
-                 std::vector<std::uint8_t> *payload, std::string *error)
+util::Status
+parseSnapshotImage(const std::uint8_t *data, std::size_t size,
+                   std::uint32_t kind,
+                   std::vector<std::uint8_t> *payload,
+                   const std::string &name)
 {
-    std::FILE *file = std::fopen(path.c_str(), "rb");
-    if (file == nullptr)
-        return setError(error, "snapshot " + path + ": cannot open");
-    std::vector<std::uint8_t> image;
-    std::uint8_t chunk[65536];
-    std::size_t got;
-    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
-        image.insert(image.end(), chunk, chunk + got);
-    const bool read_error = std::ferror(file) != 0;
-    std::fclose(file);
-    if (read_error)
-        return setError(error, "snapshot " + path + ": read error");
+    if (size > kMaxSnapshotBytes)
+        return util::resourceExhausted(
+            "snapshot %s: %zu bytes exceeds the %llu-byte image cap",
+            name.c_str(), size,
+            static_cast<unsigned long long>(kMaxSnapshotBytes));
+    if (size < kHeaderSize + kTrailerSize)
+        return util::dataLoss(
+            "snapshot %s: truncated (%zu bytes, header alone needs "
+            "%zu)",
+            name.c_str(), size, kHeaderSize + kTrailerSize);
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        return util::dataLoss(
+            "snapshot %s: bad magic (not a snapshot file)",
+            name.c_str());
 
-    if (image.size() < kHeaderSize + kTrailerSize)
-        return setError(error, "snapshot " + path + ": truncated (" +
-                                   std::to_string(image.size()) +
-                                   " bytes, header alone needs " +
-                                   std::to_string(kHeaderSize +
-                                                  kTrailerSize) +
-                                   ")");
-    if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
-        return setError(error, "snapshot " + path +
-                                   ": bad magic (not a snapshot file)");
-
-    Deserializer header(image.data() + sizeof(kMagic),
-                        image.size() - sizeof(kMagic));
+    Deserializer header(data + sizeof(kMagic), size - sizeof(kMagic));
     const std::uint32_t version = header.readU32();
     const std::uint32_t file_kind = header.readU32();
     const std::uint64_t payload_size = header.readU64();
     if (version != kFormatVersion)
-        return setError(error, "snapshot " + path + ": format version " +
-                                   std::to_string(version) +
-                                   " (this build reads version " +
-                                   std::to_string(kFormatVersion) + ")");
+        return util::failedPrecondition(
+            "snapshot %s: format version %u (this build reads version "
+            "%u)",
+            name.c_str(), version, kFormatVersion);
     if (file_kind != kind)
-        return setError(error,
-                        "snapshot " + path + ": payload kind mismatch");
-    if (payload_size != image.size() - kHeaderSize - kTrailerSize)
-        return setError(error, "snapshot " + path +
-                                   ": truncated or oversized payload");
+        return util::failedPrecondition(
+            "snapshot %s: payload kind mismatch", name.c_str());
+    if (payload_size != size - kHeaderSize - kTrailerSize)
+        return util::dataLoss("snapshot %s: truncated or oversized "
+                              "payload",
+                              name.c_str());
 
-    Deserializer trailer(image.data() + image.size() - kTrailerSize,
-                         kTrailerSize);
+    Deserializer trailer(data + size - kTrailerSize, kTrailerSize);
     const std::uint32_t stored_crc = trailer.readU32();
-    const std::uint32_t computed_crc =
-        crc32(image.data(), image.size() - kTrailerSize);
+    const std::uint32_t computed_crc = crc32(data, size - kTrailerSize);
     if (stored_crc != computed_crc)
-        return setError(error,
-                        "snapshot " + path + ": CRC mismatch (corrupted)");
+        return util::dataLoss("snapshot %s: CRC mismatch (corrupted)",
+                              name.c_str());
 
-    payload->assign(image.begin() + kHeaderSize,
-                    image.end() - kTrailerSize);
-    return true;
+    payload->assign(data + kHeaderSize, data + size - kTrailerSize);
+    return util::Status{};
+}
+
+util::Status
+readSnapshotFile(const std::string &path, std::uint32_t kind,
+                 std::vector<std::uint8_t> *payload)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return util::notFound("snapshot %s: cannot open", path.c_str());
+    std::vector<std::uint8_t> image;
+    std::uint8_t chunk[65536];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+        image.insert(image.end(), chunk, chunk + got);
+        if (image.size() > kMaxSnapshotBytes) {
+            std::fclose(file);
+            return util::resourceExhausted(
+                "snapshot %s: exceeds the %llu-byte image cap",
+                path.c_str(),
+                static_cast<unsigned long long>(kMaxSnapshotBytes));
+        }
+    }
+    const bool read_error = std::ferror(file) != 0;
+    std::fclose(file);
+    if (read_error)
+        return util::ioError("snapshot %s: read error", path.c_str());
+
+    return parseSnapshotImage(image.data(), image.size(), kind, payload,
+                              path);
 }
 
 } // namespace hdmr::snapshot

@@ -10,8 +10,16 @@
  * plain data and reconstruct their derived structures (heaps, event
  * sets) declaratively on restore.  A snapshot *file* wraps one payload
  * in a magic + format-version header and a CRC-32 trailer; truncated,
- * corrupted, or wrong-version images are hard-rejected with a message
- * that says why, never silently half-loaded.
+ * corrupted, or wrong-version images are rejected with a util::Status
+ * that says why, never silently half-loaded and never by killing the
+ * process - callers (snapshot::Keeper, the bench resume paths) decide
+ * whether to fall back to an older generation or give up.
+ *
+ * Resource caps: a reader must survive adversarial inputs without
+ * unbounded allocation, so every length/count decoded from the image
+ * is checked against what the payload could possibly hold *before*
+ * anything is allocated (readString, readBlob, readCount), and the
+ * file reader refuses images larger than kMaxSnapshotBytes outright.
  */
 
 #ifndef HDMR_SNAPSHOT_SERIALIZER_HH
@@ -20,6 +28,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "util/status.hh"
 
 namespace hdmr::snapshot
 {
@@ -35,6 +45,12 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 inline constexpr std::uint32_t kClusterStateKind = 0x4d495343;  // "CSIM"
 inline constexpr std::uint32_t kSweepStateKind = 0x50455753;    // "SWEP"
 inline constexpr std::uint32_t kSdcAuditStateKind = 0x41434453; // "SDCA"
+
+/** Hard ceiling on a snapshot image the file reader will load. */
+inline constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 30; // 1 GiB
+
+/** Hard ceiling on one length-prefixed string inside a payload. */
+inline constexpr std::uint64_t kMaxStringBytes = 1ull << 20; // 1 MiB
 
 /** CRC-32 (IEEE 802.3, reflected) over a byte range. */
 std::uint32_t crc32(const void *data, std::size_t size,
@@ -84,14 +100,28 @@ class Deserializer
     /** Rejects encodings other than 0/1 (likely corruption). */
     bool readBool();
     double readDouble();
+    /** Latches an error past kMaxStringBytes or the payload end. */
     std::string readString();
     std::vector<std::uint8_t> readBlob();
+
+    /**
+     * Read a u64 element count that a decode loop is about to
+     * allocate/iterate for, where each element occupies at least
+     * `min_bytes_each` (>= 1) payload bytes.  A count no remaining
+     * payload could hold latches an error naming `what` - the
+     * overflow-proof form of the old `count * size > remaining()`
+     * checks, which an adversarial count near 2^64 could wrap past.
+     */
+    std::uint64_t readCount(const char *what,
+                            std::uint64_t min_bytes_each);
 
     /** Record a semantic validation failure (bad index, mismatch...). */
     void fail(const std::string &message);
 
     bool ok() const { return error_.empty(); }
     const std::string &error() const { return error_; }
+    /** kOk when ok(); kDataLoss carrying error() otherwise. */
+    util::Status status() const;
     std::size_t remaining() const { return size_ - position_; }
 
   private:
@@ -113,23 +143,38 @@ class Deserializer
  *     [24) payload bytes
  *     [24+n) CRC-32              u32 LE over bytes [0, 24+n)
  *
- * The file is written to `path + ".tmp"` and renamed into place, so a
- * crash mid-write never leaves a half-written file under `path`.
- * Returns false and sets *error on I/O failure.
+ * Durability: the image is written to `path + ".tmp"`, fsync'd, and
+ * renamed into place, then the parent directory is fsync'd so the
+ * rename itself survives a crash (on journalled filesystems a rename
+ * without the directory sync can be lost even though the data blocks
+ * made it).  A crash mid-write never leaves a half-written file under
+ * `path`.  Returns kIoError on any write/sync/rename failure.
  */
-bool writeSnapshotFile(const std::string &path, std::uint32_t kind,
-                       const std::vector<std::uint8_t> &payload,
-                       std::string *error);
+util::Status writeSnapshotFile(const std::string &path,
+                               std::uint32_t kind,
+                               const std::vector<std::uint8_t> &payload);
 
 /**
- * Read and verify a snapshot file.  Rejects (returns false, sets
- * *error) on: unreadable file, short/truncated image, bad magic,
- * format-version mismatch, payload-kind mismatch, size inconsistency,
- * or CRC mismatch.  On success *payload holds the verified bytes.
+ * Verify an in-memory snapshot image.  Rejects with kDataLoss
+ * (short/truncated image, bad magic, size inconsistency, CRC
+ * mismatch), kResourceExhausted (over kMaxSnapshotBytes), or
+ * kFailedPrecondition (format-version or payload-kind mismatch).  On
+ * success *payload holds the verified bytes.  `name` labels errors
+ * (a path, or "<memory>" for fuzzing).
  */
-bool readSnapshotFile(const std::string &path, std::uint32_t kind,
-                      std::vector<std::uint8_t> *payload,
-                      std::string *error);
+util::Status parseSnapshotImage(const std::uint8_t *data,
+                                std::size_t size, std::uint32_t kind,
+                                std::vector<std::uint8_t> *payload,
+                                const std::string &name = "<memory>");
+
+/**
+ * Read and verify a snapshot file: parseSnapshotImage() over the
+ * file's bytes, plus kNotFound for a missing file, kIoError for a
+ * failed read, and kResourceExhausted past kMaxSnapshotBytes.
+ */
+util::Status readSnapshotFile(const std::string &path,
+                              std::uint32_t kind,
+                              std::vector<std::uint8_t> *payload);
 
 } // namespace hdmr::snapshot
 

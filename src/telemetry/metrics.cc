@@ -188,14 +188,13 @@ Registry::save(snapshot::Serializer &out) const
 bool
 Registry::restore(snapshot::Deserializer &in)
 {
-    const std::uint64_t count = in.readU64();
     // Each saved metric is at least name length (4) + kind (1) +
     // payload (8) bytes; anything claiming more entries than could fit
     // in the remaining bytes is corrupt.
-    if (count * 13 > in.remaining() + 13) {
-        in.fail("telemetry registry: implausible metric count");
+    const std::uint64_t count =
+        in.readCount("telemetry registry metric list", 13);
+    if (!in.ok())
         return false;
-    }
     for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
         const std::string name = in.readString();
         const std::uint8_t kind = in.readU8();

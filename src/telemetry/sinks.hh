@@ -28,6 +28,7 @@
 #include <string>
 
 #include "telemetry/metrics.hh"
+#include "util/status.hh"
 
 namespace hdmr::telemetry
 {
@@ -38,12 +39,13 @@ bool writeMetricsCsv(const Registry &registry, const std::string &path,
 
 /**
  * Load a metrics CSV into `registry` (find-or-create per name,
- * overwriting values).  Returns false with *error when the file cannot
- * be read; malformed content is fatal() with file:line context, per
- * the strict-loader convention.
+ * overwriting values).  kNotFound when the file cannot be opened;
+ * malformed content is kDataLoss with file:line context naming the
+ * offending cell.  On error the registry may hold metrics from the
+ * rows already parsed - reload into a fresh Registry to recover.
  */
-bool loadMetricsCsv(Registry &registry, const std::string &path,
-                    std::string *error);
+util::Status loadMetricsCsv(Registry &registry,
+                            const std::string &path);
 
 /** Write every metric as one JSON object.  False + *error on I/O. */
 bool writeMetricsJson(const Registry &registry, const std::string &path,

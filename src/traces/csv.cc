@@ -3,93 +3,133 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
-
-#include "util/logging.hh"
+#include <istream>
 
 namespace hdmr::traces
 {
 
-std::vector<std::string>
-splitCsvLine(const CsvCursor &at, const std::string &text,
-             std::size_t expected_fields)
+bool
+readCsvLine(std::istream &in, CsvCursor *at, std::string *out,
+            util::Status *status)
 {
-    std::vector<std::string> fields;
+    *status = util::Status{};
+    out->clear();
+    if (!std::getline(in, *out))
+        return false;
+    ++at->line;
+    if (out->size() > kMaxCsvLineBytes) {
+        *status = util::resourceExhausted(
+            "%s:%zu: line of %zu bytes exceeds the %zu-byte cap",
+            at->file.c_str(), at->line, out->size(), kMaxCsvLineBytes);
+        return false;
+    }
+    return true;
+}
+
+util::Status
+splitCsvLine(const CsvCursor &at, const std::string &text,
+             std::size_t expected_fields,
+             std::vector<std::string> *fields)
+{
+    fields->clear();
     std::size_t start = 0;
     while (true) {
         const std::size_t comma = text.find(',', start);
         if (comma == std::string::npos) {
-            fields.push_back(text.substr(start));
+            fields->push_back(text.substr(start));
             break;
         }
-        fields.push_back(text.substr(start, comma - start));
+        if (fields->size() + 1 == expected_fields) {
+            // Already have all but the last field and there is another
+            // comma: over-long record; count the rest for the message.
+            std::size_t got = fields->size() + 1;
+            for (std::size_t i = comma; i < text.size(); ++i)
+                got += text[i] == ',';
+            return util::dataLoss(
+                "%s:%zu: expected %zu comma-separated fields, got %zu "
+                "(truncated or malformed record)",
+                at.file.c_str(), at.line, expected_fields, got);
+        }
+        fields->push_back(text.substr(start, comma - start));
         start = comma + 1;
     }
-    if (fields.size() != expected_fields) {
-        util::fatal("%s:%zu: expected %zu comma-separated fields, got "
-                    "%zu (truncated or malformed record)",
-                    at.file.c_str(), at.line, expected_fields,
-                    fields.size());
+    if (fields->size() != expected_fields) {
+        return util::dataLoss(
+            "%s:%zu: expected %zu comma-separated fields, got %zu "
+            "(truncated or malformed record)",
+            at.file.c_str(), at.line, expected_fields, fields->size());
     }
-    return fields;
+    return util::Status{};
 }
 
-double
+util::Status
 parseCsvDouble(const CsvCursor &at, const char *field,
-               const std::string &text, double lo, double hi)
+               const std::string &text, double lo, double hi,
+               double *value)
 {
+    *value = 0.0;
     if (text.empty())
-        util::fatal("%s:%zu: field '%s': empty", at.file.c_str(),
-                    at.line, field);
+        return util::dataLoss("%s:%zu: field '%s': empty",
+                              at.file.c_str(), at.line, field);
     errno = 0;
     char *end = nullptr;
-    const double value = std::strtod(text.c_str(), &end);
+    const double parsed = std::strtod(text.c_str(), &end);
     if (end != text.c_str() + text.size()) {
-        util::fatal("%s:%zu: field '%s': '%s' is not a number",
-                    at.file.c_str(), at.line, field, text.c_str());
+        return util::dataLoss("%s:%zu: field '%s': '%s' is not a "
+                              "number",
+                              at.file.c_str(), at.line, field,
+                              text.c_str());
     }
-    if (!std::isfinite(value)) {
-        util::fatal("%s:%zu: field '%s': '%s' is not finite",
-                    at.file.c_str(), at.line, field, text.c_str());
+    if (!std::isfinite(parsed)) {
+        return util::dataLoss("%s:%zu: field '%s': '%s' is not finite",
+                              at.file.c_str(), at.line, field,
+                              text.c_str());
     }
-    if (value < lo || value > hi) {
-        util::fatal("%s:%zu: field '%s': %g out of range [%g, %g]",
-                    at.file.c_str(), at.line, field, value, lo, hi);
+    if (parsed < lo || parsed > hi) {
+        return util::outOfRange(
+            "%s:%zu: field '%s': %g out of range [%g, %g]",
+            at.file.c_str(), at.line, field, parsed, lo, hi);
     }
-    return value;
+    *value = parsed;
+    return util::Status{};
 }
 
-std::uint64_t
+util::Status
 parseCsvUnsigned(const CsvCursor &at, const char *field,
                  const std::string &text, std::uint64_t lo,
-                 std::uint64_t hi)
+                 std::uint64_t hi, std::uint64_t *value)
 {
+    *value = 0;
     if (text.empty())
-        util::fatal("%s:%zu: field '%s': empty", at.file.c_str(),
-                    at.line, field);
+        return util::dataLoss("%s:%zu: field '%s': empty",
+                              at.file.c_str(), at.line, field);
     // strtoull silently accepts a sign and wraps; reject anything that
     // is not a plain digit string up front.
     for (const char c : text) {
         if (c < '0' || c > '9') {
-            util::fatal("%s:%zu: field '%s': '%s' is not an unsigned "
-                        "integer",
-                        at.file.c_str(), at.line, field, text.c_str());
+            return util::dataLoss(
+                "%s:%zu: field '%s': '%s' is not an unsigned integer",
+                at.file.c_str(), at.line, field, text.c_str());
         }
     }
     errno = 0;
     char *end = nullptr;
-    const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    const unsigned long long parsed =
+        std::strtoull(text.c_str(), &end, 10);
     if (end != text.c_str() + text.size() || errno == ERANGE) {
-        util::fatal("%s:%zu: field '%s': '%s' does not fit an unsigned "
-                    "integer",
-                    at.file.c_str(), at.line, field, text.c_str());
+        return util::dataLoss(
+            "%s:%zu: field '%s': '%s' does not fit an unsigned integer",
+            at.file.c_str(), at.line, field, text.c_str());
     }
-    if (value < lo || value > hi) {
-        util::fatal("%s:%zu: field '%s': %llu out of range [%llu, %llu]",
-                    at.file.c_str(), at.line, field, value,
-                    static_cast<unsigned long long>(lo),
-                    static_cast<unsigned long long>(hi));
+    if (parsed < lo || parsed > hi) {
+        return util::outOfRange(
+            "%s:%zu: field '%s': %llu out of range [%llu, %llu]",
+            at.file.c_str(), at.line, field, parsed,
+            static_cast<unsigned long long>(lo),
+            static_cast<unsigned long long>(hi));
     }
-    return value;
+    *value = parsed;
+    return util::Status{};
 }
 
 } // namespace hdmr::traces

@@ -6,23 +6,35 @@
  * Every helper takes a CsvCursor naming the source file and 1-based
  * line, plus the field's name; malformed input - truncated lines,
  * non-numeric text, trailing junk, non-finite numbers, out-of-range
- * values - is rejected with a util::fatal() message of the form
+ * values - is rejected with a util::Status whose message has the form
  *
  *     <file>:<line>: field '<name>': <what is wrong>
  *
  * so a corrupt trace or cache points at the exact offending cell
- * instead of silently skewing results.
+ * instead of silently skewing results.  The helpers return errors
+ * rather than fatal()ing so a long-running service can refuse one
+ * request's input and keep serving; the CLI loaders wrap them with
+ * util::checkOk() to keep the old die-with-message behaviour.
+ *
+ * Resource caps: readCsvLine() refuses lines beyond kMaxCsvLineBytes,
+ * so a malicious "CSV" that is one endless line cannot balloon memory.
  */
 
 #ifndef HDMR_TRACES_CSV_HH
 #define HDMR_TRACES_CSV_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace hdmr::traces
 {
+
+/** Hard ceiling on one CSV line the readers will buffer. */
+inline constexpr std::size_t kMaxCsvLineBytes = 1 << 16; // 64 KiB
 
 /** Where in which file the current record came from. */
 struct CsvCursor
@@ -32,22 +44,32 @@ struct CsvCursor
 };
 
 /**
+ * getline() with the kMaxCsvLineBytes cap: reads one line into *out
+ * and bumps at->line.  Returns false at clean EOF; an over-long line
+ * sets *status (kResourceExhausted) and returns false.  `*status` is
+ * left OK on success and EOF.
+ */
+bool readCsvLine(std::istream &in, CsvCursor *at, std::string *out,
+                 util::Status *status);
+
+/**
  * Split `text` on commas into exactly `expected_fields` fields;
- * truncated and over-long records are fatal.  Fields are returned
+ * truncated and over-long records are rejected.  Fields are returned
  * verbatim (no quoting support - none of our formats needs it).
  */
-std::vector<std::string> splitCsvLine(const CsvCursor &at,
-                                      const std::string &text,
-                                      std::size_t expected_fields);
+util::Status splitCsvLine(const CsvCursor &at, const std::string &text,
+                          std::size_t expected_fields,
+                          std::vector<std::string> *fields);
 
 /** Parse a finite double; [lo, hi] is inclusive on both ends. */
-double parseCsvDouble(const CsvCursor &at, const char *field,
-                      const std::string &text, double lo, double hi);
+util::Status parseCsvDouble(const CsvCursor &at, const char *field,
+                            const std::string &text, double lo,
+                            double hi, double *value);
 
 /** Parse an unsigned integer in [lo, hi]; rejects signs and junk. */
-std::uint64_t parseCsvUnsigned(const CsvCursor &at, const char *field,
-                               const std::string &text, std::uint64_t lo,
-                               std::uint64_t hi);
+util::Status parseCsvUnsigned(const CsvCursor &at, const char *field,
+                              const std::string &text, std::uint64_t lo,
+                              std::uint64_t hi, std::uint64_t *value);
 
 } // namespace hdmr::traces
 

@@ -10,39 +10,43 @@
 namespace hdmr::traces
 {
 
-void
+util::Status
 JobTraceModel::validate() const
 {
     if (systemNodes == 0)
-        util::fatal("JobTraceModel.systemNodes must be at least 1");
+        return util::invalidArgument(
+            "JobTraceModel.systemNodes must be at least 1");
     if (!(spanSeconds > 0.0) || !std::isfinite(spanSeconds))
-        util::fatal("JobTraceModel.spanSeconds must be a finite "
-                    "positive duration (got %g)",
-                    spanSeconds);
+        return util::invalidArgument(
+            "JobTraceModel.spanSeconds must be a finite positive "
+            "duration (got %g)",
+            spanSeconds);
     if (!(targetUtilization > 0.0) || !std::isfinite(targetUtilization))
-        util::fatal("JobTraceModel.targetUtilization must be finite "
-                    "and positive (got %g)",
-                    targetUtilization);
+        return util::invalidArgument(
+            "JobTraceModel.targetUtilization must be finite and "
+            "positive (got %g)",
+            targetUtilization);
     if (!(under25Fraction >= 0.0) || !(under25Fraction <= 1.0))
-        util::fatal("JobTraceModel.under25Fraction must be in [0, 1] "
-                    "(got %g)",
-                    under25Fraction);
+        return util::invalidArgument(
+            "JobTraceModel.under25Fraction must be in [0, 1] (got %g)",
+            under25Fraction);
     if (!(under50Fraction >= 0.0) || !(under50Fraction <= 1.0))
-        util::fatal("JobTraceModel.under50Fraction must be in [0, 1] "
-                    "(got %g)",
-                    under50Fraction);
+        return util::invalidArgument(
+            "JobTraceModel.under50Fraction must be in [0, 1] (got %g)",
+            under50Fraction);
     if (under25Fraction > under50Fraction)
-        util::fatal("JobTraceModel.under25Fraction (%g) must not "
-                    "exceed under50Fraction (%g): the classes are "
-                    "cumulative",
-                    under25Fraction, under50Fraction);
+        return util::invalidArgument(
+            "JobTraceModel.under25Fraction (%g) must not exceed "
+            "under50Fraction (%g): the classes are cumulative",
+            under25Fraction, under50Fraction);
+    return util::Status{};
 }
 
 GrizzlyTraceGenerator::GrizzlyTraceGenerator(JobTraceModel model,
                                              std::uint64_t seed)
     : model_(model), rng_(seed)
 {
-    model_.validate();
+    util::checkOk(model_.validate());
 }
 
 unsigned
@@ -154,57 +158,104 @@ traceNodeSeconds(const std::vector<Job> &jobs)
     return total;
 }
 
-std::vector<Job>
-loadJobTraceCsv(const std::string &path)
+namespace
 {
-    std::ifstream in(path);
-    if (!in)
-        util::fatal("job trace: cannot open '%s'", path.c_str());
 
-    std::vector<Job> jobs;
-    CsvCursor at{path, 0};
+util::Status
+loadJobTraceCsvImpl(std::istream &in, const std::string &name,
+                    std::vector<Job> *jobs)
+{
+    jobs->clear();
+    CsvCursor at{name, 0};
+    util::Status status;
     std::string line;
-    while (std::getline(in, line)) {
-        ++at.line;
+    std::vector<std::string> fields;
+    while (readCsvLine(in, &at, &line, &status)) {
         if (line.empty() || line[0] == '#')
             continue;
 
-        const auto fields = splitCsvLine(at, line, 6);
+        HDMR_RETURN_IF_ERROR(splitCsvLine(at, line, 6, &fields));
         Job job;
-        job.id = static_cast<unsigned>(
-            parseCsvUnsigned(at, "id", fields[0], 0, ~0u));
-        job.submitSeconds = parseCsvDouble(at, "submit_s", fields[1],
-                                           0.0, 1.0e12);
-        job.nodes = static_cast<unsigned>(
-            parseCsvUnsigned(at, "nodes", fields[2], 1, 10'000'000));
-        job.runtimeSeconds = parseCsvDouble(at, "runtime_s", fields[3],
-                                            0.0, 1.0e12);
-        job.walltimeSeconds = parseCsvDouble(at, "walltime_s", fields[4],
-                                             0.0, 1.0e12);
-        job.usageClass = static_cast<unsigned>(
-            parseCsvUnsigned(at, "usage_class", fields[5], 0, 2));
+        std::uint64_t id = 0, nodes = 0, usage_class = 0;
+        HDMR_RETURN_IF_ERROR(
+            parseCsvUnsigned(at, "id", fields[0], 0, ~0u, &id));
+        HDMR_RETURN_IF_ERROR(parseCsvDouble(at, "submit_s", fields[1],
+                                            0.0, 1.0e12,
+                                            &job.submitSeconds));
+        HDMR_RETURN_IF_ERROR(parseCsvUnsigned(
+            at, "nodes", fields[2], 1, 10'000'000, &nodes));
+        HDMR_RETURN_IF_ERROR(parseCsvDouble(at, "runtime_s", fields[3],
+                                            0.0, 1.0e12,
+                                            &job.runtimeSeconds));
+        HDMR_RETURN_IF_ERROR(parseCsvDouble(at, "walltime_s", fields[4],
+                                            0.0, 1.0e12,
+                                            &job.walltimeSeconds));
+        HDMR_RETURN_IF_ERROR(parseCsvUnsigned(at, "usage_class",
+                                              fields[5], 0, 2,
+                                              &usage_class));
+        job.id = static_cast<unsigned>(id);
+        job.nodes = static_cast<unsigned>(nodes);
+        job.usageClass = static_cast<unsigned>(usage_class);
         if (job.walltimeSeconds < job.runtimeSeconds) {
-            util::fatal("%s:%zu: field 'walltime_s': %g below the "
-                        "job's runtime %g",
-                        path.c_str(), at.line, job.walltimeSeconds,
-                        job.runtimeSeconds);
+            return util::outOfRange(
+                "%s:%zu: field 'walltime_s': %g below the job's "
+                "runtime %g",
+                name.c_str(), at.line, job.walltimeSeconds,
+                job.runtimeSeconds);
         }
-        jobs.push_back(job);
+        jobs->push_back(job);
+    }
+    if (!status.ok()) {
+        jobs->clear();
+        return status;
     }
 
-    std::sort(jobs.begin(), jobs.end(),
+    std::sort(jobs->begin(), jobs->end(),
               [](const Job &a, const Job &b) {
                   return a.submitSeconds < b.submitSeconds;
               });
+    return util::Status{};
+}
+
+} // anonymous namespace
+
+util::Status
+loadJobTraceCsv(std::istream &in, const std::string &name,
+                std::vector<Job> *jobs)
+{
+    util::Status status = loadJobTraceCsvImpl(in, name, jobs);
+    if (!status.ok())
+        jobs->clear();
+    return status;
+}
+
+util::Status
+loadJobTraceCsv(const std::string &path, std::vector<Job> *jobs)
+{
+    std::ifstream in(path);
+    if (!in) {
+        jobs->clear();
+        return util::notFound("job trace: cannot open '%s'",
+                              path.c_str());
+    }
+    return loadJobTraceCsv(in, path, jobs);
+}
+
+std::vector<Job>
+loadJobTraceCsvOrDie(const std::string &path)
+{
+    std::vector<Job> jobs;
+    util::checkOk(loadJobTraceCsv(path, &jobs));
     return jobs;
 }
 
-void
+util::Status
 writeJobTraceCsv(const std::string &path, const std::vector<Job> &jobs)
 {
     std::ofstream out(path, std::ios::trunc);
     if (!out)
-        util::fatal("job trace: cannot write '%s'", path.c_str());
+        return util::ioError("job trace: cannot write '%s'",
+                             path.c_str());
     out.precision(17); // round-trip exactly
     out << "# id,submit_s,nodes,runtime_s,walltime_s,usage_class\n";
     for (const Job &job : jobs) {
@@ -213,7 +264,9 @@ writeJobTraceCsv(const std::string &path, const std::vector<Job> &jobs)
             << ',' << job.usageClass << '\n';
     }
     if (!out)
-        util::fatal("job trace: write to '%s' failed", path.c_str());
+        return util::ioError("job trace: write to '%s' failed",
+                             path.c_str());
+    return util::Status{};
 }
 
 } // namespace hdmr::traces

@@ -9,10 +9,12 @@
 #define HDMR_TRACES_JOB_TRACE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace hdmr::traces
 {
@@ -43,11 +45,12 @@ struct JobTraceModel
     /**
      * Reject degenerate models - zero nodes, zero/NaN span or
      * utilization, usage fractions outside [0, 1] or with
-     * under25Fraction > under50Fraction - with a fatal() naming the
-     * offending field.  numJobs == 0 is allowed and yields an empty
-     * trace.  Called at GrizzlyTraceGenerator construction.
+     * under25Fraction > under50Fraction - with kInvalidArgument
+     * naming the offending field.  numJobs == 0 is allowed and yields
+     * an empty trace.  GrizzlyTraceGenerator's constructor checkOk()s
+     * this (a bad model is a caller bug, not runtime input).
      */
-    void validate() const;
+    util::Status validate() const;
 };
 
 /** Generates a deterministic, load-calibrated job trace. */
@@ -76,21 +79,30 @@ class GrizzlyTraceGenerator
 double traceNodeSeconds(const std::vector<Job> &jobs);
 
 /**
- * Load a job trace from a CSV file with columns
+ * Load a job trace from a stream of CSV records with columns
  *
  *     id,submit_s,nodes,runtime_s,walltime_s,usage_class
  *
  * ('#'-prefixed comment lines and blank lines are skipped; jobs are
  * returned sorted by submit time).  Any malformed record - truncated
  * line, non-numeric or non-finite field, zero nodes, negative times,
- * walltime below runtime, usage class above 2 - is rejected with a
- * fatal() naming the file, line and field.
+ * walltime below runtime, usage class above 2, a line past the
+ * kMaxCsvLineBytes cap - is rejected with a Status naming the source
+ * (`name`), line and field; *jobs is cleared, never half-filled.
  */
-std::vector<Job> loadJobTraceCsv(const std::string &path);
+util::Status loadJobTraceCsv(std::istream &in, const std::string &name,
+                             std::vector<Job> *jobs);
 
-/** Write `jobs` in the loadJobTraceCsv() format (fatal on IO error). */
-void writeJobTraceCsv(const std::string &path,
-                      const std::vector<Job> &jobs);
+/** Stream loader over a file path (kNotFound when unreadable). */
+util::Status loadJobTraceCsv(const std::string &path,
+                             std::vector<Job> *jobs);
+
+/** CLI convenience: load or die with the Status message (exit 1). */
+std::vector<Job> loadJobTraceCsvOrDie(const std::string &path);
+
+/** Write `jobs` in the loadJobTraceCsv() format. */
+util::Status writeJobTraceCsv(const std::string &path,
+                              const std::vector<Job> &jobs);
 
 } // namespace hdmr::traces
 

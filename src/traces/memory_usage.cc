@@ -135,62 +135,61 @@ namespace
 {
 
 /** A finished job must be rectangular: equal samples on every node. */
-void
+util::Status
 checkRectangular(const CsvCursor &at, const JobUsageTrace &job)
 {
     if (job.utilization.empty() || job.utilization.front().empty()) {
-        util::fatal("%s:%zu: job %u has no samples", at.file.c_str(),
-                    at.line, job.jobId);
+        return util::dataLoss("%s:%zu: job %u has no samples",
+                              at.file.c_str(), at.line, job.jobId);
     }
     const std::size_t samples = job.utilization.front().size();
     for (std::size_t n = 1; n < job.utilization.size(); ++n) {
         if (job.utilization[n].size() != samples) {
-            util::fatal("%s:%zu: job %u is ragged: node %zu has %zu "
-                        "samples, node 0 has %zu (collector dropped "
-                        "data?)",
-                        at.file.c_str(), at.line, job.jobId, n,
-                        job.utilization[n].size(), samples);
+            return util::dataLoss(
+                "%s:%zu: job %u is ragged: node %zu has %zu samples, "
+                "node 0 has %zu (collector dropped data?)",
+                at.file.c_str(), at.line, job.jobId, n,
+                job.utilization[n].size(), samples);
         }
     }
+    return util::Status{};
 }
 
-} // namespace
-
-std::vector<JobUsageTrace>
-loadUsageTraceCsv(const std::string &path)
+util::Status
+loadUsageTraceCsvImpl(std::istream &in, const std::string &name,
+                      std::vector<JobUsageTrace> *traces)
 {
-    std::ifstream in(path);
-    if (!in)
-        util::fatal("usage trace: cannot open '%s'", path.c_str());
-
-    std::vector<JobUsageTrace> traces;
+    traces->clear();
     JobUsageTrace current;
     bool open = false;
 
-    CsvCursor at{path, 0};
+    CsvCursor at{name, 0};
+    util::Status status;
     std::string line;
-    while (std::getline(in, line)) {
-        ++at.line;
+    std::vector<std::string> fields;
+    while (readCsvLine(in, &at, &line, &status)) {
         if (line.empty() || line[0] == '#')
             continue;
 
-        const auto fields = splitCsvLine(at, line, 4);
-        const auto job_id = static_cast<unsigned>(
-            parseCsvUnsigned(at, "job_id", fields[0], 0, ~0u));
-        const auto node = static_cast<std::size_t>(
-            parseCsvUnsigned(at, "node", fields[1], 0, 1'000'000));
-        const auto sample = static_cast<std::size_t>(
-            parseCsvUnsigned(at, "sample", fields[2], 0, 1'000'000'000));
-        const double utilization =
-            parseCsvDouble(at, "utilization", fields[3], 0.0, 1.0);
+        HDMR_RETURN_IF_ERROR(splitCsvLine(at, line, 4, &fields));
+        std::uint64_t job_id = 0, node = 0, sample = 0;
+        double utilization = 0.0;
+        HDMR_RETURN_IF_ERROR(
+            parseCsvUnsigned(at, "job_id", fields[0], 0, ~0u, &job_id));
+        HDMR_RETURN_IF_ERROR(parseCsvUnsigned(at, "node", fields[1], 0,
+                                              1'000'000, &node));
+        HDMR_RETURN_IF_ERROR(parseCsvUnsigned(
+            at, "sample", fields[2], 0, 1'000'000'000, &sample));
+        HDMR_RETURN_IF_ERROR(parseCsvDouble(
+            at, "utilization", fields[3], 0.0, 1.0, &utilization));
 
         if (!open || job_id != current.jobId) {
             if (open) {
-                checkRectangular(at, current);
-                traces.push_back(std::move(current));
+                HDMR_RETURN_IF_ERROR(checkRectangular(at, current));
+                traces->push_back(std::move(current));
             }
             current = JobUsageTrace{};
-            current.jobId = job_id;
+            current.jobId = static_cast<unsigned>(job_id);
             open = true;
         }
 
@@ -199,37 +198,76 @@ loadUsageTraceCsv(const std::string &path)
         if (node == current.utilization.size()) {
             current.utilization.emplace_back();
         } else if (node != current.utilization.size() - 1) {
-            util::fatal("%s:%zu: field 'node': %zu out of order (job "
-                        "%u is on node %zu)",
-                        path.c_str(), at.line, node, job_id,
-                        current.utilization.empty()
-                            ? 0
-                            : current.utilization.size() - 1);
+            return util::dataLoss(
+                "%s:%zu: field 'node': %zu out of order (job %u is on "
+                "node %zu)",
+                name.c_str(), at.line,
+                static_cast<std::size_t>(node), current.jobId,
+                current.utilization.empty()
+                    ? std::size_t{0}
+                    : current.utilization.size() - 1);
         }
         std::vector<double> &series = current.utilization.back();
         if (sample != series.size()) {
-            util::fatal("%s:%zu: field 'sample': %zu out of order "
-                        "(expected %zu)",
-                        path.c_str(), at.line, sample, series.size());
+            return util::dataLoss(
+                "%s:%zu: field 'sample': %zu out of order (expected "
+                "%zu)",
+                name.c_str(), at.line,
+                static_cast<std::size_t>(sample), series.size());
         }
         series.push_back(utilization);
         current.nodes = static_cast<unsigned>(current.utilization.size());
     }
+    HDMR_RETURN_IF_ERROR(status);
 
     if (open) {
-        checkRectangular(at, current);
-        traces.push_back(std::move(current));
+        HDMR_RETURN_IF_ERROR(checkRectangular(at, current));
+        traces->push_back(std::move(current));
     }
+    return util::Status{};
+}
+
+} // namespace
+
+util::Status
+loadUsageTraceCsv(std::istream &in, const std::string &name,
+                  std::vector<JobUsageTrace> *traces)
+{
+    util::Status status = loadUsageTraceCsvImpl(in, name, traces);
+    if (!status.ok())
+        traces->clear();
+    return status;
+}
+
+util::Status
+loadUsageTraceCsv(const std::string &path,
+                  std::vector<JobUsageTrace> *traces)
+{
+    std::ifstream in(path);
+    if (!in) {
+        traces->clear();
+        return util::notFound("usage trace: cannot open '%s'",
+                              path.c_str());
+    }
+    return loadUsageTraceCsv(in, path, traces);
+}
+
+std::vector<JobUsageTrace>
+loadUsageTraceCsvOrDie(const std::string &path)
+{
+    std::vector<JobUsageTrace> traces;
+    util::checkOk(loadUsageTraceCsv(path, &traces));
     return traces;
 }
 
-void
+util::Status
 writeUsageTraceCsv(const std::string &path,
                    const std::vector<JobUsageTrace> &traces)
 {
     std::ofstream out(path, std::ios::trunc);
     if (!out)
-        util::fatal("usage trace: cannot write '%s'", path.c_str());
+        return util::ioError("usage trace: cannot write '%s'",
+                             path.c_str());
     out.precision(17); // round-trip exactly
     out << "# job_id,node,sample,utilization\n";
     for (const JobUsageTrace &job : traces) {
@@ -241,7 +279,9 @@ writeUsageTraceCsv(const std::string &path,
         }
     }
     if (!out)
-        util::fatal("usage trace: write to '%s' failed", path.c_str());
+        return util::ioError("usage trace: write to '%s' failed",
+                             path.c_str());
+    return util::Status{};
 }
 
 } // namespace hdmr::traces

@@ -15,10 +15,12 @@
 #define HDMR_TRACES_MEMORY_USAGE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace hdmr::traces
 {
@@ -87,7 +89,7 @@ struct UsageAnalysis
 UsageAnalysis analyzeUsage(const std::vector<JobUsageTrace> &traces);
 
 /**
- * Load usage traces from a CSV file of per-sample measurements:
+ * Load usage traces from a stream of per-sample CSV measurements:
  *
  *     job_id,node,sample,utilization
  *
@@ -96,13 +98,24 @@ UsageAnalysis analyzeUsage(const std::vector<JobUsageTrace> &traces);
  * in order, and every node of a job must record the same number of
  * samples (a ragged or shuffled trace means the collector dropped
  * data).  Utilization must be a finite value in [0, 1].  Violations
- * are fatal() errors naming the file, line and field.
+ * are rejected with a Status naming the source, line and field;
+ * *traces is cleared, never half-filled.
  */
-std::vector<JobUsageTrace> loadUsageTraceCsv(const std::string &path);
+util::Status loadUsageTraceCsv(std::istream &in,
+                               const std::string &name,
+                               std::vector<JobUsageTrace> *traces);
 
-/** Write traces in the loadUsageTraceCsv() format (fatal on IO error). */
-void writeUsageTraceCsv(const std::string &path,
-                        const std::vector<JobUsageTrace> &traces);
+/** Stream loader over a file path (kNotFound when unreadable). */
+util::Status loadUsageTraceCsv(const std::string &path,
+                               std::vector<JobUsageTrace> *traces);
+
+/** CLI convenience: load or die with the Status message (exit 1). */
+std::vector<JobUsageTrace>
+loadUsageTraceCsvOrDie(const std::string &path);
+
+/** Write traces in the loadUsageTraceCsv() format. */
+util::Status writeUsageTraceCsv(const std::string &path,
+                                const std::vector<JobUsageTrace> &traces);
 
 } // namespace hdmr::traces
 

@@ -1,0 +1,89 @@
+#include "util/status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace hdmr::util
+{
+
+namespace
+{
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list probe;
+    va_copy(probe, args);
+    const int size = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (size <= 0)
+        return {};
+    std::string text(static_cast<std::size_t>(size), '\0');
+    std::vsnprintf(text.data(), text.size() + 1, fmt, args);
+    return text;
+}
+
+} // anonymous namespace
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk:
+        return "ok";
+      case StatusCode::kInvalidArgument:
+        return "invalid_argument";
+      case StatusCode::kOutOfRange:
+        return "out_of_range";
+      case StatusCode::kDataLoss:
+        return "data_loss";
+      case StatusCode::kNotFound:
+        return "not_found";
+      case StatusCode::kResourceExhausted:
+        return "resource_exhausted";
+      case StatusCode::kFailedPrecondition:
+        return "failed_precondition";
+      case StatusCode::kIoError:
+        return "io_error";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+#define HDMR_STATUS_CTOR(name, code)                                    \
+    Status name(const char *fmt, ...)                                   \
+    {                                                                   \
+        va_list args;                                                   \
+        va_start(args, fmt);                                            \
+        std::string message = vformat(fmt, args);                       \
+        va_end(args);                                                   \
+        return Status(StatusCode::code, std::move(message));            \
+    }
+
+HDMR_STATUS_CTOR(invalidArgument, kInvalidArgument)
+HDMR_STATUS_CTOR(outOfRange, kOutOfRange)
+HDMR_STATUS_CTOR(dataLoss, kDataLoss)
+HDMR_STATUS_CTOR(notFound, kNotFound)
+HDMR_STATUS_CTOR(resourceExhausted, kResourceExhausted)
+HDMR_STATUS_CTOR(failedPrecondition, kFailedPrecondition)
+HDMR_STATUS_CTOR(ioError, kIoError)
+
+#undef HDMR_STATUS_CTOR
+
+void
+checkOk(const Status &status)
+{
+    if (!status.ok())
+        fatal("%s", status.message().c_str());
+}
+
+} // namespace hdmr::util

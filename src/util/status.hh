@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Structured error channel for the library's input boundaries.
+ *
+ * The simulator started life crash-only: every untrusted input -
+ * snapshot images, CSV traces, bench caches, user configs - was
+ * checked with util::fatal(), which is fine for a batch reproduction
+ * but fatal (literally) for a long-running decision service.  Status
+ * carries the same message a fatal() would have printed plus a coarse
+ * machine-readable code, so library code *returns* errors and only
+ * the CLI layer (checkOk()) retains the exit-on-error behaviour.
+ *
+ * Code vocabulary (deliberately small - callers branch on "retry with
+ * an older snapshot generation?" and "is this a user error?", not on
+ * forty distinct conditions):
+ *
+ *   kInvalidArgument    a config/field value the user gave is impossible
+ *   kOutOfRange         a parsed value lies outside its documented range
+ *   kDataLoss           an on-disk image is corrupt, truncated, or forged
+ *   kNotFound           a named file/entry does not exist
+ *   kResourceExhausted  an input demands more than the reader's caps allow
+ *   kFailedPrecondition the input is well-formed but belongs elsewhere
+ *                       (wrong benchmark, foreign config/trace digest)
+ *   kIoError            the OS failed us (open/write/fsync/rename)
+ */
+
+#ifndef HDMR_UTIL_STATUS_HH
+#define HDMR_UTIL_STATUS_HH
+
+#include <string>
+#include <utility>
+
+namespace hdmr::util
+{
+
+enum class StatusCode
+{
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfRange,
+    kDataLoss,
+    kNotFound,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kIoError,
+};
+
+/** Stable lower-snake name of a code ("data_loss"...), for logs. */
+const char *statusCodeName(StatusCode code);
+
+/** An error code plus a human-readable message; kOk carries neither. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default-constructed Status is OK. */
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "data_loss: snapshot x.snap: CRC mismatch" (or "ok"). */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/** printf-style constructors, one per code. */
+Status invalidArgument(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status outOfRange(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status dataLoss(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status notFound(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status resourceExhausted(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status failedPrecondition(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status ioError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * The thin CLI-level wrapper that keeps bench behaviour unchanged:
+ * fatal() with the status message (exit 1) when it is not OK.  Library
+ * code must never call this on data that arrived from outside the
+ * process; it exists for main()-adjacent code where "print why and
+ * exit" is the whole error policy.
+ */
+void checkOk(const Status &status);
+
+/**
+ * A Status or a value.  Minimal by design (no monadic combinators):
+ * the repository's parsing code reads better as early-return chains.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(Status status) : status_(std::move(status)) {}
+    Result(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    /** Value access; caller must have checked ok(). */
+    T &value() { return value_; }
+    const T &value() const { return value_; }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+/** Propagate-on-error helper for Status-returning functions. */
+#define HDMR_RETURN_IF_ERROR(expr)                                      \
+    do {                                                                \
+        ::hdmr::util::Status hdmr_status_ = (expr);                     \
+        if (!hdmr_status_.ok())                                         \
+            return hdmr_status_;                                        \
+    } while (0)
+
+} // namespace hdmr::util
+
+#endif // HDMR_UTIL_STATUS_HH

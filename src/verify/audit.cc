@@ -39,46 +39,61 @@ constexpr util::Tick kTicksPerHour = 3600ull * util::kTicksPerSec;
 
 } // namespace
 
-void
+util::Status
 SdcAuditConfig::validate() const
 {
-    using util::fatal;
     if (modules == 0)
-        fatal("sdc audit config: modules must be positive");
+        return util::invalidArgument(
+            "sdc audit config: modules must be positive");
     if (hours == 0)
-        fatal("sdc audit config: hours must be positive");
+        return util::invalidArgument(
+            "sdc audit config: hours must be positive");
     if (!std::isfinite(accessesPerHour) || accessesPerHour < 1.0)
-        fatal("sdc audit config: accessesPerHour %g must be finite and "
-              ">= 1", accessesPerHour);
+        return util::invalidArgument(
+            "sdc audit config: accessesPerHour %g must be finite and "
+            ">= 1",
+            accessesPerHour);
     if (overshootSteps > 16)
-        fatal("sdc audit config: overshootSteps %u is past any bootable "
-              "rate", overshootSteps);
+        return util::invalidArgument(
+            "sdc audit config: overshootSteps %u is past any bootable "
+            "rate",
+            overshootSteps);
     if (!(wideOversample >= 0.0) || !(wideOversample < 1.0))
-        fatal("sdc audit config: wideOversample %g must be in [0, 1)",
-              wideOversample);
+        return util::invalidArgument(
+            "sdc audit config: wideOversample %g must be in [0, 1)",
+            wideOversample);
     if (!(escapeLambda >= 0.0) || !(escapeLambda < 1.0))
-        fatal("sdc audit config: escapeLambda %g must be in [0, 1)",
-              escapeLambda);
+        return util::invalidArgument(
+            "sdc audit config: escapeLambda %g must be in [0, 1)",
+            escapeLambda);
     if (epoch.epochLength == 0)
-        fatal("sdc audit config: epoch length must be positive");
+        return util::invalidArgument(
+            "sdc audit config: epoch length must be positive");
     const double epochs =
         static_cast<double>(hours) *
         static_cast<double>(kTicksPerHour) /
         static_cast<double>(epoch.epochLength);
     if (epochs > 1.0e6)
-        fatal("sdc audit config: %g epochs over the horizon; shorten "
-              "the run or lengthen the epoch", epochs);
-    oracle.validate();
-    bursts.validate();
+        return util::invalidArgument(
+            "sdc audit config: %g epochs over the horizon; shorten "
+            "the run or lengthen the epoch",
+            epochs);
+    HDMR_RETURN_IF_ERROR(oracle.validate());
+    HDMR_RETURN_IF_ERROR(bursts.validate());
     for (std::size_t i = 0; i < scheduleOverlay.size(); ++i) {
         const fault::FaultEvent &ev = scheduleOverlay[i];
         if (!std::isfinite(ev.atSeconds) || ev.atSeconds < 0.0)
-            fatal("sdc audit config: scheduleOverlay[%zu].atSeconds %g "
-                  "must be finite and >= 0", i, ev.atSeconds);
+            return util::invalidArgument(
+                "sdc audit config: scheduleOverlay[%zu].atSeconds %g "
+                "must be finite and >= 0",
+                i, ev.atSeconds);
         if (!std::isfinite(ev.magnitude) || ev.magnitude < 0.0)
-            fatal("sdc audit config: scheduleOverlay[%zu].magnitude %g "
-                  "must be finite and >= 0", i, ev.magnitude);
+            return util::invalidArgument(
+                "sdc audit config: scheduleOverlay[%zu].magnitude %g "
+                "must be finite and >= 0",
+                i, ev.magnitude);
     }
+    return util::Status{};
 }
 
 double
@@ -130,7 +145,7 @@ SdcAudit::SdcAudit(const SdcAuditConfig &config)
       oracle_(codec_, config.oracle),
       sampler_(codec_, config.escapeLambda)
 {
-    config_.validate();
+    util::checkOk(config_.validate());
 
     margin::ModulePopulation population(config_.seed);
     fleet_ = population.sampleFleet(margin::ModuleSpec{}, config_.modules);
@@ -448,32 +463,33 @@ SdcAudit::restoreState(snapshot::Deserializer &in)
     return true;
 }
 
-bool
-SdcAudit::saveToFile(const std::string &path, std::string *error) const
+util::Status
+SdcAudit::saveToFile(const std::string &path) const
 {
     snapshot::Serializer out;
     saveState(out);
     return snapshot::writeSnapshotFile(path, snapshot::kSdcAuditStateKind,
-                                       out.data(), error);
+                                       out.data());
 }
 
-bool
-SdcAudit::resumeFromFile(const std::string &path, std::string *error)
+util::Status
+SdcAudit::resumeFromFile(const std::string &path)
 {
     std::vector<std::uint8_t> payload;
-    if (!snapshot::readSnapshotFile(path, snapshot::kSdcAuditStateKind,
-                                    &payload, error)) {
-        return false;
-    }
+    HDMR_RETURN_IF_ERROR(snapshot::readSnapshotFile(
+        path, snapshot::kSdcAuditStateKind, &payload));
     snapshot::Deserializer in(payload);
-    if (!restoreState(in) || in.remaining() != 0) {
-        if (error) {
-            *error = !in.ok() ? in.error()
-                              : "sdc audit snapshot: trailing bytes";
-        }
-        return false;
+    if (!restoreState(in)) {
+        if (!in.ok() &&
+            in.error().find("fingerprint mismatch") != std::string::npos)
+            return util::failedPrecondition("%s", in.error().c_str());
+        return in.ok() ? util::dataLoss(
+                             "sdc audit snapshot: state mismatch")
+                       : in.status();
     }
-    return true;
+    if (in.remaining() != 0)
+        return util::dataLoss("sdc audit snapshot: trailing bytes");
+    return util::Status{};
 }
 
 } // namespace hdmr::verify

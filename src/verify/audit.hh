@@ -73,8 +73,9 @@ struct SdcAuditConfig
      *  drift realization refuse to resume under another. */
     std::vector<fault::FaultEvent> scheduleOverlay;
 
-    /** Reject impossible campaigns with a fatal() naming the field. */
-    void validate() const;
+    /** Reject impossible campaigns with kInvalidArgument naming the
+     *  field; SdcAudit's constructor checkOk()s it. */
+    util::Status validate() const;
 };
 
 /** Aggregated results of a (possibly still running) audit. */
@@ -166,11 +167,13 @@ class SdcAudit
     /** False (with the deserializer failed) on any mismatch. */
     bool restoreState(snapshot::Deserializer &in);
 
-    /** Write a resumable snapshot file (atomic .tmp + rename). */
-    bool saveToFile(const std::string &path, std::string *error) const;
+    /** Write a resumable snapshot file (atomic .tmp + rename +
+     *  directory fsync); kIoError on any write failure. */
+    util::Status saveToFile(const std::string &path) const;
     /** Resume from a snapshot written by saveToFile; the audit must
-     *  have been constructed with the same config. */
-    bool resumeFromFile(const std::string &path, std::string *error);
+     *  have been constructed with the same config.  kDataLoss on
+     *  corruption, kFailedPrecondition on a config mismatch. */
+    util::Status resumeFromFile(const std::string &path);
 
   private:
     struct ModuleState

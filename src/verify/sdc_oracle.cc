@@ -141,32 +141,35 @@ OracleCounters::restore(snapshot::Deserializer &in)
         in.fail("oracle counters: non-finite miscorrection weight");
 }
 
-void
+util::Status
 OracleConfig::validate() const
 {
-    using util::fatal;
     if (retryAttempts > 64)
-        fatal("oracle config: retryAttempts %u is implausibly large",
-              retryAttempts);
+        return util::invalidArgument(
+            "oracle config: retryAttempts %u is implausibly large",
+            retryAttempts);
     if (!(originalErrorProbability >= 0.0) ||
         !(originalErrorProbability < 1.0)) {
-        fatal("oracle config: originalErrorProbability %f must be in "
-              "[0, 1)",
-              originalErrorProbability);
+        return util::invalidArgument(
+            "oracle config: originalErrorProbability %f must be in "
+            "[0, 1)",
+            originalErrorProbability);
     }
     if (!(tolerantPageFraction >= 0.0) ||
         !(tolerantPageFraction <= 1.0)) {
-        fatal("oracle config: tolerantPageFraction %f must be in "
-              "[0, 1]",
-              tolerantPageFraction);
+        return util::invalidArgument(
+            "oracle config: tolerantPageFraction %f must be in "
+            "[0, 1]",
+            tolerantPageFraction);
     }
+    return util::Status{};
 }
 
 ShadowMemoryOracle::ShadowMemoryOracle(const ecc::BambooCodec &codec,
                                        const OracleConfig &config)
     : codec_(codec), config_(config)
 {
-    config_.validate();
+    util::checkOk(config_.validate());
 }
 
 namespace

@@ -35,6 +35,7 @@
 
 #include "ecc/bamboo.hh"
 #include "ecc/error_inject.hh"
+#include "util/status.hh"
 #include "verify/escape_sampler.hh"
 
 namespace hdmr::snapshot
@@ -144,7 +145,9 @@ struct OracleConfig
      *  wl::CriticalityConfig.seed in placement-aware campaigns). */
     std::uint64_t criticalitySeed = 0xc2171ca1u;
 
-    void validate() const;
+    /** kInvalidArgument naming the offending field; checkOk()d at
+     *  ShadowMemoryOracle construction. */
+    util::Status validate() const;
 };
 
 /** Classifies single accesses against ground truth. */

@@ -44,32 +44,36 @@ appClassName(unsigned app_class)
     }
 }
 
-void
+util::Status
 CriticalityConfig::validate() const
 {
-    using util::fatal;
     double weight_sum = 0.0;
     for (unsigned c = 0; c < kAppClassCount; ++c) {
         const double w = classWeights[c];
         if (!std::isfinite(w) || !(w >= 0.0) || w > 1.0)
-            fatal("CriticalityConfig.classWeights[%u] must be a "
-                  "finite fraction in [0, 1] (got %g)",
-                  c, w);
+            return util::invalidArgument(
+                "CriticalityConfig.classWeights[%u] must be a finite "
+                "fraction in [0, 1] (got %g)",
+                c, w);
         weight_sum += w;
         const double mean = tolerantMean[c];
         if (!std::isfinite(mean) || !(mean >= 0.0) || mean > 1.0)
-            fatal("CriticalityConfig.tolerantMean[%u] must be a "
-                  "finite fraction in [0, 1] (got %g)",
-                  c, mean);
+            return util::invalidArgument(
+                "CriticalityConfig.tolerantMean[%u] must be a finite "
+                "fraction in [0, 1] (got %g)",
+                c, mean);
     }
     if (std::abs(weight_sum - 1.0) > 1e-6)
-        fatal("CriticalityConfig.classWeights must sum to 1 (got %g)",
-              weight_sum);
+        return util::invalidArgument(
+            "CriticalityConfig.classWeights must sum to 1 (got %g)",
+            weight_sum);
     if (!std::isfinite(tolerantJitter) || !(tolerantJitter >= 0.0) ||
         tolerantJitter > 0.5)
-        fatal("CriticalityConfig.tolerantJitter must be a finite "
-              "half-width in [0, 0.5] (got %g)",
-              tolerantJitter);
+        return util::invalidArgument(
+            "CriticalityConfig.tolerantJitter must be a finite "
+            "half-width in [0, 0.5] (got %g)",
+            tolerantJitter);
+    return util::Status{};
 }
 
 std::uint64_t
@@ -105,7 +109,7 @@ pageIsTolerant(std::uint64_t seed, std::uint64_t scope,
 CriticalityModel::CriticalityModel(const CriticalityConfig &config)
     : config_(config)
 {
-    config_.validate();
+    util::checkOk(config_.validate());
 }
 
 JobCriticality

@@ -23,6 +23,8 @@
 #include <array>
 #include <cstdint>
 
+#include "util/status.hh"
+
 namespace hdmr::wl
 {
 
@@ -53,10 +55,10 @@ struct CriticalityConfig
     double tolerantJitter = 0.10;
 
     /**
-     * One-pass construction-time validation; fatal()s name the
-     * offending field (PR 2/6 pattern).
+     * One-pass validation; returns kInvalidArgument naming the
+     * offending field.  CriticalityModel's constructor checkOk()s it.
      */
-    void validate() const;
+    util::Status validate() const;
 
     /** SplitMix64-chained fingerprint of every field. */
     std::uint64_t digest() const;

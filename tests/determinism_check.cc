@@ -27,6 +27,7 @@
 #include "sched/cluster_sim.hh"
 #include "snapshot/digest.hh"
 #include "traces/job_trace.hh"
+#include "util/status.hh"
 
 namespace
 {
@@ -109,9 +110,10 @@ auditConfig(const sched::ClusterConfig &config,
           "mid-run stop emitted a snapshot");
 
     sched::ClusterSimulator resumed(config);
-    std::string error;
-    if (!resumed.restoreState(state, jobs, &error)) {
-        std::printf("FAIL: restore: %s\n", error.c_str());
+    const util::Status restored = resumed.restoreState(state, jobs);
+    if (!restored.ok()) {
+        std::printf("FAIL: restore: %s\n",
+                    restored.message().c_str());
         ++g_failures;
         return;
     }
@@ -136,8 +138,7 @@ auditCorruptionRejection(const sched::ClusterConfig &config,
     sim.run(jobs, options);
 
     const std::string path = "determinism_check.snap";
-    std::string error;
-    check(sched::ClusterSimulator::writeStateFile(path, state, &error),
+    check(sched::ClusterSimulator::writeStateFile(path, state).ok(),
           "snapshot file written");
     {
         std::fstream file(path, std::ios::binary | std::ios::in |
@@ -146,8 +147,9 @@ auditCorruptionRejection(const sched::ClusterConfig &config,
         file.put('\x7f');
     }
     sched::ClusterSimulator corrupt(config);
-    check(!corrupt.restoreFile(path, jobs, &error),
-          "corrupted snapshot file rejected");
+    const util::Status status = corrupt.restoreFile(path, jobs);
+    check(status.code() == util::StatusCode::kDataLoss,
+          "corrupted snapshot file rejected as data loss");
     std::remove(path.c_str());
 }
 

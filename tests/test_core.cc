@@ -16,6 +16,7 @@
 #include "dram/controller.hh"
 #include "sim/event_queue.hh"
 #include "snapshot/serializer.hh"
+#include "util/status.hh"
 
 namespace
 {
@@ -506,26 +507,28 @@ recalConfig()
 
 TEST(Recalibration, ValidateRejectsBadPolicy)
 {
+    const auto expect_invalid = [](const util::Status &status,
+                                   const char *field) {
+        EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument)
+            << status.message();
+        EXPECT_NE(status.message().find(field), std::string::npos)
+            << status.message();
+    };
     RecalibrationPolicy policy;
     policy.targetErrorsPerWindow = -1.0;
-    EXPECT_EXIT(policy.validate(), ::testing::ExitedWithCode(1),
-                "targetErrorsPerWindow");
+    expect_invalid(policy.validate(), "targetErrorsPerWindow");
     policy = RecalibrationPolicy{};
     policy.demoteBand = 0.0;
-    EXPECT_EXIT(policy.validate(), ::testing::ExitedWithCode(1),
-                "demoteBand");
+    expect_invalid(policy.validate(), "demoteBand");
     policy = RecalibrationPolicy{};
     policy.promoteBand = policy.demoteBand; // dead band collapsed
-    EXPECT_EXIT(policy.validate(), ::testing::ExitedWithCode(1),
-                "promoteBand");
+    expect_invalid(policy.validate(), "promoteBand");
     policy = RecalibrationPolicy{};
     policy.hysteresisWindows = 0;
-    EXPECT_EXIT(policy.validate(), ::testing::ExitedWithCode(1),
-                "hysteresisWindows");
+    expect_invalid(policy.validate(), "hysteresisWindows");
     policy = RecalibrationPolicy{};
     policy.probeFailureProbability = 1.5;
-    EXPECT_EXIT(policy.validate(), ::testing::ExitedWithCode(1),
-                "probeFailureProbability");
+    expect_invalid(policy.validate(), "probeFailureProbability");
 }
 
 TEST(Recalibration, DisabledByDefaultMatchesSeed)

@@ -21,6 +21,7 @@
 #include "sched/cluster_sim.hh"
 #include "sim/event_queue.hh"
 #include "traces/job_trace.hh"
+#include "util/status.hh"
 #include "util/units.hh"
 
 namespace
@@ -600,23 +601,32 @@ TEST(DriftChaos, ComposeWithMergesTimeSorted)
 
 TEST(DriftChaos, ValidateRejectsBadScenario)
 {
+    const auto expect_invalid = [](const util::Status &status,
+                                   const char *field) {
+        EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument)
+            << status.message();
+        EXPECT_NE(status.message().find(field), std::string::npos)
+            << status.message();
+    };
     DriftScenarioConfig scenario = driftScenario();
     scenario.marginStepMts = 0.0;
-    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
-                "marginStepMts");
+    expect_invalid(scenario.validate(), "marginStepMts");
     scenario = driftScenario();
     scenario.targetsPerModule = 0;
-    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
-                "targetsPerModule");
+    expect_invalid(scenario.validate(), "targetsPerModule");
     scenario = driftScenario();
     scenario.excursionThresholdC = -1.0;
-    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
-                "excursionThresholdC");
+    expect_invalid(scenario.validate(), "excursionThresholdC");
     scenario = driftScenario();
     scenario.spikeBurstErrors =
         -std::numeric_limits<double>::infinity();
-    EXPECT_EXIT(scenario.validate(), ::testing::ExitedWithCode(1),
-                "spikeBurstErrors");
+    expect_invalid(scenario.validate(), "spikeBurstErrors");
+    // Construction still dies on a bad scenario (checkOk at the CLI
+    // boundary).
+    scenario = driftScenario();
+    scenario.marginStepMts = 0.0;
+    EXPECT_EXIT(DriftChaosCampaign campaign(scenario),
+                ::testing::ExitedWithCode(1), "marginStepMts");
 }
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "margin/study.hh"
 #include "margin/test_machine.hh"
 #include "snapshot/serializer.hh"
+#include "util/status.hh"
 
 namespace
 {
@@ -602,34 +603,40 @@ referenceDrift()
 
 TEST(Drift, ValidateRejectsBadConfig)
 {
+    const auto expect_invalid = [](const hdmr::util::Status &status,
+                                   const char *field) {
+        EXPECT_EQ(status.code(),
+                  hdmr::util::StatusCode::kInvalidArgument)
+            << status.message();
+        EXPECT_NE(status.message().find(field), std::string::npos)
+            << status.message();
+    };
     DriftConfig config = referenceDrift();
     config.modules = 0;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "modules");
+    expect_invalid(config.validate(), "modules");
     config = referenceDrift();
     config.agingMtsPerKiloHour = -1.0;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "agingMtsPerKiloHour");
+    expect_invalid(config.validate(), "agingMtsPerKiloHour");
     config = referenceDrift();
     config.agingExponent = 0.0;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "agingExponent");
+    expect_invalid(config.validate(), "agingExponent");
     config = referenceDrift();
     config.cohortCorrelation = 1.5;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "cohortCorrelation");
+    expect_invalid(config.validate(), "cohortCorrelation");
     config = referenceDrift();
     config.diurnalPeakHour = 24.0;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "diurnalPeakHour");
+    expect_invalid(config.validate(), "diurnalPeakHour");
     config = referenceDrift();
     config.spikeMeanHours = 0.0;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "spikeMeanHours");
+    expect_invalid(config.validate(), "spikeMeanHours");
     config = referenceDrift();
     config.spikeErrorMultiplier = 0.5;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "spikeErrorMultiplier");
+    expect_invalid(config.validate(), "spikeErrorMultiplier");
+    // Construction still dies on a bad config (checkOk boundary).
+    config = referenceDrift();
+    config.modules = 0;
+    EXPECT_EXIT(MarginDriftModel model(config),
+                ::testing::ExitedWithCode(1), "modules");
 }
 
 TEST(Drift, RealizationIsDeterministic)

@@ -16,6 +16,7 @@
 #include "sched/cluster_sim.hh"
 #include "snapshot/digest.hh"
 #include "traces/job_trace.hh"
+#include "util/status.hh"
 #include "workloads/criticality.hh"
 
 namespace
@@ -119,23 +120,37 @@ TEST(CriticalityConfig, DigestSensitiveToEveryField)
     EXPECT_NE(c.digest(), digest);
 }
 
-TEST(CriticalityDeathTest, ValidateNamesTheOffendingField)
+void
+expectInvalid(const hdmr::util::Status &status, const char *field)
+{
+    EXPECT_EQ(status.code(), hdmr::util::StatusCode::kInvalidArgument)
+        << status.message();
+    EXPECT_NE(status.message().find(field), std::string::npos)
+        << status.message();
+}
+
+TEST(Criticality, ValidateNamesTheOffendingField)
 {
     wl::CriticalityConfig bad;
     bad.classWeights = {0.5, 0.5, 0.5};
-    EXPECT_DEATH(bad.validate(), "classWeights");
+    expectInvalid(bad.validate(), "classWeights");
 
     bad = wl::CriticalityConfig{};
     bad.classWeights[0] = -0.1;
-    EXPECT_DEATH(bad.validate(), "classWeights");
+    expectInvalid(bad.validate(), "classWeights");
 
     bad = wl::CriticalityConfig{};
     bad.tolerantMean[1] = 1.5;
-    EXPECT_DEATH(bad.validate(), "tolerantMean");
+    expectInvalid(bad.validate(), "tolerantMean");
 
     bad = wl::CriticalityConfig{};
     bad.tolerantJitter = 0.75;
-    EXPECT_DEATH(bad.validate(), "tolerantJitter");
+    expectInvalid(bad.validate(), "tolerantJitter");
+
+    // Construction still dies (checkOk at the model boundary).
+    bad = wl::CriticalityConfig{};
+    bad.tolerantJitter = 0.75;
+    EXPECT_DEATH(wl::CriticalityModel model(bad), "tolerantJitter");
 }
 
 // ---------------------------------------------------------------------
@@ -217,24 +232,25 @@ TEST(Placement, DigestSensitiveToEveryField)
     EXPECT_NE(p.digest(), digest);
 }
 
-TEST(PlacementDeathTest, ValidateNamesTheOffendingField)
+TEST(Placement, ValidateNamesTheOffendingField)
 {
     PlacementPolicy bad;
     bad.mode = static_cast<PlacementMode>(7);
-    EXPECT_DEATH(bad.validate(), "PlacementPolicy.mode");
+    expectInvalid(bad.validate(), "PlacementPolicy.mode");
 
     bad = PlacementPolicy{};
     bad.hybridTolerantThreshold = 1.5;
-    EXPECT_DEATH(bad.validate(),
-                 "PlacementPolicy.hybridTolerantThreshold");
+    expectInvalid(bad.validate(),
+                  "PlacementPolicy.hybridTolerantThreshold");
 
     bad = PlacementPolicy{};
     bad.degradePenalty = -1.0;
-    EXPECT_DEATH(bad.validate(), "PlacementPolicy.degradePenalty");
+    expectInvalid(bad.validate(), "PlacementPolicy.degradePenalty");
 
     bad = PlacementPolicy{};
     bad.usageRepresentative = {0.5, 0.25, 0.75};
-    EXPECT_DEATH(bad.validate(), "PlacementPolicy.usageRepresentative");
+    expectInvalid(bad.validate(),
+                  "PlacementPolicy.usageRepresentative");
 }
 
 // ---------------------------------------------------------------------
@@ -379,9 +395,9 @@ TEST(ClusterPlacement, SnapshotResumeBitIdenticalWithPlacement)
     ASSERT_FALSE(image.empty());
 
     sched::ClusterSimulator resumed_sim(config);
-    std::string error;
-    ASSERT_TRUE(resumed_sim.restoreState(image, trace, &error))
-        << error;
+    const util::Status restored =
+        resumed_sim.restoreState(image, trace);
+    ASSERT_TRUE(restored.ok()) << restored.message();
     const sched::RunOutcome resumed = resumed_sim.resume(options);
     ASSERT_TRUE(resumed.completed);
     EXPECT_TRUE(
@@ -408,9 +424,11 @@ TEST(ClusterPlacement, SnapshotRejectsDifferentPlacement)
 
     sched::ClusterSimulator other(
         placementCluster(PlacementMode::kHybrid));
-    std::string error;
-    EXPECT_FALSE(other.restoreState(image, trace, &error));
-    EXPECT_FALSE(error.empty());
+    const util::Status status = other.restoreState(image, trace);
+    EXPECT_EQ(status.code(),
+              util::StatusCode::kFailedPrecondition)
+        << status.toString();
+    EXPECT_FALSE(status.message().empty());
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #include "sched/cluster_sim.hh"
 #include "traces/job_trace.hh"
 #include "traces/memory_usage.hh"
+#include "util/status.hh"
 
 namespace
 {
@@ -290,9 +291,12 @@ TEST(ClusterOverlay, SnapshotNeverResumesUnderForeignOverlay)
     auto other = config;
     other.scheduleOverlay[0].atSeconds = 2.0 * 86400;
     ClusterSimulator foreign(other);
-    std::string error;
-    EXPECT_FALSE(foreign.restoreState(image, trace, &error));
-    EXPECT_FALSE(error.empty());
+    const util::Status foreign_status =
+        foreign.restoreState(image, trace);
+    EXPECT_EQ(foreign_status.code(),
+              util::StatusCode::kFailedPrecondition)
+        << foreign_status.toString();
+    EXPECT_FALSE(foreign_status.message().empty());
 
     // The matching configuration restores and finishes with exactly
     // the metrics and digest trail of an uninterrupted run.
@@ -301,8 +305,9 @@ TEST(ClusterOverlay, SnapshotNeverResumesUnderForeignOverlay)
     const auto straight =
         ClusterSimulator(config).run(trace, straight_options);
     ClusterSimulator resumed_sim(config);
-    ASSERT_TRUE(resumed_sim.restoreState(image, trace, &error))
-        << error;
+    const util::Status restored =
+        resumed_sim.restoreState(image, trace);
+    ASSERT_TRUE(restored.ok()) << restored.message();
     const auto resumed = resumed_sim.resume(straight_options);
     ASSERT_TRUE(resumed.completed);
     EXPECT_TRUE(metricsIdentical(straight.metrics, resumed.metrics));

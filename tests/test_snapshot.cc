@@ -6,6 +6,11 @@
  * fault-schedule fingerprinting, digest-trail divergence detection,
  * mid-run save -> resume bit-identity for the cluster simulator, and
  * the construction-time config validation fatal()s.
+ *
+ * File-level rejection tests assert on util::Status codes: corruption
+ * and truncation are kDataLoss, version/kind mismatches are
+ * kFailedPrecondition, and a missing file is kNotFound - the contract
+ * the Keeper fallback logic branches on.
  */
 
 #include <gtest/gtest.h>
@@ -17,9 +22,11 @@
 #include "fault/campaign.hh"
 #include "sched/cluster_sim.hh"
 #include "snapshot/digest.hh"
+#include "snapshot/keeper.hh"
 #include "snapshot/serializer.hh"
 #include "traces/job_trace.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace
 {
@@ -139,69 +146,72 @@ class SnapshotFile : public ::testing::Test
 
 TEST_F(SnapshotFile, RoundTrip)
 {
-    std::string error;
-    ASSERT_TRUE(
-        writeSnapshotFile(path_, kClusterStateKind, payload_, &error))
-        << error;
+    const util::Status wrote =
+        writeSnapshotFile(path_, kClusterStateKind, payload_);
+    ASSERT_TRUE(wrote.ok()) << wrote.message();
     std::vector<std::uint8_t> loaded;
-    ASSERT_TRUE(
-        readSnapshotFile(path_, kClusterStateKind, &loaded, &error))
-        << error;
+    const util::Status read =
+        readSnapshotFile(path_, kClusterStateKind, &loaded);
+    ASSERT_TRUE(read.ok()) << read.message();
     EXPECT_EQ(loaded, payload_);
 }
 
 TEST_F(SnapshotFile, RejectsTruncatedImage)
 {
-    std::string error;
     ASSERT_TRUE(
-        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+        writeSnapshotFile(path_, kClusterStateKind, payload_).ok());
     auto bytes = fileBytes();
     bytes.resize(bytes.size() - 3);
     writeBytes(bytes);
 
     std::vector<std::uint8_t> loaded;
-    EXPECT_FALSE(
-        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
-    EXPECT_FALSE(error.empty());
+    const util::Status status =
+        readSnapshotFile(path_, kClusterStateKind, &loaded);
+    EXPECT_EQ(status.code(), util::StatusCode::kDataLoss)
+        << status.message();
+    EXPECT_FALSE(status.message().empty());
 }
 
 TEST_F(SnapshotFile, RejectsCorruptedPayload)
 {
-    std::string error;
     ASSERT_TRUE(
-        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+        writeSnapshotFile(path_, kClusterStateKind, payload_).ok());
     auto bytes = fileBytes();
     bytes[26] ^= 0x40; // inside the payload
     writeBytes(bytes);
 
     std::vector<std::uint8_t> loaded;
-    EXPECT_FALSE(
-        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
-    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+    const util::Status status =
+        readSnapshotFile(path_, kClusterStateKind, &loaded);
+    EXPECT_EQ(status.code(), util::StatusCode::kDataLoss)
+        << status.message();
+    EXPECT_NE(status.message().find("CRC"), std::string::npos)
+        << status.message();
 }
 
 TEST_F(SnapshotFile, RejectsBadMagic)
 {
-    std::string error;
     ASSERT_TRUE(
-        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+        writeSnapshotFile(path_, kClusterStateKind, payload_).ok());
     auto bytes = fileBytes();
     bytes[0] = 'X';
     writeBytes(bytes);
 
     std::vector<std::uint8_t> loaded;
-    EXPECT_FALSE(
-        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
-    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+    const util::Status status =
+        readSnapshotFile(path_, kClusterStateKind, &loaded);
+    EXPECT_EQ(status.code(), util::StatusCode::kDataLoss)
+        << status.message();
+    EXPECT_NE(status.message().find("magic"), std::string::npos)
+        << status.message();
 }
 
 TEST_F(SnapshotFile, RejectsWrongFormatVersion)
 {
     // Forge an otherwise-valid image (correct CRC) with version + 1:
     // the version check must fire before anything is interpreted.
-    std::string error;
     ASSERT_TRUE(
-        writeSnapshotFile(path_, kClusterStateKind, payload_, &error));
+        writeSnapshotFile(path_, kClusterStateKind, payload_).ok());
     auto bytes = fileBytes();
     bytes[8] = static_cast<std::uint8_t>(kFormatVersion + 1);
     const std::uint32_t crc = crc32(bytes.data(), bytes.size() - 4);
@@ -211,29 +221,35 @@ TEST_F(SnapshotFile, RejectsWrongFormatVersion)
     writeBytes(bytes);
 
     std::vector<std::uint8_t> loaded;
-    EXPECT_FALSE(
-        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
-    EXPECT_NE(error.find("version"), std::string::npos) << error;
+    const util::Status status =
+        readSnapshotFile(path_, kClusterStateKind, &loaded);
+    EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition)
+        << status.message();
+    EXPECT_NE(status.message().find("version"), std::string::npos)
+        << status.message();
 }
 
 TEST_F(SnapshotFile, RejectsWrongPayloadKind)
 {
-    std::string error;
     ASSERT_TRUE(
-        writeSnapshotFile(path_, kSweepStateKind, payload_, &error));
+        writeSnapshotFile(path_, kSweepStateKind, payload_).ok());
     std::vector<std::uint8_t> loaded;
-    EXPECT_FALSE(
-        readSnapshotFile(path_, kClusterStateKind, &loaded, &error));
-    EXPECT_FALSE(error.empty());
+    const util::Status status =
+        readSnapshotFile(path_, kClusterStateKind, &loaded);
+    EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition)
+        << status.message();
+    EXPECT_FALSE(status.message().empty());
 }
 
 TEST_F(SnapshotFile, RejectsMissingFile)
 {
-    std::string error;
     std::vector<std::uint8_t> loaded;
-    EXPECT_FALSE(readSnapshotFile("no_such_file.snap",
-                                  kClusterStateKind, &loaded, &error));
-    EXPECT_FALSE(error.empty());
+    const util::Status status =
+        readSnapshotFile("no_such_file.snap", kClusterStateKind,
+                         &loaded);
+    EXPECT_EQ(status.code(), util::StatusCode::kNotFound)
+        << status.message();
+    EXPECT_FALSE(status.message().empty());
 }
 
 // --------------------------------------------------------------------
@@ -432,8 +448,8 @@ expectResumeBitIdentical(const sched::ClusterConfig &config,
     ASSERT_FALSE(state.empty());
 
     sched::ClusterSimulator resumed(config);
-    std::string error;
-    ASSERT_TRUE(resumed.restoreState(state, jobs, &error)) << error;
+    const util::Status restored = resumed.restoreState(state, jobs);
+    ASSERT_TRUE(restored.ok()) << restored.message();
     const sched::RunOutcome rest = resumed.resume(options);
     ASSERT_TRUE(rest.completed);
 
@@ -488,9 +504,8 @@ TEST(ClusterSnapshot, PeriodicSnapshotsAllRestorable)
 
     for (const auto &state : states) {
         sched::ClusterSimulator resumed(config);
-        std::string error;
-        ASSERT_TRUE(resumed.restoreState(state, jobs, &error))
-            << error;
+        const util::Status restored = resumed.restoreState(state, jobs);
+        ASSERT_TRUE(restored.ok()) << restored.message();
         const sched::RunOutcome rest = resumed.resume({});
         EXPECT_TRUE(
             sched::metricsIdentical(full.metrics, rest.metrics));
@@ -512,9 +527,11 @@ TEST(ClusterSnapshot, RejectsDifferentConfiguration)
     sched::ClusterConfig other = testConfig();
     other.speedups.at800 = 1.25;
     sched::ClusterSimulator mismatched(other);
-    std::string error;
-    EXPECT_FALSE(mismatched.restoreState(state, jobs, &error));
-    EXPECT_NE(error.find("configuration"), std::string::npos) << error;
+    const util::Status status = mismatched.restoreState(state, jobs);
+    EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition)
+        << status.message();
+    EXPECT_NE(status.message().find("configuration"), std::string::npos)
+        << status.message();
 }
 
 TEST(ClusterSnapshot, RejectsDifferentTrace)
@@ -531,9 +548,12 @@ TEST(ClusterSnapshot, RejectsDifferentTrace)
     auto other_jobs = jobs;
     other_jobs[100].runtimeSeconds += 1.0;
     sched::ClusterSimulator resumed(testConfig());
-    std::string error;
-    EXPECT_FALSE(resumed.restoreState(state, other_jobs, &error));
-    EXPECT_NE(error.find("trace"), std::string::npos) << error;
+    const util::Status status =
+        resumed.restoreState(state, other_jobs);
+    EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition)
+        << status.message();
+    EXPECT_NE(status.message().find("trace"), std::string::npos)
+        << status.message();
 }
 
 TEST(ClusterSnapshot, FileLevelCorruptionIsRejected)
@@ -549,14 +569,14 @@ TEST(ClusterSnapshot, FileLevelCorruptionIsRejected)
     ASSERT_FALSE(state.empty());
 
     const std::string path = "test_snapshot_cluster.snap";
-    std::string error;
-    ASSERT_TRUE(
-        sched::ClusterSimulator::writeStateFile(path, state, &error))
-        << error;
+    const util::Status wrote =
+        sched::ClusterSimulator::writeStateFile(path, state);
+    ASSERT_TRUE(wrote.ok()) << wrote.message();
 
     // Intact file restores.
     sched::ClusterSimulator resumed(testConfig());
-    ASSERT_TRUE(resumed.restoreFile(path, jobs, &error)) << error;
+    const util::Status restored = resumed.restoreFile(path, jobs);
+    ASSERT_TRUE(restored.ok()) << restored.message();
 
     // Flip one byte in the middle: the CRC must catch it.
     {
@@ -571,9 +591,130 @@ TEST(ClusterSnapshot, FileLevelCorruptionIsRejected)
         file.put(byte);
     }
     sched::ClusterSimulator corrupt(testConfig());
-    EXPECT_FALSE(corrupt.restoreFile(path, jobs, &error));
-    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+    const util::Status status = corrupt.restoreFile(path, jobs);
+    EXPECT_EQ(status.code(), util::StatusCode::kDataLoss)
+        << status.message();
+    EXPECT_NE(status.message().find("CRC"), std::string::npos)
+        << status.message();
     std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Keeper: last-good generation rotation
+// --------------------------------------------------------------------
+
+/** Removes every generation of `keeper` on scope exit. */
+struct KeeperCleanup
+{
+    const Keeper &keeper;
+    ~KeeperCleanup()
+    {
+        for (unsigned g = 0; g < keeper.keep(); ++g)
+            std::remove(keeper.generationPath(g).c_str());
+    }
+};
+
+std::vector<std::uint8_t>
+payloadBytes(std::uint8_t tag)
+{
+    return std::vector<std::uint8_t>(64, tag);
+}
+
+TEST(Keeper, GenerationPaths)
+{
+    const Keeper keeper("run.snap", 3);
+    EXPECT_EQ(keeper.generationPath(0), "run.snap");
+    EXPECT_EQ(keeper.generationPath(1), "run.snap.1");
+    EXPECT_EQ(keeper.generationPath(2), "run.snap.2");
+}
+
+TEST(Keeper, SaveRotatesNewestFirst)
+{
+    const Keeper keeper("test_keeper_rotate.snap", 3);
+    const KeeperCleanup cleanup{keeper};
+    for (std::uint8_t tag = 1; tag <= 4; ++tag) {
+        const util::Status saved =
+            keeper.save(kClusterStateKind, payloadBytes(tag));
+        ASSERT_TRUE(saved.ok()) << saved.message();
+    }
+
+    // After four saves with keep=3, generations hold tags 4, 3, 2;
+    // tag 1 rotated off the end.
+    for (unsigned g = 0; g < 3; ++g) {
+        std::vector<std::uint8_t> payload;
+        const util::Status read = readSnapshotFile(
+            keeper.generationPath(g), kClusterStateKind, &payload);
+        ASSERT_TRUE(read.ok()) << read.message();
+        EXPECT_EQ(payload, payloadBytes(static_cast<std::uint8_t>(4 - g)))
+            << "generation " << g;
+    }
+}
+
+TEST(Keeper, LoadLatestValidPrefersGenerationZero)
+{
+    const Keeper keeper("test_keeper_load.snap", 3);
+    const KeeperCleanup cleanup{keeper};
+    ASSERT_TRUE(keeper.save(kClusterStateKind, payloadBytes(1)).ok());
+    ASSERT_TRUE(keeper.save(kClusterStateKind, payloadBytes(2)).ok());
+
+    const util::Result<Keeper::Loaded> loaded =
+        keeper.loadLatestValid(kClusterStateKind);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_EQ(loaded.value().generation, 0u);
+    EXPECT_EQ(loaded.value().payload, payloadBytes(2));
+    EXPECT_TRUE(loaded.value().skipped.empty());
+}
+
+TEST(Keeper, LoadLatestValidSkipsCorruptNewest)
+{
+    const Keeper keeper("test_keeper_skip.snap", 3);
+    const KeeperCleanup cleanup{keeper};
+    ASSERT_TRUE(keeper.save(kClusterStateKind, payloadBytes(1)).ok());
+    ASSERT_TRUE(keeper.save(kClusterStateKind, payloadBytes(2)).ok());
+
+    // Corrupt generation 0; the walk must fall back to generation 1
+    // and report the skip with its structured code.
+    {
+        std::fstream file(keeper.generationPath(0),
+                          std::ios::binary | std::ios::in |
+                              std::ios::out);
+        file.seekp(40);
+        file.put('\x7f');
+    }
+    const util::Result<Keeper::Loaded> loaded =
+        keeper.loadLatestValid(kClusterStateKind);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_EQ(loaded.value().generation, 1u);
+    EXPECT_EQ(loaded.value().payload, payloadBytes(1));
+    ASSERT_EQ(loaded.value().skipped.size(), 1u);
+    EXPECT_EQ(loaded.value().skipped[0].code(),
+              util::StatusCode::kDataLoss);
+}
+
+TEST(Keeper, LoadLatestValidReportsMissingRotation)
+{
+    const Keeper keeper("test_keeper_none.snap", 2);
+    const util::Result<Keeper::Loaded> loaded =
+        keeper.loadLatestValid(kClusterStateKind);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(Keeper, LoadLatestValidSummarizesTotalLoss)
+{
+    const Keeper keeper("test_keeper_loss.snap", 2);
+    const KeeperCleanup cleanup{keeper};
+    ASSERT_TRUE(keeper.save(kClusterStateKind, payloadBytes(1)).ok());
+    ASSERT_TRUE(keeper.save(kClusterStateKind, payloadBytes(2)).ok());
+    for (unsigned g = 0; g < 2; ++g) {
+        std::ofstream file(keeper.generationPath(g),
+                           std::ios::binary | std::ios::trunc);
+        file << "garbage";
+    }
+    const util::Result<Keeper::Loaded> loaded =
+        keeper.loadLatestValid(kClusterStateKind);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
 }
 
 // --------------------------------------------------------------------

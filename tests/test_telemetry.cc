@@ -26,6 +26,7 @@
 #include "telemetry/sinks.hh"
 #include "telemetry/telemetry.hh"
 #include "traces/job_trace.hh"
+#include "util/status.hh"
 
 namespace
 {
@@ -607,8 +608,8 @@ TEST(ClusterTelemetry, ResumeReproducesMetricStateBitIdentically)
     Registry resumedRegistry;
     sched::ClusterSimulator resumed(config);
     resumed.bindTelemetry(resumedRegistry, "cluster.test");
-    std::string error;
-    ASSERT_TRUE(resumed.restoreState(state, jobs, &error)) << error;
+    const util::Status restored = resumed.restoreState(state, jobs);
+    ASSERT_TRUE(restored.ok()) << restored.message();
     const sched::RunOutcome rest = resumed.resume(options);
     ASSERT_TRUE(rest.completed);
 
@@ -647,9 +648,13 @@ TEST(ClusterTelemetry, RestoreRejectsTelemetryPresenceMismatch)
         sim.run(jobs, stopping);
         ASSERT_FALSE(state.empty());
         sched::ClusterSimulator bare(config);
-        std::string error;
-        EXPECT_FALSE(bare.restoreState(state, jobs, &error));
-        EXPECT_NE(error.find("telemetry"), std::string::npos) << error;
+        const util::Status status = bare.restoreState(state, jobs);
+        EXPECT_EQ(status.code(),
+                  util::StatusCode::kFailedPrecondition)
+            << status.toString();
+        EXPECT_NE(status.message().find("telemetry"),
+                  std::string::npos)
+            << status.message();
     }
 
     // Saved WITHOUT telemetry -> restored with.
@@ -661,9 +666,13 @@ TEST(ClusterTelemetry, RestoreRejectsTelemetryPresenceMismatch)
         Registry registry;
         sched::ClusterSimulator bound(config);
         bound.bindTelemetry(registry, "cluster.test");
-        std::string error;
-        EXPECT_FALSE(bound.restoreState(state, jobs, &error));
-        EXPECT_NE(error.find("telemetry"), std::string::npos) << error;
+        const util::Status status = bound.restoreState(state, jobs);
+        EXPECT_EQ(status.code(),
+                  util::StatusCode::kFailedPrecondition)
+            << status.toString();
+        EXPECT_NE(status.message().find("telemetry"),
+                  std::string::npos)
+            << status.message();
     }
 }
 

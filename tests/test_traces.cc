@@ -4,8 +4,11 @@
  * loaders round-trip what the writers produce, and - the point of the
  * hardening pass - every malformed input class (truncated lines,
  * non-numeric text, non-finite numbers, out-of-range fields, shuffled
- * or ragged usage series) dies with a fatal() naming the file, line
- * and field instead of silently skewing results.
+ * or ragged usage series) is rejected with a util::Status naming the
+ * file, line and field instead of silently skewing results.  Parse
+ * errors are kDataLoss, range violations kOutOfRange, a missing file
+ * kNotFound - and a failed load leaves the output container empty,
+ * never half-filled.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +21,7 @@
 #include "traces/csv.hh"
 #include "traces/job_trace.hh"
 #include "traces/memory_usage.hh"
+#include "util/status.hh"
 
 namespace
 {
@@ -56,6 +60,31 @@ class CsvFileTest : public ::testing::Test
 using JobTraceCsv = CsvFileTest;
 using UsageTraceCsv = CsvFileTest;
 
+/** The status a load attempt of `path` returns (jobs discarded). */
+util::Status
+jobLoadStatus(const std::string &path)
+{
+    std::vector<Job> jobs;
+    return loadJobTraceCsv(path, &jobs);
+}
+
+util::Status
+usageLoadStatus(const std::string &path)
+{
+    std::vector<JobUsageTrace> traces;
+    return loadUsageTraceCsv(path, &traces);
+}
+
+/** Expect `status` to carry `code` and a message matching `pattern`. */
+void
+expectStatus(const util::Status &status, util::StatusCode code,
+             const std::string &needle)
+{
+    EXPECT_EQ(status.code(), code) << status.message();
+    EXPECT_NE(status.message().find(needle), std::string::npos)
+        << "expected '" << needle << "' in: " << status.message();
+}
+
 // --------------------------------------------------------------------
 // CSV field parsing
 // --------------------------------------------------------------------
@@ -63,50 +92,57 @@ using UsageTraceCsv = CsvFileTest;
 TEST(CsvFields, SplitsAndRejectsWrongArity)
 {
     const CsvCursor at{"grid.csv", 7};
-    const auto fields = splitCsvLine(at, "a,,c", 3);
+    std::vector<std::string> fields;
+    ASSERT_TRUE(splitCsvLine(at, "a,,c", 3, &fields).ok());
     ASSERT_EQ(fields.size(), 3u);
     EXPECT_EQ(fields[0], "a");
     EXPECT_EQ(fields[1], "");
     EXPECT_EQ(fields[2], "c");
 
-    EXPECT_EXIT(splitCsvLine(at, "a,b", 3),
-                ::testing::ExitedWithCode(1), "grid.csv:7.*expected 3");
-    EXPECT_EXIT(splitCsvLine(at, "a,b,c,d", 3),
-                ::testing::ExitedWithCode(1), "got 4");
+    expectStatus(splitCsvLine(at, "a,b", 3, &fields),
+                 util::StatusCode::kDataLoss, "grid.csv:7");
+    expectStatus(splitCsvLine(at, "a,b", 3, &fields),
+                 util::StatusCode::kDataLoss, "expected 3");
+    expectStatus(splitCsvLine(at, "a,b,c,d", 3, &fields),
+                 util::StatusCode::kDataLoss, "got 4");
 }
 
 TEST(CsvFields, ParsesStrictDoubles)
 {
     const CsvCursor at{"grid.csv", 3};
-    EXPECT_DOUBLE_EQ(parseCsvDouble(at, "x", "2.5e-3", 0.0, 1.0),
-                     2.5e-3);
-    EXPECT_EXIT(parseCsvDouble(at, "x", "", 0.0, 1.0),
-                ::testing::ExitedWithCode(1), "field 'x': empty");
-    EXPECT_EXIT(parseCsvDouble(at, "x", "1.5abc", 0.0, 10.0),
-                ::testing::ExitedWithCode(1), "not a number");
-    EXPECT_EXIT(parseCsvDouble(at, "x", "nan", 0.0, 1.0),
-                ::testing::ExitedWithCode(1), "not finite");
-    EXPECT_EXIT(parseCsvDouble(at, "x", "inf", 0.0, 1.0),
-                ::testing::ExitedWithCode(1), "not finite");
-    EXPECT_EXIT(parseCsvDouble(at, "x", "1.2", 0.0, 1.0),
-                ::testing::ExitedWithCode(1), "out of range");
+    double value = 0.0;
+    ASSERT_TRUE(
+        parseCsvDouble(at, "x", "2.5e-3", 0.0, 1.0, &value).ok());
+    EXPECT_DOUBLE_EQ(value, 2.5e-3);
+    expectStatus(parseCsvDouble(at, "x", "", 0.0, 1.0, &value),
+                 util::StatusCode::kDataLoss, "field 'x': empty");
+    expectStatus(parseCsvDouble(at, "x", "1.5abc", 0.0, 10.0, &value),
+                 util::StatusCode::kDataLoss, "not a number");
+    expectStatus(parseCsvDouble(at, "x", "nan", 0.0, 1.0, &value),
+                 util::StatusCode::kDataLoss, "not finite");
+    expectStatus(parseCsvDouble(at, "x", "inf", 0.0, 1.0, &value),
+                 util::StatusCode::kDataLoss, "not finite");
+    expectStatus(parseCsvDouble(at, "x", "1.2", 0.0, 1.0, &value),
+                 util::StatusCode::kOutOfRange, "out of range");
 }
 
 TEST(CsvFields, ParsesStrictUnsigned)
 {
     const CsvCursor at{"grid.csv", 9};
-    EXPECT_EQ(parseCsvUnsigned(at, "n", "42", 0, 100), 42u);
-    EXPECT_EXIT(parseCsvUnsigned(at, "n", "-1", 0, 100),
-                ::testing::ExitedWithCode(1), "not an unsigned");
-    EXPECT_EXIT(parseCsvUnsigned(at, "n", "3.5", 0, 100),
-                ::testing::ExitedWithCode(1), "not an unsigned");
-    EXPECT_EXIT(parseCsvUnsigned(at, "n", "", 0, 100),
-                ::testing::ExitedWithCode(1), "empty");
-    EXPECT_EXIT(parseCsvUnsigned(at, "n", "101", 0, 100),
-                ::testing::ExitedWithCode(1), "out of range");
-    EXPECT_EXIT(
-        parseCsvUnsigned(at, "n", "99999999999999999999999", 0, ~0ull),
-        ::testing::ExitedWithCode(1), "does not fit");
+    std::uint64_t value = 0;
+    ASSERT_TRUE(parseCsvUnsigned(at, "n", "42", 0, 100, &value).ok());
+    EXPECT_EQ(value, 42u);
+    expectStatus(parseCsvUnsigned(at, "n", "-1", 0, 100, &value),
+                 util::StatusCode::kDataLoss, "not an unsigned");
+    expectStatus(parseCsvUnsigned(at, "n", "3.5", 0, 100, &value),
+                 util::StatusCode::kDataLoss, "not an unsigned");
+    expectStatus(parseCsvUnsigned(at, "n", "", 0, 100, &value),
+                 util::StatusCode::kDataLoss, "empty");
+    expectStatus(parseCsvUnsigned(at, "n", "101", 0, 100, &value),
+                 util::StatusCode::kOutOfRange, "out of range");
+    expectStatus(parseCsvUnsigned(at, "n", "99999999999999999999999",
+                                  0, ~0ull, &value),
+                 util::StatusCode::kDataLoss, "does not fit");
 }
 
 // --------------------------------------------------------------------
@@ -120,8 +156,8 @@ TEST_F(JobTraceCsv, RoundTripsGeneratedTrace)
     GrizzlyTraceGenerator generator(model, 7);
     const std::vector<Job> jobs = generator.generate();
 
-    writeJobTraceCsv(path_, jobs);
-    const std::vector<Job> loaded = loadJobTraceCsv(path_);
+    ASSERT_TRUE(writeJobTraceCsv(path_, jobs).ok());
+    const std::vector<Job> loaded = loadJobTraceCsvOrDie(path_);
 
     ASSERT_EQ(loaded.size(), jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -142,7 +178,7 @@ TEST_F(JobTraceCsv, SortsBySubmitTimeAndSkipsComments)
                              "2,500,4,100,200,1\n"
                              "\n"
                              "1,100,1,60,120,0\n");
-    const auto jobs = loadJobTraceCsv(path);
+    const auto jobs = loadJobTraceCsvOrDie(path);
     ASSERT_EQ(jobs.size(), 2u);
     EXPECT_EQ(jobs[0].id, 1u);
     EXPECT_EQ(jobs[1].id, 2u);
@@ -151,44 +187,67 @@ TEST_F(JobTraceCsv, SortsBySubmitTimeAndSkipsComments)
 TEST_F(JobTraceCsv, RejectsTruncatedLine)
 {
     const auto &path = write("1,100,4,60\n");
-    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
-                "RejectsTruncatedLine.csv:1.*expected 6.*got 4");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kDataLoss,
+                 "RejectsTruncatedLine.csv:1");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kDataLoss,
+                 "expected 6");
 }
 
 TEST_F(JobTraceCsv, RejectsNonFiniteRuntime)
 {
     const auto &path = write("1,100,4,inf,200,0\n");
-    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
-                "field 'runtime_s'.*not finite");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kDataLoss,
+                 "field 'runtime_s'");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kDataLoss,
+                 "not finite");
 }
 
 TEST_F(JobTraceCsv, RejectsZeroNodes)
 {
     const auto &path = write("1,100,0,60,120,0\n");
-    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
-                "field 'nodes'.*out of range");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kOutOfRange,
+                 "field 'nodes'");
 }
 
 TEST_F(JobTraceCsv, RejectsUsageClassPastTwo)
 {
     const auto &path = write("1,100,4,60,120,3\n");
-    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
-                "field 'usage_class'.*out of range");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kOutOfRange,
+                 "field 'usage_class'");
 }
 
 TEST_F(JobTraceCsv, RejectsWalltimeBelowRuntime)
 {
     const auto &path = write("1,100,4,600,120,0\n"); // wall < runtime
-    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
-                "walltime_s.*below the job's runtime");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kOutOfRange,
+                 "below the job's runtime");
 }
 
 TEST_F(JobTraceCsv, NamesLineOfBadRecord)
 {
     const auto &path = write("1,100,4,60,120,0\n"
                              "2,oops,4,60,120,0\n");
-    EXPECT_EXIT(loadJobTraceCsv(path), ::testing::ExitedWithCode(1),
-                "NamesLineOfBadRecord.csv:2.*field 'submit_s'");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kDataLoss,
+                 "NamesLineOfBadRecord.csv:2");
+    expectStatus(jobLoadStatus(path), util::StatusCode::kDataLoss,
+                 "field 'submit_s'");
+}
+
+TEST_F(JobTraceCsv, FailedLoadLeavesOutputEmpty)
+{
+    const auto &path = write("1,100,4,60,120,0\n"
+                             "2,oops,4,60,120,0\n");
+    std::vector<Job> jobs;
+    ASSERT_FALSE(loadJobTraceCsv(path, &jobs).ok());
+    EXPECT_TRUE(jobs.empty());
+}
+
+TEST_F(JobTraceCsv, LoadOrDieExitsWithMessage)
+{
+    // The thin CLI wrapper keeps the old die-with-message behaviour.
+    const auto &path = write("1,100,4,60\n");
+    EXPECT_EXIT(loadJobTraceCsvOrDie(path),
+                ::testing::ExitedWithCode(1), "expected 6.*got 4");
 }
 
 // --------------------------------------------------------------------
@@ -200,8 +259,8 @@ TEST_F(UsageTraceCsv, RoundTripsGeneratedTraces)
     MemoryUsageTraceGenerator generator(UsageModel{}, 11);
     const auto traces = generator.generate(50);
 
-    writeUsageTraceCsv(path_, traces);
-    const auto loaded = loadUsageTraceCsv(path_);
+    ASSERT_TRUE(writeUsageTraceCsv(path_, traces).ok());
+    const auto loaded = loadUsageTraceCsvOrDie(path_);
 
     ASSERT_EQ(loaded.size(), traces.size());
     for (std::size_t i = 0; i < traces.size(); ++i) {
@@ -219,24 +278,28 @@ TEST_F(UsageTraceCsv, RoundTripsGeneratedTraces)
 TEST_F(UsageTraceCsv, RejectsUtilizationAboveOne)
 {
     const auto &path = write("1,0,0,1.2\n");
-    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
-                "field 'utilization'.*out of range");
+    expectStatus(usageLoadStatus(path), util::StatusCode::kOutOfRange,
+                 "field 'utilization'");
 }
 
 TEST_F(UsageTraceCsv, RejectsOutOfOrderSamples)
 {
     const auto &path = write("1,0,0,0.5\n"
                              "1,0,2,0.5\n"); // sample 1 missing
-    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
-                "field 'sample'.*out of order");
+    expectStatus(usageLoadStatus(path), util::StatusCode::kDataLoss,
+                 "field 'sample'");
+    expectStatus(usageLoadStatus(path), util::StatusCode::kDataLoss,
+                 "out of order");
 }
 
 TEST_F(UsageTraceCsv, RejectsOutOfOrderNodes)
 {
     const auto &path = write("1,0,0,0.5\n"
                              "1,2,0,0.5\n"); // node 1 missing
-    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
-                "field 'node'.*out of order");
+    expectStatus(usageLoadStatus(path), util::StatusCode::kDataLoss,
+                 "field 'node'");
+    expectStatus(usageLoadStatus(path), util::StatusCode::kDataLoss,
+                 "out of order");
 }
 
 TEST_F(UsageTraceCsv, RejectsRaggedJobs)
@@ -245,15 +308,39 @@ TEST_F(UsageTraceCsv, RejectsRaggedJobs)
                              "1,0,1,0.5\n"
                              "1,1,0,0.5\n" // node 1 has 1 sample
                              "2,0,0,0.5\n");
-    EXPECT_EXIT(loadUsageTraceCsv(path), ::testing::ExitedWithCode(1),
-                "job 1 is ragged");
+    expectStatus(usageLoadStatus(path), util::StatusCode::kDataLoss,
+                 "job 1 is ragged");
 }
 
-TEST_F(UsageTraceCsv, MissingFileIsFatal)
+TEST_F(UsageTraceCsv, FailedLoadLeavesOutputEmpty)
 {
-    EXPECT_EXIT(loadUsageTraceCsv("no_such_file.csv"),
+    const auto &path = write("1,0,0,0.5\n"
+                             "1,0,2,0.5\n");
+    std::vector<JobUsageTrace> traces;
+    ASSERT_FALSE(loadUsageTraceCsv(path, &traces).ok());
+    EXPECT_TRUE(traces.empty());
+}
+
+TEST_F(UsageTraceCsv, OverLongLineIsResourceExhausted)
+{
+    std::string line(kMaxCsvLineBytes + 10, '9');
+    const auto &path = write(line + "\n");
+    expectStatus(usageLoadStatus(path),
+                 util::StatusCode::kResourceExhausted, "line");
+    expectStatus(jobLoadStatus(path),
+                 util::StatusCode::kResourceExhausted, "line");
+}
+
+TEST_F(UsageTraceCsv, MissingFileIsNotFound)
+{
+    expectStatus(usageLoadStatus("no_such_file.csv"),
+                 util::StatusCode::kNotFound, "cannot open");
+    expectStatus(jobLoadStatus("no_such_file.csv"),
+                 util::StatusCode::kNotFound, "cannot open");
+    // The OrDie wrappers keep the old die-with-message behaviour.
+    EXPECT_EXIT(loadUsageTraceCsvOrDie("no_such_file.csv"),
                 ::testing::ExitedWithCode(1), "cannot open");
-    EXPECT_EXIT(loadJobTraceCsv("no_such_file.csv"),
+    EXPECT_EXIT(loadJobTraceCsvOrDie("no_such_file.csv"),
                 ::testing::ExitedWithCode(1), "cannot open");
 }
 

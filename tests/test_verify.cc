@@ -16,6 +16,7 @@
 #include "fault/fault.hh"
 #include "snapshot/serializer.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 #include "verify/audit.hh"
 #include "verify/escape_sampler.hh"
 #include "verify/sdc_oracle.hh"
@@ -432,13 +433,21 @@ TEST(SdcAudit, OverlayValidateRejectsBadEvents)
     verify::SdcAuditConfig config = smallAuditConfig();
     config.scheduleOverlay.emplace_back();
     config.scheduleOverlay[0].atSeconds = -1.0;
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "scheduleOverlay");
+    util::Status status = config.validate();
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument)
+        << status.message();
+    EXPECT_NE(status.message().find("scheduleOverlay"),
+              std::string::npos)
+        << status.message();
     config.scheduleOverlay[0].atSeconds = 0.0;
     config.scheduleOverlay[0].magnitude =
         std::numeric_limits<double>::quiet_NaN();
-    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
-                "scheduleOverlay");
+    status = config.validate();
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument)
+        << status.message();
+    EXPECT_NE(status.message().find("scheduleOverlay"),
+              std::string::npos)
+        << status.message();
 }
 
 TEST(OracleCounters, PageClassSplitMerges)

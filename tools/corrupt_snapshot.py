@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Deterministically damage a snapshot file, in place.
+
+Companion to the last-good-generation recovery path: the fallback
+ctest (and anyone reproducing a corruption report by hand) uses this
+to turn a healthy snapshot into each of the failure modes the reader
+must survive - a flipped bit (CRC mismatch), a truncated tail
+(short image), or a clobbered magic (not a snapshot at all).
+
+Usage:
+    corrupt_snapshot.py flip     PATH [OFFSET]   # XOR one byte, 0x7f
+    corrupt_snapshot.py truncate PATH [NBYTES]   # keep first NBYTES
+    corrupt_snapshot.py magic    PATH            # overwrite the magic
+
+Defaults: OFFSET is the middle of the file (inside the payload for
+any non-trivial snapshot); NBYTES is half the file.  Every mode is
+deterministic so a test that corrupts a snapshot always produces the
+same damaged bytes.
+"""
+
+import sys
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 (py3.8 compat)
+    print(f"corrupt_snapshot: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def main(argv):
+    if len(argv) < 3:
+        fail(f"usage: {argv[0]} flip|truncate|magic PATH [ARG]")
+    mode, path = argv[1], argv[2]
+    arg = argv[3] if len(argv) > 3 else None
+
+    try:
+        with open(path, "rb") as f:
+            data = bytearray(f.read())
+    except OSError as e:
+        fail(str(e))
+    if not data:
+        fail(f"'{path}' is empty; nothing to corrupt")
+
+    if mode == "flip":
+        offset = int(arg) if arg is not None else len(data) // 2
+        if not 0 <= offset < len(data):
+            fail(f"offset {offset} outside [0, {len(data)})")
+        data[offset] ^= 0x7F
+        print(f"flipped byte {offset} of {len(data)} in '{path}'")
+    elif mode == "truncate":
+        keep = int(arg) if arg is not None else len(data) // 2
+        if not 0 <= keep < len(data):
+            fail(f"cannot truncate {len(data)} bytes to {keep}")
+        data = data[:keep]
+        print(f"truncated '{path}' to {keep} bytes")
+    elif mode == "magic":
+        if len(data) < 8:
+            fail(f"'{path}' is shorter than the 8-byte magic")
+        data[0:8] = b"NOTASNAP"
+        print(f"clobbered the magic of '{path}'")
+    else:
+        fail(f"unknown mode '{mode}' (flip|truncate|magic)")
+
+    with open(path, "wb") as f:
+        f.write(bytes(data))
+
+
+if __name__ == "__main__":
+    main(sys.argv)
