@@ -42,7 +42,8 @@
  * SIGINT/SIGTERM write a final snapshot and exit 130.  The handler is
  * strictly async-signal-safe: it sets one volatile sig_atomic_t flag
  * and nothing else; the snapshot itself is written from the main loop,
- * which polls the flag at each module-hour (epoch) boundary.
+ * which polls the flag at each module-hour (epoch) boundary.  A second
+ * SIGINT/SIGTERM skips the snapshot and exits 131 immediately.
  */
 
 #include <cinttypes>
@@ -53,6 +54,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <unistd.h>
 
 #include "ecc/bamboo.hh"
 #include "snapshot/keeper.hh"
@@ -79,12 +81,22 @@ using verify::SdcAuditReport;
  * allocation, no snapshot work).  The campaign loop polls it at each
  * module-hour boundary and runs the final-snapshot path in normal
  * context.
+ *
+ * A *second* SIGINT/SIGTERM is the escape hatch for a stuck graceful
+ * path (e.g. the final-snapshot fsync hanging on a dead disk): the
+ * handler _exit()s immediately with the distinct code 131, skipping
+ * the snapshot (_exit() is async-signal-safe).
  */
 volatile std::sig_atomic_t g_interrupted = 0;
+
+/** Exit code of the second-signal immediate exit (130 = graceful). */
+constexpr int kForcedExitCode = 131;
 
 extern "C" void
 handleStopSignal(int)
 {
+    if (g_interrupted != 0)
+        _exit(kForcedExitCode);
     g_interrupted = 1;
 }
 

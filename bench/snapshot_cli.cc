@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <unistd.h>
 #include <variant>
 
 #include "snapshot/keeper.hh"
@@ -28,12 +29,24 @@ namespace
  * points (the epoch boundaries of a sweep leg) via
  * RunOptions::interrupted and performs the final-snapshot path in
  * normal context.
+ *
+ * Escape hatch: a *second* SIGINT/SIGTERM means the graceful path is
+ * stuck (most likely the final-snapshot write hanging on a dead disk)
+ * and the user wants out *now*.  The handler _exit()s immediately with
+ * the distinct code 131, skipping the snapshot - _exit() is
+ * async-signal-safe and flushes nothing, which is exactly right when
+ * the process state is suspect.
  */
 volatile std::sig_atomic_t g_interrupted = 0;
+
+/** Exit code of the second-signal immediate exit (130 = graceful). */
+constexpr int kForcedExitCode = 131;
 
 extern "C" void
 handleStopSignal(int)
 {
+    if (g_interrupted != 0)
+        _exit(kForcedExitCode);
     g_interrupted = 1;
 }
 
@@ -72,7 +85,8 @@ printUsage(const char *bench)
         "perf record\n"
         "  --help                          this text\n"
         "\nSIGINT/SIGTERM save a final snapshot before exiting "
-        "(code 130).\n",
+        "(code 130);\na second signal skips the snapshot and exits "
+        "immediately (code 131).\n",
         bench, bench);
 }
 

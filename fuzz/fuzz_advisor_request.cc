@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fuzz harness for the advisor wire boundary (src/serve/wire).
+ *
+ * Treats the input as a length-prefixed frame stream and walks it
+ * exactly the way the service request loop does: cut frames with
+ * nextFrame(), feed each payload to parseRequest() and
+ * parseDecision().  The parsers face a byte stream from outside the
+ * process, so they must reject every malformation with a structured
+ * util::Status - never crash, never allocate past kMaxMixClasses /
+ * kMaxFramePayloadBytes, and never leave the output half-filled (an
+ * error leaves *out exactly as it was; the trap below holds them to
+ * it).  Anything that parses must survive an encode -> parse round
+ * trip bit-for-bit.
+ *
+ * Built two ways (see fuzz/CMakeLists.txt): as a libFuzzer binary
+ * under -DHDMR_FUZZ=ON (Clang only), and as a plain replay binary
+ * that runs the checked-in corpus under ctest with any compiler.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/wire.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace hdmr;
+    using namespace hdmr::serve;
+
+    // Sentinel values no parser would produce from a valid payload:
+    // a failed parse must leave them untouched.
+    const auto pristineRequest = [] {
+        AdvisorRequest r;
+        r.id = 0xfeedfacecafebeefULL;
+        r.deadlineMicros = 0x123456789abcdef0ULL;
+        r.allowCached = false;
+        MixClass c;
+        c.nodes = 77;
+        c.runtimeSeconds = 1234.5;
+        r.mix = {c, c, c};
+        return r;
+    }();
+    const auto pristineDecision = [] {
+        AdvisorDecision d;
+        d.id = 0xfeedfacecafebeefULL;
+        d.marginGroup = 1;
+        d.expectedSpeedup = 1.875;
+        return d;
+    }();
+
+    std::size_t offset = 0;
+    for (;;) {
+        const std::uint8_t *payload = nullptr;
+        std::size_t payload_size = 0;
+        const util::Status cut =
+            nextFrame(data, size, &offset, &payload, &payload_size);
+        if (!cut.ok() || payload == nullptr)
+            break; // truncated/oversized frame or clean end
+
+        {
+            AdvisorRequest request = pristineRequest;
+            const util::Status parsed =
+                parseRequest(payload, payload_size, &request);
+            if (!parsed.ok()) {
+                if (!(request == pristineRequest))
+                    __builtin_trap(); // half-filled output on error
+            } else {
+                if (!request.validate().ok())
+                    __builtin_trap(); // parser let an invalid mix through
+                AdvisorRequest again;
+                if (!parseRequest(encodeRequest(request).data(),
+                                  encodeRequest(request).size(), &again)
+                         .ok() ||
+                    !(again == request))
+                    __builtin_trap(); // round trip not bit-stable
+            }
+        }
+
+        {
+            AdvisorDecision decision = pristineDecision;
+            const util::Status parsed =
+                parseDecision(payload, payload_size, &decision);
+            if (!parsed.ok()) {
+                if (!(decision == pristineDecision))
+                    __builtin_trap(); // half-filled output on error
+            } else {
+                if (!decision.validate().ok())
+                    __builtin_trap();
+                AdvisorDecision again;
+                if (!parseDecision(encodeDecision(decision).data(),
+                                   encodeDecision(decision).size(),
+                                   &again)
+                         .ok() ||
+                    !(again == decision))
+                    __builtin_trap();
+            }
+        }
+    }
+
+    // The raw bytes (no frame prefix) exercise the payload parsers'
+    // own bounds checks, including sizes past one frame's cap.
+    AdvisorRequest request;
+    (void)parseRequest(data, size, &request);
+    AdvisorDecision decision;
+    (void)parseDecision(data, size, &decision);
+    return 0;
+}

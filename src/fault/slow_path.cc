@@ -1,0 +1,74 @@
+#include "fault/slow_path.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace hdmr::fault
+{
+
+void
+SlowPathInjector::armDelay(std::uint64_t delay_micros)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    delayMicros_ = delay_micros;
+}
+
+void
+SlowPathInjector::armGate()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    gate_ = true;
+}
+
+void
+SlowPathInjector::release()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        gate_ = false;
+    }
+    cv_.notify_all();
+}
+
+void
+SlowPathInjector::disarm()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        gate_ = false;
+        delayMicros_ = 0;
+    }
+    cv_.notify_all();
+}
+
+void
+SlowPathInjector::perturb()
+{
+    std::uint64_t delay = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++perturbs_;
+        ++blocked_;
+        cv_.wait(lock, [this] { return !gate_; });
+        --blocked_;
+        delay = delayMicros_;
+    }
+    if (delay > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+}
+
+std::uint64_t
+SlowPathInjector::perturbs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return perturbs_;
+}
+
+unsigned
+SlowPathInjector::blocked() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_;
+}
+
+} // namespace hdmr::fault

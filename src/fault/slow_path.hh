@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Slow-path latency injection for resilience testing.
+ *
+ * The campaign engine (campaign.hh) injects *simulated* faults into
+ * simulated time; this hook injects *wall-clock* latency into real
+ * code paths, which is what the serving layer's resilience machinery
+ * (src/serve: deadlines, circuit breaker, drain) is built to survive.
+ * A component under test calls perturb() at its natural step
+ * boundaries (the advisor engine polls it at every rollout decision
+ * point); a test or the soak harness arms the injector to make those
+ * steps slow or to wedge them entirely:
+ *
+ *   armDelay(us)  every perturb() sleeps `us` microseconds - a rollout
+ *                 that normally finishes in ~1 ms now blows any sane
+ *                 deadline, which must surface as a degraded answer
+ *                 and, repeated, must open the circuit breaker;
+ *   armGate()     every perturb() blocks until release() - the "stuck
+ *                 in-flight request" a graceful drain has to time out
+ *                 on instead of hanging forever.
+ *
+ * Disarmed (the default), perturb() is a mutex acquisition and a
+ * counter bump - cheap enough to leave compiled into the serving path.
+ */
+
+#ifndef HDMR_FAULT_SLOW_PATH_HH
+#define HDMR_FAULT_SLOW_PATH_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace hdmr::fault
+{
+
+/** Thread-safe wall-clock latency / wedge injector. */
+class SlowPathInjector
+{
+  public:
+    /** Every subsequent perturb() sleeps this long (0 disarms). */
+    void armDelay(std::uint64_t delay_micros);
+
+    /** Every subsequent perturb() blocks until release()/disarm(). */
+    void armGate();
+
+    /** Open the gate: blocked perturb() calls return, gate disarms. */
+    void release();
+
+    /** Clear delay and gate; releases any blocked perturb() calls. */
+    void disarm();
+
+    /**
+     * The instrumented slow path's hook point.  Sleeps or blocks per
+     * the armed mode; a no-op (plus accounting) when disarmed.
+     */
+    void perturb();
+
+    /** Total perturb() calls observed (armed or not). */
+    std::uint64_t perturbs() const;
+
+    /** Threads currently blocked inside a gated perturb(). */
+    unsigned blocked() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::uint64_t delayMicros_ = 0;
+    bool gate_ = false;
+    std::uint64_t perturbs_ = 0;
+    unsigned blocked_ = 0;
+};
+
+} // namespace hdmr::fault
+
+#endif // HDMR_FAULT_SLOW_PATH_HH

@@ -906,6 +906,7 @@ ClusterSimulator::runLoop(const RunOptions &options)
     };
 
     bool completed = true;
+    bool deadline_hit = false;
     while (st_.nextArrival < jobs.size() || !st_.completions.empty() ||
            !st_.faults.done() || !st_.resubmits.empty()) {
         const double t_arrival =
@@ -954,6 +955,13 @@ ClusterSimulator::runLoop(const RunOptions &options)
         // with the exact pre-event state, so the digest trail and the
         // replay are bit-identical.
         recordDigests(now);
+        if (options.deadlineExpired && options.deadlineExpired()) {
+            // Deadline early-out: no snapshot, the caller is about to
+            // discard this rollout for a degraded answer anyway.
+            completed = false;
+            deadline_hit = true;
+            break;
+        }
         if (now >= options.stopAfterSeconds ||
             (options.interrupted && options.interrupted())) {
             emitSnapshot(options);
@@ -1037,6 +1045,7 @@ ClusterSimulator::runLoop(const RunOptions &options)
     }
     outcome.metrics = finalizeMetrics();
     outcome.completed = completed;
+    outcome.deadlineHit = deadline_hit;
     outcome.simSeconds = st_.lastEventTime;
     outcome.eventsProcessed = st_.eventsProcessed;
     outcome.digests = st_.trail;

@@ -260,6 +260,16 @@ struct RunOptions
      * after this simulated time; +infinity runs to completion.
      */
     double stopAfterSeconds = std::numeric_limits<double>::infinity();
+    /**
+     * Wall-clock deadline hook for bounded rollouts (src/serve):
+     * polled at every scheduler decision point, like `interrupted`,
+     * but an expired deadline stops the run *without* serializing a
+     * snapshot - a deadline-bounded caller wants the cheapest possible
+     * early-out so it can fall back to a degraded answer, not a state
+     * image.  The outcome carries deadlineHit = true and partial
+     * metrics.  Null (the default) never expires.
+     */
+    std::function<bool()> deadlineExpired;
 };
 
 /** Result of a snapshot-aware run. */
@@ -269,6 +279,9 @@ struct RunOutcome
     ClusterMetrics metrics;
     /** False when the run stopped early and emitted a snapshot. */
     bool completed = true;
+    /** True when RunOptions::deadlineExpired stopped the run (no
+     *  snapshot was emitted; completed is false too). */
+    bool deadlineHit = false;
     /** Simulated time reached. */
     double simSeconds = 0.0;
     /** Scheduler events processed (arrivals, completions, faults,

@@ -1,0 +1,230 @@
+#include "serve/resilience.hh"
+
+namespace hdmr::serve
+{
+
+std::uint64_t
+monotonicMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Deadline
+Deadline::after(std::uint64_t budget_micros,
+                const std::atomic<bool> *cancel)
+{
+    Deadline d;
+    d.bounded_ = true;
+    d.expiresAtMicros_ = monotonicMicros() + budget_micros;
+    d.cancel_ = cancel;
+    return d;
+}
+
+bool
+Deadline::expired() const
+{
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+        return true;
+    return bounded_ && monotonicMicros() >= expiresAtMicros_;
+}
+
+std::uint64_t
+Deadline::remainingMicros() const
+{
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+        return 0;
+    if (!bounded_)
+        return ~std::uint64_t{0};
+    const std::uint64_t now = monotonicMicros();
+    return now >= expiresAtMicros_ ? 0 : expiresAtMicros_ - now;
+}
+
+util::Status
+BreakerConfig::validate() const
+{
+    if (openAfterFailures == 0)
+        return util::invalidArgument(
+            "BreakerConfig.openAfterFailures must be >= 1");
+    if (cooldownMicros == 0)
+        return util::invalidArgument(
+            "BreakerConfig.cooldownMicros must be >= 1");
+    return util::Status{};
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {}
+
+void
+CircuitBreaker::openLocked(std::uint64_t now_micros)
+{
+    state_ = State::kOpen;
+    probeInFlight_ = false;
+    consecutiveFailures_ = 0;
+    openedAtMicros_ = now_micros;
+    ++opened_;
+}
+
+bool
+CircuitBreaker::allow(std::uint64_t now_micros)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (now_micros - openedAtMicros_ < config_.cooldownMicros) {
+            ++rejected_;
+            return false;
+        }
+        // Cooldown over: this caller becomes the single half-open
+        // probe; everyone else keeps being rejected until it reports.
+        state_ = State::kHalfOpen;
+        probeInFlight_ = true;
+        ++halfOpened_;
+        return true;
+      case State::kHalfOpen:
+        if (probeInFlight_) {
+            ++rejected_;
+            return false;
+        }
+        probeInFlight_ = true;
+        return true;
+    }
+    return false;
+}
+
+void
+CircuitBreaker::recordSuccess(std::uint64_t now_micros)
+{
+    (void)now_micros;
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutiveFailures_ = 0;
+    if (state_ == State::kHalfOpen) {
+        state_ = State::kClosed;
+        probeInFlight_ = false;
+        ++reclosed_;
+    }
+}
+
+void
+CircuitBreaker::recordFailure(std::uint64_t now_micros)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        if (++consecutiveFailures_ >= config_.openAfterFailures)
+            openLocked(now_micros);
+        break;
+      case State::kHalfOpen:
+        // The probe failed: back to open, cooldown restarts.
+        openLocked(now_micros);
+        break;
+      case State::kOpen:
+        break;
+    }
+}
+
+CircuitBreaker::State
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+}
+
+std::uint64_t
+CircuitBreaker::openedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return opened_;
+}
+
+std::uint64_t
+CircuitBreaker::halfOpenedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return halfOpened_;
+}
+
+std::uint64_t
+CircuitBreaker::reclosedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return reclosed_;
+}
+
+std::uint64_t
+CircuitBreaker::rejectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+}
+
+const char *
+toString(CircuitBreaker::State state)
+{
+    switch (state) {
+      case CircuitBreaker::State::kClosed:
+        return "closed";
+      case CircuitBreaker::State::kOpen:
+        return "open";
+      case CircuitBreaker::State::kHalfOpen:
+        return "half_open";
+    }
+    return "unknown";
+}
+
+util::Status
+RetryBudgetConfig::validate() const
+{
+    if (!(capacity > 0.0))
+        return util::invalidArgument(
+            "RetryBudgetConfig.capacity must be > 0");
+    if (refillPerSuccess < 0.0)
+        return util::invalidArgument(
+            "RetryBudgetConfig.refillPerSuccess must be >= 0");
+    return util::Status{};
+}
+
+RetryBudget::RetryBudget(RetryBudgetConfig config)
+    : config_(config), tokens_(config.capacity)
+{
+}
+
+bool
+RetryBudget::tryWithdraw()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tokens_ < 1.0) {
+        ++denied_;
+        return false;
+    }
+    tokens_ -= 1.0;
+    return true;
+}
+
+void
+RetryBudget::onSuccess()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens_ += config_.refillPerSuccess;
+    if (tokens_ > config_.capacity)
+        tokens_ = config_.capacity;
+}
+
+double
+RetryBudget::tokens() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tokens_;
+}
+
+std::uint64_t
+RetryBudget::deniedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return denied_;
+}
+
+} // namespace hdmr::serve

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Resilience primitives for the advisor service: deadlines, the
+ * circuit breaker, and the retry budget.
+ *
+ * These are deliberately small, self-contained state machines with an
+ * injectable notion of time (monotonic microseconds passed in by the
+ * caller), so tests drive them with a fake clock and the breaker's
+ * half-open single-probe rule can be checked under real concurrency
+ * without sleeping.  The service layer (service.hh) feeds them
+ * std::chrono::steady_clock.
+ *
+ * Degradation ladder context (DESIGN.md section 16): a deadline that
+ * expires mid-rollout degrades the answer (exact -> degraded); the
+ * breaker opening removes the rollout path entirely until a half-open
+ * probe proves it healthy again; the retry budget keeps client
+ * retries of shed requests from amplifying the very overload that
+ * shed them.
+ */
+
+#ifndef HDMR_SERVE_RESILIENCE_HH
+#define HDMR_SERVE_RESILIENCE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.hh"
+
+namespace hdmr::serve
+{
+
+/** Monotonic microseconds since an arbitrary epoch (steady_clock). */
+std::uint64_t monotonicMicros();
+
+/**
+ * A wall-clock deadline with an optional external cancel flag.  The
+ * default-constructed deadline never expires; Deadline::after() binds
+ * one to "now + budget".  The cancel flag is how a draining service
+ * force-expires in-flight work: the rollout's per-event deadline poll
+ * sees either the clock or the flag trip, whichever comes first.
+ */
+class Deadline
+{
+  public:
+    /** Never expires. */
+    Deadline() = default;
+
+    /** Expires `budget_micros` from now (or when *cancel is set). */
+    static Deadline after(std::uint64_t budget_micros,
+                          const std::atomic<bool> *cancel = nullptr);
+
+    bool expired() const;
+
+    /** Remaining budget in microseconds; 0 once expired/cancelled. */
+    std::uint64_t remainingMicros() const;
+
+    /** True for the default-constructed, never-expiring deadline. */
+    bool unbounded() const { return !bounded_ && cancel_ == nullptr; }
+
+  private:
+    bool bounded_ = false;
+    std::uint64_t expiresAtMicros_ = 0;
+    const std::atomic<bool> *cancel_ = nullptr;
+};
+
+/** Circuit-breaker tuning. */
+struct BreakerConfig
+{
+    /** Consecutive protected-path failures that open the breaker. */
+    unsigned openAfterFailures = 5;
+    /** Open dwell time before a half-open probe is allowed. */
+    std::uint64_t cooldownMicros = 200'000;
+
+    /** Reject zero thresholds/cooldowns naming the field. */
+    util::Status validate() const;
+};
+
+/**
+ * Classic three-state circuit breaker around an expensive path.
+ *
+ *   closed     requests flow; consecutive failures are counted and
+ *              openAfterFailures of them trip the breaker open;
+ *   open       requests are refused (the caller serves its fallback)
+ *              until cooldownMicros elapse;
+ *   half-open  exactly ONE probe request is let through; its success
+ *              closes the breaker, its failure re-opens it and
+ *              restarts the cooldown.  Concurrent callers during the
+ *              probe are refused - single-probe exclusivity is what
+ *              keeps a half-recovered backend from being stampeded.
+ *
+ * Thread-safe; time is injected (monotonic microseconds).  A caller
+ * granted passage MUST eventually report recordSuccess() or
+ * recordFailure(), or the half-open probe slot leaks and the breaker
+ * stays half-open forever.
+ */
+class CircuitBreaker
+{
+  public:
+    enum class State : std::uint8_t
+    {
+        kClosed = 0,
+        kOpen = 1,
+        kHalfOpen = 2,
+    };
+
+    explicit CircuitBreaker(BreakerConfig config = {});
+
+    /** May the protected path be taken at `now_micros`? */
+    bool allow(std::uint64_t now_micros);
+
+    /** Protected path succeeded (closes a half-open breaker). */
+    void recordSuccess(std::uint64_t now_micros);
+
+    /** Protected path failed (counts toward / re-opens the breaker). */
+    void recordFailure(std::uint64_t now_micros);
+
+    State state() const;
+
+    // ---- Transition counters (telemetry). ----
+    /** Times the breaker tripped closed/half-open -> open. */
+    std::uint64_t openedCount() const;
+    /** Times a cooldown expired into a half-open probe. */
+    std::uint64_t halfOpenedCount() const;
+    /** Times a probe success closed the breaker again. */
+    std::uint64_t reclosedCount() const;
+    /** Requests refused while open / during a probe. */
+    std::uint64_t rejectedCount() const;
+
+    const BreakerConfig &config() const { return config_; }
+
+  private:
+    void openLocked(std::uint64_t now_micros);
+
+    BreakerConfig config_;
+    mutable std::mutex mu_;
+    State state_ = State::kClosed;
+    unsigned consecutiveFailures_ = 0;
+    bool probeInFlight_ = false;
+    std::uint64_t openedAtMicros_ = 0;
+    std::uint64_t opened_ = 0;
+    std::uint64_t halfOpened_ = 0;
+    std::uint64_t reclosed_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+const char *toString(CircuitBreaker::State state);
+
+/** Retry-budget tuning. */
+struct RetryBudgetConfig
+{
+    /** Token ceiling (also the initial balance). */
+    double capacity = 32.0;
+    /** Tokens deposited per successfully served request. */
+    double refillPerSuccess = 0.1;
+
+    /** Reject non-positive capacity / negative refill by field. */
+    util::Status validate() const;
+};
+
+/**
+ * Global retry budget: a token bucket refilled by *successful* work.
+ * Every admitted retry withdraws one token; when the bucket is empty
+ * retries are refused (kUnavailable) even if the queue has room.
+ * Under sustained overload successes dwindle, the bucket drains, and
+ * retries stop amplifying the load - the refill ties permitted retry
+ * traffic to a fraction (refillPerSuccess) of useful throughput.
+ */
+class RetryBudget
+{
+  public:
+    explicit RetryBudget(RetryBudgetConfig config = {});
+
+    /** Spend one token for a retry; false when the budget is empty. */
+    bool tryWithdraw();
+
+    /** A request was served successfully; deposit the refill. */
+    void onSuccess();
+
+    double tokens() const;
+
+    /** Retries refused because the bucket was empty. */
+    std::uint64_t deniedCount() const;
+
+  private:
+    RetryBudgetConfig config_;
+    mutable std::mutex mu_;
+    double tokens_;
+    std::uint64_t denied_ = 0;
+};
+
+} // namespace hdmr::serve
+
+#endif // HDMR_SERVE_RESILIENCE_HH

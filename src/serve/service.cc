@@ -1,0 +1,327 @@
+#include "serve/service.hh"
+
+#include <chrono>
+#include <utility>
+
+#include "snapshot/keeper.hh"
+#include "snapshot/serializer.hh"
+#include "util/logging.hh"
+
+namespace hdmr::serve
+{
+
+util::Status
+ServiceConfig::validate() const
+{
+    if (workers == 0)
+        return util::invalidArgument(
+            "ServiceConfig.workers must be >= 1");
+    if (queueCapacity == 0)
+        return util::invalidArgument(
+            "ServiceConfig.queueCapacity must be >= 1");
+    if (defaultDeadlineMicros == 0)
+        return util::invalidArgument(
+            "ServiceConfig.defaultDeadlineMicros must be >= 1");
+    if (maxDeadlineMicros < defaultDeadlineMicros)
+        return util::invalidArgument(
+            "ServiceConfig.maxDeadlineMicros (%llu) below "
+            "defaultDeadlineMicros (%llu)",
+            static_cast<unsigned long long>(maxDeadlineMicros),
+            static_cast<unsigned long long>(defaultDeadlineMicros));
+    return retry.validate();
+}
+
+AdvisorService::AdvisorService(ServiceConfig config, AdvisorConfig advisor)
+    : config_(config), engine_(std::move(advisor)),
+      retryBudget_(config.retry)
+{
+    util::checkOk(config_.validate());
+    workers_.reserve(config_.workers);
+    for (unsigned i = 0; i < config_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+AdvisorService::~AdvisorService()
+{
+    std::deque<Pending> flushed;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        drainAbort_.store(true, std::memory_order_release);
+        flushed.swap(queue_);
+        counters_.shedDraining += flushed.size();
+    }
+    workCv_.notify_all();
+    for (Pending &p : flushed)
+        refuse(p.callback,
+               util::unavailable("advisor service shutting down"));
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+AdvisorService::refuse(const ResponseCallback &callback,
+                       util::Status status)
+{
+    ServedResponse response;
+    response.shed = status.code() != util::StatusCode::kInvalidArgument;
+    response.status = std::move(status);
+    if (callback)
+        callback(response);
+}
+
+std::uint64_t
+AdvisorService::deadlineBudgetMicros(const AdvisorRequest &request) const
+{
+    if (request.deadlineMicros == 0)
+        return config_.defaultDeadlineMicros;
+    return std::min(request.deadlineMicros, config_.maxDeadlineMicros);
+}
+
+void
+AdvisorService::submit(const AdvisorRequest &request,
+                       ResponseCallback callback)
+{
+    const util::Status valid = request.validate();
+    if (!valid.ok()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.rejectedInvalid;
+        }
+        refuse(callback, valid);
+        return;
+    }
+
+    bool evicted = false;
+    Pending evictee;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (stopping_ || draining_) {
+            ++counters_.shedDraining;
+            lock.unlock();
+            refuse(callback,
+                   util::unavailable(
+                       "advisor service is draining; not admitting"));
+            return;
+        }
+        if (request.isRetry && !retryBudget_.tryWithdraw()) {
+            ++counters_.shedRetryDenied;
+            lock.unlock();
+            refuse(callback,
+                   util::unavailable(
+                       "retry budget exhausted; back off"));
+            return;
+        }
+        if (queue_.size() >= config_.queueCapacity) {
+            // Adaptive LIFO: evict the OLDEST queued request - its
+            // caller has waited longest and is the most likely to
+            // have given up already.
+            evictee = std::move(queue_.front());
+            queue_.pop_front();
+            evicted = true;
+            ++counters_.shedQueueFull;
+        }
+        Pending p;
+        p.request = request;
+        p.callback = std::move(callback);
+        p.deadline =
+            Deadline::after(deadlineBudgetMicros(request), &drainAbort_);
+        p.admitMicros = monotonicMicros();
+        queue_.push_back(std::move(p));
+        ++counters_.admitted;
+    }
+    workCv_.notify_one();
+    if (evicted)
+        refuse(evictee.callback,
+               util::unavailable(
+                   "queue full (%zu); oldest request shed",
+                   config_.queueCapacity));
+}
+
+util::Status
+AdvisorService::submitFrame(const std::uint8_t *payload,
+                            std::size_t size, ResponseCallback callback)
+{
+    AdvisorRequest request;
+    HDMR_RETURN_IF_ERROR(parseRequest(payload, size, &request));
+    submit(request, std::move(callback));
+    return util::Status{};
+}
+
+void
+AdvisorService::workerLoop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mu_);
+        workCv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        // LIFO: newest first.  Under overload the oldest requests'
+        // callers have usually already timed out; serving them first
+        // (FIFO) would spend the whole capacity on dead work.
+        Pending p = std::move(queue_.back());
+        queue_.pop_back();
+
+        if (p.deadline.expired()) {
+            ++counters_.shedQueueExpired;
+            const bool idle = queue_.empty() && inFlight_ == 0;
+            lock.unlock();
+            if (idle)
+                idleCv_.notify_all();
+            refuse(p.callback,
+                   util::deadlineExceeded(
+                       "request %llu: deadline passed while queued",
+                       static_cast<unsigned long long>(p.request.id)));
+            continue;
+        }
+
+        ++inFlight_;
+        lock.unlock();
+
+        ServedResponse response;
+        response.decision = engine_.decide(p.request, p.deadline);
+        response.latencyMicros = monotonicMicros() - p.admitMicros;
+        retryBudget_.onSuccess();
+
+        lock.lock();
+        ++counters_.served;
+        servedLatencyMicros_.record(response.latencyMicros);
+        --inFlight_;
+        const bool idle = queue_.empty() && inFlight_ == 0;
+        lock.unlock();
+        if (idle)
+            idleCv_.notify_all();
+        if (p.callback)
+            p.callback(response);
+    }
+}
+
+void
+AdvisorService::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+}
+
+util::Status
+AdvisorService::awaitDrain(std::uint64_t deadline_micros)
+{
+    std::deque<Pending> flushed;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::microseconds(deadline_micros);
+        const bool clean = idleCv_.wait_until(lock, until, [this] {
+            return queue_.empty() && inFlight_ == 0;
+        });
+        if (clean)
+            return util::Status{};
+        // Out of time: force-expire in-flight rollouts (they poll the
+        // drain flag through their Deadline and degrade) and shed
+        // whatever is still queued.
+        drainAbort_.store(true, std::memory_order_release);
+        flushed.swap(queue_);
+        counters_.shedDraining += flushed.size();
+    }
+    workCv_.notify_all();
+    for (Pending &p : flushed)
+        refuse(p.callback,
+               util::unavailable("shed by drain-deadline expiry"));
+    return util::deadlineExceeded(
+        "drain did not complete within %llu us",
+        static_cast<unsigned long long>(deadline_micros));
+}
+
+util::Status
+AdvisorService::drainAndSnapshot(snapshot::Keeper &keeper,
+                                 std::uint64_t drain_deadline_micros)
+{
+    beginDrain();
+    const util::Status drained = awaitDrain(drain_deadline_micros);
+    // The decision cache is consistent even after a forced drain, so
+    // the warm-start snapshot is written either way.
+    const util::Status saved =
+        keeper.save(snapshot::kAdvisorStateKind, engine_.saveState());
+    HDMR_RETURN_IF_ERROR(saved);
+    return drained;
+}
+
+ServiceCounters
+AdvisorService::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+std::size_t
+AdvisorService::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+unsigned
+AdvisorService::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return inFlight_;
+}
+
+bool
+AdvisorService::draining() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
+}
+
+std::uint64_t
+AdvisorService::latencyQuantileMicros(double q) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return servedLatencyMicros_.valueAtQuantile(q);
+}
+
+void
+AdvisorService::publishMetrics(telemetry::Registry &registry,
+                               const std::string &prefix) const
+{
+    ServiceCounters c;
+    telemetry::Log2Histogram latency;
+    std::size_t depth = 0;
+    unsigned inflight = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        c = counters_;
+        latency = servedLatencyMicros_;
+        depth = queue_.size();
+        inflight = inFlight_;
+    }
+    registry.counter(prefix + ".admitted").set(c.admitted);
+    registry.counter(prefix + ".served").set(c.served);
+    registry.counter(prefix + ".shed_queue_full").set(c.shedQueueFull);
+    registry.counter(prefix + ".shed_queue_expired")
+        .set(c.shedQueueExpired);
+    registry.counter(prefix + ".shed_draining").set(c.shedDraining);
+    registry.counter(prefix + ".shed_retry_denied")
+        .set(c.shedRetryDenied);
+    registry.counter(prefix + ".rejected_invalid")
+        .set(c.rejectedInvalid);
+    registry.gauge(prefix + ".queue_depth")
+        .set(static_cast<double>(depth));
+    registry.gauge(prefix + ".in_flight")
+        .set(static_cast<double>(inflight));
+
+    telemetry::Log2Histogram &h =
+        registry.histogram(prefix + ".served_latency_micros");
+    for (unsigned b = 0; b < telemetry::Log2Histogram::kBuckets; ++b)
+        h.setBucketCount(b, latency.bucketCount(b));
+    h.setTotals(latency.count(), latency.sum());
+
+    engine_.publishMetrics(registry, prefix);
+}
+
+} // namespace hdmr::serve

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The advisor service: a thread pool in front of AdvisorEngine with
+ * admission control, adaptive-LIFO load shedding, per-request
+ * deadlines, a global retry budget, and graceful drain.
+ *
+ * Overload behaviour (DESIGN.md section 16), outermost gate first:
+ *
+ *   draining      every new request is refused (kUnavailable);
+ *   retry budget  a request marked isRetry spends one token or is
+ *                 refused (kUnavailable) - empty budget means the
+ *                 fleet is already struggling and retries would only
+ *                 amplify the overload;
+ *   bounded queue admission past queueCapacity sheds the OLDEST
+ *                 queued request (kUnavailable).  Workers serve the
+ *                 NEWEST request first (LIFO): under overload the old
+ *                 requests' callers have usually timed out anyway, so
+ *                 FIFO would spend the whole budget on dead work;
+ *   queue expiry  a request whose deadline passed while queued is
+ *                 answered kDeadlineExceeded without touching the
+ *                 engine.
+ *
+ * Every response says what happened: status kOk carries a decision
+ * with its Quality tag; a shed response has shed == true and a
+ * kUnavailable / kDeadlineExceeded status (only kUnavailable is
+ * retriable - see util::isRetriable()).
+ *
+ * Drain: beginDrain() stops admission, awaitDrain() waits for the
+ * queue and in-flight work to finish within a deadline, and on expiry
+ * force-cancels in-flight rollouts (their Deadline carries the drain
+ * cancel flag) and sheds whatever is still queued.  drainAndSnapshot()
+ * additionally persists the engine's warm-start state through a
+ * snapshot::Keeper so a restart serves bit-identical cached answers.
+ */
+
+#ifndef HDMR_SERVE_SERVICE_HH
+#define HDMR_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/advisor.hh"
+#include "serve/resilience.hh"
+#include "serve/wire.hh"
+#include "telemetry/metrics.hh"
+#include "util/status.hh"
+
+namespace hdmr::snapshot
+{
+class Keeper;
+} // namespace hdmr::snapshot
+
+namespace hdmr::serve
+{
+
+/** Service configuration. */
+struct ServiceConfig
+{
+    /** Worker threads consuming the request queue. */
+    unsigned workers = 2;
+    /** Queued (admitted, unserved) request ceiling. */
+    std::size_t queueCapacity = 64;
+    /** Deadline applied when a request asks for 0. */
+    std::uint64_t defaultDeadlineMicros = 10'000;
+    /** Ceiling a request's own deadline is clamped to. */
+    std::uint64_t maxDeadlineMicros = 250'000;
+    RetryBudgetConfig retry;
+
+    /** Reject zero workers/capacity/deadlines, naming the field. */
+    util::Status validate() const;
+};
+
+/** What happened to one submitted request. */
+struct ServedResponse
+{
+    /** Valid only when status.ok(). */
+    AdvisorDecision decision;
+    /** kOk, or kUnavailable / kDeadlineExceeded / kInvalidArgument. */
+    util::Status status;
+    /** True when the request was refused/dropped without an answer. */
+    bool shed = false;
+    /** Admission to completion, microseconds (0 for refusals). */
+    std::uint64_t latencyMicros = 0;
+};
+
+using ResponseCallback = std::function<void(const ServedResponse &)>;
+
+/** Service-level counters (monotonic; a copy, not a live view). */
+struct ServiceCounters
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t served = 0;
+    /** Oldest queued request evicted by an admission past capacity. */
+    std::uint64_t shedQueueFull = 0;
+    /** Deadline passed while queued (kDeadlineExceeded). */
+    std::uint64_t shedQueueExpired = 0;
+    /** Refused because the service was draining. */
+    std::uint64_t shedDraining = 0;
+    /** Retries refused by the empty retry budget. */
+    std::uint64_t shedRetryDenied = 0;
+    /** Requests rejected before admission (malformed). */
+    std::uint64_t rejectedInvalid = 0;
+
+    std::uint64_t totalShed() const
+    {
+        return shedQueueFull + shedQueueExpired + shedDraining +
+               shedRetryDenied;
+    }
+};
+
+/** The service. */
+class AdvisorService
+{
+  public:
+    /** Spawns the workers; checkOk()s both configs. */
+    AdvisorService(ServiceConfig config, AdvisorConfig advisor);
+
+    /** Joins the workers; still-queued requests are shed. */
+    ~AdvisorService();
+
+    AdvisorService(const AdvisorService &) = delete;
+    AdvisorService &operator=(const AdvisorService &) = delete;
+
+    /**
+     * Submit one request.  `callback` fires exactly once - possibly
+     * synchronously (refusals) or from a worker thread - and must not
+     * re-enter the service.  Malformed requests are rejected
+     * kInvalidArgument without being admitted.
+     */
+    void submit(const AdvisorRequest &request, ResponseCallback callback);
+
+    /**
+     * Parse one wire payload and submit it.  A parse error is
+     * returned synchronously (no callback fires); an admitted or
+     * refused request reports through `callback` as with submit().
+     */
+    util::Status submitFrame(const std::uint8_t *payload,
+                             std::size_t size,
+                             ResponseCallback callback);
+
+    /** Stop admitting; already-queued work keeps draining. */
+    void beginDrain();
+
+    /**
+     * Wait until the queue and in-flight requests are done, up to
+     * `deadline_micros`.  On expiry: in-flight rollouts are
+     * force-cancelled (they degrade and finish), whatever is still
+     * queued is shed, and kDeadlineExceeded is returned.  kOk means a
+     * clean drain.  Call beginDrain() first.
+     */
+    util::Status awaitDrain(std::uint64_t deadline_micros);
+
+    /**
+     * beginDrain() + awaitDrain() + persist the engine's warm-start
+     * state through `keeper` (kAdvisorStateKind).  The snapshot is
+     * written even after a forced drain - the decision cache is valid
+     * either way.  Returns the save error if the write failed, else
+     * the drain status.
+     */
+    util::Status drainAndSnapshot(snapshot::Keeper &keeper,
+                                  std::uint64_t drain_deadline_micros);
+
+    ServiceCounters counters() const;
+
+    /** Queued (admitted, not yet started) requests right now. */
+    std::size_t queueDepth() const;
+
+    /** Requests currently inside the engine. */
+    unsigned inFlight() const;
+
+    bool draining() const;
+
+    /**
+     * Served-latency quantile in microseconds (log2-bucket upper
+     * bound; see Log2Histogram::valueAtQuantile).
+     */
+    std::uint64_t latencyQuantileMicros(double q) const;
+
+    /**
+     * Copy service counters, queue gauges, the latency histogram, and
+     * the engine's metrics into `registry` under `prefix`.  Callers
+     * serialize publishMetrics() externally (the registry is not
+     * thread-safe).
+     */
+    void publishMetrics(telemetry::Registry &registry,
+                        const std::string &prefix) const;
+
+    AdvisorEngine &engine() { return engine_; }
+    const AdvisorEngine &engine() const { return engine_; }
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    struct Pending
+    {
+        AdvisorRequest request;
+        ResponseCallback callback;
+        Deadline deadline;
+        std::uint64_t admitMicros = 0;
+    };
+
+    void workerLoop();
+
+    /** Build the shed/refusal response and fire the callback. */
+    static void refuse(const ResponseCallback &callback,
+                       util::Status status);
+
+    /** Clamp a request's deadline budget to the configured window. */
+    std::uint64_t deadlineBudgetMicros(const AdvisorRequest &request) const;
+
+    ServiceConfig config_;
+    AdvisorEngine engine_;
+    RetryBudget retryBudget_;
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_; ///< queue became non-empty / stop
+    std::condition_variable idleCv_; ///< queue empty and nothing in flight
+    std::deque<Pending> queue_;
+    unsigned inFlight_ = 0;
+    bool draining_ = false;
+    bool stopping_ = false;
+    ServiceCounters counters_;
+    telemetry::Log2Histogram servedLatencyMicros_;
+
+    /** Force-expires in-flight deadlines when a drain runs out. */
+    std::atomic<bool> drainAbort_{false};
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace hdmr::serve
+
+#endif // HDMR_SERVE_SERVICE_HH

@@ -45,6 +45,7 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 inline constexpr std::uint32_t kClusterStateKind = 0x4d495343;  // "CSIM"
 inline constexpr std::uint32_t kSweepStateKind = 0x50455753;    // "SWEP"
 inline constexpr std::uint32_t kSdcAuditStateKind = 0x41434453; // "SDCA"
+inline constexpr std::uint32_t kAdvisorStateKind = 0x53564441;  // "ADVS"
 
 /** Hard ceiling on a snapshot image the file reader will load. */
 inline constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 30; // 1 GiB

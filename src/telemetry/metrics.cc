@@ -47,6 +47,29 @@ Log2Histogram::mean() const
                              static_cast<double>(count_);
 }
 
+std::uint64_t
+Log2Histogram::valueAtQuantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (!(q > 0.0))
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the quantile sample, 1-based (nearest-rank definition).
+    const double scaled = q * static_cast<double>(count_);
+    std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(rank) < scaled || rank == 0)
+        ++rank;
+    std::uint64_t cumulative = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cumulative += counts_[b];
+        if (cumulative >= rank)
+            return bucketHigh(b);
+    }
+    return bucketHigh(kBuckets - 1);
+}
+
 void
 Log2Histogram::setBucketCount(unsigned bucket, std::uint64_t value)
 {

@@ -136,6 +136,15 @@ class Log2Histogram
     /** Mean of the recorded values; 0 when empty. */
     double mean() const;
 
+    /**
+     * Upper bound of the bucket holding the q-quantile (q clamped to
+     * [0, 1]); 0 when empty.  Log2 buckets make this an upper
+     * estimate that can overshoot the true quantile by at most 2x -
+     * the right resolution for "is p99 bounded?" serving dashboards
+     * (p50 = valueAtQuantile(0.5), p99 = valueAtQuantile(0.99)).
+     */
+    std::uint64_t valueAtQuantile(double q) const;
+
     /** Overwrite one bucket (snapshot restore). */
     void setBucketCount(unsigned bucket, std::uint64_t value);
     /** Overwrite the totals (snapshot restore). */

@@ -47,8 +47,18 @@ statusCodeName(StatusCode code)
         return "failed_precondition";
       case StatusCode::kIoError:
         return "io_error";
+      case StatusCode::kDeadlineExceeded:
+        return "deadline_exceeded";
+      case StatusCode::kUnavailable:
+        return "unavailable";
     }
     return "unknown";
+}
+
+bool
+isRetriable(StatusCode code)
+{
+    return code == StatusCode::kUnavailable;
 }
 
 std::string
@@ -76,6 +86,8 @@ HDMR_STATUS_CTOR(notFound, kNotFound)
 HDMR_STATUS_CTOR(resourceExhausted, kResourceExhausted)
 HDMR_STATUS_CTOR(failedPrecondition, kFailedPrecondition)
 HDMR_STATUS_CTOR(ioError, kIoError)
+HDMR_STATUS_CTOR(deadlineExceeded, kDeadlineExceeded)
+HDMR_STATUS_CTOR(unavailable, kUnavailable)
 
 #undef HDMR_STATUS_CTOR
 

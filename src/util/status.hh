@@ -22,6 +22,11 @@
  *   kFailedPrecondition the input is well-formed but belongs elsewhere
  *                       (wrong benchmark, foreign config/trace digest)
  *   kIoError            the OS failed us (open/write/fsync/rename)
+ *   kDeadlineExceeded   the caller's latency budget ran out before an
+ *                       answer existed (advisor service, src/serve)
+ *   kUnavailable        the server declined the request - shed under
+ *                       overload, draining, or retry budget empty -
+ *                       and a retry elsewhere/later may succeed
  */
 
 #ifndef HDMR_UTIL_STATUS_HH
@@ -43,10 +48,24 @@ enum class StatusCode
     kResourceExhausted,
     kFailedPrecondition,
     kIoError,
+    kDeadlineExceeded,
+    kUnavailable,
 };
 
 /** Stable lower-snake name of a code ("data_loss"...), for logs. */
 const char *statusCodeName(StatusCode code);
+
+/**
+ * True for codes a client may retry against a retry budget.  Only
+ * kUnavailable qualifies: the server declined *this* attempt but
+ * another may land (shedding subsides, the breaker closes, another
+ * replica answers).  kDeadlineExceeded is deliberately not retriable -
+ * the budget the deadline represented is gone, and retrying a timed-out
+ * request is exactly the amplification a retry budget exists to stop.
+ * Every other code is a deterministic property of the input or the
+ * environment that a retry would reproduce.
+ */
+bool isRetriable(StatusCode code);
 
 /** An error code plus a human-readable message; kOk carries neither. */
 class [[nodiscard]] Status
@@ -62,6 +81,12 @@ class [[nodiscard]] Status
     bool ok() const { return code_ == StatusCode::kOk; }
     StatusCode code() const { return code_; }
     const std::string &message() const { return message_; }
+
+    /** isRetriable(code()); never true for kOk. */
+    bool isRetriable() const
+    {
+        return !ok() && util::isRetriable(code_);
+    }
 
     /** "data_loss: snapshot x.snap: CRC mismatch" (or "ok"). */
     std::string toString() const;
@@ -85,6 +110,10 @@ Status resourceExhausted(const char *fmt, ...)
 Status failedPrecondition(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 Status ioError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status deadlineExceeded(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status unavailable(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**

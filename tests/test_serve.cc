@@ -1,0 +1,958 @@
+/**
+ * @file
+ * Tests for the advisor service stack (src/serve): the wire codec's
+ * never-half-filled contract, the resilience primitives under fake
+ * clocks and real concurrency (half-open single-probe exclusivity),
+ * the engine's degradation ladder and warm-start snapshots, and the
+ * service's admission control (LIFO shed ordering, queue expiry,
+ * retry budget, drain-deadline expiry with a stuck in-flight
+ * request).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fault/slow_path.hh"
+#include "serve/advisor.hh"
+#include "serve/resilience.hh"
+#include "serve/service.hh"
+#include "serve/wire.hh"
+#include "snapshot/keeper.hh"
+#include "snapshot/serializer.hh"
+#include "telemetry/metrics.hh"
+#include "util/status.hh"
+
+namespace
+{
+
+using namespace hdmr;
+using namespace hdmr::serve;
+
+// --------------------------------------------------------------------
+// Wire codec
+// --------------------------------------------------------------------
+
+AdvisorRequest
+sampleRequest()
+{
+    AdvisorRequest request;
+    request.id = 77;
+    request.deadlineMicros = 5000;
+    request.allowCached = true;
+    request.allowRollout = false;
+    request.isRetry = true;
+    request.mix = {{4, 0, 1200.0, 3.0}, {16, 2, 600.0, 1.0}};
+    return request;
+}
+
+TEST(Wire, RequestRoundTrip)
+{
+    const AdvisorRequest request = sampleRequest();
+    const std::vector<std::uint8_t> bytes = encodeRequest(request);
+    AdvisorRequest parsed;
+    ASSERT_TRUE(parseRequest(bytes.data(), bytes.size(), &parsed).ok());
+    EXPECT_TRUE(parsed == request);
+}
+
+TEST(Wire, DecisionRoundTrip)
+{
+    AdvisorDecision decision;
+    decision.id = 9;
+    decision.marginGroup = 1;
+    decision.heteroDmr = true;
+    decision.quality = Quality::kExact;
+    decision.expectedSpeedup = 1.08;
+    decision.rolloutTurnaroundSeconds = 431.5;
+    const std::vector<std::uint8_t> bytes = encodeDecision(decision);
+    AdvisorDecision parsed;
+    ASSERT_TRUE(
+        parseDecision(bytes.data(), bytes.size(), &parsed).ok());
+    EXPECT_TRUE(parsed == decision);
+}
+
+TEST(Wire, RequestRejectsForeignMagicAndVersion)
+{
+    std::vector<std::uint8_t> bytes = encodeRequest(sampleRequest());
+    bytes[0] ^= 0xff;
+    AdvisorRequest out;
+    EXPECT_EQ(parseRequest(bytes.data(), bytes.size(), &out).code(),
+              util::StatusCode::kFailedPrecondition);
+
+    bytes = encodeRequest(sampleRequest());
+    bytes[4] = 0x7f; // absurd version
+    EXPECT_EQ(parseRequest(bytes.data(), bytes.size(), &out).code(),
+              util::StatusCode::kFailedPrecondition);
+}
+
+TEST(Wire, RequestRejectsUnknownFlagBits)
+{
+    std::vector<std::uint8_t> bytes = encodeRequest(sampleRequest());
+    bytes[24] |= 0x80; // flags byte follows magic+version+id+deadline
+    AdvisorRequest out;
+    EXPECT_EQ(parseRequest(bytes.data(), bytes.size(), &out).code(),
+              util::StatusCode::kDataLoss);
+}
+
+TEST(Wire, RequestRejectsOversizedCountBeforeAllocating)
+{
+    std::vector<std::uint8_t> bytes = encodeRequest(sampleRequest());
+    // Overwrite the class count (directly after the flags byte) with
+    // a value far past the cap; the parser must refuse on the cap
+    // check, not trust the count.
+    bytes[25] = 0xff;
+    bytes[26] = 0xff;
+    bytes[27] = 0xff;
+    bytes[28] = 0x7f;
+    AdvisorRequest out;
+    EXPECT_EQ(parseRequest(bytes.data(), bytes.size(), &out).code(),
+              util::StatusCode::kResourceExhausted);
+}
+
+TEST(Wire, RequestRejectsTruncationAndTrailingGarbage)
+{
+    const std::vector<std::uint8_t> bytes =
+        encodeRequest(sampleRequest());
+    AdvisorRequest out;
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+        EXPECT_FALSE(parseRequest(bytes.data(), cut, &out).ok())
+            << "truncation at " << cut << " accepted";
+
+    std::vector<std::uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_EQ(parseRequest(padded.data(), padded.size(), &out).code(),
+              util::StatusCode::kDataLoss);
+}
+
+TEST(Wire, FailedParseNeverHalfFillsTheOutput)
+{
+    AdvisorRequest out = sampleRequest();
+    const AdvisorRequest before = out;
+    std::vector<std::uint8_t> bytes = encodeRequest(sampleRequest());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        ASSERT_FALSE(parseRequest(bytes.data(), cut, &out).ok());
+        ASSERT_TRUE(out == before) << "truncation at " << cut
+                                   << " modified the output";
+    }
+}
+
+TEST(Wire, RequestValidateRejectsSemanticNonsense)
+{
+    AdvisorRequest request = sampleRequest();
+    request.mix.clear();
+    EXPECT_EQ(request.validate().code(),
+              util::StatusCode::kInvalidArgument);
+
+    request = sampleRequest();
+    request.mix[0].usageClass = 3;
+    EXPECT_EQ(request.validate().code(),
+              util::StatusCode::kInvalidArgument);
+
+    request = sampleRequest();
+    request.mix[0].nodes = 0;
+    EXPECT_EQ(request.validate().code(),
+              util::StatusCode::kInvalidArgument);
+
+    request = sampleRequest();
+    request.mix[0].weight = -1.0;
+    EXPECT_EQ(request.validate().code(),
+              util::StatusCode::kInvalidArgument);
+}
+
+TEST(Wire, FrameStreamWalk)
+{
+    std::vector<std::uint8_t> stream;
+    const AdvisorRequest a = sampleRequest();
+    AdvisorRequest b = sampleRequest();
+    b.id = 78;
+    appendFrame(encodeRequest(a), &stream);
+    appendFrame(encodeRequest(b), &stream);
+
+    std::size_t offset = 0;
+    const std::uint8_t *payload = nullptr;
+    std::size_t payload_size = 0;
+
+    ASSERT_TRUE(nextFrame(stream.data(), stream.size(), &offset,
+                          &payload, &payload_size)
+                    .ok());
+    ASSERT_NE(payload, nullptr);
+    AdvisorRequest parsed;
+    ASSERT_TRUE(parseRequest(payload, payload_size, &parsed).ok());
+    EXPECT_TRUE(parsed == a);
+
+    ASSERT_TRUE(nextFrame(stream.data(), stream.size(), &offset,
+                          &payload, &payload_size)
+                    .ok());
+    ASSERT_NE(payload, nullptr);
+    ASSERT_TRUE(parseRequest(payload, payload_size, &parsed).ok());
+    EXPECT_TRUE(parsed == b);
+
+    // Clean end of stream: kOk with a null payload.
+    ASSERT_TRUE(nextFrame(stream.data(), stream.size(), &offset,
+                          &payload, &payload_size)
+                    .ok());
+    EXPECT_EQ(payload, nullptr);
+    EXPECT_EQ(offset, stream.size());
+}
+
+TEST(Wire, FrameRejectsTruncationAndOversizedLength)
+{
+    std::vector<std::uint8_t> stream;
+    appendFrame(encodeRequest(sampleRequest()), &stream);
+
+    std::size_t offset = 0;
+    const std::uint8_t *payload = nullptr;
+    std::size_t payload_size = 0;
+
+    // Truncated length prefix.
+    EXPECT_EQ(nextFrame(stream.data(), 3, &offset, &payload,
+                        &payload_size)
+                  .code(),
+              util::StatusCode::kDataLoss);
+    EXPECT_EQ(offset, 0u);
+
+    // Truncated payload.
+    EXPECT_EQ(nextFrame(stream.data(), stream.size() - 1, &offset,
+                        &payload, &payload_size)
+                  .code(),
+              util::StatusCode::kDataLoss);
+    EXPECT_EQ(offset, 0u);
+
+    // A length field past the cap must be refused before being
+    // trusted; the offset must not advance.
+    std::vector<std::uint8_t> hostile = {0xff, 0xff, 0xff, 0xff};
+    EXPECT_EQ(nextFrame(hostile.data(), hostile.size(), &offset,
+                        &payload, &payload_size)
+                  .code(),
+              util::StatusCode::kResourceExhausted);
+    EXPECT_EQ(offset, 0u);
+}
+
+// --------------------------------------------------------------------
+// Deadline
+// --------------------------------------------------------------------
+
+TEST(Deadline, DefaultNeverExpires)
+{
+    const Deadline d;
+    EXPECT_TRUE(d.unbounded());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingMicros(), 0u);
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately)
+{
+    const Deadline d = Deadline::after(0);
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remainingMicros(), 0u);
+}
+
+TEST(Deadline, GenerousBudgetIsAlive)
+{
+    const Deadline d = Deadline::after(60'000'000);
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingMicros(), 0u);
+}
+
+TEST(Deadline, CancelFlagForceExpires)
+{
+    std::atomic<bool> cancel{false};
+    const Deadline d = Deadline::after(60'000'000, &cancel);
+    EXPECT_FALSE(d.expired());
+    cancel.store(true);
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remainingMicros(), 0u);
+}
+
+// --------------------------------------------------------------------
+// CircuitBreaker (fake clock throughout)
+// --------------------------------------------------------------------
+
+BreakerConfig
+breakerConfig()
+{
+    BreakerConfig config;
+    config.openAfterFailures = 3;
+    config.cooldownMicros = 1000;
+    return config;
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures)
+{
+    CircuitBreaker breaker(breakerConfig());
+    std::uint64_t now = 0;
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    breaker.recordFailure(now);
+    breaker.recordFailure(now);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    breaker.recordFailure(now);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.openedCount(), 1u);
+    EXPECT_FALSE(breaker.allow(now + 1));
+    EXPECT_EQ(breaker.rejectedCount(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak)
+{
+    CircuitBreaker breaker(breakerConfig());
+    breaker.recordFailure(0);
+    breaker.recordFailure(0);
+    breaker.recordSuccess(0);
+    breaker.recordFailure(0);
+    breaker.recordFailure(0);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccess)
+{
+    CircuitBreaker breaker(breakerConfig());
+    for (unsigned i = 0; i < 3; ++i)
+        breaker.recordFailure(100);
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_FALSE(breaker.allow(100 + 999));
+
+    // Cooldown over: exactly one probe goes through.
+    EXPECT_TRUE(breaker.allow(100 + 1000));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    EXPECT_EQ(breaker.halfOpenedCount(), 1u);
+    EXPECT_FALSE(breaker.allow(100 + 1001));
+
+    breaker.recordSuccess(100 + 1002);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+    EXPECT_EQ(breaker.reclosedCount(), 1u);
+    EXPECT_TRUE(breaker.allow(100 + 1003));
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopensAndRestartsCooldown)
+{
+    CircuitBreaker breaker(breakerConfig());
+    for (unsigned i = 0; i < 3; ++i)
+        breaker.recordFailure(0);
+    ASSERT_TRUE(breaker.allow(1000)); // the probe
+    breaker.recordFailure(1500);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.openedCount(), 2u);
+    // The cooldown restarted at the probe failure, not the first open.
+    EXPECT_FALSE(breaker.allow(2000));
+    EXPECT_TRUE(breaker.allow(2500));
+}
+
+TEST(CircuitBreaker, HalfOpenSingleProbeExclusivityUnderConcurrency)
+{
+    CircuitBreaker breaker(breakerConfig());
+    for (unsigned i = 0; i < 3; ++i)
+        breaker.recordFailure(0);
+    ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+    // Many threads race allow() right as the cooldown expires;
+    // exactly one may win the probe slot.
+    constexpr unsigned kThreads = 16;
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<unsigned> admitted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            ready.fetch_add(1);
+            while (!go.load())
+                std::this_thread::yield();
+            if (breaker.allow(5000))
+                admitted.fetch_add(1);
+        });
+    while (ready.load() != kThreads)
+        std::this_thread::yield();
+    go.store(true);
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(admitted.load(), 1u);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+    EXPECT_EQ(breaker.halfOpenedCount(), 1u);
+    EXPECT_EQ(breaker.rejectedCount(), kThreads - 1);
+}
+
+TEST(CircuitBreaker, ConfigValidateNamesTheField)
+{
+    BreakerConfig config;
+    config.openAfterFailures = 0;
+    EXPECT_NE(config.validate().toString().find("openAfterFailures"),
+              std::string::npos);
+    config = BreakerConfig{};
+    config.cooldownMicros = 0;
+    EXPECT_NE(config.validate().toString().find("cooldownMicros"),
+              std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// RetryBudget
+// --------------------------------------------------------------------
+
+TEST(RetryBudget, DrainsAndDenies)
+{
+    RetryBudgetConfig config;
+    config.capacity = 2.0;
+    config.refillPerSuccess = 0.0;
+    RetryBudget budget(config);
+    EXPECT_TRUE(budget.tryWithdraw());
+    EXPECT_TRUE(budget.tryWithdraw());
+    EXPECT_FALSE(budget.tryWithdraw());
+    EXPECT_EQ(budget.deniedCount(), 1u);
+}
+
+TEST(RetryBudget, SuccessesRefillUpToCapacity)
+{
+    RetryBudgetConfig config;
+    config.capacity = 2.0;
+    config.refillPerSuccess = 0.5;
+    RetryBudget budget(config);
+    ASSERT_TRUE(budget.tryWithdraw());
+    ASSERT_TRUE(budget.tryWithdraw());
+    ASSERT_FALSE(budget.tryWithdraw());
+    budget.onSuccess();
+    ASSERT_FALSE(budget.tryWithdraw()); // 0.5 < 1 token
+    budget.onSuccess();
+    EXPECT_TRUE(budget.tryWithdraw());
+    for (int i = 0; i < 100; ++i)
+        budget.onSuccess();
+    EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+}
+
+// --------------------------------------------------------------------
+// AdvisorEngine
+// --------------------------------------------------------------------
+
+AdvisorConfig
+engineConfig()
+{
+    AdvisorConfig config;
+    config.rolloutNodes = 8;
+    config.rolloutJobs = 12;
+    config.rolloutHorizonSeconds = 1800.0;
+    config.seed = 42;
+    return config;
+}
+
+AdvisorRequest
+mixRequest(std::uint64_t id, unsigned usage_class,
+           double runtime_seconds = 600.0)
+{
+    AdvisorRequest request;
+    request.id = id;
+    request.mix = {{2, usage_class, runtime_seconds, 1.0}};
+    return request;
+}
+
+TEST(AdvisorEngine, TableOnlyAnswersFollowTheEligibleFraction)
+{
+    AdvisorEngine engine(engineConfig());
+    AdvisorRequest low = mixRequest(1, 0);
+    low.allowRollout = false;
+    const AdvisorDecision fast = engine.decide(low, Deadline{});
+    EXPECT_EQ(fast.quality, Quality::kDegraded);
+    EXPECT_EQ(fast.marginGroup, 0);
+    EXPECT_TRUE(fast.heteroDmr);
+    EXPECT_GT(fast.expectedSpeedup, 1.0);
+    EXPECT_EQ(fast.id, 1u);
+
+    AdvisorRequest high = mixRequest(2, 2);
+    high.allowRollout = false;
+    const AdvisorDecision spec = engine.decide(high, Deadline{});
+    EXPECT_EQ(spec.marginGroup, 2);
+    EXPECT_FALSE(spec.heteroDmr);
+    EXPECT_DOUBLE_EQ(spec.expectedSpeedup, 1.0);
+}
+
+TEST(AdvisorEngine, RolloutProducesExactThenCacheServesIt)
+{
+    AdvisorEngine engine(engineConfig());
+    const AdvisorRequest request = mixRequest(10, 0);
+    const AdvisorDecision exact =
+        engine.decide(request, Deadline::after(10'000'000));
+    EXPECT_EQ(exact.quality, Quality::kExact);
+    EXPECT_GT(exact.rolloutTurnaroundSeconds, 0.0);
+    EXPECT_EQ(engine.cacheSize(), 1u);
+
+    AdvisorRequest again = mixRequest(11, 0);
+    const AdvisorDecision cached =
+        engine.decide(again, Deadline::after(10'000'000));
+    EXPECT_EQ(cached.quality, Quality::kCached);
+    EXPECT_EQ(cached.id, 11u); // id rewritten on the way out
+    EXPECT_EQ(cached.marginGroup, exact.marginGroup);
+    EXPECT_DOUBLE_EQ(cached.expectedSpeedup, exact.expectedSpeedup);
+
+    const AdvisorStats stats = engine.stats();
+    EXPECT_EQ(stats.decisionsExact, 1u);
+    EXPECT_EQ(stats.decisionsCached, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.rolloutsCompleted, 1u);
+}
+
+TEST(AdvisorEngine, ExpiredDeadlineSkipsTheRollout)
+{
+    AdvisorEngine engine(engineConfig());
+    const AdvisorDecision d =
+        engine.decide(mixRequest(20, 0), Deadline::after(0));
+    EXPECT_EQ(d.quality, Quality::kDegraded);
+    EXPECT_EQ(engine.stats().rolloutsAttempted, 0u);
+}
+
+TEST(AdvisorEngine, SlowRolloutsDegradeAndOpenTheBreaker)
+{
+    AdvisorConfig config = engineConfig();
+    config.breaker.openAfterFailures = 2;
+    config.breaker.cooldownMicros = 50'000'000; // stays open
+    AdvisorEngine engine(config);
+
+    fault::SlowPathInjector injector;
+    injector.armDelay(2000); // 2 ms per decision point
+    engine.setSlowPathInjector(&injector);
+
+    for (std::uint64_t id = 0; id < 2; ++id) {
+        // Distinct runtimes bust the cache so each decide() must try
+        // a rollout; 1 ms deadline < one 2 ms simulated event.
+        const AdvisorDecision d = engine.decide(
+            mixRequest(30 + id, 0, 600.0 + 61.0 * double(id)),
+            Deadline::after(1000));
+        EXPECT_EQ(d.quality, Quality::kDegraded);
+    }
+    EXPECT_EQ(engine.stats().rolloutsDeadlineHit, 2u);
+    EXPECT_EQ(engine.breaker().state(), CircuitBreaker::State::kOpen);
+
+    // Breaker open: the rollout path is rejected outright.
+    const AdvisorDecision d = engine.decide(
+        mixRequest(40, 0, 1300.0), Deadline::after(10'000'000));
+    EXPECT_EQ(d.quality, Quality::kDegraded);
+    EXPECT_EQ(engine.stats().rolloutsBreakerRejected, 1u);
+    EXPECT_GT(injector.perturbs(), 0u);
+}
+
+TEST(AdvisorEngine, CacheEvictsFifoAtCapacity)
+{
+    AdvisorConfig config = engineConfig();
+    config.cacheCapacity = 1;
+    AdvisorEngine engine(config);
+    engine.decide(mixRequest(1, 0, 600.0), Deadline::after(10'000'000));
+    engine.decide(mixRequest(2, 0, 900.0), Deadline::after(10'000'000));
+    EXPECT_EQ(engine.cacheSize(), 1u);
+    EXPECT_EQ(engine.stats().cacheEvictions, 1u);
+}
+
+TEST(AdvisorEngine, WarmStartServesBitIdenticalCachedAnswers)
+{
+    AdvisorEngine a(engineConfig());
+    const AdvisorRequest request = mixRequest(50, 0);
+    ASSERT_EQ(a.decide(request, Deadline::after(10'000'000)).quality,
+              Quality::kExact);
+    const std::vector<std::uint8_t> state = a.saveState();
+
+    AdvisorRequest replay = mixRequest(51, 0);
+    const AdvisorDecision fromA =
+        a.decide(replay, Deadline::after(10'000'000));
+    ASSERT_EQ(fromA.quality, Quality::kCached);
+
+    AdvisorEngine b(engineConfig());
+    ASSERT_TRUE(b.restoreState(state).ok());
+    EXPECT_EQ(b.cacheSize(), 1u);
+    const AdvisorDecision fromB =
+        b.decide(replay, Deadline::after(10'000'000));
+    EXPECT_EQ(fromB.quality, Quality::kCached);
+    EXPECT_TRUE(encodeDecision(fromB) == encodeDecision(fromA));
+}
+
+TEST(AdvisorEngine, RestoreRejectsForeignConfigAndCorruption)
+{
+    AdvisorEngine a(engineConfig());
+    a.decide(mixRequest(60, 0), Deadline::after(10'000'000));
+    const std::vector<std::uint8_t> state = a.saveState();
+
+    AdvisorConfig other = engineConfig();
+    other.seed = 43;
+    AdvisorEngine b(other);
+    EXPECT_EQ(b.restoreState(state).code(),
+              util::StatusCode::kFailedPrecondition);
+    EXPECT_EQ(b.cacheSize(), 0u); // untouched on error
+
+    AdvisorEngine c(engineConfig());
+    for (std::size_t cut = 0; cut < state.size(); ++cut) {
+        const std::vector<std::uint8_t> truncated(
+            state.begin(), state.begin() + cut);
+        EXPECT_FALSE(c.restoreState(truncated).ok());
+        EXPECT_EQ(c.cacheSize(), 0u);
+    }
+}
+
+// --------------------------------------------------------------------
+// AdvisorService
+// --------------------------------------------------------------------
+
+ServiceConfig
+serviceConfig()
+{
+    ServiceConfig config;
+    config.workers = 1;
+    config.queueCapacity = 4;
+    config.defaultDeadlineMicros = 200'000;
+    config.maxDeadlineMicros = 1'000'000;
+    return config;
+}
+
+/** Collects responses (id from decision, or 0 for refusals). */
+struct Collector
+{
+    std::mutex mu;
+    std::vector<ServedResponse> responses;
+
+    ResponseCallback
+    callback()
+    {
+        return [this](const ServedResponse &r) {
+            std::lock_guard<std::mutex> lock(mu);
+            responses.push_back(r);
+        };
+    }
+
+    std::size_t
+    count()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return responses.size();
+    }
+
+    ServedResponse
+    at(std::size_t i)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return responses.at(i);
+    }
+};
+
+void
+awaitCount(Collector &collector, std::size_t n)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (collector.count() < n &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(collector.count(), n);
+}
+
+void
+awaitInFlight(AdvisorService &service, unsigned n)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (service.inFlight() < n &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(service.inFlight(), n);
+}
+
+TEST(AdvisorService, ServesATableRequestEndToEnd)
+{
+    AdvisorService service(serviceConfig(), engineConfig());
+    Collector collector;
+    AdvisorRequest request = mixRequest(1, 0);
+    request.allowRollout = false;
+    service.submit(request, collector.callback());
+    awaitCount(collector, 1);
+    const ServedResponse response = collector.at(0);
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_FALSE(response.shed);
+    EXPECT_EQ(response.decision.id, 1u);
+    EXPECT_EQ(response.decision.quality, Quality::kDegraded);
+    const ServiceCounters counters = service.counters();
+    EXPECT_EQ(counters.admitted, 1u);
+    EXPECT_EQ(counters.served, 1u);
+    EXPECT_EQ(counters.totalShed(), 0u);
+}
+
+TEST(AdvisorService, MalformedRequestsAreRejectedNotAdmitted)
+{
+    AdvisorService service(serviceConfig(), engineConfig());
+    Collector collector;
+    AdvisorRequest bad; // empty mix
+    service.submit(bad, collector.callback());
+    awaitCount(collector, 1);
+    EXPECT_EQ(collector.at(0).status.code(),
+              util::StatusCode::kInvalidArgument);
+    EXPECT_FALSE(collector.at(0).shed);
+    EXPECT_EQ(service.counters().rejectedInvalid, 1u);
+    EXPECT_EQ(service.counters().admitted, 0u);
+}
+
+TEST(AdvisorService, SubmitFrameReportsParseErrorsSynchronously)
+{
+    AdvisorService service(serviceConfig(), engineConfig());
+    Collector collector;
+    const std::vector<std::uint8_t> garbage = {1, 2, 3};
+    EXPECT_FALSE(
+        service.submitFrame(garbage.data(), garbage.size(),
+                            collector.callback())
+            .ok());
+    EXPECT_EQ(collector.count(), 0u);
+
+    AdvisorRequest request = mixRequest(5, 0);
+    request.allowRollout = false;
+    const std::vector<std::uint8_t> bytes = encodeRequest(request);
+    ASSERT_TRUE(service
+                    .submitFrame(bytes.data(), bytes.size(),
+                                 collector.callback())
+                    .ok());
+    awaitCount(collector, 1);
+    EXPECT_TRUE(collector.at(0).status.ok());
+}
+
+TEST(AdvisorService, QueueFullShedsOldestAndServesNewestFirst)
+{
+    fault::SlowPathInjector injector;
+    injector.armGate();
+    AdvisorService service(serviceConfig(), engineConfig());
+    service.engine().setSlowPathInjector(&injector);
+
+    // Block the single worker inside a rollout behind the gate.
+    Collector blockerResponses;
+    AdvisorRequest blocker = mixRequest(100, 0);
+    blocker.allowCached = false;
+    blocker.deadlineMicros = 1'000'000;
+    service.submit(blocker, blockerResponses.callback());
+    awaitInFlight(service, 1);
+
+    // Fill the queue (capacity 4) with ids 1..4, then overflow with
+    // 5 and 6: the OLDEST queued requests (1, then 2) must be shed.
+    Collector served;
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+        AdvisorRequest request = mixRequest(id, 0);
+        request.allowRollout = false;
+        request.deadlineMicros = 1'000'000;
+        service.submit(request, served.callback());
+    }
+
+    // Two responses (for ids 1 and 2) must already be shed refusals.
+    awaitCount(served, 2);
+    EXPECT_EQ(service.counters().shedQueueFull, 2u);
+    EXPECT_EQ(service.queueDepth(), 4u);
+
+    // Release the worker; the remaining four queued requests are
+    // served newest-first: 6, 5, 4, 3.
+    injector.release();
+    injector.disarm();
+    awaitCount(served, 6);
+    awaitCount(blockerResponses, 1);
+
+    std::vector<std::uint64_t> shedIds;
+    std::vector<std::uint64_t> servedIds;
+    for (std::size_t i = 0; i < served.count(); ++i) {
+        const ServedResponse r = served.at(i);
+        if (r.shed)
+            shedIds.push_back(0); // shed refusals carry no decision
+        else
+            servedIds.push_back(r.decision.id);
+    }
+    ASSERT_EQ(shedIds.size(), 2u);
+    ASSERT_EQ(servedIds.size(), 4u);
+    EXPECT_EQ(servedIds,
+              (std::vector<std::uint64_t>{6, 5, 4, 3}));
+}
+
+TEST(AdvisorService, QueueExpiryAnswersDeadlineExceeded)
+{
+    fault::SlowPathInjector injector;
+    injector.armGate();
+    ServiceConfig config = serviceConfig();
+    config.defaultDeadlineMicros = 20'000;
+    AdvisorService service(config, engineConfig());
+    service.engine().setSlowPathInjector(&injector);
+
+    Collector blockerResponses;
+    AdvisorRequest blocker = mixRequest(100, 0);
+    blocker.allowCached = false;
+    blocker.deadlineMicros = 1'000'000;
+    service.submit(blocker, blockerResponses.callback());
+    awaitInFlight(service, 1);
+
+    // Queue a request with the 20 ms default deadline, hold the gate
+    // well past it, then release: it must be answered
+    // kDeadlineExceeded without touching the engine.
+    Collector collector;
+    AdvisorRequest request = mixRequest(1, 0);
+    request.allowRollout = false;
+    service.submit(request, collector.callback());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    injector.release();
+    injector.disarm();
+
+    awaitCount(collector, 1);
+    const ServedResponse response = collector.at(0);
+    EXPECT_EQ(response.status.code(),
+              util::StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(response.shed);
+    EXPECT_TRUE(response.status.isRetriable() == false);
+    EXPECT_EQ(service.counters().shedQueueExpired, 1u);
+}
+
+TEST(AdvisorService, DrainingRefusesNewRequests)
+{
+    AdvisorService service(serviceConfig(), engineConfig());
+    service.beginDrain();
+    EXPECT_TRUE(service.draining());
+    Collector collector;
+    AdvisorRequest request = mixRequest(1, 0);
+    request.allowRollout = false;
+    service.submit(request, collector.callback());
+    awaitCount(collector, 1);
+    EXPECT_EQ(collector.at(0).status.code(),
+              util::StatusCode::kUnavailable);
+    EXPECT_TRUE(collector.at(0).shed);
+    EXPECT_TRUE(collector.at(0).status.isRetriable());
+    EXPECT_EQ(service.counters().shedDraining, 1u);
+    EXPECT_TRUE(service.awaitDrain(1'000'000).ok());
+}
+
+TEST(AdvisorService, RetryBudgetRefusesRetriesWhenEmpty)
+{
+    ServiceConfig config = serviceConfig();
+    config.retry.capacity = 2.0;
+    config.retry.refillPerSuccess = 0.0;
+    AdvisorService service(config, engineConfig());
+    Collector collector;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        AdvisorRequest request = mixRequest(id, 0);
+        request.allowRollout = false;
+        request.isRetry = true;
+        service.submit(request, collector.callback());
+    }
+    awaitCount(collector, 3);
+    unsigned denied = 0;
+    for (std::size_t i = 0; i < 3; ++i)
+        if (collector.at(i).status.code() ==
+            util::StatusCode::kUnavailable)
+            ++denied;
+    EXPECT_EQ(denied, 1u);
+    EXPECT_EQ(service.counters().shedRetryDenied, 1u);
+}
+
+TEST(AdvisorService, DrainDeadlineExpiryWithStuckInFlightRequest)
+{
+    fault::SlowPathInjector injector;
+    injector.armGate();
+    AdvisorService service(serviceConfig(), engineConfig());
+    service.engine().setSlowPathInjector(&injector);
+
+    Collector blockerResponses;
+    AdvisorRequest blocker = mixRequest(100, 0);
+    blocker.allowCached = false;
+    blocker.deadlineMicros = 1'000'000;
+    service.submit(blocker, blockerResponses.callback());
+    awaitInFlight(service, 1);
+
+    // One more request sits in the queue behind the stuck worker.
+    Collector queued;
+    AdvisorRequest waiting = mixRequest(1, 0);
+    waiting.allowRollout = false;
+    service.submit(waiting, queued.callback());
+
+    service.beginDrain();
+    const util::Status drained = service.awaitDrain(50'000);
+    EXPECT_EQ(drained.code(), util::StatusCode::kDeadlineExceeded);
+
+    // The queued request was shed by the forced drain.
+    awaitCount(queued, 1);
+    EXPECT_EQ(queued.at(0).status.code(),
+              util::StatusCode::kUnavailable);
+
+    // Unstick the worker; the force-cancelled rollout degrades and
+    // the blocker still gets an answer.
+    injector.release();
+    injector.disarm();
+    awaitCount(blockerResponses, 1);
+    EXPECT_TRUE(blockerResponses.at(0).status.ok());
+    EXPECT_EQ(blockerResponses.at(0).decision.quality,
+              Quality::kDegraded);
+}
+
+TEST(AdvisorService, DrainAndSnapshotWarmStartsBitIdentically)
+{
+    snapshot::Keeper keeper("test_serve_warmstart.snap", 2);
+    struct KeeperCleanup
+    {
+        const snapshot::Keeper &keeper;
+        ~KeeperCleanup()
+        {
+            for (unsigned g = 0; g < keeper.keep(); ++g)
+                std::remove(keeper.generationPath(g).c_str());
+        }
+    } cleanup{keeper};
+
+    AdvisorRequest warm = mixRequest(7, 0);
+    warm.deadlineMicros = 1'000'000;
+    std::vector<std::uint8_t> firstCachedBytes;
+    {
+        AdvisorService service(serviceConfig(), engineConfig());
+        Collector collector;
+        service.submit(warm, collector.callback());
+        awaitCount(collector, 1);
+        ASSERT_EQ(collector.at(0).decision.quality, Quality::kExact);
+
+        // Ask again so we know the *cached* form of the answer.
+        AdvisorRequest replay = warm;
+        replay.id = 8;
+        service.submit(replay, collector.callback());
+        awaitCount(collector, 2);
+        ASSERT_EQ(collector.at(1).decision.quality, Quality::kCached);
+        firstCachedBytes = encodeDecision(collector.at(1).decision);
+
+        ASSERT_TRUE(
+            service.drainAndSnapshot(keeper, 2'000'000).ok());
+    }
+
+    // A fresh service restores the snapshot and serves the same
+    // cached decision, bit for bit.
+    AdvisorService restarted(serviceConfig(), engineConfig());
+    const util::Result<snapshot::Keeper::Loaded> loaded =
+        keeper.loadLatestValid(snapshot::kAdvisorStateKind);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    ASSERT_TRUE(
+        restarted.engine().restoreState(loaded.value().payload).ok());
+
+    Collector collector;
+    AdvisorRequest replay = warm;
+    replay.id = 8;
+    restarted.submit(replay, collector.callback());
+    awaitCount(collector, 1);
+    EXPECT_EQ(collector.at(0).decision.quality, Quality::kCached);
+    EXPECT_TRUE(encodeDecision(collector.at(0).decision) ==
+                firstCachedBytes);
+}
+
+TEST(AdvisorService, PublishMetricsExportsTheLadder)
+{
+    AdvisorService service(serviceConfig(), engineConfig());
+    Collector collector;
+    AdvisorRequest request = mixRequest(1, 0);
+    request.allowRollout = false;
+    service.submit(request, collector.callback());
+    awaitCount(collector, 1);
+
+    telemetry::Registry registry;
+    service.publishMetrics(registry, "advisor");
+    ASSERT_NE(registry.find("advisor.served"), nullptr);
+    EXPECT_EQ(std::get<telemetry::Counter>(
+                  *registry.find("advisor.served"))
+                  .value(),
+              1u);
+    ASSERT_NE(registry.find("advisor.decisions_degraded"), nullptr);
+    ASSERT_NE(registry.find("advisor.breaker_state"), nullptr);
+    ASSERT_NE(registry.find("advisor.served_latency_micros"), nullptr);
+    const auto &h = std::get<telemetry::Log2Histogram>(
+        *registry.find("advisor.served_latency_micros"));
+    EXPECT_EQ(h.count(), 1u);
+}
+
+} // namespace

@@ -121,6 +121,19 @@ TEST(Serializer, StringRejectsLengthBeyondPayload)
 class SnapshotFile : public ::testing::Test
 {
   protected:
+    // Per-test file name: ctest runs each case as its own process
+    // (gtest_discover_tests), so concurrent cases sharing one path
+    // would clobber each other's images.
+    void
+    SetUp() override
+    {
+        path_ = std::string("test_snapshot_file_") +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                ".snap";
+    }
+
     void TearDown() override { std::remove(path_.c_str()); }
 
     std::vector<std::uint8_t>
@@ -140,7 +153,7 @@ class SnapshotFile : public ::testing::Test
                    static_cast<std::streamsize>(bytes.size()));
     }
 
-    std::string path_ = "test_snapshot_file.snap";
+    std::string path_;
     std::vector<std::uint8_t> payload_ = {10, 20, 30, 40, 50};
 };
 

@@ -12,6 +12,7 @@
 
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "util/status.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
@@ -236,6 +237,55 @@ TEST(Units, TimeConversions)
 TEST(Units, PeakBandwidth)
 {
     EXPECT_DOUBLE_EQ(channelPeakBandwidth(3200), 25.6e9);
+}
+
+TEST(Status, CodeNamesCoverTheServiceVocabulary)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::kDeadlineExceeded),
+                 "deadline_exceeded");
+    EXPECT_STREQ(statusCodeName(StatusCode::kUnavailable),
+                 "unavailable");
+}
+
+TEST(Status, ConstructorsCarryCodeAndFormattedMessage)
+{
+    const Status deadline =
+        deadlineExceeded("request %d blew its %dus budget", 7, 250);
+    EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(deadline.toString().find("request 7 blew its 250us"),
+              std::string::npos);
+
+    const Status busy = unavailable("queue full (%d)", 64);
+    EXPECT_EQ(busy.code(), StatusCode::kUnavailable);
+    EXPECT_NE(busy.toString().find("queue full (64)"),
+              std::string::npos);
+}
+
+TEST(Status, OnlyUnavailableIsRetriable)
+{
+    // kDeadlineExceeded is deliberately NOT retriable: retrying work
+    // that just timed out is the amplification retry budgets exist to
+    // stop.  A fresh request (with a fresh deadline) is a new call.
+    EXPECT_TRUE(isRetriable(StatusCode::kUnavailable));
+    EXPECT_FALSE(isRetriable(StatusCode::kDeadlineExceeded));
+    EXPECT_FALSE(isRetriable(StatusCode::kOk));
+    EXPECT_FALSE(isRetriable(StatusCode::kInvalidArgument));
+    EXPECT_FALSE(isRetriable(StatusCode::kDataLoss));
+
+    EXPECT_TRUE(unavailable("busy").isRetriable());
+    EXPECT_FALSE(deadlineExceeded("late").isRetriable());
+    EXPECT_FALSE(Status{}.isRetriable()); // kOk is never retriable
+}
+
+TEST(Status, ResultCarriesValueOrStatus)
+{
+    const Result<int> good(42);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+
+    const Result<int> bad(unavailable("later"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kUnavailable);
 }
 
 } // namespace
