@@ -6,8 +6,23 @@ namespace hdmr::core
 {
 
 EpochGuard::EpochGuard(EpochGuardConfig config)
-    : config_(config), threshold_(config.errorThreshold())
+    : config_(config), baseEpochLength_(config.epochLength),
+      threshold_(config.errorThreshold())
 {
+}
+
+void
+EpochGuard::setEpochLength(Tick length, Tick now)
+{
+    if (length < 1)
+        length = 1;
+    if (length == config_.epochLength)
+        return;
+    config_.epochLength = length;
+    threshold_ = config_.errorThreshold();
+    // Re-anchor: the epoch containing `now` under the new length
+    // continues with the counts accumulated so far.
+    epochIndex_ = now / config_.epochLength;
 }
 
 void
@@ -51,8 +66,9 @@ EpochGuard::epochEnd(Tick now) const
 void
 EpochGuard::saveState(snapshot::Serializer &out) const
 {
-    out.writeU64(config_.epochLength);
+    out.writeU64(baseEpochLength_);
     out.writeDouble(config_.mttSdcYears);
+    out.writeU64(config_.epochLength);
     out.writeU64(epochIndex_);
     out.writeU64(errorsThisEpoch_);
     out.writeU64(totalErrors_);
@@ -63,13 +79,22 @@ EpochGuard::saveState(snapshot::Serializer &out) const
 bool
 EpochGuard::restoreState(snapshot::Deserializer &in)
 {
-    const std::uint64_t epoch_length = in.readU64();
+    const std::uint64_t base_length = in.readU64();
     const double mtt_sdc_years = in.readDouble();
-    if (in.ok() && (epoch_length != config_.epochLength ||
+    if (in.ok() && (base_length != baseEpochLength_ ||
                     mtt_sdc_years != config_.mttSdcYears)) {
         in.fail("epoch-guard snapshot was taken under a different "
                 "epoch configuration");
         return false;
+    }
+    const std::uint64_t current_length = in.readU64();
+    if (in.ok() && current_length < 1) {
+        in.fail("epoch-guard snapshot carries a zero epoch length");
+        return false;
+    }
+    if (in.ok()) {
+        config_.epochLength = current_length;
+        threshold_ = config_.errorThreshold();
     }
     epochIndex_ = in.readU64();
     errorsThisEpoch_ = in.readU64();

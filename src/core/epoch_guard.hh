@@ -79,6 +79,22 @@ class EpochGuard
     /** Tick at which the current epoch (at `now`) ends. */
     Tick epochEnd(Tick now) const;
 
+    /**
+     * Adopt a new epoch length at time `now` (clamped to >= 1 tick).
+     * The detected-error threshold rescales with the length (see
+     * EpochGuardConfig::errorThreshold) so the MTT-SDC target is
+     * preserved, and the epoch cursor re-anchors so the epoch
+     * containing `now` continues rather than spuriously rolling.
+     * Re-applying the current length is a no-op - monitors re-assert
+     * their hold levels after a snapshot restore.
+     */
+    void setEpochLength(Tick length, Tick now);
+
+    /** Epoch length currently in effect. */
+    Tick epochLength() const { return config_.epochLength; }
+    /** Epoch length the guard was constructed with. */
+    Tick baseEpochLength() const { return baseEpochLength_; }
+
     std::uint64_t errorsThisEpoch() const { return errorsThisEpoch_; }
     std::uint64_t totalErrors() const { return totalErrors_; }
     std::uint64_t trips() const { return trips_; }
@@ -102,6 +118,8 @@ class EpochGuard
     void rollEpoch(Tick now);
 
     EpochGuardConfig config_;
+    /** Construction-time epoch length (setEpochLength scales off it). */
+    Tick baseEpochLength_;
     std::uint64_t threshold_;
     std::uint64_t epochIndex_ = 0;
     std::uint64_t errorsThisEpoch_ = 0;

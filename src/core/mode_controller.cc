@@ -79,7 +79,8 @@ ModeController::ModeController(
 {
     util::checkOk(config_.recalibration.validate());
     fastEnabled_ = config_.plan.fastReads;
-    qualifiedFastRateMts_ = config_.fastSetting.dataRateMts;
+    qualifiedFastRateMts_ = std::max(config_.qualifiedFastRateMts,
+                                     config_.fastSetting.dataRateMts);
 
     dram::ControllerHooks hooks;
     hooks.refillWrites = [this](std::size_t space) {
@@ -140,13 +141,52 @@ ModeController::handleDirtyEviction(std::uint64_t address)
         overflow_.push_back(address);
     }
 
+    const double trigger = std::min(
+        0.999, config_.writeModeTriggerFill + triggerBoost_);
     const bool pressure =
         static_cast<double>(wbCache_.occupancy()) >
-            config_.writeModeTriggerFill *
-                static_cast<double>(wbCache_.capacity()) ||
+            trigger * static_cast<double>(wbCache_.capacity()) ||
         overflow_.size() > 64;
     if (pressure)
         controller_.requestWriteMode();
+}
+
+void
+ModeController::requestWriteDrain(double clean_scale)
+{
+    if (wbCache_.empty() && overflow_.empty())
+        return;
+    if (!(clean_scale >= 0.0))
+        clean_scale = 1.0;
+    drainCleanScale_ = std::min(1.0, clean_scale);
+    controller_.requestWriteMode();
+}
+
+void
+ModeController::setWriteTriggerBoost(double boost)
+{
+    if (boost < 0.0)
+        boost = 0.0;
+    triggerBoost_ = boost;
+}
+
+void
+ModeController::setCleanBudgetScale(double scale)
+{
+    if (!(scale >= 0.0))
+        scale = 1.0;
+    cleanScale_ = std::min(1.0, scale);
+}
+
+void
+ModeController::setEpochLengthScale(double scale)
+{
+    if (!(scale > 0.0))
+        scale = 1.0;
+    const double scaled =
+        static_cast<double>(guard_.baseEpochLength()) * scale;
+    guard_.setEpochLength(static_cast<Tick>(scaled),
+                          events_.curTick());
 }
 
 std::size_t
@@ -197,8 +237,18 @@ ModeController::onWriteModeEnter()
         // Wake the original ranks out of self-refresh so the broadcast
         // writes can update original + copy together (Fig. 8a).
         controller_.setSelfRefreshMask(0);
-        cleanBudget_ = config_.cleanLinesPerWriteMode;
+        // The monitor's prefer-reads hold caps the discretionary
+        // cleaning this window may do; with no hold asserted the
+        // scale is 1 and the window earns the full configured budget.
+        // A pending monitor drain overrides the ambient scale for
+        // this one entry so its cleaning fits the idle window that
+        // prompted the drain.
+        const double scale =
+            drainCleanScale_ >= 0.0 ? drainCleanScale_ : cleanScale_;
+        cleanBudget_ = static_cast<std::size_t>(
+            static_cast<double>(config_.cleanLinesPerWriteMode) * scale);
     }
+    drainCleanScale_ = -1.0;
 }
 
 void
@@ -574,7 +624,7 @@ ModeController::demote()
 }
 
 void
-ModeController::promote()
+ModeController::promote(bool immediate)
 {
     if (quarantined_ || !config_.plan.fastReads ||
         config_.fastSetting.dataRateMts >= qualifiedFastRateMts_)
@@ -589,8 +639,18 @@ ModeController::promote()
     config_.readErrorProbability =
         std::min(1.0, config_.readErrorProbability /
                           config_.quarantine.demotionErrorFactor);
-    if (fastEnabled_)
-        applyReconfiguration();
+    if (fastEnabled_) {
+        if (immediate) {
+            applyReconfiguration();
+        } else {
+            // Retiming needs a bus quiescence; the controller latches
+            // a pending reconfiguration at its next mode transition,
+            // so the promoted rate arrives with the next drain or
+            // pressure flush for free instead of stealing one now.
+            controller_.reconfigure(
+                buildControllerConfig(activeConfig(), 1));
+        }
+    }
 }
 
 void
@@ -738,6 +798,12 @@ ModeController::saveState(snapshot::Serializer &out) const
     out.writeU64(stats_.recalProbeFailures);
     out.writeU64(stats_.recalEscalations);
     out.writeU64(stats_.probeTicks);
+
+    // Monitor-asserted control levels (the epoch-length level lives in
+    // the guard's own record above).
+    out.writeDouble(triggerBoost_);
+    out.writeDouble(cleanScale_);
+    out.writeDouble(drainCleanScale_);
 }
 
 bool
@@ -839,8 +905,31 @@ ModeController::restoreState(snapshot::Deserializer &in)
     stats_.recalProbeFailures = in.readU64();
     stats_.recalEscalations = in.readU64();
     stats_.probeTicks = in.readU64();
+    const double trigger_boost = in.readDouble();
+    if (in.ok() && !(trigger_boost >= 0.0 && trigger_boost < 1.0)) {
+        in.fail("mode-controller snapshot carries an out-of-range "
+                "write-trigger boost");
+        return false;
+    }
+    const double clean_scale = in.readDouble();
+    if (in.ok() && !(clean_scale >= 0.0 && clean_scale <= 1.0)) {
+        in.fail("mode-controller snapshot carries an out-of-range "
+                "cleaning-budget scale");
+        return false;
+    }
+    const double drain_scale = in.readDouble();
+    if (in.ok() &&
+        !(drain_scale == -1.0 ||
+          (drain_scale >= 0.0 && drain_scale <= 1.0))) {
+        in.fail("mode-controller snapshot carries an out-of-range "
+                "pending drain cleaning scale");
+        return false;
+    }
     if (!in.ok())
         return false;
+    triggerBoost_ = trigger_boost;
+    cleanScale_ = clean_scale;
+    drainCleanScale_ = drain_scale;
     ladderRng_.setState(rng);
     recalRng_.setState(recal_rng);
 

@@ -163,6 +163,14 @@ struct ModeControllerConfig
     dram::MemorySetting specSetting;
     /** Read-mode setting; equals specSetting for non-Hetero designs. */
     dram::MemorySetting fastSetting;
+    /**
+     * Data rate the module qualified at during profiling; 0 means the
+     * fastSetting rate.  When fastSetting starts below this - a static
+     * guard band held back at deployment - promote() can re-earn the
+     * difference in demoteStepMts steps at runtime (monitor scheme or
+     * recalibration evidence), up to this rate and never beyond it.
+     */
+    unsigned qualifiedFastRateMts = 0;
     /** Channel replication plan. */
     ChannelPlan plan;
     /**
@@ -246,6 +254,51 @@ class ModeController
     /** Flush everything (end of run): force a final drain. */
     void flush();
 
+    // ---- Monitoring surface (monitor::ActionSink bridge). ----
+
+    /**
+     * Drain the accumulated write backlog now (a monitor scheme judged
+     * the moment cheap - e.g. the node went quiet).  Requests write
+     * mode only when there is anything to write.  The entry this
+     * request arms earns `clean_scale` of the configured discretionary
+     * cleaning budget instead of the ambient setCleanBudgetScale()
+     * level, so a scheme can size the drain's cleaning to the idle
+     * window it detected rather than the full configured batch.
+     */
+    void requestWriteDrain(double clean_scale = 1.0);
+
+    /**
+     * Additive boost on the write-mode trigger fill (clamped so the
+     * effective trigger stays below 1): while a read-preference scheme
+     * holds, the victim cache must fill `boost` further before an
+     * eviction trickle can force a write-mode entry.  0 restores the
+     * configured trigger; re-applying the current boost is a no-op.
+     */
+    void setWriteTriggerBoost(double boost);
+
+    /**
+     * Scale the SDC epoch length relative to its configured base
+     * (guard threshold rescales with it, preserving the MTT-SDC
+     * target); 1.0 restores the base length.  Idempotent like the
+     * boost.
+     */
+    void setEpochLengthScale(double scale);
+
+    /**
+     * Scale the discretionary LLC-cleaning budget each write-mode
+     * window earns (the most deferrable write-side work: cleaning
+     * extends the stall now to shrink future batches); clamped to
+     * [0, 1], 1.0 restores the configured budget.  Idempotent like
+     * the boost.
+     */
+    void setCleanBudgetScale(double scale);
+
+    /** Trigger boost currently in effect. */
+    double writeTriggerBoost() const { return triggerBoost_; }
+
+    /** Cleaning-budget scale currently in effect. */
+    double cleanBudgetScale() const { return cleanScale_; }
+
     const ModeControllerStats &stats() const { return stats_; }
     const cache::WritebackCache &writebackCache() const { return wbCache_; }
     const EpochGuard &epochGuard() const { return guard_; }
@@ -296,8 +349,15 @@ class ModeController
      * successful re-qualification probe (external policy decision; the
      * recalibration loop calls this internally).  No-op when the
      * channel is quarantined or already at its qualified rate.
+     *
+     * With `immediate` the new operating point takes effect now by
+     * forcing a mode transition (the recalibration probe already paid
+     * for a quiesce).  Without it the retiming latches at the next
+     * natural mode transition - the right choice for opportunistic
+     * monitor-driven promotion, where forcing a transition mid-compute
+     * would cost more than the earned margin returns.
      */
-    void promote();
+    void promote(bool immediate = true);
 
     /** The fast rate the channel was originally qualified at. */
     unsigned qualifiedFastRateMts() const { return qualifiedFastRateMts_; }
@@ -390,6 +450,16 @@ class ModeController
     std::size_t cleanBudget_ = 0;
     bool fastEnabled_ = false;
     bool quarantined_ = false;
+    /** Monitor-asserted additive write-trigger boost (0 = none). */
+    double triggerBoost_ = 0.0;
+    /** Monitor-asserted cleaning-budget scale (1 = full budget). */
+    double cleanScale_ = 1.0;
+    /**
+     * One-shot cleaning scale armed by requestWriteDrain() for the
+     * write-mode entry it triggers; negative means no drain pending
+     * and the ambient cleanScale_ applies.
+     */
+    double drainCleanScale_ = -1.0;
     util::Tick fastDisabledAt_ = 0;
     double ambientMultiplier_ = 1.0;
     std::uint64_t recoveryEventsSinceDemotion_ = 0;

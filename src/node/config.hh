@@ -15,6 +15,8 @@
 #include "core/replication.hh"
 #include "cpu/core.hh"
 #include "dram/timing.hh"
+#include "monitor/monitor.hh"
+#include "monitor/scheme.hh"
 #include "workloads/hpc_workloads.hh"
 
 namespace hdmr::node
@@ -62,6 +64,15 @@ struct NodeConfig
     MemorySystemKind memorySystem = MemorySystemKind::kCommercialBaseline;
     /** Node-level frequency margin in MT/s (Hetero-DMR designs). */
     unsigned nodeMarginMts = 800;
+    /**
+     * Static guard band in MT/s the deployment holds back from the
+     * qualified fast rate (the paper's per-module thresholds are
+     * provisioned for the worst observed phase, so the shipped
+     * operating point sits below what profiling qualified).  Applied
+     * in quarantine.demoteStepMts steps; a monitor promote scheme (or
+     * recalibration) can re-earn it online.  0 keeps seed behaviour.
+     */
+    unsigned marginGuardBandMts = 0;
     core::MemoryUsage usage = core::MemoryUsage::kUnder50;
 
     std::uint64_t memOpsPerCore = 100000;
@@ -80,6 +91,14 @@ struct NodeConfig
     std::size_t cleanLinesPerWriteMode = 12800;
     /** Frequency-scaling transition latency in microseconds (Fig. 9). */
     double frequencyTransitionUs = 1.0;
+    /**
+     * DAMON-style access monitoring (defaults: disabled, zero cost,
+     * behaviour bit-identical to the seed).  `cores` is overwritten
+     * with the hierarchy's core count at construction.
+     */
+    monitor::MonitorConfig monitoring;
+    /** Operation schemes evaluated when monitoring is enabled. */
+    monitor::SchemeConfig schemes;
 
     /**
      * The (spec, fast) settings the design implies.  Raw

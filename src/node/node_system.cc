@@ -9,6 +9,88 @@ namespace hdmr::node
 
 using util::Tick;
 
+/**
+ * The node-side monitor::ActionSink bridge: scheme actions fan out to
+ * every channel's mode controller (the monitor library stays a leaf
+ * and never sees core::).  Channel pointers are captured once at
+ * construction - the channel set never changes over a node's life.
+ */
+class NodeActionSink : public monitor::ActionSink
+{
+  public:
+    explicit NodeActionSink(std::vector<core::ModeController *> channels)
+        : channels_(std::move(channels))
+    {
+    }
+
+    void
+    drainWrites(double clean_fraction) override
+    {
+        ++drains_;
+        for (core::ModeController *mc : channels_)
+            mc->requestWriteDrain(clean_fraction);
+    }
+
+    void
+    setWriteTriggerBoost(double boost) override
+    {
+        for (core::ModeController *mc : channels_)
+            mc->setWriteTriggerBoost(boost);
+    }
+
+    void
+    setEpochScale(double scale) override
+    {
+        for (core::ModeController *mc : channels_)
+            mc->setEpochLengthScale(scale);
+    }
+
+    void
+    setCleanFraction(double fraction) override
+    {
+        for (core::ModeController *mc : channels_)
+            mc->setCleanBudgetScale(fraction);
+    }
+
+    void
+    promoteMargin() override
+    {
+        // Deferred: the retiming latches at the channel's next natural
+        // mode transition rather than forcing one mid-compute.
+        for (core::ModeController *mc : channels_)
+            mc->promote(/*immediate=*/false);
+    }
+
+    void
+    demoteMargin() override
+    {
+        for (core::ModeController *mc : channels_)
+            mc->demote();
+    }
+
+    void
+    hintPlacement(monitor::PlacementClass cls,
+                  std::uint64_t bytes) override
+    {
+        // Placement is decided fleet-side (sched::); at node level the
+        // hint is advisory and only accounted.
+        if (cls == monitor::PlacementClass::kFast)
+            hintedFastBytes_ += bytes;
+        else
+            hintedSpecBytes_ += bytes;
+    }
+
+    std::uint64_t drains() const { return drains_; }
+    std::uint64_t hintedFastBytes() const { return hintedFastBytes_; }
+    std::uint64_t hintedSpecBytes() const { return hintedSpecBytes_; }
+
+  private:
+    std::vector<core::ModeController *> channels_;
+    std::uint64_t drains_ = 0;
+    std::uint64_t hintedFastBytes_ = 0;
+    std::uint64_t hintedSpecBytes_ = 0;
+};
+
 NodeSystem::NodeSystem(NodeConfig config) : config_(std::move(config))
 {
     const HierarchyConfig &h = config_.hierarchy;
@@ -29,6 +111,25 @@ NodeSystem::NodeSystem(NodeConfig config) : config_(std::move(config))
     mc.cleanLinesPerWriteMode = config_.cleanLinesPerWriteMode;
     mc.frequencyTransitionLatency =
         util::usToTicks(config_.frequencyTransitionUs);
+
+    // Static guard band: operate below the qualified fast rate, one
+    // demotion step at a time (error probability scales down the same
+    // way a runtime demotion would scale it).  promote() re-earns the
+    // band later, never exceeding the qualified rate.
+    if (plan.fastReads && config_.marginGuardBandMts > 0 &&
+        mc.quarantine.demoteStepMts > 0) {
+        mc.qualifiedFastRateMts = mc.fastSetting.dataRateMts;
+        const unsigned step = mc.quarantine.demoteStepMts;
+        unsigned band = config_.marginGuardBandMts;
+        while (band >= step &&
+               mc.fastSetting.dataRateMts >=
+                   mc.specSetting.dataRateMts + step) {
+            mc.fastSetting.dataRateMts -= step;
+            mc.readErrorProbability *=
+                mc.quarantine.demotionErrorFactor;
+            band -= step;
+        }
+    }
 
     // ---- Caches. ----
     l1Latency_ = util::mhzToPeriod(config_.core.freqMhz) * 3;
@@ -83,6 +184,22 @@ NodeSystem::NodeSystem(NodeConfig config) : config_(std::move(config))
             mc.ladder.seed ^ (config_.seed * 0x9e3779b97f4a7c15ULL + ch);
         modeControllers_.push_back(std::make_unique<core::ModeController>(
             events_, *controllers_.back(), l3_.get(), filter, mc_ch));
+    }
+
+    // ---- Access monitoring (disabled: everything stays null and the
+    // access paths are bit-identical to the unmonitored node). ----
+    if (config_.monitoring.enabled) {
+        monitor::MonitorConfig mon = config_.monitoring;
+        mon.cores = h.cores; // budget normalization
+        sampler_ = std::make_unique<monitor::RegionSampler>(mon);
+        sink_ = std::make_unique<NodeActionSink>(modeControllers());
+        engine_ = std::make_unique<monitor::SchemeEngine>(
+            config_.schemes, sink_.get());
+        sampler_->setAggregationHook(
+            [this](const std::vector<monitor::Region> &regions,
+                   const monitor::AggregationInfo &info) {
+                engine_->onAggregation(regions, info);
+            });
     }
 
     // ---- Steady-state initial conditions. ----
@@ -326,6 +443,13 @@ NodeSystem::load(unsigned core_id, std::uint64_t address, Tick now,
     cpu::CacheOutcome outcome;
     const std::uint64_t line = address & ~63ull;
 
+    // Monitoring observes every post-warm-up access; the modelled
+    // check cost rides the cache-hit latency and is subsumed by the
+    // DRAM round trip on miss paths.
+    const Tick mon = (!warming_ && sampler_)
+                         ? sampler_->onAccess(line, false, now)
+                         : 0;
+
     // A line with a DRAM read still in flight (usually a prefetch)
     // is present in the tags but its data has not arrived: the load
     // joins the MSHR entry and waits like a miss.
@@ -346,14 +470,14 @@ NodeSystem::load(unsigned core_id, std::uint64_t address, Tick now,
     }
 
     if (l1_[core_id]->access(line, false).hit) {
-        outcome.latency = l1Latency_;
+        outcome.latency = l1Latency_ + mon;
         return outcome;
     }
 
     const auto l2r = l2_[core_id]->access(line, false);
     if (l2r.hit) {
         runPrefetchers(core_id, line, false, now);
-        outcome.latency = l2Latency_;
+        outcome.latency = l2Latency_ + mon;
         const auto l1r = l1_[core_id]->fill(line, false, false);
         if (l1r.evictedDirty) {
             const auto spill =
@@ -369,7 +493,7 @@ NodeSystem::load(unsigned core_id, std::uint64_t address, Tick now,
     if (l3r.hit) {
         if (l3r.prefetchHit)
             l2NextLine_[core_id].creditUse();
-        outcome.latency = l3Latency_;
+        outcome.latency = l3Latency_ + mon;
         installLine(core_id, line, false, now);
         return outcome;
     }
@@ -391,8 +515,12 @@ NodeSystem::store(unsigned core_id, std::uint64_t address, Tick now)
 {
     const std::uint64_t line = address & ~63ull;
 
+    const Tick mon = (!warming_ && sampler_)
+                         ? sampler_->onAccess(line, true, now)
+                         : 0;
+
     if (l1_[core_id]->access(line, true).hit)
-        return storeCost_;
+        return storeCost_ + mon;
 
     const auto l2r = l2_[core_id]->access(line, true);
     if (l2r.hit) {
@@ -404,7 +532,7 @@ NodeSystem::store(unsigned core_id, std::uint64_t address, Tick now)
             if (spill.evictedDirty)
                 handleL3Fill(spill.victimAddress, true, false, now);
         }
-        return storeCost_;
+        return storeCost_ + mon;
     }
 
     const auto l3r = l3_->access(line, true);
@@ -416,7 +544,7 @@ NodeSystem::store(unsigned core_id, std::uint64_t address, Tick now)
         // stall the store (store-buffer semantics).
         issueDramRead(channelOf(line), line, now, false, nullptr);
     }
-    return storeCost_;
+    return storeCost_ + mon;
 }
 
 void
@@ -441,6 +569,10 @@ NodeSystem::bindTelemetry(telemetry::Registry &registry,
     }
     if (l3_)
         l3_->bindTelemetry(registry, prefix + ".cache.l3");
+    if (sampler_)
+        sampler_->bindTelemetry(registry, prefix + ".monitor");
+    if (engine_)
+        engine_->bindTelemetry(registry, prefix + ".monitor.scheme");
 }
 
 void
@@ -513,6 +645,7 @@ NodeSystem::collectStats() const
         stats.uncorrectedErrors += mc->stats().uncorrectedErrors;
         stats.demotions += mc->stats().demotions;
         stats.quarantines += mc->stats().quarantines;
+        stats.marginPromotions += mc->stats().recalPromotions;
         stats.ladderRetries += mc->stats().ladderRetries;
         stats.ladderRecoveries += mc->stats().ladderRecoveries;
         stats.budgetDemotions += mc->stats().budgetDemotions;
@@ -540,6 +673,28 @@ NodeSystem::collectStats() const
             ? 0.0
             : static_cast<double>(stats.dramReads + stats.dramWrites) /
                   static_cast<double>(stats.instructions);
+
+    if (sampler_) {
+        const monitor::MonitorStats &ms = sampler_->stats();
+        stats.monitorSamples = ms.sampledAccesses;
+        stats.monitorAggregations = ms.aggregations;
+        stats.monitorSplits = ms.splits;
+        stats.monitorMerges = ms.merges;
+        stats.monitorThrottles = ms.throttles;
+        stats.monitorRegions = sampler_->regions().size();
+        if (finish > 0) {
+            stats.monitorOverheadFraction =
+                static_cast<double>(ms.chargedTicks) /
+                (static_cast<double>(finish) *
+                 static_cast<double>(cores_.size()));
+        }
+    }
+    if (engine_) {
+        stats.schemeHits = engine_->totalHits();
+        stats.schemeFires = engine_->totalFires();
+    }
+    if (sink_)
+        stats.monitorDrains = sink_->drains();
 
     stats.energy = computeEnergy(energy);
     return stats;

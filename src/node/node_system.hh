@@ -21,12 +21,16 @@
 #include "core/mode_controller.hh"
 #include "cpu/core.hh"
 #include "dram/controller.hh"
+#include "monitor/monitor.hh"
+#include "monitor/scheme.hh"
 #include "node/config.hh"
 #include "node/energy.hh"
 #include "sim/event_queue.hh"
 
 namespace hdmr::node
 {
+
+class NodeActionSink;
 
 /** Results of one node simulation. */
 struct NodeStats
@@ -44,6 +48,7 @@ struct NodeStats
     std::uint64_t uncorrectedErrors = 0; ///< recoveries that failed (UEs)
     std::uint64_t demotions = 0;         ///< fast setting lowered a step
     std::uint64_t quarantines = 0;       ///< channels retired to spec
+    std::uint64_t marginPromotions = 0;  ///< guard-band steps re-earned
     std::uint64_t ladderRetries = 0;     ///< recovery retry rungs walked
     std::uint64_t ladderRecoveries = 0;  ///< UEs averted by a retry rung
     std::uint64_t budgetDemotions = 0;   ///< error-budget demotions
@@ -58,6 +63,20 @@ struct NodeStats
     double transitionSeconds = 0.0;   ///< summed over channels
     double dramAccessesPerInstruction = 0.0;
     EnergyBreakdown energy;
+
+    // ---- Access monitoring (zero when monitoring is disabled). ----
+    std::uint64_t monitorSamples = 0;      ///< inspected accesses
+    std::uint64_t monitorAggregations = 0;
+    std::uint64_t monitorSplits = 0;
+    std::uint64_t monitorMerges = 0;
+    std::uint64_t monitorThrottles = 0;    ///< budget halved the duty
+    std::uint64_t monitorRegions = 0;      ///< final region count
+    std::uint64_t schemeHits = 0;          ///< region-predicate matches
+    std::uint64_t schemeFires = 0;         ///< actions applied
+    std::uint64_t monitorDrains = 0;       ///< scheme-requested drains
+    /** Charged monitoring ticks / (exec ticks x cores): the modelled
+     *  monitoring overhead the budget bounds. */
+    double monitorOverheadFraction = 0.0;
 
     /** Performance metric used throughout (1 / execution time). */
     double
@@ -104,6 +123,14 @@ class NodeSystem : public cpu::MemoryInterface
     /** Emit mode-switch/UE/quarantine instants on `trace` track `tid`. */
     void bindTrace(telemetry::TraceRecorder *trace, std::uint32_t tid);
 
+    /**
+     * The node's region sampler / scheme engine; nullptr while
+     * monitoring is disabled.  Exposed for the monitoring bench and
+     * tests (snapshot round-trips, digest trails, region inspection).
+     */
+    monitor::RegionSampler *regionSampler() { return sampler_.get(); }
+    monitor::SchemeEngine *schemeEngine() { return engine_.get(); }
+
     /** Non-owning views of the per-channel mode controllers. */
     std::vector<core::ModeController *>
     modeControllers()
@@ -136,6 +163,11 @@ class NodeSystem : public cpu::MemoryInterface
     // Memory side.
     std::vector<std::unique_ptr<dram::MemoryController>> controllers_;
     std::vector<std::unique_ptr<core::ModeController>> modeControllers_;
+
+    // Access monitoring (all null while monitoring is disabled).
+    std::unique_ptr<NodeActionSink> sink_;
+    std::unique_ptr<monitor::RegionSampler> sampler_;
+    std::unique_ptr<monitor::SchemeEngine> engine_;
 
     // Cache hierarchy.
     std::vector<std::unique_ptr<cache::Cache>> l1_; ///< per core

@@ -71,6 +71,15 @@ Log2Histogram::valueAtQuantile(double q) const
 }
 
 void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (unsigned b = 0; b < kBuckets; ++b)
+        counts_[b] += other.counts_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
 Log2Histogram::setBucketCount(unsigned bucket, std::uint64_t value)
 {
     hdmr_assert(bucket < kBuckets);

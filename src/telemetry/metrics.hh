@@ -145,6 +145,15 @@ class Log2Histogram
      */
     std::uint64_t valueAtQuantile(double q) const;
 
+    /**
+     * Fold `other` into this histogram bin-for-bin (no re-binning:
+     * both sides share the fixed log2 bucket layout, so the merged
+     * counts, totals, and therefore quantile estimates are exactly
+     * what one histogram fed both streams would hold).  Lets
+     * per-region monitor histories aggregate into a per-node view.
+     */
+    void merge(const Log2Histogram &other);
+
     /** Overwrite one bucket (snapshot restore). */
     void setBucketCount(unsigned bucket, std::uint64_t value);
     /** Overwrite the totals (snapshot restore). */

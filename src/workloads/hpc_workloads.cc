@@ -77,11 +77,45 @@ SyntheticHpcStream::next(Op &op)
         return true;
 
       case Phase::kMemory: {
-        const bool is_store = rng_.bernoulli(params_.writeFraction);
+        // Phase-heavy write bursts: modulate the store share inside /
+        // outside the burst window while keeping the long-run mean at
+        // writeFraction.  One bernoulli draw per op either way, so the
+        // RNG stream - and therefore every address - is unchanged when
+        // the knob is off.
+        double wf = params_.writeFraction;
+        if (params_.writeBurstPeriodOps > 0) {
+            const std::uint64_t phase_ops =
+                memOpsEmitted_ % params_.writeBurstPeriodOps;
+            const bool in_burst =
+                static_cast<double>(phase_ops) <
+                params_.writeBurstDuty *
+                    static_cast<double>(params_.writeBurstPeriodOps);
+            // Burst just closed: the rank waits out the checkpoint
+            // barrier before computing on.  Emitted before the next
+            // memory op and without touching the RNG, so the access
+            // stream is unchanged whether or not the wait is enabled.
+            if (inBurstWindow_ && !in_burst &&
+                params_.checkpointWaitUs > 0.0) {
+                inBurstWindow_ = false;
+                op.kind = Op::Kind::kComm;
+                op.duration =
+                    util::usToTicks(params_.checkpointWaitUs);
+                return true;
+            }
+            inBurstWindow_ = in_burst;
+            const double duty = params_.writeBurstDuty;
+            wf = in_burst
+                     ? params_.writeBurstFraction
+                     : std::max(0.0, (params_.writeFraction -
+                                      duty * params_.writeBurstFraction) /
+                                         (1.0 - duty));
+        }
+        const bool is_store = rng_.bernoulli(wf);
         op.kind = is_store ? Op::Kind::kStore : Op::Kind::kLoad;
         op.address = generateAddress(is_store);
         --remainingOps_;
         ++opsSinceComm_;
+        ++memOpsEmitted_;
         phase_ = (opsSinceComm_ >= opsPerIteration_ ||
                   remainingOps_ == 0)
                      ? Phase::kComm

@@ -48,6 +48,30 @@ struct WorkloadParams
     double mpiFraction = 0.13;
     /** Rough baseline ns per memory op, used to size comm phases. */
     double estimatedNsPerMemOp = 6.0;
+
+    /**
+     * Phase-heavy write behaviour: every `writeBurstPeriodOps` memory
+     * ops open a burst window of `writeBurstDuty` x the period during
+     * which the store share jumps to `writeBurstFraction`; outside the
+     * window it drops so the long-run mean stays `writeFraction`.
+     * Models checkpoint/output phases (the mix adaptive monitoring
+     * exploits).  0 disables bursts - the stream is then bit-identical
+     * to one generated without these knobs.
+     */
+    std::uint64_t writeBurstPeriodOps = 0;
+    double writeBurstDuty = 0.2;
+    double writeBurstFraction = 0.6;
+    /**
+     * Checkpoint-wait phase: when a write burst closes, the rank sits
+     * in a comm phase this long (the barrier / IO-completion wait that
+     * follows writing a checkpoint).  Because bursts are indexed on
+     * the op count, all ranks close bursts at the same op index, so
+     * these waits roughly align across the node - the genuinely idle
+     * windows quiet-phase operation schemes exploit.  0 disables the
+     * wait; the op stream is then bit-identical to one generated
+     * without it (comm ops consume no RNG draws).
+     */
+    double checkpointWaitUs = 0.0;
 };
 
 /** The synthetic benchmark stream for one rank. */
@@ -86,6 +110,8 @@ class SyntheticHpcStream : public AccessStream
     std::uint64_t strideCursor_ = 0;
     std::uint64_t storeCursor_ = 0;
     std::uint64_t opsSinceComm_ = 0;
+    std::uint64_t memOpsEmitted_ = 0;
+    bool inBurstWindow_ = false;
     std::uint64_t opsPerIteration_;
     util::Tick commDuration_;
     Phase phase_ = Phase::kCompute;

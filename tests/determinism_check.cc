@@ -24,8 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "monitor/monitor.hh"
+#include "monitor/scheme.hh"
+#include "node/config.hh"
+#include "node/node_system.hh"
 #include "sched/cluster_sim.hh"
 #include "snapshot/digest.hh"
+#include "snapshot/serializer.hh"
 #include "traces/job_trace.hh"
 #include "util/status.hh"
 
@@ -153,6 +158,70 @@ auditCorruptionRejection(const sched::ClusterConfig &config,
     std::remove(path.c_str());
 }
 
+/**
+ * Monitored-node replay determinism: one digest per aggregation over
+ * sampler + scheme-engine state.  `roundtrip_at` > 0 additionally
+ * serializes and restores the monitor state in place mid-run - a
+ * correct round trip must not perturb a single subsequent digest.
+ */
+std::vector<std::uint64_t>
+monitoredNodeTrail(std::uint64_t roundtrip_at, bool *roundtrip_ok)
+{
+    node::NodeConfig config;
+    config.hierarchy = node::HierarchyConfig::hierarchy1();
+    config.workload = wl::benchmarkByName("lulesh");
+    config.memOpsPerCore = 4000;
+    config.warmupOpsPerCore = 2000;
+    config.memorySystem = node::MemorySystemKind::kHeteroDmr;
+    config.seed = 23;
+    config.marginGuardBandMts = 400;
+    config.monitoring.enabled = true;
+    config.monitoring.samplingInterval = 2 * util::kTicksPerUs;
+    config.monitoring.aggregationInterval = 5 * util::kTicksPerUs;
+    config.monitoring.regionUpdateInterval = 15 * util::kTicksPerUs;
+    util::checkOk(monitor::parseSchemeConfig(
+        monitor::defaultPhaseAdaptiveSchemes(), &config.schemes));
+
+    node::NodeSystem sys(config);
+    monitor::RegionSampler *sampler = sys.regionSampler();
+    monitor::SchemeEngine *engine = sys.schemeEngine();
+    std::vector<std::uint64_t> trail;
+    sampler->setAggregationObserver([&](std::uint64_t index) {
+        if (roundtrip_at != 0 && index == roundtrip_at) {
+            snapshot::Serializer out;
+            sampler->saveState(out);
+            engine->saveState(out);
+            snapshot::Deserializer in(out.data());
+            const bool ok = sampler->restoreState(in) &&
+                            engine->restoreState(in) && in.ok() &&
+                            in.remaining() == 0;
+            if (roundtrip_ok)
+                *roundtrip_ok = ok;
+        }
+        trail.push_back(sampler->digest() ^
+                        (engine->digest() * 0x9e3779b97f4a7c15ULL));
+    });
+    sys.run();
+    return trail;
+}
+
+void
+auditMonitoredNode()
+{
+    std::printf("-- monitored node (DAMON sampler + schemes) --\n");
+    const std::vector<std::uint64_t> first = monitoredNodeTrail(0, nullptr);
+    const std::vector<std::uint64_t> second = monitoredNodeTrail(0, nullptr);
+    check(first.size() > 4, "monitor trail long enough to bite");
+    check(first == second, "monitored run twice: digest trails identical");
+
+    bool roundtrip_ok = false;
+    const std::vector<std::uint64_t> resumed =
+        monitoredNodeTrail(3, &roundtrip_ok);
+    check(roundtrip_ok, "mid-run monitor save/restore round-trips");
+    check(first == resumed,
+          "monitor round trip leaves the digest trail bit-identical");
+}
+
 } // namespace
 
 int
@@ -169,6 +238,7 @@ main()
     auditConfig(shortConfig(true), jobs,
                 "faulted, margin-unaware, checkpointed");
     auditCorruptionRejection(shortConfig(false), jobs);
+    auditMonitoredNode();
 
     if (g_failures > 0) {
         std::printf("\n%d check(s) FAILED\n", g_failures);

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Fail if the checked-in scheme file drifts from the compiled default.
+
+Usage: schemes_sync_check.py <fig19_monitor-binary> <phase_adaptive.schemes>
+
+monitor::defaultPhaseAdaptiveSchemes() is the source of truth; the
+copy under schemas/schemes/ exists so operators can read and fork the
+policy without a checkout of the sources.  Regenerate the copy with:
+
+    fig19_monitor --dump-schemes > schemas/schemes/phase_adaptive.schemes
+"""
+
+import subprocess
+import sys
+
+
+def main() -> int:
+    binary, checked_in = sys.argv[1], sys.argv[2]
+    compiled = subprocess.run(
+        [binary, "--dump-schemes"], check=True,
+        stdout=subprocess.PIPE).stdout.decode()
+    with open(checked_in, encoding="utf-8") as f:
+        shipped = f.read()
+    if compiled == shipped:
+        print("ok: %s matches the compiled default (%d bytes)" %
+              (checked_in, len(shipped)))
+        return 0
+    print("FAIL: %s has drifted from defaultPhaseAdaptiveSchemes(); "
+          "regenerate it with 'fig19_monitor --dump-schemes'" %
+          checked_in)
+    import difflib
+    sys.stdout.writelines(difflib.unified_diff(
+        shipped.splitlines(keepends=True),
+        compiled.splitlines(keepends=True),
+        fromfile=checked_in, tofile="--dump-schemes"))
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,6 +107,68 @@ TEST(Log2Histogram, SumWrapsModulo2To64)
     EXPECT_EQ(h.bucketCount(64), 2u);
 }
 
+TEST(Log2Histogram, MergeMatchesFeedingOneHistogramBothStreams)
+{
+    Log2Histogram a, b, combined;
+    for (std::uint64_t v : {0ull, 1ull, 5ull, 200ull, 200ull}) {
+        a.record(v);
+        combined.record(v);
+    }
+    for (std::uint64_t v : {3ull, 9000ull, ~0ull}) {
+        b.record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.sum(), combined.sum());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    for (unsigned bucket = 0; bucket < Log2Histogram::kBuckets;
+         ++bucket)
+        EXPECT_EQ(a.bucketCount(bucket), combined.bucketCount(bucket))
+            << bucket;
+}
+
+TEST(Log2Histogram, MergeWithEmptyIsIdentityBothWays)
+{
+    Log2Histogram h, empty;
+    h.record(42);
+    h.record(7);
+    Log2Histogram copy = h;
+    h.merge(empty);
+    EXPECT_EQ(h.count(), copy.count());
+    EXPECT_EQ(h.sum(), copy.sum());
+    empty.merge(copy);
+    EXPECT_EQ(empty.count(), copy.count());
+    EXPECT_EQ(empty.sum(), copy.sum());
+    EXPECT_EQ(empty.bucketCount(Log2Histogram::bucketOf(42)),
+              copy.bucketCount(Log2Histogram::bucketOf(42)));
+}
+
+TEST(Log2Histogram, QuantilesAfterMergeEqualSingleStreamQuantiles)
+{
+    // Two skewed shards: merged quantiles must equal the quantiles of
+    // one histogram that saw both streams (exactly - no re-binning).
+    Log2Histogram fast, slow, combined;
+    for (std::uint64_t i = 0; i < 90; ++i) {
+        fast.record(100 + i);
+        combined.record(100 + i);
+    }
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        slow.record(1 << 20);
+        combined.record(1 << 20);
+    }
+    fast.merge(slow);
+    for (const double q : {0.0, 0.5, 0.89, 0.95, 0.99, 1.0})
+        EXPECT_EQ(fast.valueAtQuantile(q),
+                  combined.valueAtQuantile(q))
+            << q;
+    // The slow tail lands above the fast mass: p99 sees the slow
+    // bucket, p50 the fast one.
+    EXPECT_GE(fast.valueAtQuantile(0.99),
+              static_cast<std::uint64_t>(1) << 20);
+    EXPECT_LT(fast.valueAtQuantile(0.5), 1024u);
+}
+
 // --------------------------------------------------------------------
 // Registry
 // --------------------------------------------------------------------
